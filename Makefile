@@ -1,0 +1,36 @@
+# lsmlab build and reproduction targets. Everything is stdlib Go and
+# runs offline.
+
+GO ?= go
+
+.PHONY: all build test race bench tables examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test ./internal/... -race
+
+# One testing.B target per experiment plus micro/ablation benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every experiment table at full scale (EXPERIMENTS.md data).
+tables:
+	$(GO) run ./cmd/lsmbench -exp all | tee bench_tables.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/timeseries
+	$(GO) run ./examples/privacy
+	$(GO) run ./examples/tuning
+	$(GO) run ./examples/counters
+
+clean:
+	rm -f test_output.txt bench_output.txt

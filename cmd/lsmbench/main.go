@@ -1,0 +1,53 @@
+// Command lsmbench regenerates the experiment tables of DESIGN.md §3:
+// one table per tutorial claim (E1–E12).
+//
+// Usage:
+//
+//	lsmbench -exp all            # run everything at full scale
+//	lsmbench -exp E1,E3 -scale 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lsmlab/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiment ids (E1..E12) or 'all'")
+		scale = flag.Float64("scale", 1.0, "workload scale factor (1.0 = documented size)")
+	)
+	flag.Parse()
+
+	var ids []string
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	failed := false
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := experiments.Run(id, experiments.Scale(*scale))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		tbl.Fprint(os.Stdout)
+		fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,166 @@
+// Command lsmctl opens an lsmlab database directory on the local
+// filesystem and runs basic operations against it — the smallest
+// end-to-end way to poke at a store.
+//
+// Usage:
+//
+//	lsmctl -db /tmp/demo [-strategy tiering(4)/partial/min-overlap] <command>
+//
+//	lsmctl -db /tmp/demo put <key> <value>
+//	lsmctl -db /tmp/demo get <key>
+//	lsmctl -db /tmp/demo delete <key>
+//	lsmctl -db /tmp/demo scan <start> <end> [limit]
+//	lsmctl -db /tmp/demo shape          # print the LSM-tree structure
+//	lsmctl -db /tmp/demo stats          # print engine counters
+//	lsmctl -db /tmp/demo compact        # full manual compaction
+//	lsmctl -db /tmp/demo retune <strategy> [T]  # reshape online, then drain
+//	lsmctl -db /tmp/demo checkpoint <dir>       # consistent online backup
+//	lsmctl -db /tmp/demo bench <n>      # quick ingest of n keys
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"lsmlab/internal/compaction"
+	"lsmlab/internal/core"
+	"lsmlab/internal/vfs"
+	"lsmlab/internal/workload"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "database directory (required)")
+	strategy := flag.String("strategy", "", "compaction strategy, e.g. 'lazy-leveling(4)/partial/tombstone-density'")
+	sizeRatio := flag.Int("T", 0, "size ratio between level capacities (default 10)")
+	flag.Parse()
+	args := flag.Args()
+	if *dbPath == "" || len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: lsmctl -db DIR [-strategy S] [-T n] {put|get|delete|scan|shape|stats|compact|retune|bench} ...")
+		os.Exit(2)
+	}
+
+	opts := core.DefaultOptions(vfs.NewOS(), *dbPath)
+	if *strategy != "" {
+		s, err := compaction.ParseStrategy(*strategy)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Layout = s.Layout
+		opts.Granularity = s.Granularity
+		opts.MovePolicy = s.MovePolicy
+	}
+	if *sizeRatio > 1 {
+		opts.SizeRatio = *sizeRatio
+	}
+	db, err := core.Open(opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	switch args[0] {
+	case "put":
+		need(args, 3)
+		if err := db.Put([]byte(args[1]), []byte(args[2])); err != nil {
+			fatal(err)
+		}
+	case "get":
+		need(args, 2)
+		v, err := db.Get([]byte(args[1]))
+		if errors.Is(err, core.ErrNotFound) {
+			fmt.Println("(not found)")
+			return
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s\n", v)
+	case "delete":
+		need(args, 2)
+		if err := db.Delete([]byte(args[1])); err != nil {
+			fatal(err)
+		}
+	case "scan":
+		need(args, 3)
+		limit := 100
+		if len(args) > 3 {
+			limit, _ = strconv.Atoi(args[3])
+		}
+		kvs, err := db.Scan([]byte(args[1]), []byte(args[2]), limit)
+		if err != nil {
+			fatal(err)
+		}
+		for _, kvp := range kvs {
+			fmt.Printf("%s = %s\n", kvp.Key, kvp.Value)
+		}
+	case "shape":
+		fmt.Println(db.TreeStats())
+	case "stats":
+		fmt.Println(db.Metrics())
+		fmt.Printf("space_amp=%.2f disk=%d bytes\n", db.SpaceAmplification(), db.DiskUsageBytes())
+	case "compact":
+		if err := db.Compact(); err != nil {
+			fatal(err)
+		}
+		fmt.Println(db.TreeStats())
+	case "checkpoint":
+		need(args, 2)
+		if err := db.Checkpoint(args[1]); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("checkpoint written to %s\n", args[1])
+	case "retune":
+		need(args, 2)
+		s, err := compaction.ParseStrategy(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		ratio := 0
+		if len(args) > 2 {
+			ratio, _ = strconv.Atoi(args[2])
+		}
+		if err := db.SetShape(s.Layout, ratio); err != nil {
+			fatal(err)
+		}
+		db.WaitIdle()
+		name, T := db.Shape()
+		fmt.Printf("reshaped to %s (T=%d)\n%s\n", name, T, db.TreeStats())
+	case "bench":
+		need(args, 2)
+		n, err := strconv.Atoi(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		gen := workload.New(workload.Config{Seed: time.Now().UnixNano(), KeySpace: int64(n), ValueLen: 100})
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			op := gen.Next()
+			if err := db.Put(op.Key, op.Value); err != nil {
+				fatal(err)
+			}
+		}
+		if err := db.Flush(); err != nil {
+			fatal(err)
+		}
+		el := time.Since(start)
+		fmt.Printf("%d puts in %v (%.0f ops/s)\n%s\n", n, el,
+			float64(n)/el.Seconds(), db.Metrics())
+	default:
+		fatal(fmt.Errorf("unknown command %q", args[0]))
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		fatal(fmt.Errorf("%s needs %d arguments", args[0], n-1))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lsmctl:", err)
+	os.Exit(1)
+}

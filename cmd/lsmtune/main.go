@@ -1,0 +1,80 @@
+// Command lsmtune navigates the LSM design space for a workload mix:
+// it prints the cost-model recommendation (nominal), the Endure-style
+// robust recommendation, and the read-write tradeoff curve around them
+// (tutorial Module III).
+//
+// Usage:
+//
+//	lsmtune -inserts 0.8 -reads 0.15 -scans 0.05 \
+//	        -entries 100000000 -entry-bytes 128 -memory-mb 256 -rho 0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"lsmlab/internal/tuning"
+)
+
+func main() {
+	var (
+		inserts    = flag.Float64("inserts", 0.5, "fraction of inserts/updates")
+		reads      = flag.Float64("reads", 0.4, "fraction of existing-key point lookups")
+		zeroReads  = flag.Float64("zero-reads", 0.05, "fraction of zero-result lookups")
+		scans      = flag.Float64("scans", 0.05, "fraction of short range scans")
+		longScans  = flag.Float64("long-scans", 0, "fraction of long range scans")
+		entries    = flag.Int64("entries", 100_000_000, "total live entries")
+		entryBytes = flag.Int64("entry-bytes", 128, "average entry size")
+		memoryMB   = flag.Int64("memory-mb", 256, "memory budget for buffer+filters")
+		rho        = flag.Float64("rho", 0.3, "workload uncertainty radius (L1) for robust tuning")
+	)
+	flag.Parse()
+
+	sys := tuning.SystemParams{NumEntries: *entries, EntryBytes: *entryBytes, PageBytes: 4096}
+	w := tuning.Workload{
+		Inserts:    *inserts,
+		PointExist: *reads,
+		PointZero:  *zeroReads,
+		ShortScans: *scans,
+		LongScans:  *longScans,
+	}
+	mem := *memoryMB << 20
+	space := tuning.DefaultSearchSpace()
+
+	nominal := tuning.Navigate(sys, mem, w, space)
+	robust := tuning.NavigateRobust(sys, mem, w, *rho, space)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "tuning\tsize_ratio\tlayout\tbuffer_frac\texpected_cost")
+	for _, r := range []struct {
+		name string
+		rec  tuning.Recommendation
+	}{{"nominal", nominal}, {"robust (min-max)", robust}} {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%.2f\t%.3f\n",
+			r.name, r.rec.Config.SizeRatio, r.rec.Config.Layout,
+			r.rec.Config.BufferFraction, tuning.Cost(r.rec.Config, sys, w.Normalize()))
+	}
+	tw.Flush()
+
+	fmt.Println("\nread-write tradeoff curve (leveling, buffer_frac 0.2):")
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "T\twrite_cost_io\tpoint_read_cost_io")
+	for _, p := range tuning.TradeoffCurve(sys, mem, tuning.LayoutLeveling, space.SizeRatios) {
+		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\n", p.Config.SizeRatio, p.WriteCost, p.ReadCost)
+	}
+	tw.Flush()
+
+	// Memory-wall navigation (§2.3.1): split the budget three ways for
+	// the nominal shape.
+	cw := tuning.CacheWorkload{
+		Workload:  w,
+		DataBytes: *entries * *entryBytes,
+		Skew:      0.8,
+	}
+	split := tuning.NavigateMemory(sys, cw, mem, nominal.Config.SizeRatio, nominal.Config.Layout)
+	fmt.Printf("\nmemory split for the nominal shape (buffer/filters/cache, skew 0.8):\n")
+	fmt.Printf("  buffer %d MiB, filters %d MiB, cache %d MiB (model cost %.3f I/O/op)\n",
+		split.BufferBytes>>20, split.FilterBytes>>20, split.CacheBytes>>20, split.Cost)
+}

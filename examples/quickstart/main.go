@@ -1,0 +1,85 @@
+// Quickstart: open a store, write, read, scan, delete, snapshot, and
+// reopen to show recovery — the whole external API in one file.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"lsmlab/internal/core"
+	"lsmlab/internal/vfs"
+)
+
+func main() {
+	// An in-memory filesystem keeps the example self-contained; swap in
+	// vfs.NewOS() and a directory path for a persistent store.
+	fs := vfs.NewMem()
+	opts := core.DefaultOptions(fs, "quickstart-db")
+
+	db, err := core.Open(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Puts and gets.
+	must(db.Put([]byte("fruit/apple"), []byte("red")))
+	must(db.Put([]byte("fruit/banana"), []byte("yellow")))
+	must(db.Put([]byte("veg/carrot"), []byte("orange")))
+	v, err := db.Get([]byte("fruit/apple"))
+	must(err)
+	fmt.Printf("fruit/apple = %s\n", v)
+
+	// Updates are just puts; the newest version wins.
+	must(db.Put([]byte("fruit/apple"), []byte("green")))
+	v, _ = db.Get([]byte("fruit/apple"))
+	fmt.Printf("fruit/apple = %s (after update)\n", v)
+
+	// A snapshot pins the current state.
+	snap := db.NewSnapshot()
+	must(db.Put([]byte("fruit/apple"), []byte("bruised")))
+	old, _ := snap.Get([]byte("fruit/apple"))
+	cur, _ := db.Get([]byte("fruit/apple"))
+	fmt.Printf("snapshot sees %s, live read sees %s\n", old, cur)
+	snap.Release()
+
+	// Range scan over a key prefix.
+	kvs, err := db.Scan([]byte("fruit/"), []byte("fruit0"), 0)
+	must(err)
+	fmt.Println("fruits:")
+	for _, kv := range kvs {
+		fmt.Printf("  %s = %s\n", kv.Key, kv.Value)
+	}
+
+	// Deletes: point, and range.
+	must(db.Delete([]byte("veg/carrot")))
+	if _, err := db.Get([]byte("veg/carrot")); errors.Is(err, core.ErrNotFound) {
+		fmt.Println("veg/carrot deleted")
+	}
+	must(db.DeleteRange([]byte("fruit/"), []byte("fruit0")))
+	kvs, _ = db.Scan(nil, nil, 0)
+	fmt.Printf("after range delete, %d keys remain\n", len(kvs))
+
+	// Atomic batches.
+	var b core.Batch
+	b.Put([]byte("batch/1"), []byte("a"))
+	b.Put([]byte("batch/2"), []byte("b"))
+	must(db.Apply(&b))
+
+	// Close flushes; reopening recovers everything from disk.
+	must(db.Close())
+	db2, err := core.Open(opts)
+	must(err)
+	defer db2.Close()
+	v, err = db2.Get([]byte("batch/1"))
+	must(err)
+	fmt.Printf("after reopen, batch/1 = %s\n", v)
+	fmt.Println("\ntree shape:")
+	fmt.Println(db2.TreeStats())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+// Tuning: navigate the LSM design space for three workload mixes, then
+// actually run the recommended and a mismatched configuration on the
+// same workload to show the recommendation is real (tutorial Module
+// III).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"lsmlab/internal/compaction"
+	"lsmlab/internal/core"
+	"lsmlab/internal/tuning"
+	"lsmlab/internal/vfs"
+	"lsmlab/internal/workload"
+)
+
+// toLayout maps a model layout to an engine layout at size ratio T.
+func toLayout(l tuning.DataLayout, T int) compaction.Layout {
+	switch l {
+	case tuning.LayoutTiering:
+		return compaction.Tiering{K: T}
+	case tuning.LayoutLazyLeveling:
+		return compaction.LazyLeveling{K: T}
+	default:
+		return compaction.Leveling{}
+	}
+}
+
+// run loads a dataset (untimed), then executes the mixed workload under
+// cfg and returns the simulated device time of the mixed phase in
+// milliseconds. The engine honors the recommended memory split: the
+// buffer fraction sizes the memtable, the remainder funds Monkey-
+// allocated filters.
+func run(cfg tuning.Config, mix workload.Mix) float64 {
+	fs := vfs.NewCountingWithLatency(vfs.NewMem(), vfs.SSDLatency())
+	opts := core.DefaultOptions(fs, "db")
+	opts.SizeRatio = cfg.SizeRatio
+	opts.Layout = toLayout(cfg.Layout, cfg.SizeRatio)
+	opts.BaseLevelBytes = 256 << 10
+	if buf := int(float64(cfg.MemoryBytes) * cfg.BufferFraction); buf >= 16<<10 {
+		opts.BufferBytes = buf
+	} else {
+		opts.BufferBytes = 16 << 10
+	}
+	opts.FilterMode = core.FilterMonkey
+	opts.FilterBudgetBits = int64(float64(cfg.MemoryBytes) * (1 - cfg.BufferFraction) * 8)
+
+	db, err := core.Open(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	const keySpace = 30_000
+	load := workload.New(workload.Config{Seed: 7, KeySpace: keySpace, Mix: workload.MixLoad, ValueLen: 64})
+	for i := 0; i < keySpace; i++ {
+		op := load.Next()
+		if err := db.Put(op.Key, op.Value); err != nil {
+			log.Fatal(err)
+		}
+	}
+	db.Flush()
+	db.WaitIdle()
+	base := fs.Stats()
+
+	gen := workload.New(workload.Config{Seed: 1, KeySpace: keySpace, Mix: mix, ValueLen: 64})
+	for i := 0; i < 60_000; i++ {
+		op := gen.Next()
+		switch op.Kind {
+		case workload.OpPut:
+			err = db.Put(op.Key, op.Value)
+		case workload.OpDelete:
+			err = db.Delete(op.Key)
+		case workload.OpGet, workload.OpGetZero:
+			_, err = db.Get(op.Key)
+			if errors.Is(err, core.ErrNotFound) {
+				err = nil
+			}
+		case workload.OpScan:
+			_, err = db.Scan(op.Key, op.EndKey, op.Limit)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	db.Flush()
+	db.WaitIdle()
+	return float64(fs.Stats().Sub(base).SimulatedNs) / 1e6
+}
+
+func main() {
+	sys := tuning.SystemParams{NumEntries: 30_000, EntryBytes: 80, PageBytes: 4096}
+	mem := int64(1 << 20)
+	space := tuning.DefaultSearchSpace()
+
+	cases := []struct {
+		name  string
+		model tuning.Workload
+		mix   workload.Mix
+	}{
+		{"ingest-heavy", tuning.Workload{Inserts: 0.9, PointExist: 0.1},
+			workload.Mix{Puts: 0.9, Gets: 0.1}},
+		{"read-mostly", tuning.Workload{Inserts: 0.1, PointExist: 0.6, ShortScans: 0.3},
+			workload.Mix{Puts: 0.1, Gets: 0.6, ScanShort: 0.3}},
+		{"balanced", tuning.Workload{Inserts: 0.5, PointExist: 0.4, ShortScans: 0.1},
+			workload.Mix{Puts: 0.5, Gets: 0.4, ScanShort: 0.1}},
+	}
+
+	for _, c := range cases {
+		rec := tuning.Navigate(sys, mem, c.model, space)
+		fmt.Printf("%s: recommended T=%d layout=%s (model cost %.3f I/O/op)\n",
+			c.name, rec.Config.SizeRatio, rec.Config.Layout, rec.Cost)
+
+		recommended := run(rec.Config, c.mix)
+		// A deliberately mismatched configuration for contrast.
+		mismatch := tuning.Config{SizeRatio: 2, Layout: tuning.LayoutLeveling, MemoryBytes: mem, BufferFraction: 0.2}
+		if rec.Config.Layout == tuning.LayoutLeveling {
+			mismatch.Layout = tuning.LayoutTiering
+			mismatch.SizeRatio = 10
+		}
+		mismatched := run(mismatch, c.mix)
+		verdict := "recommendation validated"
+		switch {
+		case recommended <= mismatched*0.98:
+		case recommended <= mismatched*1.05:
+			verdict = "near-tie: at this mix the design points converge"
+		default:
+			verdict = "model diverged from measurement at this scale"
+		}
+		fmt.Printf("  measured simulated device time: recommended %.0f ms vs mismatched %.0f ms (%s)\n\n",
+			recommended, mismatched, verdict)
+	}
+}

@@ -1,0 +1,3 @@
+module lsmlab
+
+go 1.22

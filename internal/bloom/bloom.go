@@ -1,0 +1,158 @@
+// Package bloom implements the Bloom filters that LSM engines attach to
+// every sorted run, plus Monkey's optimal per-level memory allocation.
+//
+// A point lookup probes the filter of each run before touching the run's
+// blocks; a negative filter answer skips the run entirely, which is the
+// single most important read optimization in the LSM design space
+// (tutorial §2.1.3). Filters are built at run granularity over user keys.
+package bloom
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Hash64 is the 64-bit hash used throughout the filter packages. It is a
+// 64-bit FNV-1a core with an avalanche finalizer (splitmix64's mixer) so
+// that the high bits used for double hashing are well distributed.
+func Hash64(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	// splitmix64 finalizer.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Rehash derives a new independent 64-bit hash from a previous one. It
+// implements the "hash sharing" optimization (tutorial §2.1.3, [137]):
+// the per-key hash is computed once per lookup and re-mixed per level,
+// instead of re-hashing the key bytes for every run probed.
+func Rehash(h uint64, level int) uint64 {
+	h ^= uint64(level+1) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}
+
+// Filter is an immutable serialized Bloom filter. The layout is:
+//
+//	bits ... | k (1 byte) | numBits (4 bytes, little endian)
+//
+// A zero-length Filter behaves as "always maybe" (no filter).
+type Filter []byte
+
+// footerLen is the serialized footer size: k plus the bit count.
+const footerLen = 5
+
+// New builds a Bloom filter over the given 64-bit key hashes with the
+// given number of bits per key. bitsPerKey may be fractional (Monkey
+// assigns fractional budgets); values below 0.5 yield a nil filter,
+// meaning the run is unfiltered.
+func New(hashes []uint64, bitsPerKey float64) Filter {
+	if len(hashes) == 0 || bitsPerKey < 0.5 {
+		return nil
+	}
+	// Optimal number of probes: k = ln2 * bits/key.
+	k := int(bitsPerKey * math.Ln2)
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	nBits := int(float64(len(hashes)) * bitsPerKey)
+	if nBits < 64 {
+		nBits = 64
+	}
+	nBytes := (nBits + 7) / 8
+	nBits = nBytes * 8
+	buf := make([]byte, nBytes+footerLen)
+	for _, h := range hashes {
+		addHash(buf[:nBytes], nBits, k, h)
+	}
+	buf[nBytes] = byte(k)
+	binary.LittleEndian.PutUint32(buf[nBytes+1:], uint32(nBits))
+	return buf
+}
+
+// NewFromKeys builds a filter directly from raw user keys.
+func NewFromKeys(keys [][]byte, bitsPerKey float64) Filter {
+	hashes := make([]uint64, len(keys))
+	for i, k := range keys {
+		hashes[i] = Hash64(k)
+	}
+	return New(hashes, bitsPerKey)
+}
+
+// addHash sets the k probe bits for h using double hashing
+// (Kirsch–Mitzenmacher): probe_i = h1 + i*h2.
+func addHash(bits []byte, nBits, k int, h uint64) {
+	h1 := uint32(h)
+	h2 := uint32(h >> 32)
+	for i := 0; i < k; i++ {
+		pos := (h1 + uint32(i)*h2) % uint32(nBits)
+		bits[pos/8] |= 1 << (pos % 8)
+	}
+}
+
+// MayContainHash reports whether the filter may contain the key with the
+// given hash. False means the key is definitely absent.
+func (f Filter) MayContainHash(h uint64) bool {
+	if len(f) < footerLen+8 {
+		return true // no filter: must not exclude anything
+	}
+	nBytes := len(f) - footerLen
+	k := int(f[nBytes])
+	nBits := int(binary.LittleEndian.Uint32(f[nBytes+1:]))
+	if nBits > nBytes*8 || k == 0 {
+		return true // corrupt footer: fail open
+	}
+	h1 := uint32(h)
+	h2 := uint32(h >> 32)
+	for i := 0; i < k; i++ {
+		pos := (h1 + uint32(i)*h2) % uint32(nBits)
+		if f[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MayContain reports whether the filter may contain key.
+func (f Filter) MayContain(key []byte) bool {
+	return f.MayContainHash(Hash64(key))
+}
+
+// FalsePositiveRate returns the theoretical false-positive rate of a
+// Bloom filter with the given bits per key and optimal probe count:
+// fpr = 2^(-ln2 * bits/key).
+func FalsePositiveRate(bitsPerKey float64) float64 {
+	if bitsPerKey <= 0 {
+		return 1
+	}
+	return math.Exp(-math.Ln2 * math.Ln2 * bitsPerKey)
+}
+
+// BitsForFPR returns the bits per key needed to achieve the given
+// false-positive rate (the inverse of FalsePositiveRate).
+func BitsForFPR(fpr float64) float64 {
+	if fpr >= 1 {
+		return 0
+	}
+	if fpr <= 0 {
+		return math.Inf(1)
+	}
+	return -math.Log(fpr) / (math.Ln2 * math.Ln2)
+}

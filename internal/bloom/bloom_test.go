@@ -1,0 +1,205 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func keys(n int) [][]byte {
+	ks := make([][]byte, n)
+	for i := range ks {
+		ks[i] = []byte(fmt.Sprintf("key-%08d", i))
+	}
+	return ks
+}
+
+func TestFilterNoFalseNegatives(t *testing.T) {
+	ks := keys(10000)
+	f := NewFromKeys(ks, 10)
+	for _, k := range ks {
+		if !f.MayContain(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+}
+
+func TestFilterFalsePositiveRateNearTheory(t *testing.T) {
+	for _, bpk := range []float64{4, 8, 12} {
+		ks := keys(20000)
+		f := NewFromKeys(ks, bpk)
+		fp := 0
+		probes := 20000
+		for i := 0; i < probes; i++ {
+			k := []byte(fmt.Sprintf("absent-%08d", i))
+			if f.MayContain(k) {
+				fp++
+			}
+		}
+		got := float64(fp) / float64(probes)
+		want := FalsePositiveRate(bpk)
+		if got > want*2.5+0.001 {
+			t.Errorf("bpk=%v: measured fpr %.4f far above theoretical %.4f", bpk, got, want)
+		}
+	}
+}
+
+func TestFilterSizeScalesWithBitsPerKey(t *testing.T) {
+	ks := keys(10000)
+	f4 := NewFromKeys(ks, 4)
+	f10 := NewFromKeys(ks, 10)
+	if len(f10) <= len(f4) {
+		t.Errorf("10 bpk (%d bytes) should be larger than 4 bpk (%d bytes)", len(f10), len(f4))
+	}
+	// Roughly n*bpk/8 bytes.
+	if math.Abs(float64(len(f10))-10*10000/8) > 1000 {
+		t.Errorf("unexpected filter size %d", len(f10))
+	}
+}
+
+func TestNilAndTinyFilters(t *testing.T) {
+	var f Filter
+	if !f.MayContain([]byte("anything")) {
+		t.Error("nil filter must answer maybe")
+	}
+	if New(nil, 10) != nil {
+		t.Error("empty key set yields nil filter")
+	}
+	if NewFromKeys(keys(10), 0.2) != nil {
+		t.Error("sub-half-bit budget yields nil filter")
+	}
+	if !Filter([]byte{1, 2}).MayContain([]byte("x")) {
+		t.Error("truncated filter must fail open")
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64([]byte("abc")) != Hash64([]byte("abc")) {
+		t.Error("hash must be deterministic")
+	}
+	if Hash64([]byte("abc")) == Hash64([]byte("abd")) {
+		t.Error("hashes of different keys should differ")
+	}
+	if Hash64(nil) == 0 {
+		t.Error("hash of empty key should be mixed, not zero")
+	}
+}
+
+func TestRehashIndependence(t *testing.T) {
+	h := Hash64([]byte("key"))
+	seen := map[uint64]bool{h: true}
+	for lvl := 0; lvl < 8; lvl++ {
+		r := Rehash(h, lvl)
+		if seen[r] {
+			t.Errorf("level %d rehash collides", lvl)
+		}
+		seen[r] = true
+		if r != Rehash(h, lvl) {
+			t.Error("rehash must be deterministic")
+		}
+	}
+}
+
+func TestFPRInverse(t *testing.T) {
+	for _, bpk := range []float64{1, 5, 10, 16} {
+		fpr := FalsePositiveRate(bpk)
+		back := BitsForFPR(fpr)
+		if math.Abs(back-bpk) > 1e-9 {
+			t.Errorf("BitsForFPR(FalsePositiveRate(%v)) = %v", bpk, back)
+		}
+	}
+	if FalsePositiveRate(0) != 1 || FalsePositiveRate(-1) != 1 {
+		t.Error("no bits means fpr 1")
+	}
+	if BitsForFPR(1) != 0 {
+		t.Error("fpr 1 needs 0 bits")
+	}
+	if !math.IsInf(BitsForFPR(0), 1) {
+		t.Error("fpr 0 needs infinite bits")
+	}
+}
+
+func TestFilterPropertyNoFalseNegative(t *testing.T) {
+	f := func(ks [][]byte) bool {
+		filter := NewFromKeys(ks, 8)
+		for _, k := range ks {
+			if !filter.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonkeyAllocationBeatsUniform(t *testing.T) {
+	// An LSM with size ratio 10 and 4 levels: entry counts grow 10x.
+	entries := []int64{1000, 10_000, 100_000, 1_000_000}
+	var total int64
+	for _, e := range entries {
+		total += e
+	}
+	budget := total * 5 // 5 bits/key overall
+
+	monkey := Allocate(entries, budget)
+	uniform := UniformAllocate(entries, budget)
+
+	mFPR := ExpectedLookupFPR(monkey)
+	uFPR := ExpectedLookupFPR(uniform)
+	if mFPR >= uFPR {
+		t.Errorf("monkey FPR %.5f should beat uniform %.5f", mFPR, uFPR)
+	}
+	// Monkey gives shallower (smaller) runs more bits per key.
+	for i := 1; i < len(monkey); i++ {
+		if monkey[i-1] < monkey[i] {
+			t.Errorf("bits/key must be non-increasing with level: %v", monkey)
+		}
+	}
+}
+
+func TestMonkeyRespectsBudget(t *testing.T) {
+	entries := []int64{500, 5000, 50000}
+	budget := int64(100_000)
+	bits := Allocate(entries, budget)
+	var used float64
+	for i, b := range bits {
+		used += b * float64(entries[i])
+	}
+	if math.Abs(used-float64(budget)) > float64(budget)/100 {
+		t.Errorf("allocation uses %.0f bits of %d budget", used, budget)
+	}
+}
+
+func TestMonkeyStarvesLargestRunsUnderTightBudget(t *testing.T) {
+	entries := []int64{100, 1_000_000}
+	budget := int64(2000) // ~20 bits/key for the small run, nothing meaningful for the big one
+	bits := Allocate(entries, budget)
+	if bits[0] <= 10 {
+		t.Errorf("small run should get a generous allocation, got %v", bits[0])
+	}
+	// The huge run's allocation falls below the 0.5 bits/key filter-build
+	// threshold, i.e. it is effectively unfiltered.
+	if bits[1] >= 0.5 {
+		t.Errorf("huge run should be effectively unfiltered under tight budget, got %v", bits[1])
+	}
+}
+
+func TestMonkeyEdgeCases(t *testing.T) {
+	if got := Allocate(nil, 100); len(got) != 0 {
+		t.Error("empty runs")
+	}
+	got := Allocate([]int64{100}, 0)
+	if got[0] != 0 {
+		t.Error("zero budget yields zero bits")
+	}
+	got = Allocate([]int64{0, 100}, 800)
+	if got[0] != 0 || got[1] <= 0 {
+		t.Errorf("zero-entry run must get no bits: %v", got)
+	}
+	if got := UniformAllocate([]int64{0, 0}, 100); got[0] != 0 {
+		t.Error("uniform with no entries")
+	}
+}

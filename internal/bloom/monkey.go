@@ -1,0 +1,109 @@
+package bloom
+
+import "math"
+
+// Monkey computes the optimal division of a fixed filter-memory budget
+// across the runs of an LSM-tree (Dayan et al., SIGMOD 2017; tutorial
+// §2.1.3 "Optimizing Memory Allocation").
+//
+// The expected number of superfluous I/Os for a zero-result point lookup
+// is the sum of the false-positive rates of all runs. Minimizing that
+// sum subject to a total memory budget yields false-positive rates
+// proportional to the number of entries in each run: small (shallow)
+// runs get more bits per key, the huge last level gets fewer — and under
+// tight budgets the largest runs get no filter at all, because filtering
+// them is the least memory-efficient way to save I/Os.
+
+// Allocate distributes totalBits of filter memory across runs with the
+// given entry counts. It returns the bits-per-key assigned to each run.
+// Runs assigned 0 bits should be built without a filter.
+//
+// The allocation solves
+//
+//	minimize   Σ exp(-ln2² · b_i)            (sum of FPRs)
+//	subject to Σ n_i · b_i = totalBits, b_i ≥ 0
+//
+// whose KKT solution sets fpr_i ∝ n_i, waterfilling away runs whose
+// unconstrained fpr would exceed 1 (those get no filter).
+func Allocate(entriesPerRun []int64, totalBits int64) []float64 {
+	n := len(entriesPerRun)
+	bits := make([]float64, n)
+	if n == 0 || totalBits <= 0 {
+		return bits
+	}
+	active := make([]bool, n)
+	for i, e := range entriesPerRun {
+		active[i] = e > 0
+	}
+	// Iteratively solve for the Lagrange multiplier, dropping runs whose
+	// optimal FPR clamps at 1 (zero bits), until the solution is feasible.
+	for {
+		var sumN float64    // Σ n_i over active runs
+		var sumNlnN float64 // Σ n_i ln n_i over active runs
+		anyActive := false
+		for i, e := range entriesPerRun {
+			if !active[i] {
+				continue
+			}
+			anyActive = true
+			ne := float64(e)
+			sumN += ne
+			sumNlnN += ne * math.Log(ne)
+		}
+		if !anyActive {
+			return bits
+		}
+		// With fpr_i = c·n_i, memory is Σ n_i·ln(1/(c·n_i))/ln2², so
+		// ln(1/c)·Σn_i - Σ n_i·ln n_i = totalBits·ln2², giving ln(1/c).
+		ln2sq := math.Ln2 * math.Ln2
+		lnInvC := (float64(totalBits)*ln2sq + sumNlnN) / sumN
+		refit := false
+		for i, e := range entriesPerRun {
+			if !active[i] {
+				bits[i] = 0
+				continue
+			}
+			// b_i = ln(1/fpr_i)/ln2² = (ln(1/c) - ln n_i)/ln2².
+			b := (lnInvC - math.Log(float64(e))) / ln2sq
+			if b <= 0 {
+				active[i] = false
+				refit = true
+				continue
+			}
+			bits[i] = b
+		}
+		if !refit {
+			return bits
+		}
+	}
+}
+
+// UniformAllocate is the baseline allocation: the same bits-per-key for
+// every run (what an untuned engine does). Returned for comparison in
+// experiment E3.
+func UniformAllocate(entriesPerRun []int64, totalBits int64) []float64 {
+	var total int64
+	for _, e := range entriesPerRun {
+		total += e
+	}
+	bits := make([]float64, len(entriesPerRun))
+	if total == 0 || totalBits <= 0 {
+		return bits
+	}
+	per := float64(totalBits) / float64(total)
+	for i := range bits {
+		bits[i] = per
+	}
+	return bits
+}
+
+// ExpectedLookupFPR returns the expected number of superfluous run
+// probes for a zero-result point lookup given a per-run bits allocation:
+// the sum over runs of their false-positive rates.
+func ExpectedLookupFPR(bitsPerRun []float64) float64 {
+	var sum float64
+	for _, b := range bitsPerRun {
+		sum += FalsePositiveRate(b)
+	}
+	return sum
+}

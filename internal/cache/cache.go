@@ -1,0 +1,170 @@
+// Package cache implements the sharded LRU block cache of tutorial
+// §2.1.3. Commercial LSM engines keep recently read data blocks (and
+// optionally filter/index blocks) in memory; this cache is shared across
+// all open tables, keyed by (file number, block offset), and charged by
+// approximate block size.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// shardCount must be a power of two.
+const shardCount = 16
+
+// Key identifies a cached block.
+type Key struct {
+	FileNum uint64
+	Offset  uint64
+}
+
+type entry struct {
+	key    Key
+	value  any
+	charge int
+}
+
+// Stats receives cache events; the engine wires this to its metrics.
+type Stats interface {
+	CacheAccess(hit bool)
+}
+
+type shard struct {
+	mu       sync.Mutex
+	capacity int
+	used     int
+	ll       *list.List // front = most recent
+	items    map[Key]*list.Element
+}
+
+func (s *shard) get(k Key) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		s.ll.MoveToFront(el)
+		return el.Value.(*entry).value, true
+	}
+	return nil, false
+}
+
+func (s *shard) add(k Key, v any, charge int) {
+	if charge > s.capacity {
+		return // larger than the shard: never cacheable
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		e := el.Value.(*entry)
+		s.used += charge - e.charge
+		e.value, e.charge = v, charge
+		s.ll.MoveToFront(el)
+	} else {
+		el := s.ll.PushFront(&entry{key: k, value: v, charge: charge})
+		s.items[k] = el
+		s.used += charge
+	}
+	for s.used > s.capacity {
+		oldest := s.ll.Back()
+		if oldest == nil {
+			break
+		}
+		e := oldest.Value.(*entry)
+		s.ll.Remove(oldest)
+		delete(s.items, e.key)
+		s.used -= e.charge
+	}
+}
+
+func (s *shard) evictFile(fileNum uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for el := s.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*entry)
+		if e.key.FileNum == fileNum {
+			s.ll.Remove(el)
+			delete(s.items, e.key)
+			s.used -= e.charge
+		}
+		el = next
+	}
+}
+
+func (s *shard) usedBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Cache is a sharded LRU cache charged in bytes.
+type Cache struct {
+	shards [shardCount]*shard
+	stats  Stats
+}
+
+// New returns a cache with the given total capacity in bytes. A
+// capacity below shardCount bytes effectively disables caching.
+func New(capacityBytes int) *Cache {
+	c := &Cache{}
+	per := capacityBytes / shardCount
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			capacity: per,
+			ll:       list.New(),
+			items:    make(map[Key]*list.Element),
+		}
+	}
+	return c
+}
+
+// SetStats attaches a stats sink; safe to call once before use.
+func (c *Cache) SetStats(s Stats) { c.stats = s }
+
+func (c *Cache) shardFor(fileNum, offset uint64) *shard {
+	h := fileNum*0x9e3779b97f4a7c15 ^ offset*0xc2b2ae3d27d4eb4f
+	h ^= h >> 29
+	return c.shards[h&(shardCount-1)]
+}
+
+// Get implements sstable.BlockCache.
+func (c *Cache) Get(fileNum, offset uint64) (any, bool) {
+	v, ok := c.shardFor(fileNum, offset).get(Key{fileNum, offset})
+	if c.stats != nil {
+		c.stats.CacheAccess(ok)
+	}
+	return v, ok
+}
+
+// Add implements sstable.BlockCache.
+func (c *Cache) Add(fileNum, offset uint64, value any, charge int) {
+	c.shardFor(fileNum, offset).add(Key{fileNum, offset}, value, charge)
+}
+
+// Contains reports whether the block is cached without disturbing LRU
+// order or stats (used by tests and the prefetcher).
+func (c *Cache) Contains(fileNum, offset uint64) bool {
+	s := c.shardFor(fileNum, offset)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.items[Key{fileNum, offset}]
+	return ok
+}
+
+// EvictFile drops every cached block of a deleted file. Without
+// compaction-aware prefetching, this is exactly the hot-data eviction
+// that Leaper addresses (tutorial §2.1.3, [128]).
+func (c *Cache) EvictFile(fileNum uint64) {
+	for _, s := range c.shards {
+		s.evictFile(fileNum)
+	}
+}
+
+// UsedBytes returns the current total charge across shards.
+func (c *Cache) UsedBytes() int {
+	total := 0
+	for _, s := range c.shards {
+		total += s.usedBytes()
+	}
+	return total
+}

@@ -1,0 +1,134 @@
+// Package compaction implements the LSM compaction design space of
+// tutorial §2.2.4 (after Sarkar et al., VLDB 2021): a compaction
+// strategy is the composition of four first-order primitives —
+//
+//	(i)   the trigger (what makes a level compact),
+//	(ii)  the data layout (how many runs a level may hold),
+//	(iii) the granularity (whole level vs. one file at a time), and
+//	(iv)  the data-movement policy (which file to pick).
+//
+// Classic strategies fall out as points in this space: leveling is
+// {size trigger, 1 run/level, partial, min-overlap}; tiering is
+// {run-count trigger, T runs/level, full, n/a}; Dostoevsky's lazy
+// leveling tieres the intermediate levels and levels the last; Lethe's
+// FADE adds a tombstone-age trigger and a tombstone-density movement
+// policy.
+//
+// The Picker in this package is pure: it inspects a manifest.Version
+// and returns a Job describing what to merge; the engine executes jobs.
+package compaction
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Layout determines how many sorted runs each level may accumulate
+// before it must compact — primitive (ii).
+type Layout interface {
+	// RunCapacity returns the maximum number of runs level may hold,
+	// given the total number of levels. A capacity of 1 makes the level
+	// "leveled"; more makes it "tiered".
+	RunCapacity(level, numLevels int) int
+	// Name identifies the layout in stats and experiment tables.
+	Name() string
+}
+
+// Leveling allows a single run per level: every incoming run is greedily
+// merged (classic LevelDB/RocksDB L1+ behaviour). Lowest read cost and
+// space amplification, highest write amplification.
+type Leveling struct{}
+
+// RunCapacity implements Layout.
+func (Leveling) RunCapacity(level, numLevels int) int { return 1 }
+
+// Name implements Layout.
+func (Leveling) Name() string { return "leveling" }
+
+// Tiering lets every level accumulate K runs before merging them into
+// one run pushed to the next level (Cassandra's size-tiered
+// compaction). Lowest write amplification, highest read cost and space
+// amplification.
+type Tiering struct {
+	// K is the number of runs a level accumulates; typically the size
+	// ratio T.
+	K int
+}
+
+// RunCapacity implements Layout.
+func (t Tiering) RunCapacity(level, numLevels int) int {
+	if t.K < 2 {
+		return 2
+	}
+	return t.K
+}
+
+// Name implements Layout.
+func (t Tiering) Name() string { return fmt.Sprintf("tiering(%d)", t.K) }
+
+// LazyLeveling tieres every intermediate level and levels only the
+// largest one (Dostoevsky): it keeps tiering's cheap writes where data
+// is small and merges greedily only where most data lives, which is
+// where leveling's read/space benefits matter.
+type LazyLeveling struct {
+	K int // run capacity of the intermediate levels
+}
+
+// RunCapacity implements Layout.
+func (l LazyLeveling) RunCapacity(level, numLevels int) int {
+	if level >= numLevels-1 {
+		return 1
+	}
+	if l.K < 2 {
+		return 2
+	}
+	return l.K
+}
+
+// Name implements Layout.
+func (l LazyLeveling) Name() string { return fmt.Sprintf("lazy-leveling(%d)", l.K) }
+
+// TieredFirst tieres only level 0 and levels the rest — RocksDB's
+// default hybrid, which absorbs ingestion bursts in L0 without paying
+// tiering's read cost in the large levels (tutorial §2.2.2).
+type TieredFirst struct {
+	K0 int // run capacity of level 0
+}
+
+// RunCapacity implements Layout.
+func (t TieredFirst) RunCapacity(level, numLevels int) int {
+	if level == 0 {
+		if t.K0 < 2 {
+			return 4
+		}
+		return t.K0
+	}
+	return 1
+}
+
+// Name implements Layout.
+func (t TieredFirst) Name() string { return fmt.Sprintf("tiered-first(%d)", t.K0) }
+
+// PerLevel assigns an explicit run capacity to every level — the fully
+// general point of the design space (LSM-Bush-style arbitrary run
+// counts, tutorial §2.3.1).
+type PerLevel struct {
+	Caps []int // Caps[i] is level i's run capacity; missing levels get 1
+}
+
+// RunCapacity implements Layout.
+func (p PerLevel) RunCapacity(level, numLevels int) int {
+	if level < len(p.Caps) && p.Caps[level] >= 1 {
+		return p.Caps[level]
+	}
+	return 1
+}
+
+// Name implements Layout.
+func (p PerLevel) Name() string {
+	parts := make([]string, len(p.Caps))
+	for i, c := range p.Caps {
+		parts[i] = fmt.Sprint(c)
+	}
+	return fmt.Sprintf("per-level(%s)", strings.Join(parts, ","))
+}

@@ -1,0 +1,381 @@
+package compaction
+
+import (
+	"fmt"
+	"testing"
+
+	"lsmlab/internal/kv"
+	"lsmlab/internal/manifest"
+)
+
+func fm(num uint64, smallest, largest string, size uint64) *manifest.FileMeta {
+	return &manifest.FileMeta{
+		Num: num, Size: size,
+		Smallest: []byte(smallest), Largest: []byte(largest),
+		NumEntries: size / 10, LargestSeq: kv.SeqNum(num),
+	}
+}
+
+func opts(layout Layout) Options {
+	return Options{
+		NumLevels:      4,
+		SizeRatio:      4,
+		BaseLevelBytes: 1000,
+		Layout:         layout,
+		Granularity:    GranularityPartial,
+		MovePolicy:     PickMinOverlap,
+	}
+}
+
+func TestLayoutRunCapacities(t *testing.T) {
+	cases := []struct {
+		layout Layout
+		level  int
+		want   int
+	}{
+		{Leveling{}, 0, 1},
+		{Leveling{}, 3, 1},
+		{Tiering{K: 4}, 0, 4},
+		{Tiering{K: 4}, 3, 4},
+		{Tiering{K: 0}, 1, 2}, // clamped
+		{LazyLeveling{K: 4}, 0, 4},
+		{LazyLeveling{K: 4}, 2, 4},
+		{LazyLeveling{K: 4}, 3, 1}, // last level leveled
+		{TieredFirst{K0: 4}, 0, 4},
+		{TieredFirst{K0: 4}, 1, 1},
+		{TieredFirst{K0: 0}, 0, 4}, // default
+		{PerLevel{Caps: []int{3, 2}}, 0, 3},
+		{PerLevel{Caps: []int{3, 2}}, 1, 2},
+		{PerLevel{Caps: []int{3, 2}}, 2, 1},
+	}
+	for _, c := range cases {
+		if got := c.layout.RunCapacity(c.level, 4); got != c.want {
+			t.Errorf("%s level %d: cap %d, want %d", c.layout.Name(), c.level, got, c.want)
+		}
+	}
+}
+
+func TestLevelCapacityBytes(t *testing.T) {
+	o := opts(Leveling{})
+	if o.LevelCapacityBytes(1) != 1000 || o.LevelCapacityBytes(2) != 4000 || o.LevelCapacityBytes(3) != 16000 {
+		t.Errorf("capacities: %d %d %d",
+			o.LevelCapacityBytes(1), o.LevelCapacityBytes(2), o.LevelCapacityBytes(3))
+	}
+}
+
+func TestPickNothingWhenHealthy(t *testing.T) {
+	p := NewPicker(opts(TieredFirst{K0: 4}))
+	v := manifest.NewVersion(4)
+	v = v.PushRun(0, &manifest.Run{Files: []*manifest.FileMeta{fm(1, "a", "m", 100)}})
+	v = v.PushRun(1, &manifest.Run{Files: []*manifest.FileMeta{fm(2, "a", "z", 500)}})
+	if j := p.Pick(v); j != nil {
+		t.Errorf("healthy tree scheduled %+v", j)
+	}
+}
+
+func TestPickL0RunCount(t *testing.T) {
+	p := NewPicker(opts(TieredFirst{K0: 3}))
+	v := manifest.NewVersion(4)
+	for i := 1; i <= 3; i++ {
+		v = v.PushRun(0, &manifest.Run{Files: []*manifest.FileMeta{fm(uint64(i), "a", "m", 100)}})
+	}
+	// L1 has one overlapping and one non-overlapping file.
+	v = v.PushRun(1, &manifest.Run{Files: []*manifest.FileMeta{fm(10, "a", "k", 400), fm(11, "n", "z", 400)}})
+	j := p.Pick(v)
+	if j == nil || j.Reason != ReasonRunCount || j.FromLevel != 0 || j.ToLevel != 1 {
+		t.Fatalf("job %+v", j)
+	}
+	if len(j.Inputs[0]) != 3 {
+		t.Errorf("should take all 3 L0 runs, got %d", len(j.Inputs[0]))
+	}
+	// Leveled target: overlapping file 10 joins, 11 does not.
+	if len(j.Inputs[1]) != 1 || j.Inputs[1][0].Num != 10 {
+		t.Errorf("target inputs %v", j.Inputs[1])
+	}
+	if j.TargetTiered {
+		t.Error("L1 is leveled under tiered-first")
+	}
+}
+
+func TestPickTieredTargetReadsNoTargetFiles(t *testing.T) {
+	p := NewPicker(opts(Tiering{K: 3}))
+	v := manifest.NewVersion(4)
+	for i := 1; i <= 3; i++ {
+		v = v.PushRun(0, &manifest.Run{Files: []*manifest.FileMeta{fm(uint64(i), "a", "m", 100)}})
+	}
+	v = v.PushRun(1, &manifest.Run{Files: []*manifest.FileMeta{fm(10, "a", "z", 400)}})
+	j := p.Pick(v)
+	if j == nil || !j.TargetTiered {
+		t.Fatalf("job %+v", j)
+	}
+	if len(j.Inputs[1]) != 0 {
+		t.Error("tiered target must not read target level files")
+	}
+	if j.InputBytes() != 300 || j.NumInputFiles() != 3 {
+		t.Errorf("input accounting: %d bytes %d files", j.InputBytes(), j.NumInputFiles())
+	}
+}
+
+func TestPickSizeTriggerPartial(t *testing.T) {
+	p := NewPicker(opts(TieredFirst{K0: 4}))
+	v := manifest.NewVersion(4)
+	// L1 capacity is 1000; two files totaling 1200 overflow it.
+	v = v.PushRun(1, &manifest.Run{Files: []*manifest.FileMeta{
+		fm(1, "a", "f", 600), fm(2, "g", "p", 600),
+	}})
+	// L2: file 1 overlaps 900 bytes, file 2 overlaps nothing.
+	v = v.PushRun(2, &manifest.Run{Files: []*manifest.FileMeta{fm(3, "a", "e", 900)}})
+	j := p.Pick(v)
+	if j == nil || j.Reason != ReasonLevelSize || j.FromLevel != 1 {
+		t.Fatalf("job %+v", j)
+	}
+	if len(j.Inputs[1]) != 1 || j.Inputs[1][0].Num != 2 {
+		t.Errorf("min-overlap should pick file 2, got %v", j.Inputs[1])
+	}
+	if len(j.Inputs[2]) != 0 {
+		t.Errorf("file 2 overlaps nothing in L2, got %v", j.Inputs[2])
+	}
+}
+
+func TestPickSizeTriggerFullGranularity(t *testing.T) {
+	o := opts(TieredFirst{K0: 4})
+	o.Granularity = GranularityFull
+	p := NewPicker(o)
+	v := manifest.NewVersion(4)
+	v = v.PushRun(1, &manifest.Run{Files: []*manifest.FileMeta{
+		fm(1, "a", "f", 600), fm(2, "g", "p", 600),
+	}})
+	j := p.Pick(v)
+	if j == nil || len(j.Inputs[1]) != 2 {
+		t.Fatalf("full granularity must take the whole level: %+v", j)
+	}
+}
+
+func TestMovePolicies(t *testing.T) {
+	files := []*manifest.FileMeta{
+		{Num: 1, Smallest: []byte("a"), Largest: []byte("c"), Size: 100, NumEntries: 100, LargestSeq: 50},
+		{Num: 2, Smallest: []byte("d"), Largest: []byte("f"), Size: 100, NumEntries: 100, LargestSeq: 10,
+			NumTombstones: 60},
+		{Num: 3, Smallest: []byte("g"), Largest: []byte("i"), Size: 100, NumEntries: 100, LargestSeq: 90},
+	}
+	v := manifest.NewVersion(4)
+	v = v.PushRun(1, &manifest.Run{Files: files})
+	// L2 overlap: heavy under file 1, light under file 3, none under 2.
+	v = v.PushRun(2, &manifest.Run{Files: []*manifest.FileMeta{
+		fm(10, "a", "c", 900), fm(11, "g", "h", 50),
+	}})
+
+	pick := func(policy MovePolicy) uint64 {
+		o := opts(TieredFirst{K0: 4})
+		o.MovePolicy = policy
+		p := NewPicker(o)
+		return p.pickFile(v, 1, files).Num
+	}
+	if got := pick(PickMinOverlap); got != 2 {
+		t.Errorf("min-overlap picked %d", got)
+	}
+	if got := pick(PickOldest); got != 2 { // LargestSeq 10 is oldest
+		t.Errorf("oldest picked %d", got)
+	}
+	if got := pick(PickMaxTombstoneDensity); got != 2 {
+		t.Errorf("tombstone-density picked %d", got)
+	}
+}
+
+func TestTombstoneDensityFallsBackToMinOverlap(t *testing.T) {
+	files := []*manifest.FileMeta{
+		{Num: 1, Smallest: []byte("a"), Largest: []byte("c"), Size: 100, NumEntries: 100},
+		{Num: 2, Smallest: []byte("d"), Largest: []byte("f"), Size: 100, NumEntries: 100},
+	}
+	v := manifest.NewVersion(3)
+	v = v.PushRun(1, &manifest.Run{Files: files})
+	v = v.PushRun(2, &manifest.Run{Files: []*manifest.FileMeta{fm(10, "a", "c", 500)}})
+	o := opts(TieredFirst{K0: 4})
+	o.MovePolicy = PickMaxTombstoneDensity
+	p := NewPicker(o)
+	if got := p.pickFile(v, 1, files).Num; got != 2 {
+		t.Errorf("no-tombstone fallback picked %d", got)
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	files := []*manifest.FileMeta{
+		fm(1, "a", "c", 100), fm(2, "d", "f", 100), fm(3, "g", "i", 100),
+	}
+	v := manifest.NewVersion(3)
+	v = v.PushRun(1, &manifest.Run{Files: files})
+	o := opts(TieredFirst{K0: 4})
+	o.MovePolicy = PickRoundRobin
+	p := NewPicker(o)
+	var picked []uint64
+	for i := 0; i < 4; i++ {
+		picked = append(picked, p.pickFile(v, 1, files).Num)
+	}
+	want := []uint64{1, 2, 3, 1}
+	if fmt.Sprint(picked) != fmt.Sprint(want) {
+		t.Errorf("round robin order %v, want %v", picked, want)
+	}
+}
+
+func TestTombstoneAgeTrigger(t *testing.T) {
+	now := int64(100e9)
+	o := opts(TieredFirst{K0: 4})
+	o.TombstoneAgeThresholdNs = int64(10e9)
+	o.NowNs = func() int64 { return now }
+	p := NewPicker(o)
+
+	v := manifest.NewVersion(4)
+	young := fm(1, "a", "c", 100)
+	young.OldestTombstoneNs = now - int64(5e9)
+	old := fm(2, "d", "f", 100)
+	old.OldestTombstoneNs = now - int64(50e9)
+	v = v.PushRun(1, &manifest.Run{Files: []*manifest.FileMeta{young, old}})
+
+	j := p.Pick(v)
+	if j == nil || j.Reason != ReasonTombstoneAge {
+		t.Fatalf("job %+v", j)
+	}
+	if len(j.Inputs[1]) != 1 || j.Inputs[1][0].Num != 2 {
+		t.Errorf("should pick the expired file: %v", j.Inputs[1])
+	}
+}
+
+func TestTombstoneAgeBottomLevelSelfCompaction(t *testing.T) {
+	now := int64(100e9)
+	o := opts(TieredFirst{K0: 4})
+	o.TombstoneAgeThresholdNs = int64(10e9)
+	o.NowNs = func() int64 { return now }
+	p := NewPicker(o)
+
+	v := manifest.NewVersion(4)
+	f := fm(1, "a", "c", 100)
+	f.OldestTombstoneNs = now - int64(50e9)
+	v = v.PushRun(3, &manifest.Run{Files: []*manifest.FileMeta{f}})
+	j := p.Pick(v)
+	if j == nil || j.FromLevel != 3 || j.ToLevel != 3 {
+		t.Fatalf("bottom-level job %+v", j)
+	}
+}
+
+func TestTombstoneAgeDisabled(t *testing.T) {
+	p := NewPicker(opts(TieredFirst{K0: 4}))
+	v := manifest.NewVersion(4)
+	f := fm(1, "a", "c", 100)
+	f.OldestTombstoneNs = 1
+	v = v.PushRun(1, &manifest.Run{Files: []*manifest.FileMeta{f}})
+	if j := p.Pick(v); j != nil {
+		t.Errorf("age trigger disabled but got %+v", j)
+	}
+}
+
+func TestLazyLevelingShape(t *testing.T) {
+	// Intermediate levels tier; the pick for an intermediate overflow
+	// must target a tiered append unless moving into the last level.
+	o := opts(LazyLeveling{K: 3})
+	p := NewPicker(o)
+	v := manifest.NewVersion(4)
+	for i := 1; i <= 3; i++ {
+		v = v.PushRun(1, &manifest.Run{Files: []*manifest.FileMeta{fm(uint64(i), "a", "m", 100)}})
+	}
+	j := p.Pick(v)
+	if j == nil || !j.TargetTiered || j.ToLevel != 2 {
+		t.Fatalf("intermediate merge %+v", j)
+	}
+	// Overflow of the second-to-last level targets the leveled last.
+	v2 := manifest.NewVersion(4)
+	for i := 1; i <= 3; i++ {
+		v2 = v2.PushRun(2, &manifest.Run{Files: []*manifest.FileMeta{fm(uint64(i), "a", "m", 100)}})
+	}
+	j2 := p.Pick(v2)
+	if j2 == nil || j2.TargetTiered || j2.ToLevel != 3 {
+		t.Fatalf("last-level merge %+v", j2)
+	}
+}
+
+func TestManualJob(t *testing.T) {
+	p := NewPicker(opts(TieredFirst{K0: 4}))
+	v := manifest.NewVersion(4)
+	if p.ManualJob(v) != nil {
+		t.Error("manual job on empty tree")
+	}
+	v = v.PushRun(0, &manifest.Run{Files: []*manifest.FileMeta{fm(1, "a", "c", 1)}})
+	v = v.PushRun(2, &manifest.Run{Files: []*manifest.FileMeta{fm(2, "d", "f", 1)}})
+	j := p.ManualJob(v)
+	if j == nil || j.ToLevel != 3 || j.NumInputFiles() != 2 || j.Reason != ReasonManual {
+		t.Fatalf("manual job %+v", j)
+	}
+}
+
+func TestApplyCompactionLeveledMergesIntoRun(t *testing.T) {
+	v := manifest.NewVersion(3)
+	v = v.PushRun(1, &manifest.Run{Files: []*manifest.FileMeta{
+		fm(1, "a", "c", 100), fm(2, "j", "l", 100), fm(3, "x", "z", 100),
+	}})
+	// Replace file 2 with two new files in the gap.
+	nv := v.ApplyCompaction(map[int][]uint64{1: {2}}, 1,
+		[]*manifest.FileMeta{fm(4, "e", "g", 50), fm(5, "h", "k", 50)}, false)
+	if len(nv.Levels[1].Runs) != 1 {
+		t.Fatalf("leveled level must keep one run, has %d", len(nv.Levels[1].Runs))
+	}
+	files := nv.Levels[1].Runs[0].Files
+	wantOrder := []uint64{1, 4, 5, 3}
+	if len(files) != 4 {
+		t.Fatalf("files %v", files)
+	}
+	for i, f := range files {
+		if f.Num != wantOrder[i] {
+			t.Errorf("position %d: file %d, want %d", i, f.Num, wantOrder[i])
+		}
+	}
+	if err := nv.Check(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+}
+
+func TestApplyCompactionTieredPrependsRun(t *testing.T) {
+	v := manifest.NewVersion(3)
+	v = v.PushRun(1, &manifest.Run{Files: []*manifest.FileMeta{fm(1, "a", "z", 100)}})
+	nv := v.ApplyCompaction(nil, 1, []*manifest.FileMeta{fm(2, "a", "z", 100)}, true)
+	if len(nv.Levels[1].Runs) != 2 {
+		t.Fatalf("tiered install: %d runs", len(nv.Levels[1].Runs))
+	}
+	// The new run carries data pushed down from the shallower level,
+	// which is newer than the resident run: it must be Runs[0].
+	if nv.Levels[1].Runs[0].Files[0].Num != 2 {
+		t.Error("compaction output must be the newest run of a tiered target")
+	}
+	if nv.Levels[1].Runs[1].Files[0].Num != 1 {
+		t.Error("resident run must follow the new one")
+	}
+}
+
+func TestPickExcludingSkipsBusyLevels(t *testing.T) {
+	p := NewPicker(opts(TieredFirst{K0: 3}))
+	v := manifest.NewVersion(4)
+	// L0 over its run quota (highest priority) and L2 over its byte
+	// capacity at the same time.
+	for i := 1; i <= 3; i++ {
+		v = v.PushRun(0, &manifest.Run{Files: []*manifest.FileMeta{fm(uint64(i), "a", "m", 100)}})
+	}
+	v = v.PushRun(2, &manifest.Run{Files: []*manifest.FileMeta{
+		fm(10, "a", "f", 3000), fm(11, "g", "p", 3000),
+	}})
+
+	// Unconstrained: the L0 job wins.
+	j := p.PickExcluding(v, nil)
+	if j == nil || j.FromLevel != 0 {
+		t.Fatalf("top job %+v", j)
+	}
+	// With level 1 busy (the L0 job's target), the picker must offer the
+	// L2 overflow instead of nothing.
+	busy := map[int]bool{1: true}
+	j = p.PickExcluding(v, func(l int) bool { return busy[l] })
+	if j == nil || j.FromLevel != 2 {
+		t.Fatalf("fallback job %+v", j)
+	}
+	// Everything busy: nil.
+	j = p.PickExcluding(v, func(l int) bool { return true })
+	if j != nil {
+		t.Fatalf("all-busy should yield nil, got %+v", j)
+	}
+}

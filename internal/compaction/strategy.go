@@ -1,0 +1,138 @@
+package compaction
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Strategy is a textual encoding of the four compaction primitives,
+// after the "Compactionary" framing of [111]: any strategy is a point
+// in the primitive space, written as
+//
+//	<layout>/<granularity>/<move-policy>
+//
+// where layout is one of
+//
+//	leveling | tiering(K) | lazy-leveling(K) | tiered-first(K) | per-level(a,b,c,...)
+//
+// granularity is full | partial, and move-policy is one of
+//
+//	min-overlap | round-robin | oldest | tombstone-density
+//
+// Trailing components may be omitted (defaults: partial, min-overlap).
+// Examples: "tiering(4)", "leveling/full", "lazy-leveling(6)/partial/tombstone-density".
+type Strategy struct {
+	Layout      Layout
+	Granularity Granularity
+	MovePolicy  MovePolicy
+}
+
+// String renders the strategy in its parseable form.
+func (s Strategy) String() string {
+	return fmt.Sprintf("%s/%s/%s", s.Layout.Name(), s.Granularity, s.MovePolicy)
+}
+
+// ParseStrategy parses the textual strategy form.
+func ParseStrategy(text string) (Strategy, error) {
+	s := Strategy{Granularity: GranularityPartial, MovePolicy: PickMinOverlap}
+	parts := strings.Split(strings.TrimSpace(text), "/")
+	if len(parts) == 0 || parts[0] == "" {
+		return s, fmt.Errorf("compaction: empty strategy")
+	}
+	layout, err := parseLayout(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return s, err
+	}
+	s.Layout = layout
+	if len(parts) > 1 {
+		switch g := strings.TrimSpace(parts[1]); g {
+		case "full":
+			s.Granularity = GranularityFull
+		case "partial", "":
+			s.Granularity = GranularityPartial
+		default:
+			return s, fmt.Errorf("compaction: unknown granularity %q", g)
+		}
+	}
+	if len(parts) > 2 {
+		switch p := strings.TrimSpace(parts[2]); p {
+		case "min-overlap", "":
+			s.MovePolicy = PickMinOverlap
+		case "round-robin":
+			s.MovePolicy = PickRoundRobin
+		case "oldest":
+			s.MovePolicy = PickOldest
+		case "tombstone-density":
+			s.MovePolicy = PickMaxTombstoneDensity
+		default:
+			return s, fmt.Errorf("compaction: unknown move policy %q", p)
+		}
+	}
+	if len(parts) > 3 {
+		return s, fmt.Errorf("compaction: too many strategy components in %q", text)
+	}
+	return s, nil
+}
+
+// parseLayout parses the layout component.
+func parseLayout(text string) (Layout, error) {
+	name := text
+	var arg string
+	if i := strings.IndexByte(text, '('); i >= 0 {
+		if !strings.HasSuffix(text, ")") {
+			return nil, fmt.Errorf("compaction: unbalanced parenthesis in %q", text)
+		}
+		name = text[:i]
+		arg = text[i+1 : len(text)-1]
+	}
+	atoi := func(def int) (int, error) {
+		if arg == "" {
+			return def, nil
+		}
+		v, err := strconv.Atoi(arg)
+		if err != nil || v < 1 {
+			return 0, fmt.Errorf("compaction: bad layout parameter %q", arg)
+		}
+		return v, nil
+	}
+	switch name {
+	case "leveling":
+		if arg != "" {
+			return nil, fmt.Errorf("compaction: leveling takes no parameter")
+		}
+		return Leveling{}, nil
+	case "tiering":
+		k, err := atoi(4)
+		if err != nil {
+			return nil, err
+		}
+		return Tiering{K: k}, nil
+	case "lazy-leveling":
+		k, err := atoi(4)
+		if err != nil {
+			return nil, err
+		}
+		return LazyLeveling{K: k}, nil
+	case "tiered-first":
+		k, err := atoi(4)
+		if err != nil {
+			return nil, err
+		}
+		return TieredFirst{K0: k}, nil
+	case "per-level":
+		if arg == "" {
+			return nil, fmt.Errorf("compaction: per-level needs run capacities")
+		}
+		var caps []int
+		for _, p := range strings.Split(arg, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("compaction: bad per-level capacity %q", p)
+			}
+			caps = append(caps, v)
+		}
+		return PerLevel{Caps: caps}, nil
+	}
+	return nil, fmt.Errorf("compaction: unknown layout %q", name)
+}

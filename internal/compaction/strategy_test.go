@@ -1,0 +1,70 @@
+package compaction
+
+import "testing"
+
+func TestParseStrategyFullForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"leveling", "leveling/partial/min-overlap"},
+		{"tiering(4)", "tiering(4)/partial/min-overlap"},
+		{"tiering", "tiering(4)/partial/min-overlap"}, // default K
+		{"lazy-leveling(6)/full", "lazy-leveling(6)/full/min-overlap"},
+		{"tiered-first(8)/partial/round-robin", "tiered-first(8)/partial/round-robin"},
+		{"leveling/full/tombstone-density", "leveling/full/tombstone-density"},
+		{"per-level(3,2,1)/partial/oldest", "per-level(3,2,1)/partial/oldest"},
+		{"  tiering(2) / full / oldest ", "tiering(2)/full/oldest"},
+	}
+	for _, c := range cases {
+		s, err := ParseStrategy(c.in)
+		if err != nil {
+			t.Errorf("ParseStrategy(%q): %v", c.in, err)
+			continue
+		}
+		if s.String() != c.want {
+			t.Errorf("ParseStrategy(%q) = %q, want %q", c.in, s.String(), c.want)
+		}
+	}
+}
+
+func TestParseStrategyRoundtrip(t *testing.T) {
+	for _, in := range []string{
+		"leveling/partial/min-overlap",
+		"tiering(7)/full/oldest",
+		"lazy-leveling(3)/partial/tombstone-density",
+		"per-level(4,4,2,1)/partial/round-robin",
+	} {
+		s, err := ParseStrategy(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		s2, err := ParseStrategy(s.String())
+		if err != nil || s2.String() != s.String() {
+			t.Errorf("roundtrip %q -> %q -> %q (%v)", in, s.String(), s2.String(), err)
+		}
+	}
+}
+
+func TestParseStrategyErrors(t *testing.T) {
+	for _, in := range []string{
+		"", "bogus", "leveling(3)", "tiering(x)", "tiering(0)",
+		"leveling/sometimes", "leveling/partial/psychic",
+		"leveling/partial/min-overlap/extra", "per-level()", "per-level(1,x)",
+		"tiering(4",
+	} {
+		if _, err := ParseStrategy(in); err == nil {
+			t.Errorf("ParseStrategy(%q) should fail", in)
+		}
+	}
+}
+
+func TestStrategyLayoutBehaviour(t *testing.T) {
+	s, err := ParseStrategy("per-level(3,2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Layout.RunCapacity(0, 4) != 3 || s.Layout.RunCapacity(1, 4) != 2 || s.Layout.RunCapacity(2, 4) != 1 {
+		t.Error("per-level capacities wrong")
+	}
+}

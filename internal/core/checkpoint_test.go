@@ -1,0 +1,153 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"lsmlab/internal/vfs"
+)
+
+func TestCheckpointBasic(t *testing.T) {
+	fs := vfs.NewMem()
+	opts := DefaultOptions(fs, "db")
+	opts.BufferBytes = 8 << 10
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	model := map[string]string{}
+	for i := 0; i < 500; i++ {
+		k, v := fmt.Sprintf("k%03d", i), fmt.Sprintf("v%d", i)
+		db.Put([]byte(k), []byte(v))
+		model[k] = v
+	}
+	db.Delete([]byte("k100"))
+	delete(model, "k100")
+
+	if err := db.Checkpoint("backup"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutations after the checkpoint must not leak into it.
+	db.Put([]byte("k000"), []byte("post-checkpoint"))
+	db.DeleteRange([]byte("k200"), []byte("k300"))
+
+	bopts := DefaultOptions(fs, "backup")
+	backup, err := Open(bopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backup.Close()
+	for k, want := range model {
+		v, err := backup.Get([]byte(k))
+		if err != nil || string(v) != want {
+			t.Fatalf("backup %s = %q/%v want %q", k, v, err, want)
+		}
+	}
+	if _, err := backup.Get([]byte("k100")); !errors.Is(err, ErrNotFound) {
+		t.Fatal("deleted key resurrected in backup")
+	}
+	// The backup is writable and independent.
+	if err := backup.Put([]byte("only-backup"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("only-backup")); !errors.Is(err, ErrNotFound) {
+		t.Fatal("backup write leaked into source")
+	}
+}
+
+func TestCheckpointRejectsBadTargets(t *testing.T) {
+	db, _ := testDB(t, nil)
+	db.Put([]byte("k"), []byte("v"))
+	if err := db.Checkpoint("db"); err == nil {
+		t.Fatal("checkpoint into the store dir must fail")
+	}
+	if err := db.Checkpoint("ck"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint("ck"); err == nil {
+		t.Fatal("checkpoint into an existing store must fail")
+	}
+}
+
+func TestCheckpointWithValueSeparation(t *testing.T) {
+	fs := vfs.NewMem()
+	opts := DefaultOptions(fs, "db")
+	opts.ValueSeparationThreshold = 64
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	big := make([]byte, 400)
+	for i := 0; i < 50; i++ {
+		db.Put([]byte(fmt.Sprintf("k%02d", i)), big)
+	}
+	if err := db.Checkpoint("ck"); err != nil {
+		t.Fatal(err)
+	}
+	bopts := DefaultOptions(fs, "ck")
+	bopts.ValueSeparationThreshold = 64
+	backup, err := Open(bopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backup.Close()
+	for i := 0; i < 50; i++ {
+		v, err := backup.Get([]byte(fmt.Sprintf("k%02d", i)))
+		if err != nil || len(v) != 400 {
+			t.Fatalf("backup separated value %d: len=%d err=%v", i, len(v), err)
+		}
+	}
+}
+
+func TestCheckpointDuringConcurrentWrites(t *testing.T) {
+	db, fs := testDB(t, func(o *Options) { o.Workers = 2 })
+	for i := 0; i < 2000; i++ {
+		db.Put([]byte(fmt.Sprintf("seed-%04d", i)), []byte("v"))
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			db.Put([]byte(fmt.Sprintf("hot-%06d", i)), []byte("v"))
+			i++
+		}
+	}()
+	if err := db.Checkpoint("ck"); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	backup, err := Open(DefaultOptions(fs, "ck"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backup.Close()
+	// Every seed key (written before the checkpoint) must be present.
+	for i := 0; i < 2000; i += 111 {
+		if _, err := backup.Get([]byte(fmt.Sprintf("seed-%04d", i))); err != nil {
+			t.Fatalf("seed %d missing from checkpoint: %v", i, err)
+		}
+	}
+	kvs, err := backup.Scan(nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) < 2000 {
+		t.Fatalf("checkpoint holds %d keys, want >= 2000", len(kvs))
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"lsmlab/internal/kv"
+)
+
+// runCI feeds entries through a compactionIter and returns the
+// surviving entries as "key@seq#KIND" strings.
+func runCI(t *testing.T, entries []kv.Entry, rangeDels []kv.RangeTombstone,
+	snapshots []kv.SeqNum, bottom bool) []string {
+	t.Helper()
+	sort.Slice(entries, func(i, j int) bool { return kv.Compare(entries[i].Key, entries[j].Key) < 0 })
+	db := &DB{} // metrics sink only
+	merge := kv.NewMergingIterator(kv.NewSliceIterator(entries))
+	ci := newCompactionIter(merge, rangeDels, snapshots, bottom, db)
+	var out []string
+	for ok := ci.first(); ok; ok = ci.next() {
+		uk, seq, kind, _ := kv.ParseKey(ci.key)
+		out = append(out, fmt.Sprintf("%s@%d#%s", uk, seq, kind))
+	}
+	return out
+}
+
+func e(key string, seq kv.SeqNum, kind kv.Kind, val string) kv.Entry {
+	return kv.Entry{Key: kv.MakeKey([]byte(key), seq, kind), Value: []byte(val)}
+}
+
+func eq(t *testing.T, got []string, want ...string) {
+	t.Helper()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("got %v\nwant %v", got, want)
+	}
+}
+
+func TestCIKeepsOnlyNewestWithoutSnapshots(t *testing.T) {
+	got := runCI(t, []kv.Entry{
+		e("a", 3, kv.KindSet, "v3"),
+		e("a", 2, kv.KindSet, "v2"),
+		e("a", 1, kv.KindSet, "v1"),
+		e("b", 5, kv.KindSet, "v5"),
+	}, nil, nil, false)
+	eq(t, got, "a@3#SET", "b@5#SET")
+}
+
+func TestCISnapshotStripesPreserveVersions(t *testing.T) {
+	// Snapshot at 2 protects the newest version with seq <= 2.
+	got := runCI(t, []kv.Entry{
+		e("a", 3, kv.KindSet, "v3"),
+		e("a", 2, kv.KindSet, "v2"),
+		e("a", 1, kv.KindSet, "v1"),
+	}, nil, []kv.SeqNum{2}, false)
+	eq(t, got, "a@3#SET", "a@2#SET")
+}
+
+func TestCIMultipleSnapshots(t *testing.T) {
+	got := runCI(t, []kv.Entry{
+		e("a", 5, kv.KindSet, ""),
+		e("a", 4, kv.KindSet, ""),
+		e("a", 3, kv.KindSet, ""),
+		e("a", 2, kv.KindSet, ""),
+		e("a", 1, kv.KindSet, ""),
+	}, nil, []kv.SeqNum{1, 3}, false)
+	// Stripes: {1}, {2,3}, {4,5} → keep 1, 3, 5.
+	eq(t, got, "a@5#SET", "a@3#SET", "a@1#SET")
+}
+
+func TestCITombstoneShadowsAndSurvivesAboveBottom(t *testing.T) {
+	got := runCI(t, []kv.Entry{
+		e("a", 2, kv.KindDelete, ""),
+		e("a", 1, kv.KindSet, "v1"),
+	}, nil, nil, false)
+	// Not at the bottom: the tombstone must survive to shadow deeper
+	// levels; the set it shadows is dropped.
+	eq(t, got, "a@2#DELETE")
+}
+
+func TestCITombstonePurgedAtBottom(t *testing.T) {
+	got := runCI(t, []kv.Entry{
+		e("a", 2, kv.KindDelete, ""),
+		e("a", 1, kv.KindSet, "v1"),
+		e("b", 3, kv.KindSet, "v3"),
+	}, nil, nil, true)
+	eq(t, got, "b@3#SET")
+}
+
+func TestCITombstoneKeptAtBottomUnderSnapshot(t *testing.T) {
+	// A snapshot at 1 protects the old version; the tombstone must also
+	// survive so the deletion stays visible to newer readers.
+	got := runCI(t, []kv.Entry{
+		e("a", 2, kv.KindDelete, ""),
+		e("a", 1, kv.KindSet, "v1"),
+	}, nil, []kv.SeqNum{1}, true)
+	eq(t, got, "a@2#DELETE", "a@1#SET")
+}
+
+func TestCISingleDeleteAnnihilates(t *testing.T) {
+	got := runCI(t, []kv.Entry{
+		e("a", 2, kv.KindSingleDelete, ""),
+		e("a", 1, kv.KindSet, "v1"),
+		e("b", 3, kv.KindSet, "v3"),
+	}, nil, nil, false)
+	eq(t, got, "b@3#SET")
+}
+
+func TestCISingleDeleteBlockedBySnapshot(t *testing.T) {
+	// Snapshot between the pair: both must survive.
+	got := runCI(t, []kv.Entry{
+		e("a", 2, kv.KindSingleDelete, ""),
+		e("a", 1, kv.KindSet, "v1"),
+	}, nil, []kv.SeqNum{1}, false)
+	eq(t, got, "a@2#SINGLEDELETE", "a@1#SET")
+}
+
+func TestCISingleDeleteWithoutMatchSurvives(t *testing.T) {
+	got := runCI(t, []kv.Entry{
+		e("a", 2, kv.KindSingleDelete, ""),
+		e("b", 1, kv.KindSet, "v1"),
+	}, nil, nil, false)
+	eq(t, got, "a@2#SINGLEDELETE", "b@1#SET")
+}
+
+func TestCISingleDeleteOverTombstoneKeepsBoth(t *testing.T) {
+	// SingleDelete annihilates only with a plain Set.
+	got := runCI(t, []kv.Entry{
+		e("a", 3, kv.KindSingleDelete, ""),
+		e("a", 2, kv.KindDelete, ""),
+		e("a", 1, kv.KindSet, "v1"),
+	}, nil, nil, false)
+	// The SD is kept; the Delete is dropped (same stripe, older than a
+	// kept entry); the Set is dropped likewise.
+	eq(t, got, "a@3#SINGLEDELETE")
+}
+
+func TestCIRangeDelShadowsSameStripe(t *testing.T) {
+	rts := []kv.RangeTombstone{{Start: []byte("a"), End: []byte("c"), Seq: 10}}
+	got := runCI(t, []kv.Entry{
+		e("a", 5, kv.KindSet, ""),
+		e("b", 7, kv.KindSet, ""),
+		e("c", 6, kv.KindSet, ""), // end-exclusive: survives
+		e("d", 4, kv.KindSet, ""),
+	}, rts, nil, false)
+	eq(t, got, "c@6#SET", "d@4#SET")
+}
+
+func TestCIRangeDelRespectsSnapshotStripes(t *testing.T) {
+	rts := []kv.RangeTombstone{{Start: []byte("a"), End: []byte("z"), Seq: 10}}
+	// Snapshot at 5 protects the version at seq 5 from the rangedel at
+	// seq 10 (different stripes).
+	got := runCI(t, []kv.Entry{
+		e("k", 5, kv.KindSet, ""),
+		e("k", 7, kv.KindSet, ""),
+	}, rts, []kv.SeqNum{5}, false)
+	// seq 7 is same-stripe as the rangedel → dropped; seq 5 protected.
+	eq(t, got, "k@5#SET")
+}
+
+func TestCINewerThanRangeDelSurvives(t *testing.T) {
+	rts := []kv.RangeTombstone{{Start: []byte("a"), End: []byte("z"), Seq: 10}}
+	got := runCI(t, []kv.Entry{
+		e("k", 12, kv.KindSet, ""),
+	}, rts, nil, false)
+	eq(t, got, "k@12#SET")
+}
+
+func TestCIValuePointerTreatedAsSet(t *testing.T) {
+	got := runCI(t, []kv.Entry{
+		e("a", 2, kv.KindSingleDelete, ""),
+		e("a", 1, kv.KindValuePointer, "ptr"),
+	}, nil, nil, false)
+	// SingleDelete annihilates with a value pointer too.
+	if len(got) != 0 {
+		t.Errorf("got %v, want empty", got)
+	}
+}
+
+func TestCIEmptyInput(t *testing.T) {
+	if got := runCI(t, nil, nil, nil, true); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestStripeOf(t *testing.T) {
+	snaps := []kv.SeqNum{5, 10, 20}
+	for _, c := range []struct {
+		seq  kv.SeqNum
+		want int
+	}{
+		{1, 0}, {5, 0}, {6, 1}, {10, 1}, {11, 2}, {20, 2}, {21, 3},
+	} {
+		if got := stripeOf(c.seq, snaps); got != c.want {
+			t.Errorf("stripeOf(%d) = %d, want %d", c.seq, got, c.want)
+		}
+	}
+	if stripeOf(7, nil) != 0 {
+		t.Error("no snapshots: single stripe")
+	}
+}
+
+func TestSurvivingRangeDels(t *testing.T) {
+	rts := []kv.RangeTombstone{{Start: []byte("a"), End: []byte("b"), Seq: 1}}
+	if got := survivingRangeDels(rts, true, nil); got != nil {
+		t.Error("bottom + no snapshots: drop all")
+	}
+	if got := survivingRangeDels(rts, true, []kv.SeqNum{1}); len(got) != 1 {
+		t.Error("snapshots pin rangedels at bottom")
+	}
+	if got := survivingRangeDels(rts, false, nil); len(got) != 1 {
+		t.Error("above bottom: keep")
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"lsmlab/internal/compaction"
+	"lsmlab/internal/memtable"
+	"lsmlab/internal/vfs"
+)
+
+func TestWithDefaultsFillsZeroValues(t *testing.T) {
+	o := Options{FS: vfs.NewMem(), Path: "x"}.withDefaults()
+	if o.NumLevels <= 0 || o.SizeRatio < 2 || o.BufferBytes <= 0 ||
+		o.MaxImmutableBuffers <= 0 || o.TargetFileSize == 0 ||
+		o.BlockSize <= 0 || o.Workers <= 0 {
+		t.Errorf("unfilled defaults: %+v", o)
+	}
+	if o.Layout == nil {
+		t.Error("layout default")
+	}
+	if o.MemtableKind != memtable.KindSkipList {
+		t.Errorf("memtable default %q", o.MemtableKind)
+	}
+	if o.BitsPerKey != 10 {
+		t.Errorf("bits/key default %v", o.BitsPerKey)
+	}
+	if o.BaseLevelBytes != uint64(o.BufferBytes)*uint64(o.SizeRatio) {
+		t.Errorf("base level bytes %d", o.BaseLevelBytes)
+	}
+	if o.NowNs == nil || o.NowNs() == 0 {
+		t.Error("clock default")
+	}
+}
+
+func TestWithDefaultsPreservesExplicitValues(t *testing.T) {
+	in := Options{
+		FS: vfs.NewMem(), Path: "x",
+		NumLevels: 3, SizeRatio: 7, BufferBytes: 123456,
+		MaxImmutableBuffers: 9, TargetFileSize: 777,
+		Layout:    compaction.Tiering{K: 2},
+		BlockSize: 512, Workers: 3, BaseLevelBytes: 999,
+		MemtableKind: memtable.KindVector,
+		FilterMode:   FilterNone,
+	}
+	o := in.withDefaults()
+	if o.NumLevels != 3 || o.SizeRatio != 7 || o.BufferBytes != 123456 ||
+		o.MaxImmutableBuffers != 9 || o.TargetFileSize != 777 ||
+		o.BlockSize != 512 || o.Workers != 3 || o.BaseLevelBytes != 999 ||
+		o.MemtableKind != memtable.KindVector {
+		t.Errorf("explicit values overwritten: %+v", o)
+	}
+	if o.Layout.Name() != "tiering(2)" {
+		t.Error("layout overwritten")
+	}
+	// FilterNone must not force BitsPerKey.
+	if o.BitsPerKey != 0 {
+		t.Errorf("FilterNone should leave BitsPerKey zero, got %v", o.BitsPerKey)
+	}
+}
+
+func TestOpenRequiresFS(t *testing.T) {
+	if _, err := Open(Options{Path: "x"}); err == nil {
+		t.Fatal("nil FS accepted")
+	}
+}
+
+func TestTreeStatsString(t *testing.T) {
+	db, _ := testDB(t, nil)
+	db.Put([]byte("k"), []byte("v"))
+	db.Flush()
+	s := db.TreeStats().String()
+	for _, want := range []string{"memtable:", "L0:", "total:"} {
+		if !containsStr(s, want) {
+			t.Errorf("TreeStats string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

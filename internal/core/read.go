@@ -1,0 +1,222 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+
+	"lsmlab/internal/bloom"
+	"lsmlab/internal/kv"
+	"lsmlab/internal/manifest"
+	"lsmlab/internal/vfs"
+	"lsmlab/internal/wisckey"
+)
+
+type wiscPointer = wisckey.Pointer
+
+// readView is a consistent snapshot of the read sources: the mutable
+// buffer, the immutable queue (newest first), and the tree version.
+type readView struct {
+	mems    []*memWrapper // newest first
+	version *manifest.Version
+	seq     kv.SeqNum
+}
+
+// acquireView captures the sources under the DB lock.
+func (db *DB) acquireView(snap kv.SeqNum) readView {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	mems := make([]*memWrapper, 0, len(db.imm)+1)
+	mems = append(mems, db.mem)
+	for i := len(db.imm) - 1; i >= 0; i-- {
+		mems = append(mems, db.imm[i])
+	}
+	if snap == 0 {
+		snap = kv.SeqNum(db.lastSeq.Load())
+	}
+	return readView{mems: mems, version: db.version, seq: snap}
+}
+
+// Get returns the current value of key, or ErrNotFound.
+func (db *DB) Get(key []byte) ([]byte, error) { return db.get(key, 0) }
+
+func (db *DB) get(key []byte, snap kv.SeqNum) ([]byte, error) {
+	db.m.Gets.Add(1)
+	e, err := db.getEntry(key, snap)
+	if err != nil {
+		return nil, err
+	}
+	switch e.Kind() {
+	case kv.KindSet:
+		db.m.GetHits.Add(1)
+		return e.Value, nil
+	case kv.KindMerge:
+		// Slow path: walk the key's full visible history to fold the
+		// operands onto their base (§2.2.6).
+		view := db.acquireView(snap)
+		v, err := db.resolveMergeSlow(view, key, view.seq)
+		if err != nil {
+			return nil, err
+		}
+		db.m.GetHits.Add(1)
+		return v, nil
+	case kv.KindValuePointer:
+		p, err := wisckey.DecodePointer(e.Value)
+		if err != nil {
+			return nil, err
+		}
+		v, err := db.vlog.Read(p)
+		if err != nil {
+			return nil, err
+		}
+		db.m.GetHits.Add(1)
+		return v, nil
+	default:
+		return nil, ErrNotFound
+	}
+}
+
+// getEntry returns the newest visible raw entry (which may be a
+// tombstone or value pointer), with range tombstones applied.
+// It retries when a racing compaction deletes a file mid-read.
+func (db *DB) getEntry(key []byte, snap kv.SeqNum) (kv.Entry, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return kv.Entry{}, ErrClosed
+	}
+	db.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		view := db.acquireView(snap)
+		e, ok, err := db.searchView(view, key)
+		if err != nil {
+			if isMissingFile(err) {
+				lastErr = err
+				continue // version changed under us; retry with a fresh view
+			}
+			return kv.Entry{}, err
+		}
+		if !ok {
+			return kv.Entry{}, ErrNotFound
+		}
+		return e, nil
+	}
+	return kv.Entry{}, lastErr
+}
+
+func isMissingFile(err error) bool { return errors.Is(err, vfs.ErrNotExist) }
+
+// searchView walks the sources newest to oldest, maintaining the
+// highest covering range-tombstone sequence seen so far. The first
+// point entry found is the newest visible version; it is live only if
+// no newer range tombstone covers it (tutorial §2.1.2 Get).
+func (db *DB) searchView(view readView, key []byte) (kv.Entry, bool, error) {
+	var maxRT kv.SeqNum
+	hash := bloom.Hash64(key) // hash sharing: one hash per lookup (§2.1.3)
+
+	resolve := func(e kv.Entry) (kv.Entry, bool, error) {
+		if e.Seq() < maxRT {
+			return kv.Entry{}, false, nil // shadowed by a range delete
+		}
+		return e, true, nil
+	}
+
+	// Memtables.
+	for _, mw := range view.mems {
+		for _, rt := range mw.rangeTombstones() {
+			if rt.Seq <= view.seq && rt.Seq > maxRT &&
+				bytes.Compare(rt.Start, key) <= 0 && bytes.Compare(key, rt.End) < 0 {
+				maxRT = rt.Seq
+			}
+		}
+		if e, ok := mw.mt.Get(key, view.seq); ok {
+			return resolve(e)
+		}
+	}
+
+	// Disk levels: L0 runs newest first, then deeper levels.
+	for _, level := range view.version.Levels {
+		for _, run := range level.Runs {
+			f := run.FindFile(key)
+			if f == nil {
+				continue
+			}
+			r, release, err := db.tcache.acquire(f.Num)
+			if err != nil {
+				return kv.Entry{}, false, err
+			}
+			for _, rt := range r.RangeTombstones() {
+				if rt.Seq <= view.seq && rt.Seq > maxRT && rt.Covers(key, 0) {
+					maxRT = rt.Seq
+				}
+			}
+			db.m.RunsProbed.Add(1)
+			e, ok, err := r.Get(key, hash, view.seq)
+			if err != nil {
+				release()
+				return kv.Entry{}, false, err
+			}
+			if ok {
+				release()
+				return resolve(e)
+			}
+			if len(r.RangeTombstones()) == 0 && r.FilterSizeBytes() > 0 {
+				// The filter passed but the key was absent: a false
+				// positive worth counting (only unambiguous without
+				// range tombstones extending the key range).
+				db.m.FilterFalsePos.Add(1)
+			}
+			release()
+		}
+	}
+
+	if maxRT > 0 {
+		return kv.Entry{}, false, nil
+	}
+	return kv.Entry{}, false, nil
+}
+
+// pointerIsLive reports whether p is still the live value location of
+// key — the WiscKey GC liveness check.
+func (db *DB) pointerIsLive(key []byte, p wisckey.Pointer) (bool, error) {
+	e, err := db.getEntry(key, 0)
+	if err == ErrNotFound {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	if e.Kind() != kv.KindValuePointer {
+		return false, nil
+	}
+	cur, err := wisckey.DecodePointer(e.Value)
+	if err != nil {
+		return false, err
+	}
+	return cur == p, nil
+}
+
+// KV is one key-value pair returned by Scan.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// Scan returns up to limit live entries with keys in [start, end);
+// limit <= 0 means unlimited. It is a convenience wrapper over
+// NewIterator (tutorial §2.1.2 Scan).
+func (db *DB) Scan(start, end []byte, limit int) ([]KV, error) {
+	it, err := db.NewIterator(IterOptions{LowerBound: start, UpperBound: end})
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out []KV
+	for ok := it.First(); ok; ok = it.Next() {
+		out = append(out, KV{Key: cp(it.Key()), Value: cp(it.Value())})
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out, it.Err()
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LevelStats summarizes one level for monitoring and experiments.
+type LevelStats struct {
+	Level    int
+	Runs     int
+	Files    int
+	Bytes    uint64
+	Capacity uint64 // byte capacity (0 for level 0, which is run-count bound)
+}
+
+// TreeStats describes the current shape of the LSM-tree.
+type TreeStats struct {
+	Levels      []LevelStats
+	TotalBytes  uint64
+	TotalFiles  int
+	TotalRuns   int
+	MemtableLen int
+	Immutables  int
+	LiveSeq     uint64
+}
+
+// TreeStats returns the current structure summary.
+func (db *DB) TreeStats() TreeStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ts := TreeStats{
+		MemtableLen: db.mem.mt.Len(),
+		Immutables:  len(db.imm),
+		LiveSeq:     db.lastSeq.Load(),
+	}
+	for i, l := range db.version.Levels {
+		ls := LevelStats{Level: i, Runs: len(l.Runs), Files: l.NumFiles(), Bytes: l.Size()}
+		if i >= 1 {
+			popts := db.picker.Options()
+			ls.Capacity = popts.LevelCapacityBytes(i)
+		}
+		ts.Levels = append(ts.Levels, ls)
+		ts.TotalBytes += ls.Bytes
+		ts.TotalFiles += ls.Files
+		ts.TotalRuns += ls.Runs
+	}
+	return ts
+}
+
+// String renders the tree shape like the lsmctl "shape" command.
+func (ts TreeStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "memtable: %d entries (+%d immutable)\n", ts.MemtableLen, ts.Immutables)
+	for _, l := range ts.Levels {
+		bar := strings.Repeat("#", l.Runs)
+		fmt.Fprintf(&b, "L%d: %2d runs %3d files %10d bytes %s\n", l.Level, l.Runs, l.Files, l.Bytes, bar)
+	}
+	fmt.Fprintf(&b, "total: %d runs, %d files, %d bytes", ts.TotalRuns, ts.TotalFiles, ts.TotalBytes)
+	return b.String()
+}
+
+// FilterMemoryBytes sums the pinned Bloom-filter bytes across every
+// live table — the memory side of the filter experiments.
+func (db *DB) FilterMemoryBytes() int64 {
+	v := db.Version()
+	var total int64
+	for _, l := range v.Levels {
+		for _, r := range l.Runs {
+			for _, f := range r.Files {
+				rd, release, err := db.tcache.acquire(f.Num)
+				if err != nil {
+					continue
+				}
+				total += int64(rd.FilterSizeBytes())
+				release()
+			}
+		}
+	}
+	return total
+}
+
+// SpaceAmplification estimates space amplification: bytes on disk
+// divided by the bytes of unique live entries (approximated by the last
+// level's size plus live memtable data, per Dong et al.'s definition).
+// It returns 1 when the tree is empty.
+func (db *DB) SpaceAmplification() float64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	total := float64(db.version.TotalSize())
+	if total == 0 {
+		return 1
+	}
+	// Unique data is approximated by the deepest non-empty level.
+	var deepest float64
+	for i := len(db.version.Levels) - 1; i >= 0; i-- {
+		if sz := db.version.Levels[i].Size(); sz > 0 {
+			deepest = float64(sz)
+			break
+		}
+	}
+	if deepest == 0 {
+		return 1
+	}
+	return total / deepest
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"lsmlab/internal/manifest"
+	"lsmlab/internal/sstable"
+	"lsmlab/internal/vfs"
+)
+
+// tableCache keeps open sstable readers, refcounted so that a file can
+// be doomed (deleted by a compaction) while in-flight reads and open
+// iterators still hold it. The physical file is removed when the last
+// reference is released.
+type tableCache struct {
+	fs    vfs.FS
+	dir   string
+	ropts func(fileNum uint64) sstable.ReaderOptions
+
+	mu      sync.Mutex
+	entries map[uint64]*tcEntry
+}
+
+type tcEntry struct {
+	r      *sstable.Reader
+	refs   int
+	doomed bool
+}
+
+func newTableCache(fs vfs.FS, dir string, ropts func(uint64) sstable.ReaderOptions) *tableCache {
+	return &tableCache{fs: fs, dir: dir, ropts: ropts, entries: make(map[uint64]*tcEntry)}
+}
+
+// acquire opens (or reuses) the reader for fileNum and takes a
+// reference. Callers must invoke the returned release exactly once.
+func (tc *tableCache) acquire(fileNum uint64) (*sstable.Reader, func(), error) {
+	tc.mu.Lock()
+	e, ok := tc.entries[fileNum]
+	if ok && !e.doomed {
+		e.refs++
+		tc.mu.Unlock()
+		return e.r, func() { tc.release(fileNum) }, nil
+	}
+	if ok && e.doomed {
+		tc.mu.Unlock()
+		return nil, nil, fmt.Errorf("table %d: %w", fileNum, vfs.ErrNotExist)
+	}
+	tc.mu.Unlock()
+
+	// Open outside the lock; racing opens are reconciled below.
+	f, err := tc.fs.Open(vfs.Join(tc.dir, manifest.FileName(fileNum)))
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := sstable.Open(f, tc.ropts(fileNum))
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+
+	tc.mu.Lock()
+	if cur, ok := tc.entries[fileNum]; ok && !cur.doomed {
+		cur.refs++
+		tc.mu.Unlock()
+		r.Close()
+		return cur.r, func() { tc.release(fileNum) }, nil
+	}
+	tc.entries[fileNum] = &tcEntry{r: r, refs: 1}
+	tc.mu.Unlock()
+	return r, func() { tc.release(fileNum) }, nil
+}
+
+func (tc *tableCache) release(fileNum uint64) {
+	tc.mu.Lock()
+	e, ok := tc.entries[fileNum]
+	if !ok {
+		tc.mu.Unlock()
+		return
+	}
+	e.refs--
+	del := e.doomed && e.refs == 0
+	if del {
+		delete(tc.entries, fileNum)
+	}
+	tc.mu.Unlock()
+	if del {
+		e.r.Close()
+		tc.fs.Remove(vfs.Join(tc.dir, manifest.FileName(fileNum)))
+	}
+}
+
+// evict dooms a file: it is closed and physically deleted as soon as
+// the last reference drops (immediately, if unreferenced).
+func (tc *tableCache) evict(fileNum uint64) {
+	tc.mu.Lock()
+	e, ok := tc.entries[fileNum]
+	if !ok {
+		// Never opened: delete directly.
+		tc.entries[fileNum] = &tcEntry{doomed: true, refs: 0}
+		e = tc.entries[fileNum]
+	}
+	e.doomed = true
+	del := e.refs == 0
+	if del {
+		delete(tc.entries, fileNum)
+	}
+	tc.mu.Unlock()
+	if del {
+		if e.r != nil {
+			e.r.Close()
+		}
+		tc.fs.Remove(vfs.Join(tc.dir, manifest.FileName(fileNum)))
+	}
+}
+
+// close releases every open reader (used at DB close, when no readers
+// remain).
+func (tc *tableCache) close() {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	for num, e := range tc.entries {
+		if e.r != nil {
+			e.r.Close()
+		}
+		delete(tc.entries, num)
+	}
+}

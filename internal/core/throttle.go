@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// rateLimiter is a token-bucket bandwidth throttle for compaction
+// writes, in the spirit of SILK's I/O scheduler (tutorial §2.2.3):
+// compactions are capped so that flushes — which gate ingestion — keep
+// device headroom. Flushes never pass through the limiter.
+type rateLimiter struct {
+	mu           sync.Mutex
+	bytesPerSec  int64
+	maxBucket    float64
+	available    float64
+	lastRefillNs int64
+	nowNs        func() int64
+	sleep        func(time.Duration)
+}
+
+func newRateLimiter(bytesPerSec int64, nowNs func() int64, sleep func(time.Duration)) *rateLimiter {
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	// A quarter-second bucket: enough to absorb write jitter without
+	// letting a whole compaction slip through un-paced.
+	maxBucket := float64(bytesPerSec) / 4
+	return &rateLimiter{
+		bytesPerSec:  bytesPerSec,
+		maxBucket:    maxBucket,
+		available:    maxBucket,
+		lastRefillNs: nowNs(),
+		nowNs:        nowNs,
+		sleep:        sleep,
+	}
+}
+
+// waitFor blocks (or charges the injected sleep function) until n bytes
+// of budget are available, then consumes them.
+func (r *rateLimiter) waitFor(n int) {
+	if r == nil || r.bytesPerSec <= 0 {
+		return
+	}
+	for {
+		r.mu.Lock()
+		now := r.nowNs()
+		elapsed := now - r.lastRefillNs
+		if elapsed > 0 {
+			r.available += float64(elapsed) / 1e9 * float64(r.bytesPerSec)
+			if r.available > r.maxBucket {
+				r.available = r.maxBucket
+			}
+			r.lastRefillNs = now
+		}
+		if r.available >= float64(n) || r.available >= r.maxBucket {
+			// Requests larger than the whole bucket are admitted when it
+			// is full, so oversized writes make progress instead of
+			// deadlocking.
+			r.available -= float64(n)
+			r.mu.Unlock()
+			return
+		}
+		deficit := float64(n) - r.available
+		waitNs := time.Duration(deficit / float64(r.bytesPerSec) * 1e9)
+		r.mu.Unlock()
+		if waitNs < time.Millisecond {
+			waitNs = time.Millisecond
+		}
+		r.sleep(waitNs)
+	}
+}

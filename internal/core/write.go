@@ -1,0 +1,254 @@
+package core
+
+import (
+	"errors"
+
+	"lsmlab/internal/kv"
+	"lsmlab/internal/wal"
+)
+
+// Batch is an atomic group of writes applied with consecutive sequence
+// numbers.
+type Batch struct {
+	ops []wal.Op
+}
+
+// Put records an insertion or update.
+func (b *Batch) Put(key, value []byte) {
+	b.ops = append(b.ops, wal.Op{Kind: kv.KindSet, Key: cp(key), Value: cp(value)})
+}
+
+// Delete records a point tombstone.
+func (b *Batch) Delete(key []byte) {
+	b.ops = append(b.ops, wal.Op{Kind: kv.KindDelete, Key: cp(key)})
+}
+
+// SingleDelete records a single-delete tombstone (for keys written at
+// most once since the last delete; tutorial §2.3.3, [101]).
+func (b *Batch) SingleDelete(key []byte) {
+	b.ops = append(b.ops, wal.Op{Kind: kv.KindSingleDelete, Key: cp(key)})
+}
+
+// DeleteRange records a range tombstone covering [start, end).
+func (b *Batch) DeleteRange(start, end []byte) {
+	b.ops = append(b.ops, wal.Op{Kind: kv.KindRangeDelete, Key: cp(start), Value: cp(end)})
+}
+
+// Len returns the number of operations in the batch.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Reset clears the batch for reuse.
+func (b *Batch) Reset() { b.ops = b.ops[:0] }
+
+func cp(b []byte) []byte { return append([]byte(nil), b...) }
+
+// Put inserts or updates one key.
+func (db *DB) Put(key, value []byte) error {
+	var b Batch
+	b.Put(key, value)
+	return db.Apply(&b)
+}
+
+// Delete removes a key via a tombstone.
+func (db *DB) Delete(key []byte) error {
+	var b Batch
+	b.Delete(key)
+	return db.Apply(&b)
+}
+
+// SingleDelete removes a key that was written exactly once.
+func (db *DB) SingleDelete(key []byte) error {
+	var b Batch
+	b.SingleDelete(key)
+	return db.Apply(&b)
+}
+
+// DeleteRange removes every key in [start, end).
+func (db *DB) DeleteRange(start, end []byte) error {
+	var b Batch
+	b.DeleteRange(start, end)
+	return db.Apply(&b)
+}
+
+// Apply atomically applies a batch: one WAL record, consecutive
+// sequence numbers, all-or-nothing visibility within the memtable.
+func (db *DB) Apply(b *Batch) error {
+	if len(b.ops) == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.makeRoomLocked(); err != nil {
+		return err
+	}
+	if db.bgErr != nil {
+		return db.bgErr
+	}
+
+	base := kv.SeqNum(db.lastSeq.Load()) + 1
+
+	// WiscKey: divert large values to the value log before WAL framing
+	// so that recovery replays pointers (the value bytes are already
+	// durable in the log).
+	ops := b.ops
+	if db.vlog != nil && db.opts.ValueSeparationThreshold > 0 {
+		ops = make([]wal.Op, len(b.ops))
+		copy(ops, b.ops)
+		for i := range ops {
+			if ops[i].Kind == kv.KindSet && len(ops[i].Value) >= db.opts.ValueSeparationThreshold {
+				p, err := db.vlog.Append(ops[i].Key, ops[i].Value)
+				if err != nil {
+					return err
+				}
+				ops[i].Kind = kv.KindValuePointer
+				ops[i].Value = p.Encode()
+			}
+		}
+	}
+
+	if !db.opts.DisableWAL {
+		n, err := db.wal.Append(&wal.Batch{Seq: base, Ops: ops})
+		if err != nil {
+			return err
+		}
+		db.m.WALBytes.Add(int64(n))
+		if db.opts.SyncWAL {
+			if err := db.wal.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+
+	seq := base
+	for i := range ops {
+		op := ops[i]
+		switch op.Kind {
+		case kv.KindRangeDelete:
+			db.mem.addRangeDel(kv.RangeTombstone{Start: op.Key, End: op.Value, Seq: seq})
+			db.m.Deletes.Add(1)
+		case kv.KindDelete, kv.KindSingleDelete:
+			db.mem.mt.Add(seq, op.Kind, op.Key, op.Value)
+			db.m.Deletes.Add(1)
+		default:
+			db.mem.mt.Add(seq, op.Kind, op.Key, op.Value)
+			db.m.Puts.Add(1)
+		}
+		// Ingested bytes are accounted at user-visible size: for
+		// separated values, the value bytes count here (they were
+		// ingested) even though the tree only carries a pointer.
+		userLen := len(b.ops[i].Key) + len(b.ops[i].Value)
+		db.m.BytesIngested.Add(int64(userLen))
+		seq++
+	}
+	db.lastSeq.Store(uint64(seq - 1))
+
+	// Rotate a full buffer only while the immutable queue has room;
+	// otherwise leave it over-full and let the next write stall in
+	// makeRoomLocked until a flush completes.
+	if db.mem.mt.ApproximateBytes() >= db.opts.BufferBytes &&
+		len(db.imm) < db.opts.MaxImmutableBuffers {
+		return db.rotateMemtableLocked()
+	}
+	return nil
+}
+
+// makeRoomLocked enforces the write stalls of tutorial §2.2.1/§2.2.3:
+// writers wait when the immutable-buffer queue is full or level 0 has
+// accumulated too many runs. One stall event is counted per blocked
+// write, with the full blocked duration metered.
+func (db *DB) makeRoomLocked() error {
+	stalled := false
+	var stallStart int64
+	defer func() {
+		if stalled {
+			db.m.StallNs.Add(db.opts.NowNs() - stallStart)
+		}
+	}()
+	for {
+		switch {
+		case db.closed:
+			return ErrClosed
+		case db.opts.StallL0Runs > 0 && len(db.version.Levels[0].Runs) >= db.opts.StallL0Runs,
+			db.mem.mt.ApproximateBytes() >= db.opts.BufferBytes &&
+				len(db.imm) >= db.opts.MaxImmutableBuffers:
+			if !stalled {
+				stalled = true
+				stallStart = db.opts.NowNs()
+				db.m.WriteStalls.Add(1)
+			}
+			// Background workers were woken when the condition arose;
+			// the writer just waits for them to signal progress.
+			db.cond.Wait()
+		case db.mem.mt.ApproximateBytes() < db.opts.BufferBytes:
+			return nil
+		default:
+			return db.rotateMemtableLocked()
+		}
+	}
+}
+
+// rotateMemtableLocked retires the mutable buffer to the immutable
+// queue and installs a fresh one (and WAL segment).
+func (db *DB) rotateMemtableLocked() error {
+	if db.mem.mt.Len() == 0 && len(db.mem.rangeDels) == 0 {
+		return nil
+	}
+	if db.walFile != nil {
+		if err := db.walFile.Sync(); err != nil {
+			return err
+		}
+		if err := db.walFile.Close(); err != nil {
+			return err
+		}
+		db.walFile = nil
+	}
+	db.imm = append(db.imm, db.mem)
+	if err := db.newMemtableLocked(); err != nil {
+		return err
+	}
+	db.maybeScheduleWork()
+	return nil
+}
+
+// GCValueLog garbage-collects the oldest sealed value-log segment:
+// records whose pointer is still the live value of their key are
+// re-appended (and their tree pointers refreshed); the segment is then
+// deleted. Returns the number of live records moved and whether a
+// segment was collected. It is a no-op without value separation.
+func (db *DB) GCValueLog() (moved int, collected bool, err error) {
+	if db.vlog == nil {
+		return 0, false, nil
+	}
+	if err := db.vlog.RotateForGC(); err != nil {
+		return 0, false, err
+	}
+	num, ok := db.vlog.OldestSealed()
+	if !ok {
+		return 0, false, nil
+	}
+	err = db.vlog.ScanFile(num, func(key, value []byte, p wiscPointer) error {
+		live, err := db.pointerIsLive(key, p)
+		if err != nil {
+			return err
+		}
+		if !live {
+			return nil
+		}
+		// Re-put through the normal write path: the value lands in the
+		// active segment with a fresh pointer.
+		if err := db.Put(key, value); err != nil {
+			return err
+		}
+		moved++
+		return nil
+	})
+	if err != nil {
+		return moved, false, err
+	}
+	if err := db.vlog.Remove(num); err != nil {
+		return moved, false, err
+	}
+	return moved, true, nil
+}
+
+var errStopScan = errors.New("stop scan")

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"lsmlab/internal/compaction"
+	"lsmlab/internal/core"
+	"lsmlab/internal/workload"
+)
+
+// E1CompactionPolicies compares the classic data layouts on an
+// insert/update stream followed by point lookups and short scans:
+// tiering ingests with the least write amplification, leveling reads
+// cheapest with the least space, lazy leveling and the tiered-first
+// hybrid sit between (tutorial §2.1.2, §2.2.2).
+func E1CompactionPolicies(s Scale) (*Table, error) {
+	t := &Table{
+		ID:    "E1",
+		Title: "Leveling vs. tiering vs. hybrids",
+		Claim: "tiering trades read cost and space amp for lower write amp; leveling the reverse; lazy leveling/hybrids sit between (§2.1.2, §2.2.2)",
+		Columns: []string{"layout", "ingest_sim_ms", "write_amp", "runs", "lookup_runs_probed",
+			"lookup_sim_us", "scan_sim_us", "space_amp"},
+	}
+	layouts := []struct {
+		name   string
+		layout compaction.Layout
+	}{
+		{"leveling", compaction.Leveling{}},
+		{"tiering(4)", compaction.Tiering{K: 4}},
+		{"lazy-leveling(4)", compaction.LazyLeveling{K: 4}},
+		{"tiered-first(4)", compaction.TieredFirst{K0: 4}},
+	}
+	nWrites := s.N(200_000)
+	nLookups := s.N(5_000)
+	nScans := s.N(500)
+
+	for _, lc := range layouts {
+		e := newEnv(func(o *core.Options) { o.Layout = lc.layout })
+		db, err := e.open()
+		if err != nil {
+			return nil, err
+		}
+
+		// Ingest: 75% unique inserts, 25% updates of earlier keys. Track
+		// the exact live data size for the space-amp denominator.
+		gen := workload.New(workload.Config{
+			Seed: 1, KeySpace: int64(nWrites * 3 / 4), Mix: workload.MixLoad, ValueLen: 64,
+		})
+		liveLen := make(map[string]int)
+		for i := 0; i < nWrites; i++ {
+			op := gen.Next()
+			if err := db.Put(op.Key, op.Value); err != nil {
+				return nil, err
+			}
+			liveLen[string(op.Key)] = len(op.Key) + len(op.Value)
+		}
+		if err := db.Flush(); err != nil {
+			return nil, err
+		}
+		db.WaitIdle()
+		ingest := e.fs.Stats()
+		m := db.Metrics()
+
+		// Point lookups over existing keys.
+		preLookup := e.fs.Stats()
+		rgen := workload.New(workload.Config{
+			Seed: 2, KeySpace: int64(nWrites * 3 / 4), Mix: workload.MixC,
+		})
+		for i := 0; i < nLookups; i++ {
+			if _, err := db.Get(rgen.Next().Key); err != nil && !errors.Is(err, core.ErrNotFound) {
+				return nil, err
+			}
+		}
+		lookupStats := e.fs.Stats().Sub(preLookup)
+		mLook := db.Metrics()
+
+		// Short scans.
+		preScan := e.fs.Stats()
+		sgen := workload.New(workload.Config{
+			Seed: 3, KeySpace: int64(nWrites * 3 / 4),
+			Mix: workload.Mix{ScanShort: 1}, ShortScanLen: 16,
+		})
+		for i := 0; i < nScans; i++ {
+			op := sgen.Next()
+			if _, err := db.Scan(op.Key, op.EndKey, op.Limit); err != nil {
+				return nil, err
+			}
+		}
+		scanStats := e.fs.Stats().Sub(preScan)
+
+		// Space amplification against ground truth: disk bytes over the
+		// exact bytes of live (latest-version) user data.
+		var liveBytes float64
+		for _, l := range liveLen {
+			liveBytes += float64(l)
+		}
+		spaceAmp := float64(db.DiskUsageBytes()) / liveBytes
+
+		t.AddRow(
+			lc.name,
+			simMillis(ingest.SimulatedNs),
+			f2(m.WriteAmplification()),
+			fmt.Sprint(db.TreeStats().TotalRuns),
+			f2(float64(mLook.RunsProbed-m.RunsProbed)/float64(nLookups)),
+			f2(float64(lookupStats.SimulatedNs)/1e3/float64(nLookups)),
+			f2(float64(scanStats.SimulatedNs)/1e3/float64(nScans)),
+			f2(spaceAmp),
+		)
+		db.Close()
+	}
+	return t, nil
+}

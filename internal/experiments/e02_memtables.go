@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lsmlab/internal/kv"
+	"lsmlab/internal/memtable"
+	"lsmlab/internal/workload"
+)
+
+// E2Memtables measures the four buffer implementations under a
+// write-only stream and a 50/50 read-write mix: the vector buffer wins
+// pure ingestion but collapses when reads interleave (every read after
+// a write re-sorts); the skiplist is the balanced choice; hashed
+// buffers give the fastest point reads (tutorial §2.2.1).
+//
+// This experiment is CPU-bound by design (no disk is involved), so it
+// reports wall-clock nanoseconds per operation.
+func E2Memtables(s Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E2",
+		Title:   "Memtable implementations",
+		Claim:   "vector is fastest write-only but degrades under interleaved reads; skiplist suits mixed; hash buffers excel at point ops (§2.2.1)",
+		Columns: []string{"memtable", "write_only_ns_op", "mixed_50_50_ns_op", "point_get_ns_op"},
+	}
+	n := s.N(100_000)
+	kinds := []memtable.Kind{
+		memtable.KindSkipList, memtable.KindVector,
+		memtable.KindHashSkipList, memtable.KindHashLinkList,
+	}
+
+	for _, kind := range kinds {
+		// Write-only.
+		writeOnly := func() time.Duration {
+			m := memtable.New(kind)
+			gen := workload.New(workload.Config{Seed: 1, KeySpace: int64(n), Mix: workload.MixLoad, ValueLen: 32})
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				op := gen.Next()
+				m.Add(kv.SeqNum(i+1), kv.KindSet, op.Key, op.Value)
+			}
+			return time.Since(start)
+		}()
+
+		// 50/50 interleaved.
+		mixed := func() time.Duration {
+			m := memtable.New(kind)
+			gen := workload.New(workload.Config{Seed: 2, KeySpace: int64(n), Mix: workload.MixA, ValueLen: 32})
+			seq := kv.SeqNum(0)
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				op := gen.Next()
+				if op.Kind == workload.OpPut {
+					seq++
+					m.Add(seq, kv.KindSet, op.Key, op.Value)
+				} else {
+					m.Get(op.Key, kv.MaxSeqNum)
+				}
+			}
+			return time.Since(start)
+		}()
+
+		// Pure point reads on a pre-filled buffer.
+		pointGets := func() time.Duration {
+			m := memtable.New(kind)
+			gen := workload.New(workload.Config{Seed: 3, KeySpace: int64(n / 10), Mix: workload.MixLoad, ValueLen: 32})
+			for i := 0; i < n/10; i++ {
+				op := gen.Next()
+				m.Add(kv.SeqNum(i+1), kv.KindSet, op.Key, op.Value)
+			}
+			rgen := workload.New(workload.Config{Seed: 4, KeySpace: int64(n / 10), Mix: workload.MixC})
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				m.Get(rgen.Next().Key, kv.MaxSeqNum)
+			}
+			return time.Since(start)
+		}()
+
+		row := func(d time.Duration) string {
+			return fmt.Sprintf("%d", d.Nanoseconds()/int64(n))
+		}
+		t.AddRow(string(kind), row(writeOnly), row(mixed), row(pointGets))
+	}
+	return t, nil
+}

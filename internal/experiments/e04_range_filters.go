@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"lsmlab/internal/filter"
+)
+
+// E4RangeFilters compares the range filters on a user-bucketed key
+// space — the layout the filters were designed for. Keys are
+// (user, timestamp) pairs packed into 8 bytes; users are partitioned
+// across 8 runs. Two query classes:
+//
+//   - short: a 16-wide timestamp window of a user present in some run —
+//     the window is usually empty (timestamps are sparse), and only a
+//     filter with fine range resolution (Rosetta's dyadic hierarchy, or
+//     SuRF's long stored prefixes) can prove it;
+//   - long: one user's entire timestamp range — non-empty only in the
+//     single run holding that user, which the 4-byte prefix Bloom filter
+//     answers with one probe.
+//
+// (tutorial §2.1.3: prefix filters for long ranges, Rosetta for short,
+// SuRF for both via variable-length prefixes).
+func E4RangeFilters(s Scale) (*Table, error) {
+	t := &Table{
+		ID:    "E4",
+		Title: "Range filters on short and long scans",
+		Claim: "range filters cut scan I/O; Rosetta suits short ranges, prefix filters long ranges, SuRF both (§2.1.3)",
+		Columns: []string{"filter", "mem_KiB", "short_runs_probed", "short_fp_rate",
+			"long_runs_probed", "long_fp_rate"},
+	}
+	const nRuns = 8
+	nUsers := s.N(512)
+	tsPerUser := s.N(200)
+	nQueries := s.N(2_000)
+
+	key := func(user uint32, ts uint32) []byte {
+		k := make([]byte, 8)
+		binary.BigEndian.PutUint32(k, user)
+		binary.BigEndian.PutUint32(k[4:], ts)
+		return k
+	}
+
+	// Each user's timestamps are sparse: stride 1000 with jitter.
+	rng := rand.New(rand.NewSource(4))
+	runKeys := make([][][]byte, nRuns)
+	userTS := make(map[uint32][]uint32)
+	for u := 0; u < nUsers; u++ {
+		r := u % nRuns
+		for i := 0; i < tsPerUser; i++ {
+			ts := uint32(i*1000 + rng.Intn(200))
+			runKeys[r] = append(runKeys[r], key(uint32(u), ts))
+			userTS[uint32(u)] = append(userTS[uint32(u)], ts)
+		}
+	}
+	for r := range runKeys {
+		sort.Slice(runKeys[r], func(i, j int) bool {
+			return string(runKeys[r][i]) < string(runKeys[r][j])
+		})
+	}
+
+	// Ground truth: does run r contain a key in [start, end)?
+	contains := func(r int, start, end []byte) bool {
+		keys := runKeys[r]
+		i := sort.Search(len(keys), func(i int) bool { return string(keys[i]) >= string(start) })
+		return i < len(keys) && string(keys[i]) < string(end)
+	}
+
+	type build struct {
+		name string
+		mk   func(keys [][]byte) filter.RangeFilter
+	}
+	builds := []build{
+		{"none", nil},
+		{"prefix-bloom(4B)", func(keys [][]byte) filter.RangeFilter {
+			return filter.NewPrefixBloom(keys, 4, 14)
+		}},
+		{"surf(+3B)", func(keys [][]byte) filter.RangeFilter {
+			return filter.NewSuRF(keys, 3)
+		}},
+		{"rosetta(14b)", func(keys [][]byte) filter.RangeFilter {
+			return filter.NewRosetta(keys, 14)
+		}},
+	}
+
+	// Query streams. Short: a 16-wide window at a random offset within a
+	// random user's range (usually dead: density 200/1000). Long: a full
+	// user range, half the time for an absent user id (odd high ids).
+	type query struct{ start, end []byte }
+	shortQ := make([]query, nQueries)
+	longQ := make([]query, nQueries)
+	qr := rand.New(rand.NewSource(5))
+	for i := range shortQ {
+		u := uint32(qr.Intn(nUsers))
+		off := uint32(qr.Intn(tsPerUser * 1000))
+		shortQ[i] = query{key(u, off), key(u, off+16)}
+		lu := uint32(qr.Intn(nUsers * 2)) // half absent
+		longQ[i] = query{key(lu, 0), key(lu+1, 0)}
+	}
+
+	run := func(b build, qs []query) (probed, fpRate float64, mem int) {
+		var filters []filter.RangeFilter
+		if b.mk != nil {
+			for r := 0; r < nRuns; r++ {
+				f := b.mk(runKeys[r])
+				filters = append(filters, f)
+				mem += f.SizeBytes()
+			}
+		}
+		totalProbes, fps := 0, 0
+		for _, q := range qs {
+			for r := 0; r < nRuns; r++ {
+				may := true
+				if filters != nil {
+					may = filters[r].MayContainRange(q.start, q.end)
+				}
+				if may {
+					totalProbes++
+					if !contains(r, q.start, q.end) {
+						fps++
+					}
+				}
+			}
+		}
+		return float64(totalProbes) / float64(len(qs)),
+			float64(fps) / float64(len(qs)*nRuns), mem
+	}
+
+	for _, b := range builds {
+		shortProbes, shortFP, mem := run(b, shortQ)
+		longProbes, longFP, _ := run(b, longQ)
+		t.AddRow(
+			b.name,
+			fmt.Sprintf("%.1f", float64(mem)/1024),
+			f2(shortProbes), f2(shortFP),
+			f2(longProbes), f2(longFP),
+		)
+	}
+	return t, nil
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lsmlab/internal/core"
+	"lsmlab/internal/workload"
+)
+
+// E7BufferTuning drives bursty ingestion through different buffer sizes
+// and immutable-buffer counts: larger and more numerous buffers absorb
+// bursts, reducing write stalls and total ingest time (tutorial
+// §2.2.1).
+func E7BufferTuning(s Scale) (*Table, error) {
+	t := &Table{
+		ID:    "E7",
+		Title: "Write buffer sizing under bursty ingestion",
+		Claim: "larger/multiple write buffers absorb ingestion bursts and reduce stalls (§2.2.1)",
+		Columns: []string{"buffer_KiB", "max_immutables", "stalls", "stall_ms",
+			"flushes", "ingest_sim_ms"},
+	}
+	n := s.N(150_000)
+
+	type cfg struct {
+		bufKiB int
+		imm    int
+	}
+	cfgs := []cfg{{16, 1}, {16, 4}, {64, 1}, {64, 4}, {256, 1}, {256, 4}}
+	for _, c := range cfgs {
+		e := newEnv(func(o *core.Options) {
+			o.BufferBytes = c.bufKiB << 10
+			o.MaxImmutableBuffers = c.imm
+			o.Workers = 1
+		})
+		db, err := e.open()
+		if err != nil {
+			return nil, err
+		}
+		gen := workload.New(workload.Config{
+			Seed: 1, KeySpace: int64(n), Mix: workload.MixLoad, ValueLen: 128,
+		})
+		burst := workload.Burst{Quiet: 64, BurstLen: 512}
+		written := 0
+		for written < n {
+			batch := burst.NextBatch()
+			for j := 0; j < batch && written < n; j++ {
+				op := gen.Next()
+				if err := db.Put(op.Key, op.Value); err != nil {
+					return nil, err
+				}
+				written++
+			}
+		}
+		if err := db.Flush(); err != nil {
+			return nil, err
+		}
+		db.WaitIdle()
+		m := db.Metrics()
+		t.AddRow(
+			fmt.Sprint(c.bufKiB),
+			fmt.Sprint(c.imm),
+			fmt.Sprint(m.WriteStalls),
+			fmt.Sprintf("%.1f", float64(m.StallNs)/1e6),
+			fmt.Sprint(m.Flushes),
+			simMillis(e.fs.Stats().SimulatedNs),
+		)
+		db.Close()
+	}
+	return t, nil
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lsmlab/internal/core"
+	"lsmlab/internal/workload"
+)
+
+// E8Parallelism scales the number of background workers executing
+// flushes and compactions. Compaction writes are throttled to a
+// realistic device bandwidth (real sleeps), so with a single worker the
+// ingestion path stalls whenever that worker is stuck inside a slow
+// compaction; with more workers a thread is always free to flush, so
+// writers stall less and the ingest phase finishes sooner (tutorial
+// §2.2.5; the flush/compaction interference is SILK's observation,
+// §2.2.3). The post-ingest drain is reported separately — it is bounded
+// by the global bandwidth, not by parallelism.
+func E8Parallelism(s Scale) (*Table, error) {
+	t := &Table{
+		ID:    "E8",
+		Title: "Background worker parallelism",
+		Claim: "multi-threaded flushes and compactions raise ingestion throughput (§2.2.5)",
+		Columns: []string{"workers", "ingest_wall_ms", "drain_wall_ms", "stalls", "stall_ms",
+			"compactions"},
+	}
+	n := s.N(100_000)
+	const writerThreads = 2
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		e := newEnv(func(o *core.Options) {
+			o.Workers = workers
+			o.MaxImmutableBuffers = 2
+			o.BufferBytes = 32 << 10
+			// Throttle compaction writes (real sleeps) to roughly half
+			// the ingest data volume per second, so compactions occupy
+			// their worker for measurable spans at any experiment scale.
+			o.CompactionBandwidthBytesPerSec = int64(n) * 40
+			// Disable the L0 run-count stall: with throttled compactions
+			// it couples writer progress to the *deepest* in-flight job
+			// (the priority inversion SILK addresses), which is measured
+			// by E7/E11-style stall metrics, not here. E8 isolates the
+			// worker-parallelism effect: flushes unblock writers, and
+			// disjoint-level compactions drain the backlog concurrently.
+			o.StallL0Runs = 0
+		})
+		db, err := e.open()
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		errCh := make(chan error, writerThreads)
+		var wg sync.WaitGroup
+		for w := 0; w < writerThreads; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				gen := workload.New(workload.Config{
+					Seed: int64(w + 1), KeySpace: int64(n), Mix: workload.MixLoad, ValueLen: 64,
+				})
+				for i := 0; i < n/writerThreads; i++ {
+					op := gen.Next()
+					if err := db.Put(op.Key, op.Value); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return nil, err
+		default:
+		}
+		ingestWall := time.Since(start)
+		if err := db.Flush(); err != nil {
+			return nil, err
+		}
+		db.WaitIdle()
+		drainWall := time.Since(start) - ingestWall
+		m := db.Metrics()
+		t.AddRow(
+			fmt.Sprint(workers),
+			fmt.Sprintf("%.1f", float64(ingestWall.Nanoseconds())/1e6),
+			fmt.Sprintf("%.1f", float64(drainWall.Nanoseconds())/1e6),
+			fmt.Sprint(m.WriteStalls),
+			fmt.Sprintf("%.1f", float64(m.StallNs)/1e6),
+			fmt.Sprint(m.Compactions),
+		)
+		db.Close()
+	}
+	return t, nil
+}

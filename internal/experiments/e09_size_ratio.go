@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"lsmlab/internal/compaction"
+	"lsmlab/internal/core"
+	"lsmlab/internal/tuning"
+	"lsmlab/internal/workload"
+)
+
+// E9SizeRatio sweeps the size ratio T and measures the read-write
+// tradeoff it traces: larger T means fewer levels (cheaper reads, for
+// leveling costlier writes per level but fewer levels — the measured
+// curve bends exactly as the RUM analysis predicts). The model columns
+// print the analytic prediction beside the measurement (tutorial §2.3,
+// [13,14]).
+func E9SizeRatio(s Scale) (*Table, error) {
+	t := &Table{
+		ID:    "E9",
+		Title: "Size-ratio sweep: the read-write tradeoff curve",
+		Claim: "sweeping T traces the RUM read-write tradeoff; measured shape follows the analytic model (§2.3)",
+		Columns: []string{"T", "levels", "write_amp", "model_write", "lookup_runs_probed",
+			"model_point", "ingest_sim_ms", "lookup_sim_us"},
+	}
+	n := s.N(150_000)
+	nLookups := s.N(5_000)
+
+	sys := tuning.SystemParams{NumEntries: int64(n), EntryBytes: 80, PageBytes: 4096}
+	for _, T := range []int{2, 4, 6, 8, 10} {
+		e := newEnv(func(o *core.Options) {
+			o.SizeRatio = T
+			o.BaseLevelBytes = 256 << 10
+			// Pure leveling matches the analytic model being compared.
+			o.Layout = compaction.Leveling{}
+		})
+		db, err := e.open()
+		if err != nil {
+			return nil, err
+		}
+		gen := workload.New(workload.Config{
+			Seed: 1, KeySpace: int64(n * 3 / 4), Mix: workload.MixLoad, ValueLen: 64,
+		})
+		for i := 0; i < n; i++ {
+			op := gen.Next()
+			if err := db.Put(op.Key, op.Value); err != nil {
+				return nil, err
+			}
+		}
+		if err := db.Flush(); err != nil {
+			return nil, err
+		}
+		db.WaitIdle()
+		ingest := e.fs.Stats()
+		m := db.Metrics()
+
+		pre := e.fs.Stats()
+		preM := db.Metrics()
+		rgen := workload.New(workload.Config{Seed: 2, KeySpace: int64(n * 3 / 4), Mix: workload.MixC})
+		for i := 0; i < nLookups; i++ {
+			if _, err := db.Get(rgen.Next().Key); err != nil && !errors.Is(err, core.ErrNotFound) {
+				return nil, err
+			}
+		}
+		lookIO := e.fs.Stats().Sub(pre)
+		lookM := db.Metrics().Sub(preM)
+
+		cfg := tuning.Config{
+			SizeRatio:      T,
+			Layout:         tuning.LayoutLeveling,
+			MemoryBytes:    int64(db.FilterMemoryBytes()) + 64<<10,
+			BufferFraction: float64(64<<10) / float64(int64(db.FilterMemoryBytes())+64<<10),
+		}
+		model := tuning.Evaluate(cfg, sys)
+
+		levels := 0
+		for _, l := range db.TreeStats().Levels {
+			if l.Files > 0 {
+				levels++
+			}
+		}
+		t.AddRow(
+			fmt.Sprint(T),
+			fmt.Sprint(levels),
+			f2(m.WriteAmplification()),
+			f2(model.Write*sys.EntriesPerPage()), // model write rescaled to per-entry page writes
+			f2(float64(lookM.RunsProbed)/float64(nLookups)),
+			f2(model.PointExist),
+			simMillis(ingest.SimulatedNs),
+			f2(float64(lookIO.SimulatedNs)/1e3/float64(nLookups)),
+		)
+		db.Close()
+	}
+	return t, nil
+}

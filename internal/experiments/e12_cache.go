@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"lsmlab/internal/core"
+	"lsmlab/internal/workload"
+)
+
+// E12CacheLeaper measures hot-block eviction by compactions and the
+// Leaper-style fix: zipfian point reads run in phases interleaved with
+// ingestion that forces compactions. When a compaction replaces the
+// files whose blocks were hot, the cache goes cold; prefetching the
+// compaction outputs restores the hit rate (tutorial §2.1.3, [128]).
+func E12CacheLeaper(s Scale) (*Table, error) {
+	t := &Table{
+		ID:    "E12",
+		Title: "Block cache vs. compactions (Leaper prefetch)",
+		Claim: "compactions evict hot blocks; prefetching compaction outputs restores the cache hit rate (§2.1.3)",
+		Columns: []string{"prefetch", "hit_rate", "read_pages_per_get", "read_sim_us_per_get",
+			"compactions"},
+	}
+	n := s.N(80_000)
+	nReadsPerPhase := s.N(4_000)
+	const phases = 6
+
+	for _, prefetch := range []bool{false, true} {
+		e := newEnv(func(o *core.Options) {
+			o.CacheBytes = 1 << 20
+			o.PrefetchAfterCompaction = prefetch
+		})
+		db, err := e.open()
+		if err != nil {
+			return nil, err
+		}
+		// Preload.
+		gen := workload.New(workload.Config{
+			Seed: 1, KeySpace: int64(n), Mix: workload.MixLoad, ValueLen: 64,
+		})
+		for i := 0; i < n; i++ {
+			op := gen.Next()
+			if err := db.Put(op.Key, op.Value); err != nil {
+				return nil, err
+			}
+		}
+		if err := db.Flush(); err != nil {
+			return nil, err
+		}
+		db.WaitIdle()
+
+		// Interleave zipfian read phases with write bursts that trigger
+		// compactions of exactly the hot files.
+		rgen := workload.New(workload.Config{
+			Seed: 2, KeySpace: int64(n), Distribution: workload.Zipfian, Mix: workload.MixC,
+		})
+		wgen := workload.New(workload.Config{
+			Seed: 3, KeySpace: int64(n), Distribution: workload.Zipfian,
+			Mix: workload.MixLoad, ValueLen: 64,
+		})
+		var preIO = e.fs.Stats()
+		var preM = db.Metrics()
+		totalReads := 0
+		for p := 0; p < phases; p++ {
+			for i := 0; i < nReadsPerPhase; i++ {
+				if _, err := db.Get(rgen.Next().Key); err != nil && !errors.Is(err, core.ErrNotFound) {
+					return nil, err
+				}
+				totalReads++
+			}
+			// Write burst over the same hot keys → compactions rewrite
+			// the hot files and evict their cached blocks.
+			for i := 0; i < n/8; i++ {
+				op := wgen.Next()
+				if err := db.Put(op.Key, op.Value); err != nil {
+					return nil, err
+				}
+			}
+			db.WaitIdle()
+		}
+		io := e.fs.Stats().Sub(preIO)
+		m := db.Metrics().Sub(preM)
+		hitRate := 0.0
+		if hm := m.CacheHits + m.CacheMisses; hm > 0 {
+			hitRate = float64(m.CacheHits) / float64(hm)
+		}
+		t.AddRow(
+			fmt.Sprint(prefetch),
+			f2(hitRate),
+			f2(float64(io.PagesRead)/float64(totalReads)),
+			f2(float64(io.SimulatedNs)/1e3/float64(totalReads)),
+			fmt.Sprint(m.Compactions),
+		)
+		db.Close()
+	}
+	return t, nil
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lsmlab/internal/partition"
+	"lsmlab/internal/workload"
+)
+
+// E13Partitioning completes the E8 story: a single LSM-tree's
+// compactions chain through adjacent levels and cannot parallelize, so
+// systems partition the key space into independent trees (PebblesDB's
+// fragments, Nova-LSM's shards; tutorial §2.2.2). With per-partition
+// compaction pipelines and enough workers, ingestion and the
+// post-ingest drain both scale with the partition count.
+func E13Partitioning(s Scale) (*Table, error) {
+	t := &Table{
+		ID:    "E13",
+		Title: "Key-space partitioning (PebblesDB/Nova-LSM style)",
+		Claim: "partitioning the key space reduces compaction interference and scales background parallelism (§2.2.2)",
+		Columns: []string{"partitions", "ingest_wall_ms", "drain_wall_ms", "total_wall_ms",
+			"stall_ms", "compactions"},
+	}
+	n := s.N(100_000)
+	const writerThreads = 2
+
+	for _, parts := range []int{1, 2, 4, 8} {
+		fs := newEnv(nil) // only for option shaping; each store re-specifies FS
+		opts := fs.opts
+		opts.Workers = 2 // per partition: one flush + one compaction thread
+		opts.MaxImmutableBuffers = 2
+		opts.BufferBytes = 32 << 10
+		opts.CompactionBandwidthBytesPerSec = int64(n) * 40
+		opts.StallL0Runs = 0
+
+		store, err := partition.Open(opts, parts)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		errCh := make(chan error, writerThreads)
+		var wg sync.WaitGroup
+		for w := 0; w < writerThreads; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				gen := workload.New(workload.Config{
+					Seed: int64(w + 1), KeySpace: int64(n), Mix: workload.MixLoad, ValueLen: 64,
+				})
+				for i := 0; i < n/writerThreads; i++ {
+					op := gen.Next()
+					if err := store.Put(op.Key, op.Value); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return nil, err
+		default:
+		}
+		ingestWall := time.Since(start)
+		if err := store.Flush(); err != nil {
+			return nil, err
+		}
+		store.WaitIdle()
+		total := time.Since(start)
+		m := store.Metrics()
+		t.AddRow(
+			fmt.Sprint(parts),
+			fmt.Sprintf("%.1f", float64(ingestWall.Nanoseconds())/1e6),
+			fmt.Sprintf("%.1f", float64((total-ingestWall).Nanoseconds())/1e6),
+			fmt.Sprintf("%.1f", float64(total.Nanoseconds())/1e6),
+			fmt.Sprintf("%.1f", float64(m.StallNs)/1e6),
+			fmt.Sprint(m.Compactions),
+		)
+		store.Close()
+	}
+	return t, nil
+}

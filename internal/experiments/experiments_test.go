@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// smallScale keeps the smoke tests fast; shapes are asserted at full
+// scale by the bench harness and EXPERIMENTS.md.
+const smallScale = Scale(0.05)
+
+func TestAllExperimentsProduceTables(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tbl, err := e.Run(smallScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tbl.ID != e.ID {
+				t.Errorf("table id %q", tbl.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for i, r := range tbl.Rows {
+				if len(r) != len(tbl.Columns) {
+					t.Errorf("row %d has %d cells, want %d", i, len(r), len(tbl.Columns))
+				}
+			}
+			var buf bytes.Buffer
+			tbl.Fprint(&buf)
+			if !strings.Contains(buf.String(), e.ID) || !strings.Contains(buf.String(), "claim:") {
+				t.Error("rendered table missing header")
+			}
+		})
+	}
+}
+
+func TestRunByID(t *testing.T) {
+	tbl, err := Run("e10", smallScale) // case-insensitive
+	if err != nil || tbl.ID != "E10" {
+		t.Fatalf("%v %v", tbl, err)
+	}
+	if _, err := Run("E99", smallScale); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestScaleFloors(t *testing.T) {
+	if Scale(0.0001).N(1000) != 100 {
+		t.Error("scale floor")
+	}
+	if Scale(2).N(1000) != 2000 {
+		t.Error("scale up")
+	}
+}
+
+// cell parses a table cell as a float.
+func cell(t *testing.T, tbl *Table, row int, col string) float64 {
+	t.Helper()
+	for i, c := range tbl.Columns {
+		if c == col {
+			v, err := strconv.ParseFloat(tbl.Rows[row][i], 64)
+			if err != nil {
+				t.Fatalf("cell %s[%d] = %q: %v", col, row, tbl.Rows[row][i], err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no column %q", col)
+	return 0
+}
+
+// findRow locates the row whose first cell equals name.
+func findRow(t *testing.T, tbl *Table, name string) int {
+	t.Helper()
+	for i, r := range tbl.Rows {
+		if r[0] == name {
+			return i
+		}
+	}
+	t.Fatalf("no row %q in %s", name, tbl.ID)
+	return -1
+}
+
+// TestE1Shape verifies the headline tradeoff at a moderate scale:
+// tiering writes less and reads worse than leveling.
+func TestE1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moderate-scale shape test")
+	}
+	tbl, err := E1CompactionPolicies(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lev, tier := findRow(t, tbl, "leveling"), findRow(t, tbl, "tiering(4)")
+	if wa := cell(t, tbl, tier, "write_amp"); wa >= cell(t, tbl, lev, "write_amp") {
+		t.Errorf("tiering write amp %.2f should beat leveling %.2f",
+			wa, cell(t, tbl, lev, "write_amp"))
+	}
+	// Short scans must probe more runs under tiering; compare simulated
+	// scan cost, which is robust to background-scheduling interleavings
+	// (final run counts are not deterministic).
+	if sc := cell(t, tbl, tier, "scan_sim_us"); sc <= cell(t, tbl, lev, "scan_sim_us") {
+		t.Errorf("tiering scan cost %.1f should exceed leveling %.1f",
+			sc, cell(t, tbl, lev, "scan_sim_us"))
+	}
+}
+
+// TestE3Shape: filters cut zero-result I/O; Monkey beats (or matches)
+// the uniform allocation with the closest achieved filter memory.
+func TestE3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moderate-scale shape test")
+	}
+	tbl, err := E3PointFilters(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := findRow(t, tbl, "none")
+	u5 := findRow(t, tbl, "uniform-5")
+	monkey := findRow(t, tbl, "monkey")
+	if cell(t, tbl, u5, "zero_pages_per_lookup") >= cell(t, tbl, none, "zero_pages_per_lookup") {
+		t.Error("filters must cut zero-result I/O")
+	}
+	// Fair comparison: the uniform row with achieved memory closest to
+	// monkey's.
+	mMem := cell(t, tbl, monkey, "filter_mem_KiB")
+	best, bestDiff := -1, 0.0
+	for _, name := range []string{"uniform-2", "uniform-5", "uniform-10"} {
+		r := findRow(t, tbl, name)
+		d := cell(t, tbl, r, "filter_mem_KiB") - mMem
+		if d < 0 {
+			d = -d
+		}
+		if best < 0 || d < bestDiff {
+			best, bestDiff = r, d
+		}
+	}
+	mp, up := cell(t, tbl, monkey, "zero_pages_per_lookup"), cell(t, tbl, best, "zero_pages_per_lookup")
+	if mp > up*1.05+0.02 {
+		t.Errorf("monkey (%.3f pages @%0.fKiB) should not lose to uniform (%.3f pages @%.0fKiB)",
+			mp, mMem, up, cell(t, tbl, best, "filter_mem_KiB"))
+	}
+}
+
+// TestE5Shape: separation cuts write amp for large values.
+func TestE5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moderate-scale shape test")
+	}
+	tbl, err := E5KVSeparation(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the 4096-byte rows.
+	var base, wisc int
+	found := 0
+	for i, r := range tbl.Rows {
+		if r[0] == "4096" {
+			if r[1] == "baseline" {
+				base = i
+			} else {
+				wisc = i
+			}
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatal("missing 4096 rows")
+	}
+	bwa, wwa := cell(t, tbl, base, "write_amp"), cell(t, tbl, wisc, "write_amp")
+	if wwa >= bwa {
+		t.Errorf("wisckey write amp %.2f must beat baseline %.2f at 4 KiB values", wwa, bwa)
+	}
+}
+
+// TestE11Shape: a tighter persistence threshold leaves fewer, younger
+// tombstones.
+func TestE11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moderate-scale shape test")
+	}
+	tbl, err := E11DeletePersistence(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := findRow(t, tbl, "off")
+	tight := findRow(t, tbl, "2000")
+	if cell(t, tbl, tight, "oldest_tombstone_age_ops") > cell(t, tbl, off, "oldest_tombstone_age_ops") {
+		t.Error("threshold must bound tombstone age")
+	}
+	if cell(t, tbl, tight, "age_triggered") == 0 {
+		t.Error("tight threshold must trigger age compactions")
+	}
+}

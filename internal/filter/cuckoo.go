@@ -1,0 +1,128 @@
+package filter
+
+import (
+	"lsmlab/internal/bloom"
+)
+
+// Cuckoo is a cuckoo filter (Fan et al., CoNEXT 2014): buckets of four
+// fingerprint slots with two candidate buckets per key. Unlike a Bloom
+// filter it supports deletion, which is what lets Chucky maintain a
+// single updatable filter-index across the whole LSM-tree instead of
+// rebuilding per-run filters on every compaction (tutorial §2.1.3,
+// [35]).
+type Cuckoo struct {
+	buckets  [][4]uint16
+	nBuckets uint64
+	count    int
+	maxKicks int
+}
+
+// NewCuckoo sizes a filter for n keys (load factor ~0.84 with 16-bit
+// fingerprints).
+func NewCuckoo(n int) *Cuckoo {
+	nBuckets := uint64(1)
+	for nBuckets*4*84/100 < uint64(n) {
+		nBuckets *= 2
+	}
+	return &Cuckoo{
+		buckets:  make([][4]uint16, nBuckets),
+		nBuckets: nBuckets,
+		maxKicks: 500,
+	}
+}
+
+// fingerprint derives a non-zero 16-bit fingerprint.
+func fingerprint(h uint64) uint16 {
+	fp := uint16(h >> 48)
+	if fp == 0 {
+		fp = 1
+	}
+	return fp
+}
+
+func (c *Cuckoo) indices(key []byte) (uint64, uint64, uint16) {
+	h := bloom.Hash64(key)
+	fp := fingerprint(h)
+	i1 := h & (c.nBuckets - 1)
+	i2 := (i1 ^ bloom.Rehash(uint64(fp), 0)) & (c.nBuckets - 1)
+	return i1, i2, fp
+}
+
+func (c *Cuckoo) altIndex(i uint64, fp uint16) uint64 {
+	return (i ^ bloom.Rehash(uint64(fp), 0)) & (c.nBuckets - 1)
+}
+
+func (c *Cuckoo) insertAt(i uint64, fp uint16) bool {
+	b := &c.buckets[i]
+	for s := range b {
+		if b[s] == 0 {
+			b[s] = fp
+			return true
+		}
+	}
+	return false
+}
+
+// Add inserts a key; it returns false if the filter is saturated (the
+// caller should rebuild larger).
+func (c *Cuckoo) Add(key []byte) bool {
+	i1, i2, fp := c.indices(key)
+	if c.insertAt(i1, fp) || c.insertAt(i2, fp) {
+		c.count++
+		return true
+	}
+	// Kick a random-ish victim around until something sticks.
+	i := i1
+	for kick := 0; kick < c.maxKicks; kick++ {
+		slot := kick & 3
+		victim := c.buckets[i][slot]
+		c.buckets[i][slot] = fp
+		fp = victim
+		i = c.altIndex(i, fp)
+		if c.insertAt(i, fp) {
+			c.count++
+			return true
+		}
+	}
+	return false
+}
+
+// Delete removes one copy of a key's fingerprint, enabling the
+// updatable-index use.
+func (c *Cuckoo) Delete(key []byte) bool {
+	i1, i2, fp := c.indices(key)
+	for _, i := range []uint64{i1, i2} {
+		b := &c.buckets[i]
+		for s := range b {
+			if b[s] == fp {
+				b[s] = 0
+				c.count--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MayContain implements PointFilter.
+func (c *Cuckoo) MayContain(key []byte) bool {
+	i1, i2, fp := c.indices(key)
+	for _, i := range []uint64{i1, i2} {
+		b := &c.buckets[i]
+		for s := range b {
+			if b[s] == fp {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Count returns the number of stored fingerprints.
+func (c *Cuckoo) Count() int { return c.count }
+
+// SizeBytes implements PointFilter.
+func (c *Cuckoo) SizeBytes() int { return int(c.nBuckets) * 4 * 2 }
+
+// Name implements PointFilter.
+func (c *Cuckoo) Name() string { return "cuckoo" }

@@ -1,0 +1,29 @@
+// Package filter implements the point- and range-query filters of
+// tutorial §2.1.3 beyond the plain Bloom filter: a cuckoo filter
+// (deletable, Chucky-style), a prefix Bloom filter (long ranges), a
+// SuRF-lite succinct-prefix filter (variable-length prefixes, good for
+// long ranges), and a Rosetta-style hierarchy of dyadic Bloom filters
+// (short ranges).
+//
+// All filters answer conservatively: "false" proves absence, "true"
+// means the data must be read. Experiment E4 measures the I/O each
+// filter saves for short and long range scans at equal memory.
+package filter
+
+// PointFilter answers approximate point-membership queries.
+type PointFilter interface {
+	// MayContain reports whether key may be present; false is definite.
+	MayContain(key []byte) bool
+	// SizeBytes is the filter's memory footprint.
+	SizeBytes() int
+	// Name identifies the filter in experiment tables.
+	Name() string
+}
+
+// RangeFilter answers approximate range-emptiness queries.
+type RangeFilter interface {
+	PointFilter
+	// MayContainRange reports whether any key in [start, end) may be
+	// present; false is definite.
+	MayContainRange(start, end []byte) bool
+}

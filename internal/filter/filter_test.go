@@ -1,0 +1,377 @@
+package filter
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// sortedKeys returns n sorted 8-byte keys with the given stride between
+// them (stride > 1 leaves gaps for emptiness queries).
+func sortedKeys(n int, stride uint64) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		k := make([]byte, 8)
+		binary.BigEndian.PutUint64(k, uint64(i)*stride+stride)
+		keys[i] = k
+	}
+	return keys
+}
+
+func key64(v uint64) []byte {
+	k := make([]byte, 8)
+	binary.BigEndian.PutUint64(k, v)
+	return k
+}
+
+// ---------------------------------------------------------------------
+// Cuckoo
+
+func TestCuckooNoFalseNegatives(t *testing.T) {
+	c := NewCuckoo(10000)
+	keys := sortedKeys(10000, 7)
+	for _, k := range keys {
+		if !c.Add(k) {
+			t.Fatal("filter saturated unexpectedly")
+		}
+	}
+	for _, k := range keys {
+		if !c.MayContain(k) {
+			t.Fatalf("false negative for %x", k)
+		}
+	}
+	if c.Count() != 10000 {
+		t.Errorf("count %d", c.Count())
+	}
+}
+
+func TestCuckooFalsePositiveRate(t *testing.T) {
+	c := NewCuckoo(10000)
+	for _, k := range sortedKeys(10000, 2) {
+		c.Add(k)
+	}
+	fp := 0
+	for i := 0; i < 10000; i++ {
+		k := key64(uint64(i)*2 + 1_000_000_001) // odd keys: absent
+		if c.MayContain(k) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / 10000; rate > 0.01 {
+		t.Errorf("fp rate %.4f too high for 16-bit fingerprints", rate)
+	}
+}
+
+func TestCuckooDelete(t *testing.T) {
+	c := NewCuckoo(100)
+	k := []byte("target")
+	c.Add(k)
+	if !c.MayContain(k) {
+		t.Fatal("added key missing")
+	}
+	if !c.Delete(k) {
+		t.Fatal("delete failed")
+	}
+	if c.MayContain(k) {
+		t.Error("deleted key still present")
+	}
+	if c.Delete(k) {
+		t.Error("double delete succeeded")
+	}
+	if c.Count() != 0 {
+		t.Errorf("count %d", c.Count())
+	}
+}
+
+func TestCuckooUpdatableAcrossCompactions(t *testing.T) {
+	// The Chucky use case: one filter updated as keys move, instead of
+	// per-run rebuilds.
+	c := NewCuckoo(1000)
+	for i := 0; i < 500; i++ {
+		c.Add(key64(uint64(i)))
+	}
+	// "Compaction" deletes half and re-adds them (moved runs).
+	for i := 0; i < 250; i++ {
+		if !c.Delete(key64(uint64(i))) {
+			t.Fatal("delete")
+		}
+		c.Add(key64(uint64(i)))
+	}
+	for i := 0; i < 500; i++ {
+		if !c.MayContain(key64(uint64(i))) {
+			t.Fatalf("key %d lost across update", i)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// PrefixBloom
+
+func TestPrefixBloomPoint(t *testing.T) {
+	keys := [][]byte{[]byte("user1-a"), []byte("user1-b"), []byte("user2-x")}
+	p := NewPrefixBloom(keys, 5, 10)
+	if !p.MayContain([]byte("user1-zzz")) {
+		t.Error("shared prefix must answer maybe")
+	}
+	if p.MayContain([]byte("user9-a")) {
+		t.Error("absent prefix should usually answer no")
+	}
+}
+
+func TestPrefixBloomRangeWithinPrefix(t *testing.T) {
+	keys := [][]byte{[]byte("user1-a"), []byte("user3-x")}
+	p := NewPrefixBloom(keys, 5, 10)
+	if !p.MayContainRange([]byte("user1-a"), []byte("user1-z")) {
+		t.Error("range within live prefix")
+	}
+	if p.MayContainRange([]byte("user2-a"), []byte("user2-z")) {
+		t.Error("range within dead prefix should be excluded")
+	}
+}
+
+func TestPrefixBloomRangeAcrossPrefixes(t *testing.T) {
+	keys := sortedKeys(100, 1<<40) // spread across distinct 5-byte prefixes
+	p := NewPrefixBloom(keys, 5, 10)
+	// A short range inside a gap stays within one (dead) 5-byte prefix
+	// block, so the filter can exclude it.
+	lo := key64(5*(1<<40) + (1 << 30))
+	hi := key64(5*(1<<40) + (1 << 30) + 1000)
+	if p.MayContainRange(lo, hi) {
+		t.Error("small dead range spanning one prefix")
+	}
+	// A giant range must conservatively answer maybe (too many prefixes).
+	if !p.MayContainRange(key64(0), key64(^uint64(0))) {
+		t.Error("unfilterable range must answer maybe")
+	}
+}
+
+// ---------------------------------------------------------------------
+// SuRF
+
+func TestSuRFNoFalseNegativesPoint(t *testing.T) {
+	keys := sortedKeys(5000, 13)
+	s := NewSuRF(keys, 0)
+	for _, k := range keys {
+		if !s.MayContain(k) {
+			t.Fatalf("false negative %x", k)
+		}
+	}
+}
+
+func TestSuRFRangeNoFalseNegatives(t *testing.T) {
+	keys := sortedKeys(2000, 17)
+	s := NewSuRF(keys, 0)
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		i := r.Intn(len(keys))
+		width := uint64(r.Intn(100) + 1)
+		lo := binary.BigEndian.Uint64(keys[i])
+		hi := lo + width
+		// The range [lo, hi) contains keys[i], so it must answer maybe.
+		if !s.MayContainRange(key64(lo), key64(hi)) {
+			t.Fatalf("false negative range [%d, %d)", lo, hi)
+		}
+	}
+}
+
+func TestSuRFRangeTrueNegatives(t *testing.T) {
+	// Keys far apart: gaps should mostly be excluded.
+	keys := sortedKeys(1000, 1<<32)
+	s := NewSuRF(keys, 2)
+	excluded := 0
+	for i := 0; i < 1000; i++ {
+		lo := uint64(i)*(1<<32) + (1 << 20) // inside the gap after key i
+		if !s.MayContainRange(key64(lo), key64(lo+1000)) {
+			excluded++
+		}
+	}
+	if excluded < 900 {
+		t.Errorf("SuRF excluded only %d of 1000 dead ranges", excluded)
+	}
+}
+
+func TestSuRFSuffixBytesReduceFalsePositives(t *testing.T) {
+	// Keys with an ordered 8-byte part plus an 8-byte tail, so the
+	// distinguishing point leaves room for suffix bytes to extend.
+	mk := func(i uint64, tail byte) []byte {
+		k := make([]byte, 16)
+		binary.BigEndian.PutUint64(k, i*64)
+		for j := 8; j < 16; j++ {
+			k[j] = tail
+		}
+		return k
+	}
+	var keys [][]byte
+	for i := uint64(0); i < 3000; i++ {
+		keys = append(keys, mk(i, 0xaa))
+	}
+	short := NewSuRF(keys, 0)
+	long := NewSuRF(keys, 4)
+	if long.SizeBytes() <= short.SizeBytes() {
+		t.Errorf("suffix bytes must cost space: %d vs %d", long.SizeBytes(), short.SizeBytes())
+	}
+	fpShort, fpLong := 0, 0
+	for i := uint64(0); i < 3000; i++ {
+		// Same ordered part as a stored key but a different tail: the
+		// short filter cannot tell them apart, the long one mostly can.
+		probe := mk(i, 0x11)
+		if short.MayContain(probe) {
+			fpShort++
+		}
+		if long.MayContain(probe) {
+			fpLong++
+		}
+	}
+	if fpLong >= fpShort {
+		t.Errorf("suffix bytes should reduce FPs: short=%d long=%d", fpShort, fpLong)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Rosetta
+
+func TestRosettaPointNoFalseNegatives(t *testing.T) {
+	keys := sortedKeys(2000, 11)
+	r := NewRosetta(keys, 10)
+	for _, k := range keys {
+		if !r.MayContain(k) {
+			t.Fatalf("false negative %x", k)
+		}
+	}
+}
+
+func TestRosettaRangeNoFalseNegatives(t *testing.T) {
+	keys := sortedKeys(500, 101)
+	ro := NewRosetta(keys, 8)
+	rnd := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 500; trial++ {
+		i := rnd.Intn(len(keys))
+		lo := binary.BigEndian.Uint64(keys[i])
+		start := lo - uint64(rnd.Intn(50))
+		end := lo + uint64(rnd.Intn(50)) + 1
+		if !ro.MayContainRange(key64(start), key64(end)) {
+			t.Fatalf("false negative range around key %d", i)
+		}
+	}
+}
+
+func TestRosettaShortRangeTrueNegatives(t *testing.T) {
+	keys := sortedKeys(1000, 1000)
+	ro := NewRosetta(keys, 12)
+	excluded := 0
+	for i := 0; i < 1000; i++ {
+		lo := uint64(i)*1000 + 300 // inside a gap
+		if !ro.MayContainRange(key64(lo), key64(lo+16)) {
+			excluded++
+		}
+	}
+	if excluded < 950 {
+		t.Errorf("rosetta excluded only %d of 1000 dead short ranges", excluded)
+	}
+}
+
+func TestRosettaEmptyAndDegenerateRanges(t *testing.T) {
+	ro := NewRosetta(sortedKeys(10, 5), 10)
+	if ro.MayContainRange(key64(100), key64(100)) {
+		t.Error("empty range")
+	}
+	if ro.MayContainRange(key64(200), key64(100)) {
+		t.Error("inverted range")
+	}
+	if ro.MayContainRange(key64(0), key64(0)) {
+		t.Error("zero-width range at origin")
+	}
+	if !ro.MayContainRange(key64(0), nil) {
+		t.Error("unbounded range over non-empty set")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Comparative behaviour (the shape E4 expects)
+
+func TestShortRangesFavourRosettaOverPrefix(t *testing.T) {
+	// Keys dense at stride 64; short dead ranges of width 16 inside gaps.
+	keys := sortedKeys(2000, 64)
+	bits := 14.0
+	ro := NewRosetta(keys, bits)
+	pb := NewPrefixBloom(keys, 7, bits*8) // 7-byte prefix ≈ 64-wide blocks
+
+	roFP, pbFP := 0, 0
+	for i := 0; i < 2000; i++ {
+		lo := uint64(i)*64 + 80 // in the gap between keys (stride 64, offset 80 mod...)
+		if lo%64 == 0 {
+			lo++
+		}
+		start, end := key64(lo+8), key64(lo+24)
+		if ro.MayContainRange(start, end) {
+			roFP++
+		}
+		if pb.MayContainRange(start, end) {
+			pbFP++
+		}
+	}
+	t.Logf("short dead ranges answered maybe: rosetta=%d prefix=%d", roFP, pbFP)
+	if roFP >= pbFP+200 {
+		t.Errorf("rosetta (%d) should not be far worse than prefix bloom (%d) on short ranges", roFP, pbFP)
+	}
+}
+
+func TestAllFiltersImplementInterfaces(t *testing.T) {
+	keys := sortedKeys(100, 10)
+	var points []PointFilter
+	c := NewCuckoo(100)
+	for _, k := range keys {
+		c.Add(k)
+	}
+	points = append(points, c, NewPrefixBloom(keys, 4, 10), NewSuRF(keys, 1), NewRosetta(keys, 10))
+	for _, p := range points {
+		if p.SizeBytes() <= 0 {
+			t.Errorf("%s: zero size", p.Name())
+		}
+		if p.Name() == "" {
+			t.Error("unnamed filter")
+		}
+	}
+	var ranges []RangeFilter = []RangeFilter{
+		NewPrefixBloom(keys, 4, 10), NewSuRF(keys, 1), NewRosetta(keys, 10),
+	}
+	for _, rf := range ranges {
+		if !rf.MayContainRange(keys[0], nil) {
+			t.Errorf("%s: full range must be maybe", rf.Name())
+		}
+	}
+}
+
+func TestIncrementBytes(t *testing.T) {
+	b := []byte{0x00, 0xff}
+	if !incrementBytes(b) || b[0] != 0x01 || b[1] != 0x00 {
+		t.Errorf("carry: %v", b)
+	}
+	b = []byte{0xff, 0xff}
+	if incrementBytes(b) {
+		t.Error("overflow must report false")
+	}
+}
+
+func TestSuRFDistinguishingPrefixes(t *testing.T) {
+	keys := [][]byte{[]byte("apple"), []byte("application"), []byte("banana")}
+	sort.Slice(keys, func(i, j int) bool { return string(keys[i]) < string(keys[j]) })
+	s := NewSuRF(keys, 0)
+	for _, k := range keys {
+		if !s.MayContain(k) {
+			t.Errorf("false negative %q", k)
+		}
+	}
+	if s.MayContain([]byte("cherry")) {
+		t.Error("cherry should be excluded")
+	}
+	// "appx" shares only "app" with stored prefixes; "apple"/"applicat"
+	// prefixes are longer, so it should be excluded.
+	if s.MayContain([]byte("apzzz")) {
+		t.Error("apzzz should be excluded")
+	}
+	if s.SizeBytes() <= 0 {
+		t.Error("size must be positive")
+	}
+}

@@ -1,0 +1,111 @@
+package filter
+
+import (
+	"bytes"
+
+	"lsmlab/internal/bloom"
+)
+
+// PrefixBloom filters on fixed-length key prefixes (RocksDB's prefix
+// Bloom filter, tutorial §2.1.3 [103]). A range query whose endpoints
+// share a prefix of at least the configured length can be answered by a
+// single prefix probe; longer ranges spanning several prefixes probe
+// each of them, and ranges spanning too many prefixes cannot be
+// filtered at all — which is why prefix filters suit long range scans
+// within one logical partition (e.g. all events of one user) rather
+// than arbitrary ranges.
+type PrefixBloom struct {
+	prefixLen int
+	filter    bloom.Filter
+	// maxProbes caps how many prefixes a range query enumerates before
+	// giving up and answering "maybe".
+	maxProbes int
+}
+
+// NewPrefixBloom builds a filter over the prefixes of the given sorted
+// keys with the given bits per distinct prefix.
+func NewPrefixBloom(keys [][]byte, prefixLen int, bitsPerKey float64) *PrefixBloom {
+	if prefixLen < 1 {
+		prefixLen = 1
+	}
+	var hashes []uint64
+	var last []byte
+	for _, k := range keys {
+		p := prefixOf(k, prefixLen)
+		if last != nil && bytes.Equal(p, last) {
+			continue
+		}
+		last = append(last[:0], p...)
+		hashes = append(hashes, bloom.Hash64(p))
+	}
+	return &PrefixBloom{
+		prefixLen: prefixLen,
+		filter:    bloom.New(hashes, bitsPerKey),
+		maxProbes: 16,
+	}
+}
+
+func prefixOf(k []byte, n int) []byte {
+	if len(k) <= n {
+		return k
+	}
+	return k[:n]
+}
+
+// MayContain implements PointFilter (point probes use the key's
+// prefix, so false positives include any key sharing the prefix).
+func (p *PrefixBloom) MayContain(key []byte) bool {
+	return p.filter.MayContain(prefixOf(key, p.prefixLen))
+}
+
+// MayContainRange implements RangeFilter.
+func (p *PrefixBloom) MayContainRange(start, end []byte) bool {
+	lo := prefixOf(start, p.prefixLen)
+	// Ranges whose endpoints share the full prefix need one probe.
+	if len(start) >= p.prefixLen && len(end) >= p.prefixLen &&
+		bytes.Equal(lo, prefixOf(end, p.prefixLen)) {
+		return p.filter.MayContain(lo)
+	}
+	// Otherwise enumerate the prefixes covered by the range, if they
+	// are few and fixed-length integers can step through them.
+	if len(lo) != p.prefixLen {
+		return true // short keys: cannot enumerate
+	}
+	cur := append([]byte(nil), lo...)
+	for probes := 0; probes < p.maxProbes; probes++ {
+		// cur is the current prefix; any key with this prefix within
+		// [start,end) makes the range non-empty.
+		if p.filter.MayContain(cur) {
+			return true
+		}
+		if !incrementBytes(cur) {
+			return false // wrapped past the maximum prefix
+		}
+		// Stop once the prefix block lies entirely at or past end.
+		if end != nil && bytes.Compare(cur, prefixOf(end, p.prefixLen)) > 0 {
+			return false
+		}
+		if end != nil && bytes.Equal(cur, prefixOf(end, p.prefixLen)) && len(end) <= p.prefixLen {
+			return false // end is exclusive at a prefix boundary
+		}
+	}
+	return true // too many prefixes: cannot filter
+}
+
+// incrementBytes treats b as a big-endian integer and adds one,
+// reporting false on overflow.
+func incrementBytes(b []byte) bool {
+	for i := len(b) - 1; i >= 0; i-- {
+		b[i]++
+		if b[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SizeBytes implements PointFilter.
+func (p *PrefixBloom) SizeBytes() int { return len(p.filter) }
+
+// Name implements PointFilter.
+func (p *PrefixBloom) Name() string { return "prefix-bloom" }

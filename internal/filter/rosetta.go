@@ -1,0 +1,132 @@
+package filter
+
+import (
+	"encoding/binary"
+
+	"lsmlab/internal/bloom"
+)
+
+// rosettaBits is the key-domain width: keys are mapped to 64-bit
+// integers (their first 8 bytes, big-endian), and the filter maintains
+// one Bloom filter per prefix length.
+const rosettaBits = 64
+
+// Rosetta is a hierarchy of Bloom filters over dyadic ranges (Luo et
+// al., SIGMOD 2020; tutorial §2.1.3 [84]): level l stores the l-bit
+// prefixes of every key. A range query decomposes into O(log R) dyadic
+// intervals probed at their natural levels; every "maybe" is then
+// *doubted* — recursively re-probed at deeper levels down to the
+// leaves — so the false-positive rate of a short range approaches that
+// of a point query. This makes Rosetta the strongest filter for short
+// range scans, at the cost of storing every key once per level.
+type Rosetta struct {
+	levels []bloom.Filter // levels[l] holds (l+1)-bit prefixes
+	nBytes int
+}
+
+// keyTo64 maps a byte-string key to its 64-bit big-endian integer
+// representation (first 8 bytes, zero padded).
+func keyTo64(key []byte) uint64 {
+	var buf [8]byte
+	copy(buf[:], key)
+	return binary.BigEndian.Uint64(buf[:])
+}
+
+// NewRosetta builds the hierarchy over the given keys with bitsPerKey
+// Bloom bits per key per level.
+func NewRosetta(keys [][]byte, bitsPerKey float64) *Rosetta {
+	r := &Rosetta{levels: make([]bloom.Filter, rosettaBits)}
+	ints := make([]uint64, len(keys))
+	for i, k := range keys {
+		ints[i] = keyTo64(k)
+	}
+	hashes := make([]uint64, 0, len(ints))
+	for l := 0; l < rosettaBits; l++ {
+		shift := uint(rosettaBits - l - 1)
+		hashes = hashes[:0]
+		var last uint64
+		first := true
+		for _, v := range ints {
+			p := v >> shift
+			if !first && p == last {
+				continue
+			}
+			first, last = false, p
+			hashes = append(hashes, prefixHash(p, l))
+		}
+		r.levels[l] = bloom.New(hashes, bitsPerKey)
+		r.nBytes += len(r.levels[l])
+	}
+	return r
+}
+
+// prefixHash hashes a prefix value tagged with its level.
+func prefixHash(p uint64, level int) uint64 {
+	var buf [9]byte
+	binary.BigEndian.PutUint64(buf[:8], p)
+	buf[8] = byte(level)
+	return bloom.Hash64(buf[:])
+}
+
+// mayHavePrefix probes level l for prefix p.
+func (r *Rosetta) mayHavePrefix(p uint64, l int) bool {
+	return r.levels[l].MayContainHash(prefixHash(p, l))
+}
+
+// MayContain implements PointFilter (a leaf-level probe).
+func (r *Rosetta) MayContain(key []byte) bool {
+	return r.mayHavePrefix(keyTo64(key), rosettaBits-1)
+}
+
+// MayContainRange implements RangeFilter over [start, end).
+func (r *Rosetta) MayContainRange(start, end []byte) bool {
+	lo := keyTo64(start)
+	var hi uint64
+	if end == nil {
+		hi = ^uint64(0)
+	} else {
+		h := keyTo64(end)
+		if h == 0 {
+			return false // empty range
+		}
+		hi = h - 1 // inclusive upper bound
+	}
+	if lo > hi {
+		return false
+	}
+	return r.rangeMayContain(lo, hi, 0, 0)
+}
+
+// rangeMayContain recursively checks whether [lo, hi] intersects any
+// stored key, walking the implicit binary trie. node is the prefix
+// value at depth level (number of bits consumed).
+func (r *Rosetta) rangeMayContain(lo, hi uint64, node uint64, level int) bool {
+	// The node covers the value interval [nlo, nhi].
+	width := uint(rosettaBits - level)
+	var nlo, nhi uint64
+	if level == 0 {
+		nlo, nhi = 0, ^uint64(0)
+	} else {
+		nlo = node << width
+		nhi = nlo | (1<<width - 1)
+	}
+	if nhi < lo || nlo > hi {
+		return false // disjoint
+	}
+	if level > 0 && !r.mayHavePrefix(node, level-1) {
+		return false // filter proves the subtree empty
+	}
+	if level == rosettaBits {
+		return true // reached a leaf the filter could not refute
+	}
+	// Fully covered subtrees still recurse ("doubting") to push the
+	// false-positive decision down to leaf granularity, per Rosetta.
+	return r.rangeMayContain(lo, hi, node<<1, level+1) ||
+		r.rangeMayContain(lo, hi, node<<1|1, level+1)
+}
+
+// SizeBytes implements PointFilter.
+func (r *Rosetta) SizeBytes() int { return r.nBytes }
+
+// Name implements PointFilter.
+func (r *Rosetta) Name() string { return "rosetta" }

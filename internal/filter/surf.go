@@ -1,0 +1,106 @@
+package filter
+
+import (
+	"bytes"
+	"sort"
+)
+
+// SuRF is a succinct-prefix range filter in the spirit of SuRF (Zhang
+// et al., SIGMOD 2018; tutorial §2.1.3 [131,132]): it stores, for each
+// key, the shortest prefix that distinguishes it from its sorted
+// neighbors (plus an optional suffix byte to cut false positives). A
+// range may contain a key only if some stored prefix could extend into
+// the range.
+//
+// Substitution note (DESIGN.md): the original encodes the pruned trie
+// with LOUDS rank/select bitmaps; this implementation stores the same
+// pruned prefixes in a sorted array with binary search. The filtering
+// behaviour (which queries return maybe/no, variable-length prefixes,
+// space growing with distinguishing-prefix length) is preserved; only
+// the constant-factor space encoding differs.
+type SuRF struct {
+	prefixes [][]byte // sorted, deduplicated truncated keys
+	bytes    int
+}
+
+// NewSuRF builds the filter from sorted keys. suffixBytes extra bytes
+// are kept beyond the distinguishing point (SuRF-Hash/SuRF-Real style)
+// to reduce false positives at the cost of space.
+func NewSuRF(keys [][]byte, suffixBytes int) *SuRF {
+	s := &SuRF{}
+	for i, k := range keys {
+		// The distinguishing prefix is one byte past the longest common
+		// prefix with either neighbor.
+		lcp := 0
+		if i > 0 {
+			if n := commonPrefixLen(keys[i-1], k); n > lcp {
+				lcp = n
+			}
+		}
+		if i+1 < len(keys) {
+			if n := commonPrefixLen(keys[i+1], k); n > lcp {
+				lcp = n
+			}
+		}
+		cut := lcp + 1 + suffixBytes
+		if cut > len(k) {
+			cut = len(k)
+		}
+		p := append([]byte(nil), k[:cut]...)
+		if n := len(s.prefixes); n > 0 && bytes.Equal(s.prefixes[n-1], p) {
+			continue
+		}
+		s.prefixes = append(s.prefixes, p)
+		s.bytes += len(p) + 2 // prefix plus ~2 bytes of structural overhead
+	}
+	return s
+}
+
+func commonPrefixLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// MayContain implements PointFilter: the key may be present if some
+// stored prefix is a prefix of it.
+func (s *SuRF) MayContain(key []byte) bool {
+	// Candidates: the greatest prefix <= key. If it is a prefix of key,
+	// maybe; otherwise no.
+	i := sort.Search(len(s.prefixes), func(i int) bool {
+		return bytes.Compare(s.prefixes[i], key) > 0
+	})
+	if i > 0 && bytes.HasPrefix(key, s.prefixes[i-1]) {
+		return true
+	}
+	return false
+}
+
+// MayContainRange implements RangeFilter: [start, end) may hold a key
+// if (a) some stored prefix lies within [start, end), or (b) a stored
+// prefix is a proper prefix of start (its subtree straddles start).
+func (s *SuRF) MayContainRange(start, end []byte) bool {
+	i := sort.Search(len(s.prefixes), func(i int) bool {
+		return bytes.Compare(s.prefixes[i], start) >= 0
+	})
+	if i < len(s.prefixes) && (end == nil || bytes.Compare(s.prefixes[i], end) < 0) {
+		return true
+	}
+	if i > 0 && bytes.HasPrefix(start, s.prefixes[i-1]) {
+		// A key extending this prefix may sort at or after start.
+		return true
+	}
+	return false
+}
+
+// SizeBytes implements PointFilter.
+func (s *SuRF) SizeBytes() int { return s.bytes }
+
+// Name implements PointFilter.
+func (s *SuRF) Name() string { return "surf" }

@@ -1,0 +1,219 @@
+package kv
+
+import "container/heap"
+
+// Iterator is the uniform iteration interface over sorted runs of
+// internal keys. Implementations exist for memtables, SSTable blocks,
+// whole SSTables, level concatenations, and merged views.
+//
+// The positioning methods return true when the iterator lands on a valid
+// entry. Key and Value must only be called while the iterator is valid;
+// the returned slices are only guaranteed to remain stable until the next
+// positioning call.
+type Iterator interface {
+	// First positions at the first entry.
+	First() bool
+	// SeekGE positions at the first entry with internal key >= ikey.
+	SeekGE(ikey []byte) bool
+	// Next advances to the next entry.
+	Next() bool
+	// Valid reports whether the iterator is positioned at an entry.
+	Valid() bool
+	// Key returns the current internal key.
+	Key() []byte
+	// Value returns the current value.
+	Value() []byte
+	// Close releases resources. The iterator must not be used after.
+	Close() error
+}
+
+// EmptyIterator is an Iterator over nothing.
+type EmptyIterator struct{}
+
+// First implements Iterator.
+func (EmptyIterator) First() bool { return false }
+
+// SeekGE implements Iterator.
+func (EmptyIterator) SeekGE([]byte) bool { return false }
+
+// Next implements Iterator.
+func (EmptyIterator) Next() bool { return false }
+
+// Valid implements Iterator.
+func (EmptyIterator) Valid() bool { return false }
+
+// Key implements Iterator.
+func (EmptyIterator) Key() []byte { return nil }
+
+// Value implements Iterator.
+func (EmptyIterator) Value() []byte { return nil }
+
+// Close implements Iterator.
+func (EmptyIterator) Close() error { return nil }
+
+// SliceIterator iterates over an in-memory slice of entries that must
+// already be sorted by Compare. It is used by vector memtables, tests,
+// and compaction of buffered runs.
+type SliceIterator struct {
+	entries []Entry
+	idx     int
+}
+
+// NewSliceIterator returns an iterator over entries, which must be
+// sorted by Compare and must not be mutated while iterating.
+func NewSliceIterator(entries []Entry) *SliceIterator {
+	return &SliceIterator{entries: entries, idx: -1}
+}
+
+// First implements Iterator.
+func (it *SliceIterator) First() bool {
+	it.idx = 0
+	return it.Valid()
+}
+
+// SeekGE implements Iterator.
+func (it *SliceIterator) SeekGE(ikey []byte) bool {
+	lo, hi := 0, len(it.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if Compare(it.entries[mid].Key, ikey) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	it.idx = lo
+	return it.Valid()
+}
+
+// Next implements Iterator.
+func (it *SliceIterator) Next() bool {
+	if it.idx < len(it.entries) {
+		it.idx++
+	}
+	return it.Valid()
+}
+
+// Valid implements Iterator.
+func (it *SliceIterator) Valid() bool { return it.idx >= 0 && it.idx < len(it.entries) }
+
+// Key implements Iterator.
+func (it *SliceIterator) Key() []byte { return it.entries[it.idx].Key }
+
+// Value implements Iterator.
+func (it *SliceIterator) Value() []byte { return it.entries[it.idx].Value }
+
+// Close implements Iterator.
+func (it *SliceIterator) Close() error { return nil }
+
+// mergeItem is one source iterator inside a MergingIterator.
+type mergeItem struct {
+	iter Iterator
+	// index breaks ties deterministically (lower index = newer source),
+	// though with unique sequence numbers ties cannot occur in practice.
+	index int
+}
+
+type mergeHeap []*mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if c := Compare(h[i].iter.Key(), h[j].iter.Key()); c != 0 {
+		return c < 0
+	}
+	return h[i].index < h[j].index
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(*mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// MergingIterator merges any number of sorted iterators into one sorted
+// stream of internal keys. It performs a k-way merge with a binary heap;
+// every version of every key is surfaced (no de-duplication — that is
+// the job of compaction iterators and read paths, which also know about
+// snapshots and tombstones).
+type MergingIterator struct {
+	all  []*mergeItem
+	heap mergeHeap
+	err  error
+}
+
+// NewMergingIterator merges the given iterators. Order matters only for
+// tie-breaking: earlier iterators win ties (they should be the newer
+// sources).
+func NewMergingIterator(iters ...Iterator) *MergingIterator {
+	m := &MergingIterator{}
+	for i, it := range iters {
+		if it == nil {
+			continue
+		}
+		m.all = append(m.all, &mergeItem{iter: it, index: i})
+	}
+	return m
+}
+
+// First implements Iterator.
+func (m *MergingIterator) First() bool {
+	m.heap = m.heap[:0]
+	for _, item := range m.all {
+		if item.iter.First() {
+			m.heap = append(m.heap, item)
+		}
+	}
+	heap.Init(&m.heap)
+	return m.Valid()
+}
+
+// SeekGE implements Iterator.
+func (m *MergingIterator) SeekGE(ikey []byte) bool {
+	m.heap = m.heap[:0]
+	for _, item := range m.all {
+		if item.iter.SeekGE(ikey) {
+			m.heap = append(m.heap, item)
+		}
+	}
+	heap.Init(&m.heap)
+	return m.Valid()
+}
+
+// Next implements Iterator.
+func (m *MergingIterator) Next() bool {
+	if len(m.heap) == 0 {
+		return false
+	}
+	top := m.heap[0]
+	if top.iter.Next() {
+		heap.Fix(&m.heap, 0)
+	} else {
+		heap.Pop(&m.heap)
+	}
+	return m.Valid()
+}
+
+// Valid implements Iterator.
+func (m *MergingIterator) Valid() bool { return len(m.heap) > 0 }
+
+// Key implements Iterator.
+func (m *MergingIterator) Key() []byte { return m.heap[0].iter.Key() }
+
+// Value implements Iterator.
+func (m *MergingIterator) Value() []byte { return m.heap[0].iter.Value() }
+
+// Close closes every source iterator, returning the first error.
+func (m *MergingIterator) Close() error {
+	var first error
+	for _, item := range m.all {
+		if err := item.iter.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	m.all = nil
+	m.heap = nil
+	return first
+}

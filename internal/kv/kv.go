@@ -1,0 +1,232 @@
+// Package kv defines the entry model shared by every component of the
+// LSM engine: user keys, internal keys with sequence numbers and kinds,
+// tombstones, range tombstones, and the comparator that orders them.
+//
+// An internal key is the user key followed by an 8-byte trailer that
+// packs a 56-bit sequence number and an 8-bit kind. Internal keys for
+// the same user key order newest-first (higher sequence numbers sort
+// earlier), which lets point lookups stop at the first visible entry —
+// the LSM invariant that "the youngest run containing a key holds its
+// latest version" is realized by this ordering.
+package kv
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// SeqNum is a monotonically increasing sequence number assigned to every
+// write. Only the low 56 bits are usable; the top byte of the trailer
+// holds the kind.
+type SeqNum uint64
+
+// MaxSeqNum is the largest representable sequence number. Lookups use it
+// to mean "the latest visible version".
+const MaxSeqNum SeqNum = (1 << 56) - 1
+
+// Kind describes what an entry does to its user key.
+type Kind uint8
+
+const (
+	// KindDelete is a point tombstone: it logically invalidates every
+	// older version of the key.
+	KindDelete Kind = 0
+	// KindSingleDelete deletes exactly the most recent older version of
+	// the key; compaction drops the tombstone together with the first
+	// matching entry (RocksDB's SingleDelete, for unique-insert
+	// workloads).
+	KindSingleDelete Kind = 1
+	// KindRangeDelete marks the start of a range tombstone; the entry
+	// value holds the exclusive end key.
+	KindRangeDelete Kind = 2
+	// KindSet is a regular key-value insertion or update.
+	KindSet Kind = 3
+	// KindValuePointer is a WiscKey-style entry whose value is a pointer
+	// into the value log rather than the value itself.
+	KindValuePointer Kind = 4
+	// KindMerge is a read-modify-write operand (RocksDB merge operator,
+	// FASTER-style RMW; tutorial §2.2.6): the value is an operand that a
+	// user-supplied operator folds into the key's base value at read or
+	// compaction time.
+	KindMerge Kind = 5
+
+	// kindMax is the largest kind value; used in seek keys so that a
+	// SeekGE positions at the newest entry for a user key.
+	kindMax Kind = 255
+)
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDelete:
+		return "DELETE"
+	case KindSingleDelete:
+		return "SINGLEDELETE"
+	case KindRangeDelete:
+		return "RANGEDELETE"
+	case KindSet:
+		return "SET"
+	case KindValuePointer:
+		return "VALUEPOINTER"
+	case KindMerge:
+		return "MERGE"
+	default:
+		return fmt.Sprintf("KIND(%d)", uint8(k))
+	}
+}
+
+// TrailerLen is the length in bytes of the internal-key trailer.
+const TrailerLen = 8
+
+// MakeTrailer packs a sequence number and kind into a trailer value.
+func MakeTrailer(seq SeqNum, kind Kind) uint64 {
+	return uint64(seq)<<8 | uint64(kind)
+}
+
+// MakeKey builds an internal key from a user key, sequence number, and
+// kind. The returned slice is freshly allocated.
+func MakeKey(ukey []byte, seq SeqNum, kind Kind) []byte {
+	ik := make([]byte, len(ukey)+TrailerLen)
+	copy(ik, ukey)
+	binary.BigEndian.PutUint64(ik[len(ukey):], MakeTrailer(seq, kind))
+	return ik
+}
+
+// MakeSearchKey builds the internal key that SeekGE uses to find the
+// newest entry for ukey visible at snapshot seq.
+func MakeSearchKey(ukey []byte, seq SeqNum) []byte {
+	return MakeKey(ukey, seq, kindMax)
+}
+
+// UserKey returns the user-key portion of an internal key. The returned
+// slice aliases ikey.
+func UserKey(ikey []byte) []byte {
+	if len(ikey) < TrailerLen {
+		return nil
+	}
+	return ikey[:len(ikey)-TrailerLen]
+}
+
+// Trailer returns the packed trailer of an internal key.
+func Trailer(ikey []byte) uint64 {
+	if len(ikey) < TrailerLen {
+		return 0
+	}
+	return binary.BigEndian.Uint64(ikey[len(ikey)-TrailerLen:])
+}
+
+// ParseKey splits an internal key into its parts. The user key aliases
+// ikey. ok is false if ikey is too short to contain a trailer.
+func ParseKey(ikey []byte) (ukey []byte, seq SeqNum, kind Kind, ok bool) {
+	if len(ikey) < TrailerLen {
+		return nil, 0, 0, false
+	}
+	t := Trailer(ikey)
+	return ikey[:len(ikey)-TrailerLen], SeqNum(t >> 8), Kind(t & 0xff), true
+}
+
+// SeqOf returns the sequence number of an internal key.
+func SeqOf(ikey []byte) SeqNum { return SeqNum(Trailer(ikey) >> 8) }
+
+// KindOf returns the kind of an internal key.
+func KindOf(ikey []byte) Kind { return Kind(Trailer(ikey) & 0xff) }
+
+// Compare orders two internal keys: ascending by user key, then
+// descending by sequence number, then descending by kind. This is the
+// canonical LSM ordering — for one user key, newer entries come first.
+func Compare(a, b []byte) int {
+	au, bu := UserKey(a), UserKey(b)
+	if c := bytes.Compare(au, bu); c != 0 {
+		return c
+	}
+	at, bt := Trailer(a), Trailer(b)
+	switch {
+	case at > bt:
+		return -1
+	case at < bt:
+		return +1
+	default:
+		return 0
+	}
+}
+
+// CompareUser orders two user keys. It exists so that components depend
+// on one comparator definition; the engine orders user keys bytewise.
+func CompareUser(a, b []byte) int { return bytes.Compare(a, b) }
+
+// Visible reports whether an entry with sequence number seq is visible
+// to a reader at snapshot snap.
+func Visible(seq, snap SeqNum) bool { return seq <= snap }
+
+// Entry is an internal key together with its value. For KindRangeDelete
+// entries the value holds the exclusive end of the deleted range.
+type Entry struct {
+	Key   []byte // internal key
+	Value []byte
+}
+
+// Clone returns a deep copy of the entry.
+func (e Entry) Clone() Entry {
+	return Entry{Key: append([]byte(nil), e.Key...), Value: append([]byte(nil), e.Value...)}
+}
+
+// UserKey returns the entry's user key (aliasing e.Key).
+func (e Entry) UserKey() []byte { return UserKey(e.Key) }
+
+// Seq returns the entry's sequence number.
+func (e Entry) Seq() SeqNum { return SeqOf(e.Key) }
+
+// Kind returns the entry's kind.
+func (e Entry) Kind() Kind { return KindOf(e.Key) }
+
+// String formats the entry for debugging.
+func (e Entry) String() string {
+	return fmt.Sprintf("%q@%d#%s=%q", e.UserKey(), e.Seq(), e.Kind(), e.Value)
+}
+
+// RangeTombstone deletes every key in [Start, End) with sequence number
+// at most Seq.
+type RangeTombstone struct {
+	Start []byte
+	End   []byte
+	Seq   SeqNum
+}
+
+// Covers reports whether the tombstone deletes user key ukey at sequence
+// number seq.
+func (t RangeTombstone) Covers(ukey []byte, seq SeqNum) bool {
+	return seq <= t.Seq &&
+		bytes.Compare(t.Start, ukey) <= 0 &&
+		bytes.Compare(ukey, t.End) < 0
+}
+
+// Empty reports whether the tombstone covers no keys.
+func (t RangeTombstone) Empty() bool { return bytes.Compare(t.Start, t.End) >= 0 }
+
+// KeyRange is an inclusive range of user keys, used for file metadata
+// and compaction overlap computation.
+type KeyRange struct {
+	Smallest []byte // inclusive
+	Largest  []byte // inclusive
+}
+
+// Contains reports whether the range contains ukey.
+func (r KeyRange) Contains(ukey []byte) bool {
+	return bytes.Compare(r.Smallest, ukey) <= 0 && bytes.Compare(ukey, r.Largest) <= 0
+}
+
+// Overlaps reports whether two inclusive key ranges intersect.
+func (r KeyRange) Overlaps(o KeyRange) bool {
+	return bytes.Compare(r.Smallest, o.Largest) <= 0 && bytes.Compare(o.Smallest, r.Largest) <= 0
+}
+
+// Extend grows the range to include ukey.
+func (r *KeyRange) Extend(ukey []byte) {
+	if r.Smallest == nil || bytes.Compare(ukey, r.Smallest) < 0 {
+		r.Smallest = append([]byte(nil), ukey...)
+	}
+	if r.Largest == nil || bytes.Compare(ukey, r.Largest) > 0 {
+		r.Largest = append([]byte(nil), ukey...)
+	}
+}

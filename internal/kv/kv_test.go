@@ -1,0 +1,248 @@
+package kv
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeParseKey(t *testing.T) {
+	cases := []struct {
+		ukey string
+		seq  SeqNum
+		kind Kind
+	}{
+		{"", 0, KindSet},
+		{"a", 1, KindDelete},
+		{"hello", MaxSeqNum, KindSet},
+		{"k", 42, KindSingleDelete},
+		{"range", 7, KindRangeDelete},
+		{"vp", 99, KindValuePointer},
+	}
+	for _, c := range cases {
+		ik := MakeKey([]byte(c.ukey), c.seq, c.kind)
+		ukey, seq, kind, ok := ParseKey(ik)
+		if !ok {
+			t.Fatalf("ParseKey(%q) not ok", ik)
+		}
+		if string(ukey) != c.ukey || seq != c.seq || kind != c.kind {
+			t.Errorf("roundtrip: got (%q,%d,%v), want (%q,%d,%v)", ukey, seq, kind, c.ukey, c.seq, c.kind)
+		}
+		if got := string(UserKey(ik)); got != c.ukey {
+			t.Errorf("UserKey = %q, want %q", got, c.ukey)
+		}
+		if SeqOf(ik) != c.seq {
+			t.Errorf("SeqOf = %d, want %d", SeqOf(ik), c.seq)
+		}
+		if KindOf(ik) != c.kind {
+			t.Errorf("KindOf = %v, want %v", KindOf(ik), c.kind)
+		}
+	}
+}
+
+func TestParseKeyTooShort(t *testing.T) {
+	if _, _, _, ok := ParseKey([]byte("short")); ok {
+		t.Error("ParseKey on short key should fail")
+	}
+	if UserKey([]byte("abc")) != nil {
+		t.Error("UserKey on short key should be nil")
+	}
+}
+
+func TestCompareOrdersUserKeysAscending(t *testing.T) {
+	a := MakeKey([]byte("a"), 5, KindSet)
+	b := MakeKey([]byte("b"), 1, KindSet)
+	if Compare(a, b) >= 0 {
+		t.Error("a@5 should sort before b@1")
+	}
+	if Compare(b, a) <= 0 {
+		t.Error("b@1 should sort after a@5")
+	}
+}
+
+func TestCompareOrdersSeqDescending(t *testing.T) {
+	newer := MakeKey([]byte("k"), 10, KindSet)
+	older := MakeKey([]byte("k"), 3, KindSet)
+	if Compare(newer, older) >= 0 {
+		t.Error("newer entry must sort before older entry for same user key")
+	}
+}
+
+func TestCompareEqual(t *testing.T) {
+	a := MakeKey([]byte("k"), 10, KindSet)
+	b := MakeKey([]byte("k"), 10, KindSet)
+	if Compare(a, b) != 0 {
+		t.Error("identical keys must compare equal")
+	}
+}
+
+func TestSearchKeySortsBeforeAllVersions(t *testing.T) {
+	// A search key at snapshot seq must be <= every entry for the same
+	// user key with seq' <= seq, and > entries with seq' > seq.
+	search := MakeSearchKey([]byte("k"), 10)
+	atSnap := MakeKey([]byte("k"), 10, KindSet)
+	below := MakeKey([]byte("k"), 9, KindDelete)
+	above := MakeKey([]byte("k"), 11, KindSet)
+	if Compare(search, atSnap) > 0 {
+		t.Error("search key must be <= entry at snapshot seq")
+	}
+	if Compare(search, below) > 0 {
+		t.Error("search key must be <= older entries")
+	}
+	if Compare(search, above) <= 0 {
+		t.Error("search key must be > newer-than-snapshot entries")
+	}
+}
+
+func TestCompareIsTotalOrderProperty(t *testing.T) {
+	gen := func(seed int64) []byte {
+		r := rand.New(rand.NewSource(seed))
+		k := make([]byte, r.Intn(6))
+		r.Read(k)
+		return MakeKey(k, SeqNum(r.Intn(100)), Kind(r.Intn(4)))
+	}
+	f := func(s1, s2, s3 int64) bool {
+		a, b, c := gen(s1), gen(s2), gen(s3)
+		// Antisymmetry.
+		if sgn(Compare(a, b)) != -sgn(Compare(b, a)) {
+			return false
+		}
+		// Transitivity.
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sgn(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestRangeTombstoneCovers(t *testing.T) {
+	rt := RangeTombstone{Start: []byte("b"), End: []byte("f"), Seq: 10}
+	cases := []struct {
+		key  string
+		seq  SeqNum
+		want bool
+	}{
+		{"b", 5, true},
+		{"e", 10, true},
+		{"f", 5, false},  // end exclusive
+		{"a", 5, false},  // before start
+		{"c", 11, false}, // newer than tombstone
+		{"c", 10, true},
+	}
+	for _, c := range cases {
+		if got := rt.Covers([]byte(c.key), c.seq); got != c.want {
+			t.Errorf("Covers(%q,%d) = %v, want %v", c.key, c.seq, got, c.want)
+		}
+	}
+}
+
+func TestRangeTombstoneEmpty(t *testing.T) {
+	if !(RangeTombstone{Start: []byte("b"), End: []byte("b")}).Empty() {
+		t.Error("start==end should be empty")
+	}
+	if !(RangeTombstone{Start: []byte("c"), End: []byte("b")}).Empty() {
+		t.Error("start>end should be empty")
+	}
+	if (RangeTombstone{Start: []byte("a"), End: []byte("b")}).Empty() {
+		t.Error("start<end should not be empty")
+	}
+}
+
+func TestKeyRange(t *testing.T) {
+	r := KeyRange{Smallest: []byte("c"), Largest: []byte("g")}
+	if !r.Contains([]byte("c")) || !r.Contains([]byte("g")) || !r.Contains([]byte("e")) {
+		t.Error("inclusive bounds must be contained")
+	}
+	if r.Contains([]byte("b")) || r.Contains([]byte("h")) {
+		t.Error("outside keys must not be contained")
+	}
+	if !r.Overlaps(KeyRange{Smallest: []byte("a"), Largest: []byte("c")}) {
+		t.Error("touching at smallest must overlap")
+	}
+	if !r.Overlaps(KeyRange{Smallest: []byte("g"), Largest: []byte("z")}) {
+		t.Error("touching at largest must overlap")
+	}
+	if r.Overlaps(KeyRange{Smallest: []byte("h"), Largest: []byte("z")}) {
+		t.Error("disjoint ranges must not overlap")
+	}
+}
+
+func TestKeyRangeExtend(t *testing.T) {
+	var r KeyRange
+	r.Extend([]byte("m"))
+	if string(r.Smallest) != "m" || string(r.Largest) != "m" {
+		t.Fatalf("after first extend: %q..%q", r.Smallest, r.Largest)
+	}
+	r.Extend([]byte("a"))
+	r.Extend([]byte("z"))
+	if string(r.Smallest) != "a" || string(r.Largest) != "z" {
+		t.Fatalf("after extends: %q..%q", r.Smallest, r.Largest)
+	}
+}
+
+func TestEntryAccessors(t *testing.T) {
+	e := Entry{Key: MakeKey([]byte("k"), 9, KindSet), Value: []byte("v")}
+	if string(e.UserKey()) != "k" || e.Seq() != 9 || e.Kind() != KindSet {
+		t.Errorf("accessors wrong: %v", e)
+	}
+	c := e.Clone()
+	c.Key[0] = 'x'
+	c.Value[0] = 'y'
+	if string(e.UserKey()) != "k" || string(e.Value) != "v" {
+		t.Error("Clone must deep-copy")
+	}
+}
+
+func TestVisible(t *testing.T) {
+	if !Visible(5, 5) || !Visible(4, 5) || Visible(6, 5) {
+		t.Error("Visible is seq <= snap")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindSet: "SET", KindDelete: "DELETE", KindSingleDelete: "SINGLEDELETE",
+		KindRangeDelete: "RANGEDELETE", KindValuePointer: "VALUEPOINTER", Kind(200): "KIND(200)",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestCompareMatchesSortSemantics(t *testing.T) {
+	// Build a shuffled set of versions and check that sorting by Compare
+	// yields user keys ascending and, within a user key, seqs descending.
+	var keys [][]byte
+	for _, uk := range []string{"a", "b", "c"} {
+		for seq := SeqNum(1); seq <= 5; seq++ {
+			keys = append(keys, MakeKey([]byte(uk), seq, KindSet))
+		}
+	}
+	r := rand.New(rand.NewSource(1))
+	r.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	sort.Slice(keys, func(i, j int) bool { return Compare(keys[i], keys[j]) < 0 })
+	for i := 1; i < len(keys); i++ {
+		prevU, curU := UserKey(keys[i-1]), UserKey(keys[i])
+		if c := bytes.Compare(prevU, curU); c > 0 {
+			t.Fatal("user keys out of order")
+		} else if c == 0 && SeqOf(keys[i-1]) <= SeqOf(keys[i]) {
+			t.Fatal("seqs not descending within user key")
+		}
+	}
+}

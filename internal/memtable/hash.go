@@ -1,0 +1,181 @@
+package memtable
+
+import (
+	"sort"
+	"sync"
+
+	"lsmlab/internal/bloom"
+	"lsmlab/internal/kv"
+)
+
+// ---------------------------------------------------------------------
+// Hash-skiplist
+
+// HashSkipList buckets keys by a fixed-length prefix and keeps a small
+// skiplist per bucket (RocksDB's hash_skiplist). Point lookups hash to
+// one bucket; ordered iteration must merge all buckets, which is why
+// this memtable suits prefix-local workloads, not full scans.
+type HashSkipList struct {
+	mu        sync.RWMutex
+	prefixLen int
+	buckets   map[string]*SkipList
+	bytes     int
+	count     int
+}
+
+// NewHashSkipList returns an empty hash-skiplist memtable bucketing on
+// the first prefixLen bytes of the user key.
+func NewHashSkipList(prefixLen int) *HashSkipList {
+	if prefixLen < 1 {
+		prefixLen = 1
+	}
+	return &HashSkipList{prefixLen: prefixLen, buckets: make(map[string]*SkipList)}
+}
+
+func (h *HashSkipList) prefix(ukey []byte) string {
+	if len(ukey) <= h.prefixLen {
+		return string(ukey)
+	}
+	return string(ukey[:h.prefixLen])
+}
+
+// Add implements Memtable.
+func (h *HashSkipList) Add(seq kv.SeqNum, kind kv.Kind, ukey, value []byte) {
+	p := h.prefix(ukey)
+	h.mu.Lock()
+	b, ok := h.buckets[p]
+	if !ok {
+		b = NewSkipList()
+		h.buckets[p] = b
+	}
+	h.bytes += sizeOf(ukey, value)
+	h.count++
+	h.mu.Unlock()
+	b.Add(seq, kind, ukey, value)
+}
+
+// Get implements Memtable.
+func (h *HashSkipList) Get(ukey []byte, snap kv.SeqNum) (kv.Entry, bool) {
+	h.mu.RLock()
+	b, ok := h.buckets[h.prefix(ukey)]
+	h.mu.RUnlock()
+	if !ok {
+		return kv.Entry{}, false
+	}
+	return b.Get(ukey, snap)
+}
+
+// NewIterator implements Memtable. Iteration k-way merges the per-bucket
+// skiplists — correct but deliberately expensive, mirroring the real
+// tradeoff of hashed memtables.
+func (h *HashSkipList) NewIterator() kv.Iterator {
+	h.mu.RLock()
+	iters := make([]kv.Iterator, 0, len(h.buckets))
+	for _, b := range h.buckets {
+		iters = append(iters, b.NewIterator())
+	}
+	h.mu.RUnlock()
+	return kv.NewMergingIterator(iters...)
+}
+
+// ApproximateBytes implements Memtable.
+func (h *HashSkipList) ApproximateBytes() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.bytes
+}
+
+// Len implements Memtable.
+func (h *HashSkipList) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.count
+}
+
+// ---------------------------------------------------------------------
+// Hash-linkedlist
+
+// hashEntry is one version in a per-key list, newest first.
+type hashEntry struct {
+	entry kv.Entry
+	next  *hashEntry
+}
+
+// HashLinkList keeps an unsorted per-user-key version list in a hash
+// map (RocksDB's hash_linkedlist): O(1) point reads and writes, but
+// ordered iteration collects and sorts the whole buffer.
+type HashLinkList struct {
+	mu    sync.RWMutex
+	table map[uint64]*hashEntry // keyed by hash of user key; collisions chained by key compare
+	bytes int
+	count int
+}
+
+// NewHashLinkList returns an empty hash-linkedlist memtable.
+func NewHashLinkList() *HashLinkList {
+	return &HashLinkList{table: make(map[uint64]*hashEntry)}
+}
+
+// Add implements Memtable.
+func (h *HashLinkList) Add(seq kv.SeqNum, kind kv.Kind, ukey, value []byte) {
+	e := kv.Entry{Key: kv.MakeKey(ukey, seq, kind), Value: append([]byte(nil), value...)}
+	hk := bloom.Hash64(ukey)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.table[hk] = &hashEntry{entry: e, next: h.table[hk]}
+	h.bytes += sizeOf(ukey, value)
+	h.count++
+}
+
+// Get implements Memtable. The chain is in arrival order, which for a
+// live engine matches sequence order, but Get does not rely on that: it
+// scans the whole chain for the highest visible sequence number.
+func (h *HashLinkList) Get(ukey []byte, snap kv.SeqNum) (kv.Entry, bool) {
+	hk := bloom.Hash64(ukey)
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var best *hashEntry
+	for n := h.table[hk]; n != nil; n = n.next {
+		if kv.CompareUser(n.entry.UserKey(), ukey) != 0 {
+			continue // hash collision
+		}
+		if kv.Visible(n.entry.Seq(), snap) && (best == nil || n.entry.Seq() > best.entry.Seq()) {
+			best = n
+		}
+	}
+	if best == nil {
+		return kv.Entry{}, false
+	}
+	return best.entry, true
+}
+
+// NewIterator implements Memtable by materializing and sorting every
+// entry — the full cost of ordered access on a hashed structure.
+func (h *HashLinkList) NewIterator() kv.Iterator {
+	h.mu.RLock()
+	entries := make([]kv.Entry, 0, h.count)
+	for _, head := range h.table {
+		for n := head; n != nil; n = n.next {
+			entries = append(entries, n.entry)
+		}
+	}
+	h.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool {
+		return kv.Compare(entries[i].Key, entries[j].Key) < 0
+	})
+	return kv.NewSliceIterator(entries)
+}
+
+// ApproximateBytes implements Memtable.
+func (h *HashLinkList) ApproximateBytes() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.bytes
+}
+
+// Len implements Memtable.
+func (h *HashLinkList) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.count
+}

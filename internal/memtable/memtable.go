@@ -1,0 +1,114 @@
+// Package memtable provides the in-memory write buffer of the LSM
+// engine in the four implementations RocksDB exposes (tutorial §2.2.1):
+// skiplist, vector, hash-skiplist, and hash-linkedlist.
+//
+// Each implementation trades write cost against read and scan cost
+// differently:
+//
+//   - skiplist: O(log n) writes and reads, cheap ordered iteration; the
+//     balanced default for mixed workloads.
+//   - vector: O(1) amortized appends — the fastest pure-ingest buffer —
+//     but every read after a write must re-sort the whole buffer, so
+//     interleaved reads are disastrous.
+//   - hash-skiplist: O(1) bucket lookup plus a small ordered skiplist per
+//     key prefix; point reads are fast, full scans must merge buckets.
+//   - hash-linkedlist: O(1) point reads via per-key version lists; full
+//     scans must collect and sort everything.
+//
+// All implementations are safe for concurrent use.
+package memtable
+
+import (
+	"sync"
+
+	"lsmlab/internal/kv"
+)
+
+// entryOverhead approximates the per-entry bookkeeping bytes charged to
+// the buffer's memory budget (pointers, trailer, slice headers).
+const entryOverhead = 40
+
+// Memtable is a mutable in-memory buffer of versioned entries.
+type Memtable interface {
+	// Add inserts an entry. The key and value are copied.
+	Add(seq kv.SeqNum, kind kv.Kind, ukey, value []byte)
+	// Get returns the newest entry for ukey visible at snapshot snap.
+	// The returned entry may be a tombstone; ok is false only if no
+	// visible version exists in this buffer.
+	Get(ukey []byte, snap kv.SeqNum) (e kv.Entry, ok bool)
+	// NewIterator returns an iterator over the buffer in internal-key
+	// order. The iterator observes a consistent view: entries added
+	// after its creation may or may not be surfaced.
+	NewIterator() kv.Iterator
+	// ApproximateBytes returns the buffer's memory footprint estimate,
+	// compared against the configured buffer size to trigger flushes.
+	ApproximateBytes() int
+	// Len returns the number of entries (versions) in the buffer.
+	Len() int
+}
+
+// Kind selects a memtable implementation by name; used by the engine
+// options and the lsmbench workload driver.
+type Kind string
+
+// The memtable implementations of tutorial §2.2.1.
+const (
+	KindSkipList     Kind = "skiplist"
+	KindVector       Kind = "vector"
+	KindHashSkipList Kind = "hash-skiplist"
+	KindHashLinkList Kind = "hash-linklist"
+)
+
+// New constructs an empty memtable of the given kind. Unknown kinds
+// fall back to skiplist, the engine default.
+func New(kind Kind) Memtable {
+	switch kind {
+	case KindVector:
+		return NewVector()
+	case KindHashSkipList:
+		return NewHashSkipList(4)
+	case KindHashLinkList:
+		return NewHashLinkList()
+	default:
+		return NewSkipList()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Shared helpers
+
+// sizeOf charges an entry against the memory budget.
+func sizeOf(ukey, value []byte) int {
+	return len(ukey) + kv.TrailerLen + len(value) + entryOverhead
+}
+
+// lockedIterator wraps an iterator with a mutex shared with its source
+// structure so that concurrent Adds cannot race with Next. The lock is
+// held only for the duration of each positioning call.
+type lockedIterator struct {
+	mu *sync.RWMutex
+	it kv.Iterator
+}
+
+func (l *lockedIterator) First() bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.it.First()
+}
+
+func (l *lockedIterator) SeekGE(ikey []byte) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.it.SeekGE(ikey)
+}
+
+func (l *lockedIterator) Next() bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.it.Next()
+}
+
+func (l *lockedIterator) Valid() bool   { return l.it.Valid() }
+func (l *lockedIterator) Key() []byte   { return l.it.Key() }
+func (l *lockedIterator) Value() []byte { return l.it.Value() }
+func (l *lockedIterator) Close() error  { return l.it.Close() }

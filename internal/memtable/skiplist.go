@@ -1,0 +1,154 @@
+package memtable
+
+import (
+	"math/rand"
+	"sync"
+
+	"lsmlab/internal/kv"
+)
+
+const (
+	skipMaxHeight = 12
+	// skipBranching gives P(level k+1 | level k) = 1/4.
+	skipBranching = 4
+)
+
+// skipNode is one tower in the skiplist. Nodes are never removed, which
+// keeps iteration safe under the structure's read lock.
+type skipNode struct {
+	entry kv.Entry
+	next  []*skipNode
+}
+
+// SkipList is the classic LSM write buffer: a concurrent skiplist
+// ordered by internal key.
+type SkipList struct {
+	mu     sync.RWMutex
+	head   *skipNode
+	height int
+	rnd    *rand.Rand
+	bytes  int
+	count  int
+}
+
+// NewSkipList returns an empty skiplist memtable.
+func NewSkipList() *SkipList {
+	return &SkipList{
+		head:   &skipNode{next: make([]*skipNode, skipMaxHeight)},
+		height: 1,
+		rnd:    rand.New(rand.NewSource(0xdecafbad)),
+	}
+}
+
+func (s *SkipList) randomHeight() int {
+	h := 1
+	for h < skipMaxHeight && s.rnd.Intn(skipBranching) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGE returns the first node with key >= ikey, filling prev with the
+// rightmost node before it at every height (when prev != nil).
+func (s *SkipList) findGE(ikey []byte, prev []*skipNode) *skipNode {
+	x := s.head
+	level := s.height - 1
+	for {
+		next := x.next[level]
+		if next != nil && kv.Compare(next.entry.Key, ikey) < 0 {
+			x = next
+			continue
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+		if level == 0 {
+			return next
+		}
+		level--
+	}
+}
+
+// Add implements Memtable.
+func (s *SkipList) Add(seq kv.SeqNum, kind kv.Kind, ukey, value []byte) {
+	e := kv.Entry{Key: kv.MakeKey(ukey, seq, kind), Value: append([]byte(nil), value...)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := make([]*skipNode, skipMaxHeight)
+	s.findGE(e.Key, prev)
+	h := s.randomHeight()
+	if h > s.height {
+		for i := s.height; i < h; i++ {
+			prev[i] = s.head
+		}
+		s.height = h
+	}
+	n := &skipNode{entry: e, next: make([]*skipNode, h)}
+	for i := 0; i < h; i++ {
+		n.next[i] = prev[i].next[i]
+		prev[i].next[i] = n
+	}
+	s.bytes += sizeOf(ukey, value)
+	s.count++
+}
+
+// Get implements Memtable.
+func (s *SkipList) Get(ukey []byte, snap kv.SeqNum) (kv.Entry, bool) {
+	search := kv.MakeSearchKey(ukey, snap)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := s.findGE(search, nil)
+	if n == nil || kv.CompareUser(n.entry.UserKey(), ukey) != 0 {
+		return kv.Entry{}, false
+	}
+	return n.entry, true
+}
+
+// NewIterator implements Memtable.
+func (s *SkipList) NewIterator() kv.Iterator {
+	return &lockedIterator{mu: &s.mu, it: &skipIterator{list: s}}
+}
+
+// ApproximateBytes implements Memtable.
+func (s *SkipList) ApproximateBytes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
+// Len implements Memtable.
+func (s *SkipList) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+// skipIterator walks level-0 links. The enclosing lockedIterator holds
+// the list's read lock during positioning, and nodes are never removed,
+// so a held node pointer stays valid between calls.
+type skipIterator struct {
+	list *SkipList
+	node *skipNode
+}
+
+func (it *skipIterator) First() bool {
+	it.node = it.list.head.next[0]
+	return it.node != nil
+}
+
+func (it *skipIterator) SeekGE(ikey []byte) bool {
+	it.node = it.list.findGE(ikey, nil)
+	return it.node != nil
+}
+
+func (it *skipIterator) Next() bool {
+	if it.node != nil {
+		it.node = it.node.next[0]
+	}
+	return it.node != nil
+}
+
+func (it *skipIterator) Valid() bool   { return it.node != nil }
+func (it *skipIterator) Key() []byte   { return it.node.entry.Key }
+func (it *skipIterator) Value() []byte { return it.node.entry.Value }
+func (it *skipIterator) Close() error  { return nil }

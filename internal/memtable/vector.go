@@ -1,0 +1,94 @@
+package memtable
+
+import (
+	"sort"
+	"sync"
+
+	"lsmlab/internal/kv"
+)
+
+// Vector is the append-only memtable: writes are O(1) appends, making it
+// the fastest buffer for write-only workloads, but any read forces a
+// sort of the unsorted tail. RocksDB offers the same tradeoff with its
+// vector memtable, intended for bulk loading (tutorial §2.2.1).
+type Vector struct {
+	mu      sync.RWMutex
+	entries []kv.Entry
+	sorted  bool
+	bytes   int
+}
+
+// NewVector returns an empty vector memtable.
+func NewVector() *Vector { return &Vector{sorted: true} }
+
+// Add implements Memtable.
+func (v *Vector) Add(seq kv.SeqNum, kind kv.Kind, ukey, value []byte) {
+	e := kv.Entry{Key: kv.MakeKey(ukey, seq, kind), Value: append([]byte(nil), value...)}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	// Appending in arrival order keeps writes O(1); sortedness is only
+	// preserved if the caller happens to insert in order.
+	if v.sorted && len(v.entries) > 0 &&
+		kv.Compare(v.entries[len(v.entries)-1].Key, e.Key) > 0 {
+		v.sorted = false
+	}
+	v.entries = append(v.entries, e)
+	v.bytes += sizeOf(ukey, value)
+}
+
+// ensureSorted sorts the buffer if needed. Callers must hold the write
+// lock.
+func (v *Vector) ensureSorted() {
+	if !v.sorted {
+		sort.Slice(v.entries, func(i, j int) bool {
+			return kv.Compare(v.entries[i].Key, v.entries[j].Key) < 0
+		})
+		v.sorted = true
+	}
+}
+
+// Get implements Memtable. Note the full re-sort on first read after any
+// write — this is the vector memtable's documented weakness under
+// interleaved reads.
+func (v *Vector) Get(ukey []byte, snap kv.SeqNum) (kv.Entry, bool) {
+	v.mu.Lock()
+	v.ensureSorted()
+	v.mu.Unlock()
+
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	search := kv.MakeSearchKey(ukey, snap)
+	i := sort.Search(len(v.entries), func(i int) bool {
+		return kv.Compare(v.entries[i].Key, search) >= 0
+	})
+	if i >= len(v.entries) || kv.CompareUser(v.entries[i].UserKey(), ukey) != 0 {
+		return kv.Entry{}, false
+	}
+	return v.entries[i], true
+}
+
+// NewIterator implements Memtable. The iterator operates on a snapshot
+// of the slice header taken after sorting; later appends do not disturb
+// it because appends never reorder the prefix once sorted state is
+// re-established at the next read.
+func (v *Vector) NewIterator() kv.Iterator {
+	v.mu.Lock()
+	v.ensureSorted()
+	snapshot := v.entries[:len(v.entries):len(v.entries)]
+	v.mu.Unlock()
+	return kv.NewSliceIterator(snapshot)
+}
+
+// ApproximateBytes implements Memtable.
+func (v *Vector) ApproximateBytes() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.bytes
+}
+
+// Len implements Memtable.
+func (v *Vector) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.entries)
+}

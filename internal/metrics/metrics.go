@@ -1,0 +1,162 @@
+// Package metrics collects the engine-wide counters from which the
+// experiments derive write amplification, read amplification, space
+// amplification, stall time, and filter effectiveness. All counters are
+// lock-free and safe for concurrent update.
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Metrics is the set of counters maintained by one engine instance.
+type Metrics struct {
+	// Write path.
+	Puts          atomic.Int64 // user put operations
+	Deletes       atomic.Int64 // user delete operations (all kinds)
+	BytesIngested atomic.Int64 // user key+value bytes accepted
+	WALBytes      atomic.Int64 // bytes appended to the write-ahead log
+
+	// Read path.
+	Gets            atomic.Int64 // user point lookups
+	GetHits         atomic.Int64 // lookups that found a live value
+	Scans           atomic.Int64 // user range scans
+	RunsProbed      atomic.Int64 // sorted runs consulted by point lookups
+	FilterProbes    atomic.Int64 // bloom filter probes
+	FilterNegatives atomic.Int64 // probes that skipped a run
+	FilterFalsePos  atomic.Int64 // probes that passed but found nothing
+
+	// Structure maintenance.
+	Flushes                atomic.Int64 // memtable flushes
+	FlushBytes             atomic.Int64 // bytes written by flushes
+	Compactions            atomic.Int64 // compaction jobs completed
+	AgeCompactions         atomic.Int64 // jobs triggered by tombstone age (FADE)
+	CompactionBytesRead    atomic.Int64 // bytes read by compactions
+	CompactionBytesWritten atomic.Int64 // bytes written by compactions
+	TombstonesDropped      atomic.Int64 // tombstones purged by compaction
+	EntriesDropped         atomic.Int64 // invalidated entries purged
+
+	// Stalls.
+	StallNs     atomic.Int64 // total time writers spent stalled
+	WriteStalls atomic.Int64 // number of stall events
+
+	// Block cache.
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+}
+
+// Snapshot is an immutable copy of the counters at one instant.
+type Snapshot struct {
+	Puts, Deletes, BytesIngested, WALBytes        int64
+	Gets, GetHits, Scans, RunsProbed              int64
+	FilterProbes, FilterNegatives, FilterFalsePos int64
+	Flushes, FlushBytes, Compactions              int64
+	AgeCompactions                                int64
+	CompactionBytesRead, CompactionBytesWritten   int64
+	TombstonesDropped, EntriesDropped             int64
+	StallNs, WriteStalls, CacheHits, CacheMisses  int64
+}
+
+// Snapshot returns a copy of the current counter values.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Puts:                   m.Puts.Load(),
+		Deletes:                m.Deletes.Load(),
+		BytesIngested:          m.BytesIngested.Load(),
+		WALBytes:               m.WALBytes.Load(),
+		Gets:                   m.Gets.Load(),
+		GetHits:                m.GetHits.Load(),
+		Scans:                  m.Scans.Load(),
+		RunsProbed:             m.RunsProbed.Load(),
+		FilterProbes:           m.FilterProbes.Load(),
+		FilterNegatives:        m.FilterNegatives.Load(),
+		FilterFalsePos:         m.FilterFalsePos.Load(),
+		Flushes:                m.Flushes.Load(),
+		FlushBytes:             m.FlushBytes.Load(),
+		Compactions:            m.Compactions.Load(),
+		AgeCompactions:         m.AgeCompactions.Load(),
+		CompactionBytesRead:    m.CompactionBytesRead.Load(),
+		CompactionBytesWritten: m.CompactionBytesWritten.Load(),
+		TombstonesDropped:      m.TombstonesDropped.Load(),
+		EntriesDropped:         m.EntriesDropped.Load(),
+		StallNs:                m.StallNs.Load(),
+		WriteStalls:            m.WriteStalls.Load(),
+		CacheHits:              m.CacheHits.Load(),
+		CacheMisses:            m.CacheMisses.Load(),
+	}
+}
+
+// WriteAmplification is the ratio of bytes written to storage (flushes
+// plus compactions, excluding the WAL) to user bytes ingested.
+func (s Snapshot) WriteAmplification() float64 {
+	if s.BytesIngested == 0 {
+		return 0
+	}
+	return float64(s.FlushBytes+s.CompactionBytesWritten) / float64(s.BytesIngested)
+}
+
+// ReadAmplification is the average number of sorted runs probed per
+// point lookup.
+func (s Snapshot) ReadAmplification() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.RunsProbed) / float64(s.Gets)
+}
+
+// FilterEffectiveness is the fraction of filter probes that skipped a
+// run.
+func (s Snapshot) FilterEffectiveness() float64 {
+	if s.FilterProbes == 0 {
+		return 0
+	}
+	return float64(s.FilterNegatives) / float64(s.FilterProbes)
+}
+
+// CacheHitRate is the fraction of block-cache lookups that hit.
+func (s Snapshot) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Sub returns s - o component-wise, for measuring an interval.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		Puts:                   s.Puts - o.Puts,
+		Deletes:                s.Deletes - o.Deletes,
+		BytesIngested:          s.BytesIngested - o.BytesIngested,
+		WALBytes:               s.WALBytes - o.WALBytes,
+		Gets:                   s.Gets - o.Gets,
+		GetHits:                s.GetHits - o.GetHits,
+		Scans:                  s.Scans - o.Scans,
+		RunsProbed:             s.RunsProbed - o.RunsProbed,
+		FilterProbes:           s.FilterProbes - o.FilterProbes,
+		FilterNegatives:        s.FilterNegatives - o.FilterNegatives,
+		FilterFalsePos:         s.FilterFalsePos - o.FilterFalsePos,
+		Flushes:                s.Flushes - o.Flushes,
+		FlushBytes:             s.FlushBytes - o.FlushBytes,
+		Compactions:            s.Compactions - o.Compactions,
+		AgeCompactions:         s.AgeCompactions - o.AgeCompactions,
+		CompactionBytesRead:    s.CompactionBytesRead - o.CompactionBytesRead,
+		CompactionBytesWritten: s.CompactionBytesWritten - o.CompactionBytesWritten,
+		TombstonesDropped:      s.TombstonesDropped - o.TombstonesDropped,
+		EntriesDropped:         s.EntriesDropped - o.EntriesDropped,
+		StallNs:                s.StallNs - o.StallNs,
+		WriteStalls:            s.WriteStalls - o.WriteStalls,
+		CacheHits:              s.CacheHits - o.CacheHits,
+		CacheMisses:            s.CacheMisses - o.CacheMisses,
+	}
+}
+
+// String renders the headline numbers for logs and the lsmctl stats
+// command.
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"puts=%d gets=%d scans=%d flushes=%d compactions=%d WA=%.2f RA=%.2f filter_eff=%.2f stalls=%d stall_ms=%d",
+		s.Puts, s.Gets, s.Scans, s.Flushes, s.Compactions,
+		s.WriteAmplification(), s.ReadAmplification(), s.FilterEffectiveness(),
+		s.WriteStalls, s.StallNs/1e6)
+}

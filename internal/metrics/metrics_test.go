@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSnapshotAndDerived(t *testing.T) {
+	var m Metrics
+	m.BytesIngested.Store(100)
+	m.FlushBytes.Store(100)
+	m.CompactionBytesWritten.Store(300)
+	m.Gets.Store(10)
+	m.RunsProbed.Store(25)
+	m.FilterProbes.Store(100)
+	m.FilterNegatives.Store(90)
+	m.CacheHits.Store(3)
+	m.CacheMisses.Store(1)
+
+	s := m.Snapshot()
+	if got := s.WriteAmplification(); got != 4.0 {
+		t.Errorf("WA = %v", got)
+	}
+	if got := s.ReadAmplification(); got != 2.5 {
+		t.Errorf("RA = %v", got)
+	}
+	if got := s.FilterEffectiveness(); got != 0.9 {
+		t.Errorf("filter eff = %v", got)
+	}
+	if got := s.CacheHitRate(); got != 0.75 {
+		t.Errorf("hit rate = %v", got)
+	}
+}
+
+func TestDerivedZeroDenominators(t *testing.T) {
+	var s Snapshot
+	if s.WriteAmplification() != 0 || s.ReadAmplification() != 0 ||
+		s.FilterEffectiveness() != 0 || s.CacheHitRate() != 0 {
+		t.Error("zero denominators must yield 0, not NaN")
+	}
+}
+
+func TestSub(t *testing.T) {
+	var m Metrics
+	m.Puts.Store(10)
+	before := m.Snapshot()
+	m.Puts.Add(5)
+	m.Flushes.Add(2)
+	d := m.Snapshot().Sub(before)
+	if d.Puts != 5 || d.Flushes != 2 {
+		t.Errorf("Sub = %+v", d)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	var m Metrics
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Puts.Add(1)
+				m.BytesIngested.Add(10)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Puts.Load() != 8000 || m.BytesIngested.Load() != 80000 {
+		t.Errorf("lost updates: puts=%d bytes=%d", m.Puts.Load(), m.BytesIngested.Load())
+	}
+}
+
+func TestString(t *testing.T) {
+	var m Metrics
+	m.Puts.Store(42)
+	s := m.Snapshot().String()
+	if !strings.Contains(s, "puts=42") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,156 @@
+// Package partition shards the key space across independent LSM trees
+// (tutorial §2.2.2: PebblesDB fragments the key range; Nova-LSM shards
+// across storage components). Each partition compacts independently, so
+// background work parallelizes across partitions — the property a
+// single tree cannot offer because its compactions chain through
+// adjacent levels (see experiment E8/E13).
+//
+// Keys are routed by hash, so point operations touch exactly one
+// partition; range scans merge the per-partition iterators.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lsmlab/internal/bloom"
+	"lsmlab/internal/core"
+	"lsmlab/internal/metrics"
+	"lsmlab/internal/vfs"
+)
+
+// Store is a hash-partitioned set of LSM trees behind one API.
+type Store struct {
+	parts []*core.DB
+}
+
+// Open creates (or reopens) a store with n partitions. Each partition
+// lives in its own subdirectory of opts.Path and inherits every other
+// option. n must match across reopens (it is derived from the
+// directory layout on recovery if present).
+func Open(opts core.Options, n int) (*Store, error) {
+	if n < 1 {
+		return nil, errors.New("partition: need at least one partition")
+	}
+	s := &Store{}
+	for i := 0; i < n; i++ {
+		po := opts
+		po.Path = vfs.Join(opts.Path, fmt.Sprintf("part-%03d", i))
+		db, err := core.Open(po)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.parts = append(s.parts, db)
+	}
+	return s, nil
+}
+
+// NumPartitions returns the partition count.
+func (s *Store) NumPartitions() int { return len(s.parts) }
+
+func (s *Store) route(key []byte) *core.DB {
+	return s.parts[bloom.Hash64(key)%uint64(len(s.parts))]
+}
+
+// Put writes a key into its partition.
+func (s *Store) Put(key, value []byte) error { return s.route(key).Put(key, value) }
+
+// Get reads a key from its partition.
+func (s *Store) Get(key []byte) ([]byte, error) { return s.route(key).Get(key) }
+
+// Delete tombstones a key in its partition.
+func (s *Store) Delete(key []byte) error { return s.route(key).Delete(key) }
+
+// Merge applies a read-modify-write operand in the key's partition.
+func (s *Store) Merge(key, operand []byte) error { return s.route(key).Merge(key, operand) }
+
+// DeleteRange removes [start, end) in every partition (hash routing
+// scatters ranges across all of them).
+func (s *Store) DeleteRange(start, end []byte) error {
+	for _, p := range s.parts {
+		if err := p.DeleteRange(start, end); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scan returns up to limit live entries in [start, end) across all
+// partitions, in key order.
+func (s *Store) Scan(start, end []byte, limit int) ([]core.KV, error) {
+	var all []core.KV
+	for _, p := range s.parts {
+		kvs, err := p.Scan(start, end, limit)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, kvs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return string(all[i].Key) < string(all[j].Key) })
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	return all, nil
+}
+
+// Flush flushes every partition.
+func (s *Store) Flush() error {
+	for _, p := range s.parts {
+		if err := p.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WaitIdle blocks until every partition's background work has drained.
+func (s *Store) WaitIdle() {
+	for _, p := range s.parts {
+		p.WaitIdle()
+	}
+}
+
+// Metrics sums the per-partition counters.
+func (s *Store) Metrics() metrics.Snapshot {
+	var total metrics.Snapshot
+	for _, p := range s.parts {
+		m := p.Metrics()
+		total = sumSnapshots(total, m)
+	}
+	return total
+}
+
+func sumSnapshots(a, b metrics.Snapshot) metrics.Snapshot {
+	// Snapshot.Sub(negated) would be clumsy; sum field-wise via Sub of
+	// a zero value: a + b == a - (0 - b).
+	var zero metrics.Snapshot
+	return a.Sub(zero.Sub(b))
+}
+
+// DiskUsageBytes sums the partitions' footprints.
+func (s *Store) DiskUsageBytes() uint64 {
+	var total uint64
+	for _, p := range s.parts {
+		total += p.DiskUsageBytes()
+	}
+	return total
+}
+
+// Partition exposes one underlying tree (experiments inspect shapes).
+func (s *Store) Partition(i int) *core.DB { return s.parts[i] }
+
+// Close closes every partition, returning the first error.
+func (s *Store) Close() error {
+	var first error
+	for _, p := range s.parts {
+		if p == nil {
+			continue
+		}
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,183 @@
+// Package secondary adds secondary-attribute indexing on top of the
+// engine (tutorial §2.1.3: "optimizing reads on secondary (non-key)
+// attributes through secondary indexing techniques" [97, 117, 118]).
+//
+// The maintenance scheme is *deferred lightweight indexing* (Tang et
+// al. [118]), the LSM-idiomatic choice: writes append new index
+// postings without reading the old value (no read-modify-write on the
+// write path), so stale postings accumulate; lookups validate each
+// candidate against the primary record before returning it, and an
+// explicit Cleanup pass garbage-collects invalid postings.
+//
+// Layout: one tree holds both spaces under disjoint prefixes —
+//
+//	d\x00<pk>                  → value
+//	x\x00<attr>\x00<pk>        → (empty)
+//
+// so a secondary lookup is a prefix scan over the posting space.
+package secondary
+
+import (
+	"bytes"
+	"errors"
+
+	"lsmlab/internal/core"
+)
+
+// Extractor derives the secondary keys (attribute values) under which a
+// record should be indexed. It must be deterministic.
+type Extractor func(pk, value []byte) [][]byte
+
+var (
+	dataPrefix  = []byte("d\x00")
+	indexPrefix = []byte("x\x00")
+	sep         = byte(0)
+)
+
+// ErrNoExtractor is returned by Open when no extractor is supplied.
+var ErrNoExtractor = errors.New("secondary: extractor is required")
+
+// Store is a primary key-value store with one secondary index.
+type Store struct {
+	db      *core.DB
+	extract Extractor
+}
+
+// Open opens an indexed store over opts.
+func Open(opts core.Options, extract Extractor) (*Store, error) {
+	if extract == nil {
+		return nil, ErrNoExtractor
+	}
+	db, err := core.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{db: db, extract: extract}, nil
+}
+
+func dataKey(pk []byte) []byte {
+	k := make([]byte, 0, len(dataPrefix)+len(pk))
+	k = append(k, dataPrefix...)
+	return append(k, pk...)
+}
+
+func postingKey(attr, pk []byte) []byte {
+	k := make([]byte, 0, len(indexPrefix)+len(attr)+1+len(pk))
+	k = append(k, indexPrefix...)
+	k = append(k, attr...)
+	k = append(k, sep)
+	return append(k, pk...)
+}
+
+// Put writes the record and appends postings for its current
+// attributes. Old postings (from a previous value) are left behind and
+// invalidated lazily — the deferred scheme's write-path bargain.
+func (s *Store) Put(pk, value []byte) error {
+	var b core.Batch
+	b.Put(dataKey(pk), value)
+	for _, attr := range s.extract(pk, value) {
+		b.Put(postingKey(attr, pk), nil)
+	}
+	return s.db.Apply(&b)
+}
+
+// Get reads a record by primary key.
+func (s *Store) Get(pk []byte) ([]byte, error) {
+	return s.db.Get(dataKey(pk))
+}
+
+// Delete removes a record. Its postings become stale and are filtered
+// by Lookup until Cleanup purges them.
+func (s *Store) Delete(pk []byte) error {
+	return s.db.Delete(dataKey(pk))
+}
+
+// Match is one validated secondary-lookup result.
+type Match struct {
+	PK    []byte
+	Value []byte
+}
+
+// Lookup returns every live record currently indexed under attr,
+// validating each posting against the primary record (stale postings —
+// from overwrites or deletes — are skipped). limit <= 0 means all.
+func (s *Store) Lookup(attr []byte, limit int) ([]Match, error) {
+	matches, _, err := s.lookup(attr, limit, false)
+	return matches, err
+}
+
+// lookup optionally collects the stale postings it encounters.
+func (s *Store) lookup(attr []byte, limit int, wantStale bool) ([]Match, [][]byte, error) {
+	start := postingKey(attr, nil)
+	end := append(postingKey(attr, nil)[:len(start)-1], sep+1)
+	it, err := s.db.NewIterator(core.IterOptions{LowerBound: start, UpperBound: end})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer it.Close()
+
+	var matches []Match
+	var stale [][]byte
+	for ok := it.First(); ok; ok = it.Next() {
+		pk := it.Key()[len(start):]
+		value, err := s.Get(pk)
+		if errors.Is(err, core.ErrNotFound) {
+			if wantStale {
+				stale = append(stale, append([]byte(nil), it.Key()...))
+			}
+			continue
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		// Validate: the record must still carry this attribute.
+		live := false
+		for _, cur := range s.extract(pk, value) {
+			if bytes.Equal(cur, attr) {
+				live = true
+				break
+			}
+		}
+		if !live {
+			if wantStale {
+				stale = append(stale, append([]byte(nil), it.Key()...))
+			}
+			continue
+		}
+		matches = append(matches, Match{
+			PK:    append([]byte(nil), pk...),
+			Value: value,
+		})
+		if limit > 0 && len(matches) >= limit {
+			break
+		}
+	}
+	return matches, stale, it.Err()
+}
+
+// Cleanup scans the posting space for attr and deletes stale postings,
+// returning how many were purged. Running it for every attribute (or
+// piggybacking it on lookups) bounds index space amplification.
+func (s *Store) Cleanup(attr []byte) (int, error) {
+	_, stale, err := s.lookup(attr, 0, true)
+	if err != nil {
+		return 0, err
+	}
+	if len(stale) == 0 {
+		return 0, nil
+	}
+	var b core.Batch
+	for _, k := range stale {
+		b.Delete(k)
+	}
+	if err := s.db.Apply(&b); err != nil {
+		return 0, err
+	}
+	return len(stale), nil
+}
+
+// DB exposes the underlying engine (stats, flush, compaction).
+func (s *Store) DB() *core.DB { return s.db }
+
+// Close closes the store.
+func (s *Store) Close() error { return s.db.Close() }

@@ -1,0 +1,193 @@
+package secondary
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"lsmlab/internal/core"
+	"lsmlab/internal/vfs"
+)
+
+// byTag indexes comma-separated "tags" in the value: value format is
+// "payload|tag1,tag2,...".
+func byTag(pk, value []byte) [][]byte {
+	parts := strings.SplitN(string(value), "|", 2)
+	if len(parts) != 2 || parts[1] == "" {
+		return nil
+	}
+	var attrs [][]byte
+	for _, tag := range strings.Split(parts[1], ",") {
+		attrs = append(attrs, []byte(tag))
+	}
+	return attrs
+}
+
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	opts := core.DefaultOptions(vfs.NewMem(), "sdb")
+	opts.BufferBytes = 8 << 10
+	s, err := Open(opts, byTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func pks(ms []Match) string {
+	var out []string
+	for _, m := range ms {
+		out = append(out, string(m.PK))
+	}
+	return strings.Join(out, ",")
+}
+
+func TestOpenRequiresExtractor(t *testing.T) {
+	if _, err := Open(core.DefaultOptions(vfs.NewMem(), "x"), nil); !errors.Is(err, ErrNoExtractor) {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupBasic(t *testing.T) {
+	s := testStore(t)
+	s.Put([]byte("u1"), []byte("alice|admin,eng"))
+	s.Put([]byte("u2"), []byte("bob|eng"))
+	s.Put([]byte("u3"), []byte("carol|sales"))
+
+	ms, err := s.Lookup([]byte("eng"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pks(ms) != "u1,u2" {
+		t.Fatalf("eng -> %s", pks(ms))
+	}
+	ms, _ = s.Lookup([]byte("admin"), 0)
+	if pks(ms) != "u1" {
+		t.Fatalf("admin -> %s", pks(ms))
+	}
+	if ms[0].Value == nil || !bytes.Contains(ms[0].Value, []byte("alice")) {
+		t.Fatal("match must carry the live value")
+	}
+	ms, _ = s.Lookup([]byte("nobody"), 0)
+	if len(ms) != 0 {
+		t.Fatal("absent attribute")
+	}
+}
+
+func TestStalePostingsFiltered(t *testing.T) {
+	s := testStore(t)
+	s.Put([]byte("u1"), []byte("alice|eng"))
+	// Update: attribute changes eng -> sales; the old posting remains on
+	// disk but must not surface.
+	s.Put([]byte("u1"), []byte("alice|sales"))
+	if ms, _ := s.Lookup([]byte("eng"), 0); len(ms) != 0 {
+		t.Fatalf("stale posting surfaced: %s", pks(ms))
+	}
+	if ms, _ := s.Lookup([]byte("sales"), 0); pks(ms) != "u1" {
+		t.Fatal("new posting missing")
+	}
+	// Delete: all postings stale.
+	s.Delete([]byte("u1"))
+	if ms, _ := s.Lookup([]byte("sales"), 0); len(ms) != 0 {
+		t.Fatal("posting for deleted record surfaced")
+	}
+}
+
+func TestCleanupPurgesStalePostings(t *testing.T) {
+	s := testStore(t)
+	for i := 0; i < 50; i++ {
+		s.Put([]byte(fmt.Sprintf("u%02d", i)), []byte("x|hot"))
+	}
+	// Invalidate half by retagging.
+	for i := 0; i < 25; i++ {
+		s.Put([]byte(fmt.Sprintf("u%02d", i)), []byte("x|cold"))
+	}
+	purged, err := s.Cleanup([]byte("hot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if purged != 25 {
+		t.Fatalf("purged %d, want 25", purged)
+	}
+	// Idempotent.
+	purged, _ = s.Cleanup([]byte("hot"))
+	if purged != 0 {
+		t.Fatalf("second cleanup purged %d", purged)
+	}
+	// Live postings unharmed.
+	if ms, _ := s.Lookup([]byte("hot"), 0); len(ms) != 25 {
+		t.Fatalf("hot -> %d", len(ms))
+	}
+	if ms, _ := s.Lookup([]byte("cold"), 0); len(ms) != 25 {
+		t.Fatalf("cold -> %d", len(ms))
+	}
+}
+
+func TestLookupLimit(t *testing.T) {
+	s := testStore(t)
+	for i := 0; i < 20; i++ {
+		s.Put([]byte(fmt.Sprintf("u%02d", i)), []byte("x|t"))
+	}
+	ms, _ := s.Lookup([]byte("t"), 5)
+	if len(ms) != 5 {
+		t.Fatalf("limit: %d", len(ms))
+	}
+}
+
+func TestIndexSurvivesFlushCompactReopen(t *testing.T) {
+	opts := core.DefaultOptions(vfs.NewMem(), "sdb")
+	opts.BufferBytes = 8 << 10
+	s, err := Open(opts, byTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		tag := "even"
+		if i%2 == 1 {
+			tag = "odd"
+		}
+		s.Put([]byte(fmt.Sprintf("u%03d", i)), []byte(fmt.Sprintf("p%d|%s", i, tag)))
+	}
+	s.DB().Flush()
+	if err := s.DB().Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if ms, _ := s.Lookup([]byte("even"), 0); len(ms) != 100 {
+		t.Fatalf("even after compact: %d", len(ms))
+	}
+	s.Close()
+
+	s2, err := Open(opts, byTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if ms, _ := s2.Lookup([]byte("odd"), 0); len(ms) != 100 {
+		t.Fatalf("odd after reopen: %d", len(ms))
+	}
+}
+
+func TestAttributeBoundaryIsolation(t *testing.T) {
+	// Attributes that are prefixes of each other must not bleed.
+	s := testStore(t)
+	s.Put([]byte("a"), []byte("v|tag"))
+	s.Put([]byte("b"), []byte("v|tagger"))
+	if ms, _ := s.Lookup([]byte("tag"), 0); pks(ms) != "a" {
+		t.Fatalf("tag -> %s", pks(ms))
+	}
+	if ms, _ := s.Lookup([]byte("tagger"), 0); pks(ms) != "b" {
+		t.Fatalf("tagger -> %s", pks(ms))
+	}
+}
+
+func TestRecordsWithNoAttributes(t *testing.T) {
+	s := testStore(t)
+	s.Put([]byte("plain"), []byte("no-tags|"))
+	v, err := s.Get([]byte("plain"))
+	if err != nil || string(v) != "no-tags|" {
+		t.Fatal("untagged record must be readable")
+	}
+}

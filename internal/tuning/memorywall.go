@@ -1,0 +1,113 @@
+package tuning
+
+import "math"
+
+// This file models the third memory dimension of tutorial §2.3.1: Luo
+// and Carey's "Breaking Down Memory Walls" [79, 82] — dividing main
+// memory between the write buffer and the block cache. A larger buffer
+// amortizes more of each entry's write cost (fewer, bigger flushes and
+// fewer levels); a larger cache absorbs more read misses. The optimum
+// moves with the workload's read/write balance and skew.
+
+// CacheWorkload extends the operation mix with the properties the cache
+// model needs.
+type CacheWorkload struct {
+	// Workload is the op mix.
+	Workload
+	// DataBytes is the total size of the readable data set.
+	DataBytes int64
+	// Skew is the fraction of reads that target the hottest 20% of the
+	// data (0.2 = uniform, 0.95 = heavily skewed). The model uses a
+	// two-segment approximation of a zipfian hit curve.
+	Skew float64
+}
+
+// CacheHitRate approximates the block-cache hit rate for a cache of
+// cacheBytes over the workload's data set: reads split into a hot
+// segment (20% of the data receiving Skew of the accesses) and a cold
+// remainder, each cached proportionally to coverage.
+func CacheHitRate(w CacheWorkload, cacheBytes int64) float64 {
+	if w.DataBytes <= 0 || cacheBytes <= 0 {
+		return 0
+	}
+	if cacheBytes >= w.DataBytes {
+		return 1
+	}
+	skew := w.Skew
+	if skew < 0.2 {
+		skew = 0.2 // uniform floor: 20% of data gets >= 20% of accesses
+	}
+	if skew > 0.999 {
+		skew = 0.999
+	}
+	hotBytes := w.DataBytes / 5
+	c := float64(cacheBytes)
+	// The cache fills with hot data first (LRU under skew approximates
+	// this), then with cold data.
+	hotCovered := math.Min(c, float64(hotBytes)) / float64(hotBytes)
+	coldCovered := 0.0
+	if c > float64(hotBytes) {
+		coldCovered = (c - float64(hotBytes)) / float64(w.DataBytes-hotBytes)
+	}
+	return skew*hotCovered + (1-skew)*coldCovered
+}
+
+// MemorySplit is a three-way division of the memory budget.
+type MemorySplit struct {
+	BufferBytes int64
+	FilterBytes int64
+	CacheBytes  int64
+	Cost        float64 // expected I/O per operation under the model
+}
+
+// NavigateMemory finds the best three-way split of memoryBytes between
+// write buffer, Bloom filters, and block cache for a fixed tree shape
+// (T, layout): the §2.3.1 memory-wall navigation. It sweeps a grid of
+// splits and returns the minimum-cost point.
+func NavigateMemory(sys SystemParams, w CacheWorkload, memoryBytes int64,
+	sizeRatio int, layout DataLayout) MemorySplit {
+	wl := w.Workload.Normalize()
+	best := MemorySplit{Cost: math.Inf(1)}
+	const steps = 10
+	for bi := 1; bi < steps; bi++ {
+		for fi := 0; fi < steps-bi; fi++ {
+			bufFrac := float64(bi) / steps
+			filterFrac := float64(fi) / steps
+			cacheFrac := 1 - bufFrac - filterFrac
+			if cacheFrac < 0 {
+				continue
+			}
+			split := MemorySplit{
+				BufferBytes: int64(float64(memoryBytes) * bufFrac),
+				FilterBytes: int64(float64(memoryBytes) * filterFrac),
+				CacheBytes:  int64(float64(memoryBytes) * cacheFrac),
+			}
+			// The shape model sees only buffer+filters; the cache scales
+			// the read terms by the miss rate.
+			cfg := Config{
+				SizeRatio:      sizeRatio,
+				Layout:         layout,
+				MemoryBytes:    split.BufferBytes + split.FilterBytes,
+				BufferFraction: safeFrac(split.BufferBytes, split.BufferBytes+split.FilterBytes),
+			}
+			c := Evaluate(cfg, sys)
+			miss := 1 - CacheHitRate(w, split.CacheBytes)
+			split.Cost = wl.Inserts*c.Write +
+				miss*(wl.PointZero*c.PointZero+
+					wl.PointExist*c.PointExist+
+					wl.ShortScans*c.ShortScan+
+					wl.LongScans*c.LongScanPer)
+			if split.Cost < best.Cost {
+				best = split
+			}
+		}
+	}
+	return best
+}
+
+func safeFrac(num, den int64) float64 {
+	if den <= 0 {
+		return 0.5
+	}
+	return float64(num) / float64(den)
+}

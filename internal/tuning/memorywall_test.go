@@ -1,0 +1,78 @@
+package tuning
+
+import "testing"
+
+func cw(inserts, reads, skew float64) CacheWorkload {
+	return CacheWorkload{
+		Workload:  Workload{Inserts: inserts, PointExist: reads},
+		DataBytes: 10 << 30,
+		Skew:      skew,
+	}
+}
+
+func TestCacheHitRateShape(t *testing.T) {
+	w := cw(0.2, 0.8, 0.8)
+	if CacheHitRate(w, 0) != 0 {
+		t.Error("no cache, no hits")
+	}
+	if CacheHitRate(w, w.DataBytes) != 1 {
+		t.Error("cache >= data caches everything")
+	}
+	// Monotone in cache size.
+	prev := -1.0
+	for _, frac := range []int64{100, 50, 20, 10, 5, 2} {
+		h := CacheHitRate(w, w.DataBytes/frac)
+		if h < prev {
+			t.Fatalf("hit rate not monotone at 1/%d", frac)
+		}
+		prev = h
+	}
+	// More skew, more hits at equal (small) cache.
+	small := w.DataBytes / 20
+	flat, hot := cw(0.2, 0.8, 0.2), cw(0.2, 0.8, 0.95)
+	if CacheHitRate(hot, small) <= CacheHitRate(flat, small) {
+		t.Error("skew must raise small-cache hit rate")
+	}
+}
+
+func TestNavigateMemoryShiftsWithWorkload(t *testing.T) {
+	sys := SystemParams{NumEntries: 100_000_000, EntryBytes: 128, PageBytes: 4096}
+	mem := int64(1 << 30)
+
+	writeHeavy := NavigateMemory(sys, cw(0.9, 0.1, 0.8), mem, 10, LayoutLeveling)
+	readHeavy := NavigateMemory(sys, cw(0.05, 0.95, 0.8), mem, 10, LayoutLeveling)
+
+	// Write-heavy wants buffer; read-heavy wants cache+filters.
+	if writeHeavy.BufferBytes <= readHeavy.BufferBytes {
+		t.Errorf("write-heavy buffer %d should exceed read-heavy %d",
+			writeHeavy.BufferBytes, readHeavy.BufferBytes)
+	}
+	if readHeavy.CacheBytes+readHeavy.FilterBytes <= writeHeavy.CacheBytes+writeHeavy.FilterBytes {
+		t.Errorf("read-heavy read-memory %d should exceed write-heavy %d",
+			readHeavy.CacheBytes+readHeavy.FilterBytes,
+			writeHeavy.CacheBytes+writeHeavy.FilterBytes)
+	}
+	// Budgets respected.
+	for _, s := range []MemorySplit{writeHeavy, readHeavy} {
+		total := s.BufferBytes + s.FilterBytes + s.CacheBytes
+		if total > mem || total < mem*8/10 {
+			t.Errorf("split does not use the budget sensibly: %d of %d", total, mem)
+		}
+		if s.Cost <= 0 {
+			t.Errorf("cost %v", s.Cost)
+		}
+	}
+}
+
+func TestNavigateMemorySkewFavorsCache(t *testing.T) {
+	sys := SystemParams{NumEntries: 100_000_000, EntryBytes: 128, PageBytes: 4096}
+	mem := int64(1 << 30)
+	flat := NavigateMemory(sys, cw(0.3, 0.7, 0.2), mem, 10, LayoutLeveling)
+	hot := NavigateMemory(sys, cw(0.3, 0.7, 0.95), mem, 10, LayoutLeveling)
+	// Under heavy skew a modest cache captures most reads, so the
+	// optimum shifts memory toward the cache (or at least not away).
+	if hot.CacheBytes < flat.CacheBytes {
+		t.Errorf("skewed reads should not shrink the cache share: %d vs %d",
+			hot.CacheBytes, flat.CacheBytes)
+	}
+}

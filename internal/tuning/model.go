@@ -1,0 +1,284 @@
+// Package tuning implements Module III of the tutorial: the analytic
+// cost model over the LSM design space (the RUM tradeoff), a navigator
+// that picks the best configuration for a workload mix (Monkey-style
+// co-tuning of layout, size ratio, and memory split), and Endure-style
+// robust tuning that optimizes the worst case in a neighborhood of the
+// expected workload.
+//
+// The model follows the standard analyses (O'Neil et al.; Dayan et al.
+// Monkey/Dostoevsky): costs are expressed in expected page I/Os per
+// operation, parameterized by the size ratio T, the data layout, the
+// number of entries, entry size, page size, and the memory split
+// between the write buffer and the Bloom filters.
+package tuning
+
+import (
+	"fmt"
+	"math"
+)
+
+// DataLayout is the tree shape dimension of the design space.
+type DataLayout int
+
+// The layouts the model covers.
+const (
+	LayoutLeveling DataLayout = iota
+	LayoutTiering
+	LayoutLazyLeveling
+)
+
+func (l DataLayout) String() string {
+	switch l {
+	case LayoutLeveling:
+		return "leveling"
+	case LayoutTiering:
+		return "tiering"
+	case LayoutLazyLeveling:
+		return "lazy-leveling"
+	}
+	return fmt.Sprintf("layout(%d)", int(l))
+}
+
+// Config is one point in the LSM design space.
+type Config struct {
+	// SizeRatio is T >= 2.
+	SizeRatio int
+	// Layout is the data layout.
+	Layout DataLayout
+	// MemoryBytes is the total main memory for buffer + filters.
+	MemoryBytes int64
+	// BufferFraction is the share of MemoryBytes given to the write
+	// buffer; the rest funds Bloom filters.
+	BufferFraction float64
+}
+
+// SystemParams describes the data and device, fixed across configs.
+type SystemParams struct {
+	// NumEntries is the total number of live entries N.
+	NumEntries int64
+	// EntryBytes is the average entry size E.
+	EntryBytes int64
+	// PageBytes is the disk page size P.
+	PageBytes int64
+}
+
+// EntriesPerPage returns B = P/E.
+func (s SystemParams) EntriesPerPage() float64 {
+	return float64(s.PageBytes) / float64(s.EntryBytes)
+}
+
+// Costs are the expected page I/Os per operation plus derived space
+// amplification — the axes of the RUM tradeoff.
+type Costs struct {
+	Write       float64 // amortized I/O per insert
+	PointZero   float64 // zero-result point lookup
+	PointExist  float64 // existing-key point lookup
+	ShortScan   float64 // short range scan (seek-dominated)
+	LongScanPer float64 // long range scan, per page of result selectivity
+	SpaceAmp    float64 // bytes stored / bytes live
+}
+
+// Levels returns the number of tree levels L for a config: data beyond
+// the buffer is spread over levels growing by T.
+func Levels(cfg Config, sys SystemParams) float64 {
+	bufBytes := float64(cfg.MemoryBytes) * cfg.BufferFraction
+	if bufBytes < float64(sys.PageBytes) {
+		bufBytes = float64(sys.PageBytes)
+	}
+	data := float64(sys.NumEntries * sys.EntryBytes)
+	if data <= bufBytes {
+		return 1
+	}
+	T := float64(cfg.SizeRatio)
+	L := math.Ceil(math.Log(data/bufBytes*(T-1)/T+1) / math.Log(T))
+	if L < 1 {
+		L = 1
+	}
+	return L
+}
+
+// runsPerLevel returns how many sorted runs each level contributes for
+// the layout.
+func runsPerLevel(layout DataLayout, T float64, level, levels int) float64 {
+	switch layout {
+	case LayoutTiering:
+		return T
+	case LayoutLazyLeveling:
+		if level == levels-1 {
+			return 1
+		}
+		return T
+	default:
+		return 1
+	}
+}
+
+// filterFPRSum returns the total false-positive mass Σ fpr_i across all
+// runs under the optimal (Monkey) allocation of the filter budget, plus
+// the per-run FPR list (shallow first). With m bits per entry overall,
+// Monkey's closed form gives a total FPR proportional to the layout's
+// run structure; we compute it numerically from the run entry counts.
+func filterFPRSum(cfg Config, sys SystemParams) float64 {
+	filterBits := float64(cfg.MemoryBytes) * (1 - cfg.BufferFraction) * 8
+	if filterBits <= 0 {
+		// No filters: every run is probed.
+		return totalRuns(cfg, sys)
+	}
+	T := float64(cfg.SizeRatio)
+	L := int(Levels(cfg, sys))
+	// Entry counts per run: level i holds ~ N · (T-1)/T^(L-i)… compute a
+	// geometric fill where the last level holds the bulk.
+	var runs []float64
+	remaining := float64(sys.NumEntries)
+	for i := L - 1; i >= 0; i-- {
+		levelShare := remaining
+		if i > 0 {
+			levelShare = remaining * (T - 1) / T
+		}
+		r := runsPerLevel(cfg.Layout, T, i, L)
+		for j := 0; j < int(r); j++ {
+			runs = append(runs, levelShare/r)
+		}
+		remaining -= levelShare
+		if remaining < 1 {
+			remaining = 1
+		}
+	}
+	// Monkey waterfilling (same algorithm as bloom.Allocate, in float).
+	active := make([]bool, len(runs))
+	for i, n := range runs {
+		active[i] = n >= 1
+	}
+	ln2sq := math.Ln2 * math.Ln2
+	for {
+		var sumN, sumNlnN float64
+		any := false
+		for i, n := range runs {
+			if !active[i] {
+				continue
+			}
+			any = true
+			sumN += n
+			sumNlnN += n * math.Log(n)
+		}
+		if !any {
+			return totalRuns(cfg, sys)
+		}
+		lnInvC := (filterBits*ln2sq + sumNlnN) / sumN
+		refit := false
+		var fprSum float64
+		inactive := 0
+		for i, n := range runs {
+			if !active[i] {
+				inactive++
+				continue
+			}
+			b := (lnInvC - math.Log(n)) / ln2sq
+			if b <= 0 {
+				active[i] = false
+				refit = true
+				continue
+			}
+			fprSum += math.Exp(-ln2sq * b)
+		}
+		if !refit {
+			return fprSum + float64(inactive) // unfiltered runs always probed
+		}
+	}
+}
+
+// totalRuns returns the number of sorted runs in the tree.
+func totalRuns(cfg Config, sys SystemParams) float64 {
+	T := float64(cfg.SizeRatio)
+	L := int(Levels(cfg, sys))
+	var runs float64
+	for i := 0; i < L; i++ {
+		runs += runsPerLevel(cfg.Layout, T, i, L)
+	}
+	return runs
+}
+
+// Evaluate computes the model costs for a configuration.
+func Evaluate(cfg Config, sys SystemParams) Costs {
+	T := float64(cfg.SizeRatio)
+	L := Levels(cfg, sys)
+	B := sys.EntriesPerPage()
+
+	var c Costs
+
+	// Write cost: every entry is eventually rewritten once per level
+	// (tiering) or ~T/2 times per level (leveling, merged into a run
+	// that grows T times before moving on); lazy leveling pays tiering
+	// at intermediate levels and leveling at the last.
+	switch cfg.Layout {
+	case LayoutTiering:
+		c.Write = L / B
+	case LayoutLazyLeveling:
+		c.Write = ((L - 1) + T/2) / B
+	default:
+		c.Write = L * T / 2 / B
+	}
+
+	// Point lookups: zero-result cost is the filter false-positive
+	// mass; existing-key cost adds the one real probe.
+	c.PointZero = filterFPRSum(cfg, sys)
+	c.PointExist = 1 + c.PointZero
+
+	// Short scans probe every run once (filters do not help vanilla
+	// scans); long scans additionally stream s/B pages, dominated by
+	// the last level(s): tiering reads T copies of the large level.
+	runs := totalRuns(cfg, sys)
+	c.ShortScan = runs
+	switch cfg.Layout {
+	case LayoutTiering:
+		c.LongScanPer = T
+	default:
+		c.LongScanPer = 1 + 1/T
+	}
+
+	// Space amplification: leveling wastes at most 1/T of the last
+	// level in shallower duplicates; tiering can hold T copies.
+	switch cfg.Layout {
+	case LayoutTiering:
+		c.SpaceAmp = T
+	case LayoutLazyLeveling:
+		c.SpaceAmp = 1 + 1/T + (T-1)/math.Pow(T, 2)
+	default:
+		c.SpaceAmp = 1 + 1/T
+	}
+	return c
+}
+
+// Workload is an operation mix (fractions should sum to ~1).
+type Workload struct {
+	Inserts    float64
+	PointZero  float64 // zero-result lookups
+	PointExist float64 // existing-key lookups
+	ShortScans float64
+	LongScans  float64 // weight per unit selectivity
+}
+
+// Normalize scales the mix to sum to 1 (no-op for a zero workload).
+func (w Workload) Normalize() Workload {
+	s := w.Inserts + w.PointZero + w.PointExist + w.ShortScans + w.LongScans
+	if s <= 0 {
+		return w
+	}
+	w.Inserts /= s
+	w.PointZero /= s
+	w.PointExist /= s
+	w.ShortScans /= s
+	w.LongScans /= s
+	return w
+}
+
+// Cost returns the expected I/O per operation of the workload under
+// the configuration.
+func Cost(cfg Config, sys SystemParams, w Workload) float64 {
+	c := Evaluate(cfg, sys)
+	return w.Inserts*c.Write +
+		w.PointZero*c.PointZero +
+		w.PointExist*c.PointExist +
+		w.ShortScans*c.ShortScan +
+		w.LongScans*c.LongScanPer
+}

@@ -1,0 +1,138 @@
+package tuning
+
+import (
+	"math"
+	"sort"
+)
+
+// SearchSpace bounds the navigator's enumeration.
+type SearchSpace struct {
+	SizeRatios      []int        // candidate T values
+	Layouts         []DataLayout // candidate layouts
+	BufferFractions []float64    // candidate memory splits
+}
+
+// DefaultSearchSpace covers the tutorial's knobs at practical
+// granularity.
+func DefaultSearchSpace() SearchSpace {
+	return SearchSpace{
+		SizeRatios:      []int{2, 3, 4, 6, 8, 10, 12, 16},
+		Layouts:         []DataLayout{LayoutLeveling, LayoutTiering, LayoutLazyLeveling},
+		BufferFractions: []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9},
+	}
+}
+
+// Recommendation is a navigator result.
+type Recommendation struct {
+	Config Config
+	Cost   float64
+}
+
+// Navigate enumerates the design space and returns the configuration
+// minimizing the workload's expected cost (tutorial §2.3.1: navigating
+// the read-write tradeoff). memoryBytes is the total buffer+filter
+// budget.
+func Navigate(sys SystemParams, memoryBytes int64, w Workload, space SearchSpace) Recommendation {
+	w = w.Normalize()
+	best := Recommendation{Cost: math.Inf(1)}
+	for _, T := range space.SizeRatios {
+		for _, layout := range space.Layouts {
+			for _, bf := range space.BufferFractions {
+				cfg := Config{
+					SizeRatio:      T,
+					Layout:         layout,
+					MemoryBytes:    memoryBytes,
+					BufferFraction: bf,
+				}
+				if cost := Cost(cfg, sys, w); cost < best.Cost {
+					best = Recommendation{Config: cfg, Cost: cost}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// TradeoffPoint is one point on the read-write tradeoff curve.
+type TradeoffPoint struct {
+	Config    Config
+	WriteCost float64
+	ReadCost  float64
+}
+
+// TradeoffCurve sweeps the size ratio for a layout and returns the
+// (write cost, point read cost) frontier — the curve the tutorial's
+// Module III plots (RUM tradeoff).
+func TradeoffCurve(sys SystemParams, memoryBytes int64, layout DataLayout, sizeRatios []int) []TradeoffPoint {
+	var pts []TradeoffPoint
+	for _, T := range sizeRatios {
+		cfg := Config{SizeRatio: T, Layout: layout, MemoryBytes: memoryBytes, BufferFraction: 0.2}
+		c := Evaluate(cfg, sys)
+		pts = append(pts, TradeoffPoint{Config: cfg, WriteCost: c.Write, ReadCost: c.PointExist})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].WriteCost < pts[j].WriteCost })
+	return pts
+}
+
+// Neighborhood generates workload mixes within an L1 distance rho of w
+// on the mixture simplex — the uncertainty region of Endure (tutorial
+// §2.3.2, [55]). It perturbs each pair of components by ±rho/2.
+func Neighborhood(w Workload, rho float64) []Workload {
+	w = w.Normalize()
+	dims := []func(*Workload) *float64{
+		func(x *Workload) *float64 { return &x.Inserts },
+		func(x *Workload) *float64 { return &x.PointZero },
+		func(x *Workload) *float64 { return &x.PointExist },
+		func(x *Workload) *float64 { return &x.ShortScans },
+		func(x *Workload) *float64 { return &x.LongScans },
+	}
+	out := []Workload{w}
+	for i := range dims {
+		for j := range dims {
+			if i == j {
+				continue
+			}
+			v := w
+			from, to := dims[i](&v), dims[j](&v)
+			d := rho / 2
+			if *from < d {
+				d = *from
+			}
+			*from -= d
+			*to += d
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// NavigateRobust returns the min-max configuration: the one whose
+// *worst* cost over the workload neighborhood is lowest. Nominal
+// tuning wins at the expected workload; robust tuning loses little
+// there and much less under shift — the claim experiment E10 measures.
+func NavigateRobust(sys SystemParams, memoryBytes int64, w Workload, rho float64, space SearchSpace) Recommendation {
+	neighborhood := Neighborhood(w, rho)
+	best := Recommendation{Cost: math.Inf(1)}
+	for _, T := range space.SizeRatios {
+		for _, layout := range space.Layouts {
+			for _, bf := range space.BufferFractions {
+				cfg := Config{
+					SizeRatio:      T,
+					Layout:         layout,
+					MemoryBytes:    memoryBytes,
+					BufferFraction: bf,
+				}
+				worst := 0.0
+				for _, wk := range neighborhood {
+					if c := Cost(cfg, sys, wk); c > worst {
+						worst = c
+					}
+				}
+				if worst < best.Cost {
+					best = Recommendation{Config: cfg, Cost: worst}
+				}
+			}
+		}
+	}
+	return best
+}

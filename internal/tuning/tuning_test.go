@@ -1,0 +1,188 @@
+package tuning
+
+import (
+	"math"
+	"testing"
+)
+
+func sys() SystemParams {
+	return SystemParams{NumEntries: 100_000_000, EntryBytes: 128, PageBytes: 4096}
+}
+
+func TestLevelsGrowWithData(t *testing.T) {
+	cfg := Config{SizeRatio: 10, Layout: LayoutLeveling, MemoryBytes: 64 << 20, BufferFraction: 0.5}
+	small := SystemParams{NumEntries: 1000, EntryBytes: 128, PageBytes: 4096}
+	big := sys()
+	if Levels(cfg, small) >= Levels(cfg, big) {
+		t.Error("more data must mean more levels")
+	}
+	if Levels(cfg, small) < 1 {
+		t.Error("at least one level")
+	}
+}
+
+func TestLevelsShrinkWithSizeRatio(t *testing.T) {
+	base := Config{Layout: LayoutLeveling, MemoryBytes: 64 << 20, BufferFraction: 0.5}
+	t2, t10 := base, base
+	t2.SizeRatio = 2
+	t10.SizeRatio = 10
+	if Levels(t2, sys()) <= Levels(t10, sys()) {
+		t.Error("larger size ratio must mean fewer levels")
+	}
+}
+
+func TestRUMTradeoffAcrossLayouts(t *testing.T) {
+	s := sys()
+	mk := func(l DataLayout) Costs {
+		return Evaluate(Config{SizeRatio: 10, Layout: l, MemoryBytes: 256 << 20, BufferFraction: 0.2}, s)
+	}
+	lev, tier, lazy := mk(LayoutLeveling), mk(LayoutTiering), mk(LayoutLazyLeveling)
+
+	// Tiering writes cheaper, reads and space costlier (§2.2.2).
+	if tier.Write >= lev.Write {
+		t.Errorf("tiering write %.4f should beat leveling %.4f", tier.Write, lev.Write)
+	}
+	if tier.PointZero <= lev.PointZero {
+		t.Errorf("tiering point cost %.4f should exceed leveling %.4f", tier.PointZero, lev.PointZero)
+	}
+	if tier.ShortScan <= lev.ShortScan {
+		t.Error("tiering short scans must probe more runs")
+	}
+	if tier.SpaceAmp <= lev.SpaceAmp {
+		t.Error("tiering space amp must exceed leveling")
+	}
+	// Lazy leveling sits between on writes, close to leveling on space.
+	if !(lazy.Write < lev.Write && lazy.Write > tier.Write*0.99) {
+		t.Errorf("lazy write %.4f should sit between tiering %.4f and leveling %.4f",
+			lazy.Write, tier.Write, lev.Write)
+	}
+	if lazy.SpaceAmp >= tier.SpaceAmp {
+		t.Error("lazy space amp must beat tiering")
+	}
+}
+
+func TestSizeRatioSweepTracesTradeoff(t *testing.T) {
+	pts := TradeoffCurve(sys(), 256<<20, LayoutLeveling, []int{2, 4, 8, 16})
+	if len(pts) != 4 {
+		t.Fatal("points")
+	}
+	// With leveling, growing T raises write cost and lowers read cost:
+	// the frontier is monotone.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].ReadCost > pts[i-1].ReadCost+1e-9 {
+			t.Errorf("read cost must fall along the curve: %+v", pts)
+		}
+	}
+}
+
+func TestMoreFilterMemoryCutsPointCost(t *testing.T) {
+	s := sys()
+	poor := Evaluate(Config{SizeRatio: 10, Layout: LayoutLeveling, MemoryBytes: 16 << 20, BufferFraction: 0.9}, s)
+	rich := Evaluate(Config{SizeRatio: 10, Layout: LayoutLeveling, MemoryBytes: 512 << 20, BufferFraction: 0.2}, s)
+	if rich.PointZero >= poor.PointZero {
+		t.Errorf("more filter memory must cut zero-result cost: %.4f vs %.4f",
+			rich.PointZero, poor.PointZero)
+	}
+}
+
+func TestNavigatePrefersTieringForWriteHeavy(t *testing.T) {
+	s := sys()
+	writeHeavy := Workload{Inserts: 0.95, PointExist: 0.05}
+	// Generous filter memory mutes tiering's *point* read penalty (the
+	// Monkey insight), so a read mix that punishes tiering must include
+	// short scans, which filters cannot help.
+	readHeavy := Workload{Inserts: 0.05, PointExist: 0.45, PointZero: 0.2, ShortScans: 0.3}
+	space := DefaultSearchSpace()
+	wrec := Navigate(s, 256<<20, writeHeavy, space)
+	rrec := Navigate(s, 256<<20, readHeavy, space)
+	if wrec.Config.Layout == LayoutLeveling {
+		t.Errorf("write-heavy should avoid pure leveling, got %v", wrec.Config.Layout)
+	}
+	if rrec.Config.Layout == LayoutTiering {
+		t.Errorf("read-heavy should avoid pure tiering, got %v", rrec.Config.Layout)
+	}
+	// Each recommendation must beat the other's config on its own
+	// workload.
+	if Cost(wrec.Config, s, writeHeavy.Normalize()) > Cost(rrec.Config, s, writeHeavy.Normalize()) {
+		t.Error("write recommendation not optimal for write workload")
+	}
+}
+
+func TestNavigateCostMatchesEvaluate(t *testing.T) {
+	s := sys()
+	w := Workload{Inserts: 0.5, PointExist: 0.5}
+	rec := Navigate(s, 128<<20, w, DefaultSearchSpace())
+	if math.Abs(rec.Cost-Cost(rec.Config, s, w.Normalize())) > 1e-12 {
+		t.Error("reported cost must equal recomputed cost")
+	}
+}
+
+func TestNeighborhoodStaysOnSimplex(t *testing.T) {
+	w := Workload{Inserts: 0.5, PointExist: 0.3, PointZero: 0.2}
+	nb := Neighborhood(w, 0.2)
+	if len(nb) < 2 {
+		t.Fatal("neighborhood too small")
+	}
+	for _, v := range nb {
+		sum := v.Inserts + v.PointZero + v.PointExist + v.ShortScans + v.LongScans
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("mix sums to %v", sum)
+		}
+		for _, f := range []float64{v.Inserts, v.PointZero, v.PointExist, v.ShortScans, v.LongScans} {
+			if f < -1e-12 {
+				t.Errorf("negative fraction %v", f)
+			}
+		}
+	}
+}
+
+func TestRobustTuningWinsUnderShift(t *testing.T) {
+	s := sys()
+	expected := Workload{Inserts: 0.9, PointZero: 0.05, PointExist: 0.05}
+	space := DefaultSearchSpace()
+	nominal := Navigate(s, 256<<20, expected, space)
+	robust := NavigateRobust(s, 256<<20, expected, 0.6, space)
+
+	// At the expected workload, nominal is at least as good.
+	en := Cost(nominal.Config, s, expected.Normalize())
+	er := Cost(robust.Config, s, expected.Normalize())
+	if en > er+1e-9 {
+		t.Errorf("nominal must win at the expected point: %.4f vs %.4f", en, er)
+	}
+	// Under a strong shift to reads, robust must not lose badly; find
+	// the worst neighborhood point for each.
+	worst := func(cfg Config) float64 {
+		w := 0.0
+		for _, v := range Neighborhood(expected, 0.6) {
+			if c := Cost(cfg, s, v); c > w {
+				w = c
+			}
+		}
+		return w
+	}
+	if worst(robust.Config) > worst(nominal.Config)+1e-9 {
+		t.Errorf("robust config must minimize worst case: %.4f vs %.4f",
+			worst(robust.Config), worst(nominal.Config))
+	}
+}
+
+func TestWorkloadNormalize(t *testing.T) {
+	w := Workload{Inserts: 2, PointExist: 2}.Normalize()
+	if w.Inserts != 0.5 || w.PointExist != 0.5 {
+		t.Errorf("normalize: %+v", w)
+	}
+	z := Workload{}.Normalize()
+	if z.Inserts != 0 {
+		t.Error("zero workload unchanged")
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	if LayoutLeveling.String() != "leveling" || LayoutTiering.String() != "tiering" ||
+		LayoutLazyLeveling.String() != "lazy-leveling" {
+		t.Error("names")
+	}
+	if DataLayout(9).String() == "" {
+		t.Error("unknown layout")
+	}
+}

@@ -1,0 +1,161 @@
+package vfs
+
+import (
+	"sync/atomic"
+)
+
+// IOStats is a snapshot of the I/O performed through a CountingFS.
+type IOStats struct {
+	BytesRead    int64
+	BytesWritten int64
+	ReadOps      int64 // ReadAt calls
+	WriteOps     int64 // Write calls
+	PagesRead    int64 // ReadAt calls, rounded up to 4 KiB pages
+	PagesWritten int64 // Write calls, rounded up to 4 KiB pages
+	SimulatedNs  int64 // accumulated simulated device time
+}
+
+// Sub returns s - o, component-wise; used to measure an interval.
+func (s IOStats) Sub(o IOStats) IOStats {
+	return IOStats{
+		BytesRead:    s.BytesRead - o.BytesRead,
+		BytesWritten: s.BytesWritten - o.BytesWritten,
+		ReadOps:      s.ReadOps - o.ReadOps,
+		WriteOps:     s.WriteOps - o.WriteOps,
+		PagesRead:    s.PagesRead - o.PagesRead,
+		PagesWritten: s.PagesWritten - o.PagesWritten,
+		SimulatedNs:  s.SimulatedNs - o.SimulatedNs,
+	}
+}
+
+// LatencyModel charges simulated time for device operations. Costs
+// accumulate in IOStats.SimulatedNs rather than being slept, so
+// experiments remain fast and deterministic while still exhibiting the
+// read/write and op/byte asymmetries of real devices.
+type LatencyModel struct {
+	ReadOpNs    int64 // fixed cost per read operation (seek/command)
+	WriteOpNs   int64 // fixed cost per write operation
+	ReadByteNs  int64 // per-KiB read cost, in ns per KiB
+	WriteByteNs int64 // per-KiB write cost, in ns per KiB
+}
+
+// SSDLatency is a latency model loosely shaped like a consumer NVMe SSD:
+// ~80 microsecond read op cost, ~20 microsecond write op cost (writes are
+// absorbed by the device cache; the per-byte cost dominates for large
+// sequential writes).
+func SSDLatency() LatencyModel {
+	return LatencyModel{ReadOpNs: 80_000, WriteOpNs: 20_000, ReadByteNs: 250, WriteByteNs: 600}
+}
+
+// HDDLatency models a disk with expensive seeks relative to streaming.
+func HDDLatency() LatencyModel {
+	return LatencyModel{ReadOpNs: 8_000_000, WriteOpNs: 8_000_000, ReadByteNs: 8_000, WriteByteNs: 8_000}
+}
+
+func (m LatencyModel) readCost(n int) int64 {
+	return m.ReadOpNs + m.ReadByteNs*int64(n)/1024
+}
+
+func (m LatencyModel) writeCost(n int) int64 {
+	return m.WriteOpNs + m.WriteByteNs*int64(n)/1024
+}
+
+// CountingFS wraps an FS and counts bytes and operations flowing through
+// it, optionally charging a simulated latency model.
+type CountingFS struct {
+	FS
+	latency LatencyModel
+
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+	readOps      atomic.Int64
+	writeOps     atomic.Int64
+	pagesRead    atomic.Int64
+	pagesWritten atomic.Int64
+	simNs        atomic.Int64
+}
+
+// NewCounting wraps fs with I/O accounting and no latency model.
+func NewCounting(fs FS) *CountingFS { return &CountingFS{FS: fs} }
+
+// NewCountingWithLatency wraps fs with I/O accounting and the given
+// simulated latency model.
+func NewCountingWithLatency(fs FS, m LatencyModel) *CountingFS {
+	return &CountingFS{FS: fs, latency: m}
+}
+
+// Stats returns a snapshot of the accumulated I/O statistics.
+func (c *CountingFS) Stats() IOStats {
+	return IOStats{
+		BytesRead:    c.bytesRead.Load(),
+		BytesWritten: c.bytesWritten.Load(),
+		ReadOps:      c.readOps.Load(),
+		WriteOps:     c.writeOps.Load(),
+		PagesRead:    c.pagesRead.Load(),
+		PagesWritten: c.pagesWritten.Load(),
+		SimulatedNs:  c.simNs.Load(),
+	}
+}
+
+// Reset zeroes the accumulated statistics.
+func (c *CountingFS) Reset() {
+	c.bytesRead.Store(0)
+	c.bytesWritten.Store(0)
+	c.readOps.Store(0)
+	c.writeOps.Store(0)
+	c.pagesRead.Store(0)
+	c.pagesWritten.Store(0)
+	c.simNs.Store(0)
+}
+
+func pages(n int) int64 { return int64((n + PageSize - 1) / PageSize) }
+
+// Create implements FS.
+func (c *CountingFS) Create(name string) (File, error) {
+	f, err := c.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &countingFile{File: f, fs: c}, nil
+}
+
+// Append implements FS.
+func (c *CountingFS) Append(name string) (File, error) {
+	f, err := c.FS.Append(name)
+	if err != nil {
+		return nil, err
+	}
+	return &countingFile{File: f, fs: c}, nil
+}
+
+// Open implements FS.
+func (c *CountingFS) Open(name string) (File, error) {
+	f, err := c.FS.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &countingFile{File: f, fs: c}, nil
+}
+
+type countingFile struct {
+	File
+	fs *CountingFS
+}
+
+func (f *countingFile) Write(p []byte) (int, error) {
+	n, err := f.File.Write(p)
+	f.fs.bytesWritten.Add(int64(n))
+	f.fs.writeOps.Add(1)
+	f.fs.pagesWritten.Add(pages(n))
+	f.fs.simNs.Add(f.fs.latency.writeCost(n))
+	return n, err
+}
+
+func (f *countingFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := f.File.ReadAt(p, off)
+	f.fs.bytesRead.Add(int64(n))
+	f.fs.readOps.Add(1)
+	f.fs.pagesRead.Add(pages(n))
+	f.fs.simNs.Add(f.fs.latency.readCost(n))
+	return n, err
+}

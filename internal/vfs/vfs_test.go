@@ -1,0 +1,315 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestMemFSCreateWriteRead(t *testing.T) {
+	fs := NewMem()
+	f, err := fs.Create("dir/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := fs.Open("dir/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 5)
+	if _, err := r.ReadAt(buf, 6); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "world" {
+		t.Errorf("read %q", buf)
+	}
+	if sz, _ := r.Size(); sz != 11 {
+		t.Errorf("size %d", sz)
+	}
+}
+
+func TestMemFSReadAtEOF(t *testing.T) {
+	fs := NewMem()
+	f, _ := fs.Create("f")
+	f.Write([]byte("abc"))
+	f.Close()
+	r, _ := fs.Open("f")
+	buf := make([]byte, 10)
+	n, err := r.ReadAt(buf, 0)
+	if n != 3 || err != io.EOF {
+		t.Errorf("short read: n=%d err=%v", n, err)
+	}
+	if _, err := r.ReadAt(buf, 99); err != io.EOF {
+		t.Errorf("read past end: %v", err)
+	}
+}
+
+func TestMemFSOpenMissing(t *testing.T) {
+	fs := NewMem()
+	if _, err := fs.Open("nope"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("want ErrNotExist, got %v", err)
+	}
+	if fs.Exists("nope") {
+		t.Error("Exists on missing file")
+	}
+}
+
+func TestMemFSRemoveRename(t *testing.T) {
+	fs := NewMem()
+	f, _ := fs.Create("a")
+	f.Write([]byte("x"))
+	f.Close()
+	if err := fs.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("a") || !fs.Exists("b") {
+		t.Error("rename did not move file")
+	}
+	if err := fs.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("b") {
+		t.Error("remove left file")
+	}
+	if err := fs.Remove("b"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("double remove: %v", err)
+	}
+	if err := fs.Rename("b", "c"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("rename missing: %v", err)
+	}
+}
+
+func TestMemFSList(t *testing.T) {
+	fs := NewMem()
+	for _, n := range []string{"d/2", "d/1", "d/sub-not-really", "other/x"} {
+		f, _ := fs.Create(n)
+		f.Close()
+	}
+	names, err := fs.List("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1", "2", "sub-not-really"}
+	if len(names) != len(want) {
+		t.Fatalf("names %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names[%d]=%q want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestMemFSTotalBytes(t *testing.T) {
+	fs := NewMem()
+	f, _ := fs.Create("a")
+	f.Write(make([]byte, 100))
+	f.Close()
+	g, _ := fs.Create("b")
+	g.Write(make([]byte, 50))
+	g.Close()
+	if got := fs.TotalBytes(); got != 150 {
+		t.Errorf("TotalBytes = %d", got)
+	}
+}
+
+func TestMemFSClosedFile(t *testing.T) {
+	fs := NewMem()
+	f, _ := fs.Create("a")
+	f.Close()
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Error("write on closed file must fail")
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); err == nil {
+		t.Error("read on closed file must fail")
+	}
+}
+
+func TestMemFSReadOnlyHandle(t *testing.T) {
+	fs := NewMem()
+	f, _ := fs.Create("a")
+	f.Write([]byte("x"))
+	f.Close()
+	r, _ := fs.Open("a")
+	if _, err := r.Write([]byte("y")); err == nil {
+		t.Error("write on read-only handle must fail")
+	}
+}
+
+func TestCountingFS(t *testing.T) {
+	c := NewCounting(NewMem())
+	f, _ := c.Create("a")
+	f.Write(make([]byte, 5000)) // 2 pages
+	f.Write(make([]byte, 100))  // 1 page
+	f.Close()
+	r, _ := c.Open("a")
+	r.ReadAt(make([]byte, 4096), 0) // 1 page
+	r.ReadAt(make([]byte, 10), 0)   // 1 page (rounded up)
+	r.Close()
+
+	s := c.Stats()
+	if s.BytesWritten != 5100 || s.WriteOps != 2 || s.PagesWritten != 3 {
+		t.Errorf("write stats: %+v", s)
+	}
+	if s.BytesRead != 4106 || s.ReadOps != 2 || s.PagesRead != 2 {
+		t.Errorf("read stats: %+v", s)
+	}
+
+	c.Reset()
+	if s := c.Stats(); s.BytesWritten != 0 || s.PagesRead != 0 {
+		t.Errorf("reset: %+v", s)
+	}
+}
+
+func TestCountingFSLatency(t *testing.T) {
+	m := LatencyModel{ReadOpNs: 100, WriteOpNs: 10, ReadByteNs: 1024, WriteByteNs: 2048}
+	c := NewCountingWithLatency(NewMem(), m)
+	f, _ := c.Create("a")
+	f.Write(make([]byte, 1024)) // 10 + 2048*1 = 2058
+	f.Close()
+	r, _ := c.Open("a")
+	r.ReadAt(make([]byte, 1024), 0) // 100 + 1024*1 = 1124
+	r.Close()
+	if got := c.Stats().SimulatedNs; got != 2058+1124 {
+		t.Errorf("SimulatedNs = %d, want %d", got, 2058+1124)
+	}
+}
+
+func TestIOStatsSub(t *testing.T) {
+	a := IOStats{BytesRead: 10, BytesWritten: 20, ReadOps: 1, WriteOps: 2, PagesRead: 3, PagesWritten: 4, SimulatedNs: 5}
+	b := IOStats{BytesRead: 4, BytesWritten: 8, ReadOps: 1, WriteOps: 1, PagesRead: 1, PagesWritten: 1, SimulatedNs: 1}
+	d := a.Sub(b)
+	if d.BytesRead != 6 || d.BytesWritten != 12 || d.ReadOps != 0 || d.WriteOps != 1 ||
+		d.PagesRead != 2 || d.PagesWritten != 3 || d.SimulatedNs != 4 {
+		t.Errorf("Sub = %+v", d)
+	}
+}
+
+func TestOSFS(t *testing.T) {
+	fs := NewOS()
+	dir := t.TempDir()
+	name := Join(dir, "f")
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("data"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if !fs.Exists(name) {
+		t.Error("Exists")
+	}
+	r, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := r.Size(); sz != 4 {
+		t.Errorf("size %d", sz)
+	}
+	buf := make([]byte, 4)
+	r.ReadAt(buf, 0)
+	if string(buf) != "data" {
+		t.Errorf("read %q", buf)
+	}
+	r.Close()
+	names, _ := fs.List(dir)
+	if len(names) != 1 || names[0] != "f" {
+		t.Errorf("list %v", names)
+	}
+	if err := fs.Rename(name, Join(dir, "g")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(Join(dir, "g")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open(Join(dir, "g")); !errors.Is(err, ErrNotExist) {
+		t.Errorf("open removed: %v", err)
+	}
+	if err := fs.MkdirAll(Join(dir, "a/b/c")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyPresets(t *testing.T) {
+	ssd, hdd := SSDLatency(), HDDLatency()
+	if ssd.ReadOpNs >= hdd.ReadOpNs {
+		t.Error("SSD op cost should be far below HDD")
+	}
+	if ssd.readCost(4096) <= ssd.ReadOpNs {
+		t.Error("per-byte cost must add to op cost")
+	}
+}
+
+func TestMemFSAppend(t *testing.T) {
+	fs := NewMem()
+	// Append creates the file if absent.
+	a, err := fs.Append("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Write([]byte("one"))
+	a.Close()
+	// Append to existing data.
+	b, err := fs.Append("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Write([]byte("two"))
+	b.Close()
+	r, _ := fs.Open("log")
+	buf := make([]byte, 6)
+	r.ReadAt(buf, 0)
+	if string(buf) != "onetwo" {
+		t.Errorf("appended content %q", buf)
+	}
+}
+
+func TestOSFSAppend(t *testing.T) {
+	fs := NewOS()
+	name := Join(t.TempDir(), "log")
+	a, err := fs.Append(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Write([]byte("one"))
+	a.Close()
+	b, _ := fs.Append(name)
+	b.Write([]byte("two"))
+	b.Close()
+	r, _ := fs.Open(name)
+	defer r.Close()
+	buf := make([]byte, 6)
+	r.ReadAt(buf, 0)
+	if string(buf) != "onetwo" {
+		t.Errorf("appended content %q", buf)
+	}
+}
+
+func TestCountingFSAppendCounts(t *testing.T) {
+	c := NewCounting(NewMem())
+	f, err := c.Append("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(make([]byte, 100))
+	f.Close()
+	if s := c.Stats(); s.BytesWritten != 100 || s.WriteOps != 1 {
+		t.Errorf("append not counted: %+v", s)
+	}
+}

@@ -1,0 +1,195 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"lsmlab/internal/kv"
+	"lsmlab/internal/vfs"
+)
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("log")
+	w := NewWriter(f)
+	batches := []*Batch{
+		{Seq: 1, Ops: []Op{{Kind: kv.KindSet, Key: []byte("a"), Value: []byte("1")}}},
+		{Seq: 2, Ops: []Op{
+			{Kind: kv.KindSet, Key: []byte("b"), Value: []byte("2")},
+			{Kind: kv.KindDelete, Key: []byte("a")},
+		}},
+		{Seq: 4, Ops: []Op{{Kind: kv.KindRangeDelete, Key: []byte("c"), Value: []byte("f")}}},
+	}
+	for _, b := range batches {
+		if _, err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rf, _ := fs.Open("log")
+	var got []*Batch
+	err := Replay(rf, func(b Batch) error {
+		got = append(got, &b)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(batches) {
+		t.Fatalf("replayed %d of %d", len(got), len(batches))
+	}
+	for i, b := range batches {
+		if got[i].Seq != b.Seq || len(got[i].Ops) != len(b.Ops) {
+			t.Fatalf("batch %d mismatch", i)
+		}
+		for j, op := range b.Ops {
+			g := got[i].Ops[j]
+			if g.Kind != op.Kind || string(g.Key) != string(op.Key) || string(g.Value) != string(op.Value) {
+				t.Fatalf("batch %d op %d: %+v vs %+v", i, j, g, op)
+			}
+		}
+	}
+}
+
+func TestReplayEmptyLog(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("log")
+	f.Close()
+	rf, _ := fs.Open("log")
+	if err := Replay(rf, func(Batch) error { t.Fatal("unexpected batch"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeLog(t *testing.T, fs vfs.FS, n int) []byte {
+	t.Helper()
+	f, _ := fs.Create("log")
+	w := NewWriter(f)
+	for i := 0; i < n; i++ {
+		w.Append(&Batch{Seq: kv.SeqNum(i + 1), Ops: []Op{
+			{Kind: kv.KindSet, Key: []byte(fmt.Sprintf("k%d", i)), Value: []byte("v")},
+		}})
+	}
+	f.Close()
+	rf, _ := fs.Open("log")
+	sz, _ := rf.Size()
+	data := make([]byte, sz)
+	rf.ReadAt(data, 0)
+	rf.Close()
+	return data
+}
+
+func replayBytes(t *testing.T, data []byte) (int, error) {
+	t.Helper()
+	fs := vfs.NewMem()
+	f, _ := fs.Create("log")
+	f.Write(data)
+	f.Close()
+	rf, _ := fs.Open("log")
+	count := 0
+	err := Replay(rf, func(Batch) error { count++; return nil })
+	return count, err
+}
+
+func TestReplayTornTailTruncatedPayload(t *testing.T) {
+	data := writeLog(t, vfs.NewMem(), 3)
+	// Chop mid-way through the final record's payload.
+	count, err := replayBytes(t, data[:len(data)-3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Errorf("replayed %d, want 2", count)
+	}
+}
+
+func TestReplayTornTailTruncatedHeader(t *testing.T) {
+	data := writeLog(t, vfs.NewMem(), 2)
+	// Leave only 4 bytes of the second record's header... find first
+	// record length.
+	first := 8 + int(uint32(data[0])|uint32(data[1])<<8|uint32(data[2])<<16|uint32(data[3])<<24)
+	count, err := replayBytes(t, data[:first+4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("replayed %d, want 1", count)
+	}
+}
+
+func TestReplayCorruptTailIgnored(t *testing.T) {
+	data := writeLog(t, vfs.NewMem(), 3)
+	// Flip a payload byte in the last record.
+	data[len(data)-1] ^= 0xff
+	count, err := replayBytes(t, data)
+	if err != nil {
+		t.Fatalf("corrupt tail should be treated as torn: %v", err)
+	}
+	if count != 2 {
+		t.Errorf("replayed %d, want 2", count)
+	}
+}
+
+func TestReplayMidCorruptionReported(t *testing.T) {
+	data := writeLog(t, vfs.NewMem(), 5)
+	// Corrupt the first record's payload: not the tail, must error.
+	data[9] ^= 0xff
+	_, err := replayBytes(t, data)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("mid-log corruption not reported: %v", err)
+	}
+}
+
+func TestReplayCallbackError(t *testing.T) {
+	data := writeLog(t, vfs.NewMem(), 3)
+	fs := vfs.NewMem()
+	f, _ := fs.Create("log")
+	f.Write(data)
+	f.Close()
+	rf, _ := fs.Open("log")
+	sentinel := errors.New("stop")
+	err := Replay(rf, func(Batch) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Errorf("callback error not propagated: %v", err)
+	}
+}
+
+func TestWriterSizeTracking(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("log")
+	w := NewWriter(f)
+	if w.Size() != 0 {
+		t.Error("fresh writer size")
+	}
+	n, _ := w.Append(&Batch{Seq: 1, Ops: []Op{{Kind: kv.KindSet, Key: []byte("k"), Value: []byte("v")}}})
+	if w.Size() != int64(n) || n <= 8 {
+		t.Errorf("size=%d n=%d", w.Size(), n)
+	}
+}
+
+func TestLargeBatch(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("log")
+	w := NewWriter(f)
+	b := &Batch{Seq: 100}
+	for i := 0; i < 10000; i++ {
+		b.Ops = append(b.Ops, Op{Kind: kv.KindSet, Key: []byte(fmt.Sprintf("key-%06d", i)), Value: make([]byte, 100)})
+	}
+	if _, err := w.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rf, _ := fs.Open("log")
+	var got Batch
+	if err := Replay(rf, func(b Batch) error { got = b; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 100 || len(got.Ops) != 10000 {
+		t.Errorf("seq=%d ops=%d", got.Seq, len(got.Ops))
+	}
+}

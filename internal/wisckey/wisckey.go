@@ -1,0 +1,305 @@
+// Package wisckey implements WiscKey-style key–value separation
+// (tutorial §2.2.2, [78]): large values live in an append-only value
+// log, and the LSM-tree stores only small pointer entries. Compactions
+// then move pointers instead of payloads, cutting write amplification
+// roughly by the value/key size ratio; the log is garbage-collected by
+// re-appending still-live values and dropping dead files.
+package wisckey
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"lsmlab/internal/vfs"
+)
+
+// ErrCorrupt reports a damaged value-log record.
+var ErrCorrupt = errors.New("wisckey: corrupt value log")
+
+// PointerLen is the encoded size of a Pointer.
+const PointerLen = 20
+
+// Pointer locates one value inside the log.
+type Pointer struct {
+	FileNum uint64
+	Offset  uint64
+	Length  uint32 // total record length
+}
+
+// Encode serializes the pointer (fixed 20 bytes).
+func (p Pointer) Encode() []byte {
+	buf := make([]byte, PointerLen)
+	binary.LittleEndian.PutUint64(buf[0:], p.FileNum)
+	binary.LittleEndian.PutUint64(buf[8:], p.Offset)
+	binary.LittleEndian.PutUint32(buf[16:], p.Length)
+	return buf
+}
+
+// DecodePointer parses an encoded pointer.
+func DecodePointer(buf []byte) (Pointer, error) {
+	if len(buf) != PointerLen {
+		return Pointer{}, fmt.Errorf("%w: pointer length %d", ErrCorrupt, len(buf))
+	}
+	return Pointer{
+		FileNum: binary.LittleEndian.Uint64(buf[0:]),
+		Offset:  binary.LittleEndian.Uint64(buf[8:]),
+		Length:  binary.LittleEndian.Uint32(buf[16:]),
+	}, nil
+}
+
+// DefaultFileSize is the log segment size that triggers rotation.
+const DefaultFileSize = 16 << 20
+
+// Log is the append-only value log. Records are
+//
+//	keyLen (uvarint) | valueLen (uvarint) | key | value
+//
+// Keys are stored alongside values so that garbage collection can ask
+// the tree whether a record is still live.
+type Log struct {
+	fs  vfs.FS
+	dir string
+
+	mu          sync.Mutex
+	active      vfs.File
+	activeNum   uint64
+	offset      uint64
+	maxFileSize uint64
+	sizes       map[uint64]uint64 // fileNum → bytes (sealed and active)
+}
+
+// Open scans dir for existing value-log segments and opens a fresh
+// active segment after the highest.
+func Open(fs vfs.FS, dir string) (*Log, error) {
+	l := &Log{fs: fs, dir: dir, maxFileSize: DefaultFileSize, sizes: make(map[uint64]uint64)}
+	names, err := fs.List(dir)
+	if err != nil {
+		return nil, err
+	}
+	var max uint64
+	for _, name := range names {
+		if !strings.HasSuffix(name, ".vlog") {
+			continue
+		}
+		num, err := strconv.ParseUint(strings.TrimSuffix(name, ".vlog"), 10, 64)
+		if err != nil {
+			continue
+		}
+		f, err := fs.Open(vfs.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		sz, err := f.Size()
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		l.sizes[num] = uint64(sz)
+		if num > max {
+			max = num
+		}
+	}
+	if err := l.rotateLocked(max + 1); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// SetMaxFileSize overrides the rotation threshold (tests use small
+// segments).
+func (l *Log) SetMaxFileSize(n uint64) {
+	l.mu.Lock()
+	l.maxFileSize = n
+	l.mu.Unlock()
+}
+
+func (l *Log) rotateLocked(num uint64) error {
+	if l.active != nil {
+		if err := l.active.Sync(); err != nil {
+			return err
+		}
+		if err := l.active.Close(); err != nil {
+			return err
+		}
+		l.sizes[l.activeNum] = l.offset
+	}
+	f, err := l.fs.Create(vfs.Join(l.dir, fmt.Sprintf("%06d.vlog", num)))
+	if err != nil {
+		return err
+	}
+	l.active = f
+	l.activeNum = num
+	l.offset = 0
+	l.sizes[num] = 0
+	return nil
+}
+
+// Append writes one record and returns its pointer, rotating the
+// segment when full.
+func (l *Log) Append(key, value []byte) (Pointer, error) {
+	hdr := make([]byte, 0, 2*binary.MaxVarintLen32)
+	hdr = binary.AppendUvarint(hdr, uint64(len(key)))
+	hdr = binary.AppendUvarint(hdr, uint64(len(value)))
+	recLen := len(hdr) + len(key) + len(value)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.offset > 0 && l.offset+uint64(recLen) > l.maxFileSize {
+		if err := l.rotateLocked(l.activeNum + 1); err != nil {
+			return Pointer{}, err
+		}
+	}
+	p := Pointer{FileNum: l.activeNum, Offset: l.offset, Length: uint32(recLen)}
+	rec := make([]byte, 0, recLen)
+	rec = append(rec, hdr...)
+	rec = append(rec, key...)
+	rec = append(rec, value...)
+	if _, err := l.active.Write(rec); err != nil {
+		return Pointer{}, err
+	}
+	l.offset += uint64(recLen)
+	l.sizes[l.activeNum] = l.offset
+	return p, nil
+}
+
+// Read returns the value a pointer refers to.
+func (l *Log) Read(p Pointer) ([]byte, error) {
+	f, err := l.fs.Open(vfs.Join(l.dir, fmt.Sprintf("%06d.vlog", p.FileNum)))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, p.Length)
+	if _, err := f.ReadAt(buf, int64(p.Offset)); err != nil && err != io.EOF {
+		return nil, err
+	}
+	key, value, err := parseRecord(buf)
+	_ = key
+	return value, err
+}
+
+func parseRecord(buf []byte) (key, value []byte, err error) {
+	kl, n1 := binary.Uvarint(buf)
+	if n1 <= 0 {
+		return nil, nil, ErrCorrupt
+	}
+	vl, n2 := binary.Uvarint(buf[n1:])
+	if n2 <= 0 || n1+n2+int(kl)+int(vl) > len(buf) {
+		return nil, nil, ErrCorrupt
+	}
+	key = buf[n1+n2 : n1+n2+int(kl)]
+	value = buf[n1+n2+int(kl) : n1+n2+int(kl)+int(vl)]
+	return key, value, nil
+}
+
+// OldestSealed returns the lowest-numbered sealed (non-active) segment.
+func (l *Log) OldestSealed() (uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var nums []uint64
+	for num := range l.sizes {
+		if num != l.activeNum {
+			nums = append(nums, num)
+		}
+	}
+	if len(nums) == 0 {
+		return 0, false
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	return nums[0], true
+}
+
+// ScanFile iterates every record of a segment, passing the stored key,
+// value, and the record's pointer. Used by garbage collection.
+func (l *Log) ScanFile(num uint64, fn func(key, value []byte, p Pointer) error) error {
+	f, err := l.fs.Open(vfs.Join(l.dir, fmt.Sprintf("%06d.vlog", num)))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return err
+	}
+	data := make([]byte, size)
+	if _, err := f.ReadAt(data, 0); err != nil && err != io.EOF {
+		return err
+	}
+	var off uint64
+	for off < uint64(size) {
+		key, value, err := parseRecord(data[off:])
+		if err != nil {
+			return err
+		}
+		kl := uint64(len(key))
+		vl := uint64(len(value))
+		recLen := uint64(uvarintLen(kl)+uvarintLen(vl)) + kl + vl
+		p := Pointer{FileNum: num, Offset: off, Length: uint32(recLen)}
+		if err := fn(key, value, p); err != nil {
+			return err
+		}
+		off += recLen
+	}
+	return nil
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Remove deletes a sealed segment after garbage collection.
+func (l *Log) Remove(num uint64) error {
+	l.mu.Lock()
+	if num == l.activeNum {
+		l.mu.Unlock()
+		return errors.New("wisckey: cannot remove active segment")
+	}
+	delete(l.sizes, num)
+	l.mu.Unlock()
+	return l.fs.Remove(vfs.Join(l.dir, fmt.Sprintf("%06d.vlog", num)))
+}
+
+// RotateForGC seals the active segment so that it becomes collectable,
+// opening a new active one.
+func (l *Log) RotateForGC() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rotateLocked(l.activeNum + 1)
+}
+
+// DiskBytes returns the log's total footprint.
+func (l *Log) DiskBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var total int64
+	for _, sz := range l.sizes {
+		total += int64(sz)
+	}
+	return total
+}
+
+// Close syncs and closes the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		return err
+	}
+	err := l.active.Close()
+	l.active = nil
+	return err
+}

@@ -1,0 +1,226 @@
+// Package workload generates the parameterized operation streams that
+// drive every experiment: YCSB-style operation mixes over uniform or
+// zipfian key popularity, plus bursty-arrival and workload-shift
+// helpers. Generators are deterministic for a given seed, so every
+// experiment is reproducible.
+//
+// Substitution note (DESIGN.md): the tutorial's cited evaluations use
+// production traces (e.g. Facebook's RocksDB traces [23]); the
+// experiments here use this generator, whose knobs — mix percentages
+// and skew — are exactly the workload properties those studies vary.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind classifies generated operations.
+type OpKind int
+
+// The operation kinds a generator can emit.
+const (
+	OpPut OpKind = iota
+	OpDelete
+	OpGet     // lookup of a (probably) existing key
+	OpGetZero // lookup of a definitely absent key
+	OpScan    // range scan
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpGet:
+		return "get"
+	case OpGetZero:
+		return "get-zero"
+	case OpScan:
+		return "scan"
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind   OpKind
+	Key    []byte
+	Value  []byte // puts only
+	EndKey []byte // scans only (exclusive)
+	Limit  int    // scans only
+}
+
+// Mix is an operation mix; fractions need not be normalized.
+type Mix struct {
+	Puts      float64
+	Deletes   float64
+	Gets      float64
+	GetZeros  float64
+	ScanShort float64 // ~16-key scans
+	ScanLong  float64 // ~1024-key scans
+}
+
+// Standard mixes, named after their YCSB analogues.
+var (
+	// MixLoad is pure ingestion (YCSB load phase).
+	MixLoad = Mix{Puts: 1}
+	// MixA is 50% reads / 50% updates (YCSB A).
+	MixA = Mix{Puts: 0.5, Gets: 0.5}
+	// MixB is 95% reads / 5% updates (YCSB B).
+	MixB = Mix{Puts: 0.05, Gets: 0.95}
+	// MixC is read-only (YCSB C).
+	MixC = Mix{Gets: 1}
+	// MixE is scan-heavy (YCSB E).
+	MixE = Mix{Puts: 0.05, ScanShort: 0.95}
+	// MixDeleteHeavy exercises delete-aware designs (Lethe-style).
+	MixDeleteHeavy = Mix{Puts: 0.6, Deletes: 0.3, Gets: 0.1}
+)
+
+// Distribution selects key popularity.
+type Distribution int
+
+// The supported key distributions.
+const (
+	// Uniform draws keys uniformly from the key space.
+	Uniform Distribution = iota
+	// Zipfian draws keys with a skewed (s=1.2) popularity.
+	Zipfian
+	// Sequential walks the key space in order (time-series ingestion).
+	Sequential
+)
+
+// Config parameterizes a Generator.
+type Config struct {
+	Seed         int64
+	KeySpace     int64 // number of distinct keys
+	ValueLen     int
+	Distribution Distribution
+	Mix          Mix
+	ShortScanLen int // default 16
+	LongScanLen  int // default 1024
+}
+
+// Generator produces a deterministic operation stream.
+type Generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	seqCur  int64
+	value   []byte
+	thresh  [5]float64 // cumulative mix thresholds
+	scanMix float64    // P(short | scan)
+}
+
+// New returns a generator for the config.
+func New(cfg Config) *Generator {
+	if cfg.KeySpace <= 0 {
+		cfg.KeySpace = 1 << 20
+	}
+	if cfg.ValueLen <= 0 {
+		cfg.ValueLen = 64
+	}
+	if cfg.ShortScanLen <= 0 {
+		cfg.ShortScanLen = 16
+	}
+	if cfg.LongScanLen <= 0 {
+		cfg.LongScanLen = 1024
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.Distribution == Zipfian {
+		g.zipf = rand.NewZipf(g.rng, 1.2, 1, uint64(cfg.KeySpace-1))
+	}
+	g.value = make([]byte, cfg.ValueLen)
+	g.rng.Read(g.value)
+
+	m := cfg.Mix
+	total := m.Puts + m.Deletes + m.Gets + m.GetZeros + m.ScanShort + m.ScanLong
+	if total <= 0 {
+		m.Puts, total = 1, 1
+	}
+	g.thresh[0] = m.Puts / total
+	g.thresh[1] = g.thresh[0] + m.Deletes/total
+	g.thresh[2] = g.thresh[1] + m.Gets/total
+	g.thresh[3] = g.thresh[2] + m.GetZeros/total
+	g.thresh[4] = 1
+	if s := m.ScanShort + m.ScanLong; s > 0 {
+		g.scanMix = m.ScanShort / s
+	}
+	return g
+}
+
+// Key formats the canonical key for index i — shared with experiments
+// that preload data.
+func Key(i int64) []byte { return []byte(fmt.Sprintf("user%012d", i)) }
+
+// nextIndex draws a key index from the configured distribution.
+func (g *Generator) nextIndex() int64 {
+	switch g.cfg.Distribution {
+	case Zipfian:
+		return int64(g.zipf.Uint64())
+	case Sequential:
+		i := g.seqCur
+		g.seqCur++
+		return i
+	default:
+		return g.rng.Int63n(g.cfg.KeySpace)
+	}
+}
+
+// NextValue returns a fresh value payload (rotated so that updates
+// change bytes).
+func (g *Generator) NextValue() []byte {
+	// Rotate one byte per call: cheap, deterministic, distinct.
+	g.value[g.rng.Intn(len(g.value))]++
+	out := make([]byte, len(g.value))
+	copy(out, g.value)
+	return out
+}
+
+// Next returns the next operation.
+func (g *Generator) Next() Op {
+	r := g.rng.Float64()
+	idx := g.nextIndex()
+	key := Key(idx)
+	switch {
+	case r < g.thresh[0]:
+		return Op{Kind: OpPut, Key: key, Value: g.NextValue()}
+	case r < g.thresh[1]:
+		return Op{Kind: OpDelete, Key: key}
+	case r < g.thresh[2]:
+		return Op{Kind: OpGet, Key: key}
+	case r < g.thresh[3]:
+		// Zero-result keys live between real keys, inside the fence
+		// range, so they exercise the filters rather than the fences.
+		zk := append(Key(idx), []byte("-absent")...)
+		return Op{Kind: OpGetZero, Key: zk}
+	default:
+		length := g.cfg.LongScanLen
+		if g.rng.Float64() < g.scanMix {
+			length = g.cfg.ShortScanLen
+		}
+		end := idx + int64(length)
+		if end > g.cfg.KeySpace {
+			end = g.cfg.KeySpace
+		}
+		return Op{Kind: OpScan, Key: key, EndKey: Key(end), Limit: length}
+	}
+}
+
+// Burst yields arrival batch sizes for bursty ingestion: quiet periods
+// of `quiet` ops alternate with bursts of `burst` ops (experiment E7).
+type Burst struct {
+	Quiet, BurstLen int
+	pos             int
+}
+
+// NextBatch reports how many operations arrive in the next tick: 1
+// during quiet periods, BurstLen at burst ticks.
+func (b *Burst) NextBatch() int {
+	b.pos++
+	if b.Quiet > 0 && b.pos%b.Quiet == 0 {
+		return b.BurstLen
+	}
+	return 1
+}

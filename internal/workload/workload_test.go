@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, KeySpace: 1000, Mix: MixA}
+	g1, g2 := New(cfg), New(cfg)
+	for i := 0; i < 1000; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a.Kind != b.Kind || !bytes.Equal(a.Key, b.Key) || !bytes.Equal(a.Value, b.Value) {
+			t.Fatalf("op %d diverged", i)
+		}
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	g := New(Config{Seed: 1, KeySpace: 10000, Mix: Mix{Puts: 0.5, Gets: 0.3, Deletes: 0.2}})
+	counts := map[OpKind]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Kind]++
+	}
+	check := func(k OpKind, want float64) {
+		got := float64(counts[k]) / n
+		if got < want-0.02 || got > want+0.02 {
+			t.Errorf("%v fraction %.3f, want ~%.2f", k, got, want)
+		}
+	}
+	check(OpPut, 0.5)
+	check(OpGet, 0.3)
+	check(OpDelete, 0.2)
+}
+
+func TestZipfianSkew(t *testing.T) {
+	g := New(Config{Seed: 2, KeySpace: 100000, Distribution: Zipfian, Mix: MixC})
+	counts := map[string]int{}
+	for i := 0; i < 20000; i++ {
+		counts[string(g.Next().Key)]++
+	}
+	// The hottest key should dwarf the average.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 1000 {
+		t.Errorf("zipfian hottest key only %d of 20000 accesses", max)
+	}
+	// Uniform for contrast.
+	u := New(Config{Seed: 2, KeySpace: 100000, Distribution: Uniform, Mix: MixC})
+	ucounts := map[string]int{}
+	for i := 0; i < 20000; i++ {
+		ucounts[string(u.Next().Key)]++
+	}
+	umax := 0
+	for _, c := range ucounts {
+		if c > umax {
+			umax = c
+		}
+	}
+	if umax >= max {
+		t.Error("uniform should be flatter than zipfian")
+	}
+}
+
+func TestSequentialWalksKeySpace(t *testing.T) {
+	g := New(Config{Seed: 3, KeySpace: 1000, Distribution: Sequential, Mix: MixLoad})
+	prev := []byte(nil)
+	for i := 0; i < 100; i++ {
+		op := g.Next()
+		if prev != nil && bytes.Compare(op.Key, prev) <= 0 {
+			t.Fatal("sequential keys must ascend")
+		}
+		prev = append(prev[:0], op.Key...)
+	}
+}
+
+func TestScanLengths(t *testing.T) {
+	g := New(Config{Seed: 4, KeySpace: 100000, Mix: Mix{ScanShort: 0.5, ScanLong: 0.5},
+		ShortScanLen: 16, LongScanLen: 1024})
+	short, long := 0, 0
+	for i := 0; i < 1000; i++ {
+		op := g.Next()
+		if op.Kind != OpScan {
+			t.Fatal("scan-only mix")
+		}
+		switch op.Limit {
+		case 16:
+			short++
+		case 1024:
+			long++
+		default:
+			t.Fatalf("unexpected limit %d", op.Limit)
+		}
+		if bytes.Compare(op.EndKey, op.Key) <= 0 {
+			t.Fatal("scan end must follow start")
+		}
+	}
+	if short == 0 || long == 0 {
+		t.Errorf("short=%d long=%d", short, long)
+	}
+}
+
+func TestZeroResultKeysAreAbsent(t *testing.T) {
+	g := New(Config{Seed: 5, KeySpace: 100, Mix: Mix{GetZeros: 1}})
+	for i := 0; i < 100; i++ {
+		op := g.Next()
+		if op.Kind != OpGetZero {
+			t.Fatal("mix")
+		}
+		if !bytes.Contains(op.Key, []byte("-absent")) {
+			t.Fatal("zero key must not collide with real keys")
+		}
+	}
+}
+
+func TestValuesVary(t *testing.T) {
+	g := New(Config{Seed: 6, KeySpace: 10, Mix: MixLoad, ValueLen: 32})
+	a, b := g.Next(), g.Next()
+	if bytes.Equal(a.Value, b.Value) {
+		t.Error("successive values should differ")
+	}
+	if len(a.Value) != 32 {
+		t.Errorf("value len %d", len(a.Value))
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	g := New(Config{Seed: 1})
+	op := g.Next()
+	if op.Kind != OpPut {
+		t.Error("empty mix defaults to pure puts")
+	}
+	if len(op.Value) != 64 {
+		t.Errorf("default value len %d", len(op.Value))
+	}
+}
+
+func TestBurst(t *testing.T) {
+	b := Burst{Quiet: 10, BurstLen: 50}
+	total, bursts := 0, 0
+	for i := 0; i < 100; i++ {
+		n := b.NextBatch()
+		total += n
+		if n == 50 {
+			bursts++
+		}
+	}
+	if bursts != 10 {
+		t.Errorf("bursts %d, want 10", bursts)
+	}
+	if total != 90+10*50 {
+		t.Errorf("total %d", total)
+	}
+}
+
+func TestKeyFormatting(t *testing.T) {
+	if string(Key(42)) != "user000000000042" {
+		t.Errorf("key %q", Key(42))
+	}
+	if bytes.Compare(Key(1), Key(2)) >= 0 {
+		t.Error("keys must sort numerically")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	for k, want := range map[OpKind]string{
+		OpPut: "put", OpDelete: "delete", OpGet: "get", OpGetZero: "get-zero", OpScan: "scan",
+	} {
+		if k.String() != want {
+			t.Errorf("%v", k)
+		}
+	}
+	if OpKind(99).String() == "" {
+		t.Error("unknown kind")
+	}
+}
