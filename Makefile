@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench tables examples clean
+.PHONY: all build test race bench tables examples cover clean
 
 all: build test
 
@@ -32,5 +32,11 @@ examples:
 	$(GO) run ./examples/tuning
 	$(GO) run ./examples/counters
 
+# Coverage summary over the engine packages (CI runs this as a
+# non-blocking report).
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f bench_tables.txt coverage.out

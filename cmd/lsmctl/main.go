@@ -11,7 +11,8 @@
 //	lsmctl -db /tmp/demo delete <key>
 //	lsmctl -db /tmp/demo scan <start> <end> [limit]
 //	lsmctl -db /tmp/demo shape          # print the LSM-tree structure
-//	lsmctl -db /tmp/demo stats          # print engine counters
+//	lsmctl -db /tmp/demo stats [-v]     # engine counters (-v adds latency percentiles)
+//	lsmctl -db /tmp/demo events [compact]  # dump this session's engine events
 //	lsmctl -db /tmp/demo compact        # full manual compaction
 //	lsmctl -db /tmp/demo retune <strategy> [T]  # reshape online, then drain
 //	lsmctl -db /tmp/demo checkpoint <dir>       # consistent online backup
@@ -28,6 +29,7 @@ import (
 
 	"lsmlab/internal/compaction"
 	"lsmlab/internal/core"
+	"lsmlab/internal/events"
 	"lsmlab/internal/vfs"
 	"lsmlab/internal/workload"
 )
@@ -39,11 +41,15 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if *dbPath == "" || len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lsmctl -db DIR [-strategy S] [-T n] {put|get|delete|scan|shape|stats|compact|retune|bench} ...")
+		fmt.Fprintln(os.Stderr, "usage: lsmctl -db DIR [-strategy S] [-T n] {put|get|delete|scan|shape|stats|events|compact|retune|bench} ...")
 		os.Exit(2)
 	}
 
 	opts := core.DefaultOptions(vfs.NewOS(), *dbPath)
+	// Every session records its engine events in a bounded ring; the
+	// events command dumps it, and bench reports how many were seen.
+	ring := events.NewRing(4096)
+	opts.EventListener = ring
 	if *strategy != "" {
 		s, err := compaction.ParseStrategy(*strategy)
 		if err != nil {
@@ -100,8 +106,33 @@ func main() {
 	case "shape":
 		fmt.Println(db.TreeStats())
 	case "stats":
-		fmt.Println(db.Metrics())
-		fmt.Printf("space_amp=%.2f disk=%d bytes\n", db.SpaceAmplification(), db.DiskUsageBytes())
+		verbose := len(args) > 1 && (args[1] == "-v" || args[1] == "v")
+		if verbose {
+			// Histograms are per-process; probe a sample of live keys so
+			// the get percentiles reflect this store's current read path
+			// (puts stay untouched — stats never mutates).
+			if kvs, err := db.Scan(nil, nil, 512); err == nil {
+				for _, kvp := range kvs {
+					_, _ = db.Get(kvp.Key)
+				}
+			}
+		}
+		fmt.Println(db.FormatStats(verbose))
+	case "events":
+		// Events are recorded per process; the dump covers this session
+		// (open + WAL recovery, plus an optional manual compaction).
+		if len(args) > 1 && args[1] == "compact" {
+			if err := db.Compact(); err != nil {
+				fatal(err)
+			}
+		}
+		evs := ring.Events()
+		for _, e := range evs {
+			fmt.Println(e)
+		}
+		if dropped := ring.Total() - uint64(len(evs)); dropped > 0 {
+			fmt.Printf("(%d older events dropped by the ring bound)\n", dropped)
+		}
 	case "compact":
 		if err := db.Compact(); err != nil {
 			fatal(err)
@@ -146,9 +177,16 @@ func main() {
 		if err := db.Flush(); err != nil {
 			fatal(err)
 		}
+		// Read a sample back so the get histogram has data too.
+		for i := 0; i < n/10+1; i++ {
+			op := gen.Next()
+			if _, err := db.Get(op.Key); err != nil && !errors.Is(err, core.ErrNotFound) {
+				fatal(err)
+			}
+		}
 		el := time.Since(start)
-		fmt.Printf("%d puts in %v (%.0f ops/s)\n%s\n", n, el,
-			float64(n)/el.Seconds(), db.Metrics())
+		fmt.Printf("%d puts in %v (%.0f ops/s)\n%s\nevents recorded: %d (run 'lsmctl events' style dumps in-session)\n",
+			n, el, float64(n)/el.Seconds(), db.FormatStats(true), ring.Total())
 	default:
 		fatal(fmt.Errorf("unknown command %q", args[0]))
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"lsmlab/internal/events"
 	"lsmlab/internal/kv"
 	"lsmlab/internal/manifest"
 	"lsmlab/internal/vfs"
@@ -20,10 +21,16 @@ import (
 // The checkpoint is taken online: concurrent writes and compactions
 // proceed; table-cache reference counting keeps the pinned files alive
 // until they are copied even if a compaction deletes them meanwhile.
-func (db *DB) Checkpoint(dir string) error {
+func (db *DB) Checkpoint(dir string) (err error) {
 	if dir == db.dir {
 		return errors.New("lsm: checkpoint directory must differ from the store directory")
 	}
+	jobID := db.nextJobID()
+	start := db.opts.NowNs()
+	defer func() {
+		db.emit(events.Event{Type: events.CheckpointEnd, JobID: jobID,
+			Path: dir, DurationNs: db.opts.NowNs() - start, Err: err})
+	}()
 	// Flush so the memtable contents are in table files (the checkpoint
 	// carries no WAL).
 	if err := db.Flush(); err != nil {

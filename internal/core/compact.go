@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"lsmlab/internal/compaction"
+	"lsmlab/internal/events"
 	"lsmlab/internal/kv"
 	"lsmlab/internal/manifest"
 	"lsmlab/internal/wisckey"
@@ -329,10 +330,38 @@ func survivingRangeDels(rangeDels []kv.RangeTombstone, bottom bool, snapshots []
 	return rangeDels
 }
 
-// runCompaction executes one job end to end: merge inputs, write
-// outputs (throttled), install the new version, and delete obsolete
-// files (tutorial §2.1.2 Compaction).
+// runCompaction executes one job end to end, bracketed by
+// CompactionBegin/CompactionEnd events carrying the job's shape
+// (levels, input/output files and bytes, trigger reason) and timed into
+// the compaction latency histogram. Every outcome emits exactly one
+// matching end event.
 func (db *DB) runCompaction(job *compaction.Job) error {
+	var inFiles int
+	for _, files := range job.Inputs {
+		inFiles += len(files)
+	}
+	jobID := db.nextJobID()
+	start := db.opts.NowNs()
+	db.emit(events.Event{Type: events.CompactionBegin, JobID: jobID,
+		Level: job.FromLevel, ToLevel: job.ToLevel,
+		InputFiles: inFiles, InputBytes: int64(job.InputBytes()),
+		Reason: string(job.Reason)})
+	metas, err := db.doCompaction(job)
+	dur := db.opts.NowNs() - start
+	db.m.CompactionNs.RecordNs(dur)
+	db.emit(events.Event{Type: events.CompactionEnd, JobID: jobID,
+		Level: job.FromLevel, ToLevel: job.ToLevel,
+		InputFiles: inFiles, InputBytes: int64(job.InputBytes()),
+		OutputFiles: len(metas), OutputBytes: int64(totalBytes(metas)),
+		DurationNs: dur, Reason: string(job.Reason), Err: err})
+	return err
+}
+
+// doCompaction is the body of runCompaction: merge inputs, write
+// outputs (throttled), install the new version, and delete obsolete
+// files (tutorial §2.1.2 Compaction). It returns the installed file
+// metadata for event reporting.
+func (db *DB) doCompaction(job *compaction.Job) ([]*manifest.FileMeta, error) {
 	var (
 		iters     []kv.Iterator
 		releases  []func()
@@ -350,7 +379,7 @@ func (db *DB) runCompaction(job *compaction.Job) error {
 		for _, f := range files {
 			r, release, err := db.tcache.acquire(f.Num)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			releases = append(releases, release)
 			iters = append(iters, r.NewIterator())
@@ -395,13 +424,13 @@ func (db *DB) runCompaction(job *compaction.Job) error {
 	for ok := ci.first(); ok; ok = ci.next() {
 		if err := out.add(ci.key, ci.value); err != nil {
 			out.abort()
-			return err
+			return nil, err
 		}
 	}
 	metas, err := out.finish()
 	if err != nil {
 		out.abort()
-		return err
+		return nil, err
 	}
 
 	// Install the result.
@@ -416,7 +445,7 @@ func (db *DB) runCompaction(job *compaction.Job) error {
 	err = db.commitLocked()
 	db.mu.Unlock()
 	if err != nil {
-		return err
+		return metas, err
 	}
 
 	db.m.Compactions.Add(1)
@@ -450,7 +479,7 @@ func (db *DB) runCompaction(job *compaction.Job) error {
 	if len(hotRanges) > 0 {
 		db.prefetchOutputs(metas, hotRanges)
 	}
-	return nil
+	return metas, nil
 }
 
 // collectHotRanges returns the user-key spans of the job's input blocks

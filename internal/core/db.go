@@ -13,6 +13,7 @@ import (
 	"lsmlab/internal/bloom"
 	"lsmlab/internal/cache"
 	"lsmlab/internal/compaction"
+	"lsmlab/internal/events"
 	"lsmlab/internal/kv"
 	"lsmlab/internal/manifest"
 	"lsmlab/internal/memtable"
@@ -85,7 +86,34 @@ type DB struct {
 	vlog   *wisckey.Log
 
 	m metrics.Metrics
+
+	// listener receives lifecycle events (nil = disabled); jobIDs pairs
+	// the begin/end events of flush, compaction, and checkpoint jobs.
+	listener events.Listener
+	jobIDs   atomic.Uint64
+
+	// timeOps gates the per-operation latency histograms (Get, Put,
+	// Scan-next). Clock reads cost ~100ns per op — real money against a
+	// memtable hit — so they run only when observability is on: a
+	// listener attached or Options.RecordLatencies set. Background-job
+	// histograms (flush, compaction) are always on; their once-per-job
+	// cost is noise.
+	timeOps bool
 }
+
+// emit delivers one event to the configured listener, stamping the
+// engine clock. With no listener the cost is a single nil check, so the
+// hot paths pay nothing when observability is off.
+func (db *DB) emit(e events.Event) {
+	if db.listener == nil {
+		return
+	}
+	e.TimeNs = db.opts.NowNs()
+	db.listener.Notify(e)
+}
+
+// nextJobID allocates an ID shared by one job's begin and end events.
+func (db *DB) nextJobID() uint64 { return db.jobIDs.Add(1) }
 
 // statsSink adapts metrics to the sstable.ReadStats and cache.Stats
 // interfaces.
@@ -125,6 +153,8 @@ func Open(opts Options) (*DB, error) {
 		snapshots: make(map[kv.SeqNum]int),
 		busyLevel: make(map[int]bool),
 		building:  make(map[*memWrapper]bool),
+		listener:  opts.EventListener,
+		timeOps:   opts.EventListener != nil || opts.RecordLatencies,
 	}
 	db.cond = sync.NewCond(&db.mu)
 	if opts.CacheBytes > 0 {
@@ -293,6 +323,7 @@ func (db *DB) newMemtableLocked() error {
 		db.walFile = f
 		db.wal = wal.NewWriter(f)
 		mw.walNum = num
+		db.emit(events.Event{Type: events.WALRotated, Path: manifest.WALName(num)})
 	}
 	db.mem = mw
 	return nil
@@ -483,6 +514,10 @@ func (db *DB) WaitIdle() { db.waitIdle() }
 
 // Metrics returns a snapshot of the engine counters.
 func (db *DB) Metrics() metrics.Snapshot { return db.m.Snapshot() }
+
+// Latencies returns a snapshot of the per-operation latency histograms
+// (Get, Put, Scan-next, flush, compaction).
+func (db *DB) Latencies() metrics.LatencySnapshot { return db.m.Latencies() }
 
 // DiskUsageBytes reports the live table bytes (the numerator of space
 // amplification).

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"lsmlab/internal/events"
 	"lsmlab/internal/kv"
 	"lsmlab/internal/manifest"
 	"lsmlab/internal/sstable"
@@ -39,7 +40,8 @@ func (db *DB) newOutputSet(bitsPerKey float64, throttled bool, rangeDels []kv.Ra
 		// device's aggregate bandwidth scales with concurrency (SSD/NVM
 		// queue-depth parallelism, §2.2.5), while any single compaction
 		// is paced so flushes keep headroom (SILK, §2.2.3).
-		o.limiter = newRateLimiter(db.opts.CompactionBandwidthBytesPerSec, db.opts.NowNs, db.opts.SleepFunc)
+		o.limiter = newRateLimiter(db.opts.CompactionBandwidthBytesPerSec, db.opts.NowNs, db.opts.SleepFunc,
+			func(ns int64) { db.m.ThrottleNs.Add(ns) })
 	}
 	// Clip tombstones to the compaction envelope and sort by start.
 	for _, rt := range rangeDels {
@@ -224,9 +226,27 @@ func totalBytes(metas []*manifest.FileMeta) uint64 {
 }
 
 // flushMemtable writes one immutable buffer to a new level-0 run
-// (tutorial §2.1.2 Flush). Nothing is garbage-collected at flush time:
-// every version, tombstone, and range tombstone survives to disk.
+// (tutorial §2.1.2 Flush), bracketed by FlushBegin/FlushEnd events and
+// timed into the flush latency histogram. Every outcome — success,
+// empty buffer, or error — emits exactly one matching end event.
 func (db *DB) flushMemtable(mw *memWrapper) error {
+	jobID := db.nextJobID()
+	start := db.opts.NowNs()
+	db.emit(events.Event{Type: events.FlushBegin, JobID: jobID,
+		InputBytes: int64(mw.mt.ApproximateBytes())})
+	metas, err := db.doFlush(mw)
+	dur := db.opts.NowNs() - start
+	db.m.FlushNs.RecordNs(dur)
+	db.emit(events.Event{Type: events.FlushEnd, JobID: jobID,
+		OutputFiles: len(metas), OutputBytes: int64(totalBytes(metas)),
+		DurationNs: dur, Err: err})
+	return err
+}
+
+// doFlush is the body of flushMemtable; it returns the installed file
+// metadata for event reporting. Nothing is garbage-collected at flush
+// time: every version, tombstone, and range tombstone survives to disk.
+func (db *DB) doFlush(mw *memWrapper) ([]*manifest.FileMeta, error) {
 	rangeDels := mw.rangeTombstones()
 	it := mw.mt.NewIterator()
 	defer it.Close()
@@ -249,13 +269,13 @@ func (db *DB) flushMemtable(mw *memWrapper) error {
 	for ok := it.First(); ok; ok = it.Next() {
 		if err := out.add(it.Key(), it.Value()); err != nil {
 			out.abort()
-			return err
+			return nil, err
 		}
 	}
 	metas, err := out.finish()
 	if err != nil {
 		out.abort()
-		return err
+		return nil, err
 	}
 
 	// Install in queue order: flushes may build concurrently, but the
@@ -280,7 +300,7 @@ func (db *DB) flushMemtable(mw *memWrapper) error {
 	if len(metas) > 0 {
 		db.version = db.version.PushRun(0, &manifest.Run{Files: metas})
 		if err := db.commitLocked(); err != nil {
-			return err
+			return metas, err
 		}
 		db.m.Flushes.Add(1)
 		db.m.FlushBytes.Add(int64(totalBytes(metas)))
@@ -292,5 +312,5 @@ func (db *DB) flushMemtable(mw *memWrapper) error {
 		}
 	}
 	db.cond.Broadcast()
-	return nil
+	return metas, nil
 }

@@ -252,6 +252,10 @@ func (it *Iterator) Next() bool {
 	if !it.valid {
 		return false
 	}
+	if it.db.timeOps {
+		start := it.db.opts.NowNs()
+		defer func() { it.db.m.ScanNextNs.RecordSince(start, it.db.opts.NowNs()) }()
+	}
 	if it.srcPastKey {
 		it.srcPastKey = false
 		return it.settle(it.merge.Valid())

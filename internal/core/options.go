@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"lsmlab/internal/compaction"
+	"lsmlab/internal/events"
 	"lsmlab/internal/memtable"
 	"lsmlab/internal/vfs"
 )
@@ -115,6 +116,21 @@ type Options struct {
 	// into the base value lazily, at read or compaction time, so RMW
 	// costs one blind write instead of a read-modify-write round trip.
 	MergeOperator MergeOperator
+
+	// EventListener, when non-nil, receives the engine's lifecycle
+	// events (flushes, compactions, stalls, WAL rotations, vlog GC,
+	// checkpoints). Listeners run synchronously on engine goroutines,
+	// sometimes under internal locks: they must be fast, non-blocking,
+	// and must not call back into the DB. Use events.NewRing for a
+	// bounded in-memory log or events.Tee to fan out. Nil (the default)
+	// keeps the hot paths free of any listener cost.
+	EventListener events.Listener
+
+	// RecordLatencies turns on the per-operation latency histograms
+	// (DB.Latencies) even without an EventListener. Attaching a listener
+	// implies it; with neither, Get/Put/Scan skip their clock reads
+	// entirely so observability costs the hot paths nothing.
+	RecordLatencies bool
 
 	// NowNs supplies time (injected for deterministic tests).
 	NowNs func() int64

@@ -40,6 +40,10 @@ func (db *DB) acquireView(snap kv.SeqNum) readView {
 func (db *DB) Get(key []byte) ([]byte, error) { return db.get(key, 0) }
 
 func (db *DB) get(key []byte, snap kv.SeqNum) ([]byte, error) {
+	if db.timeOps {
+		start := db.opts.NowNs()
+		defer func() { db.m.GetNs.RecordSince(start, db.opts.NowNs()) }()
+	}
 	db.m.Gets.Add(1)
 	e, err := db.getEntry(key, snap)
 	if err != nil {

@@ -60,6 +60,27 @@ func (ts TreeStats) String() string {
 	return b.String()
 }
 
+// FormatStats renders the engine counters, derived amplification
+// figures, and — verbosely — the per-operation latency percentiles, for
+// lsmctl stats and logs.
+func (db *DB) FormatStats(verbose bool) string {
+	s := db.m.Snapshot()
+	var b strings.Builder
+	b.WriteString(s.String())
+	fmt.Fprintf(&b, "\nspace_amp=%.2f disk=%d bytes cache_hit=%.2f throttle_ms=%d",
+		db.SpaceAmplification(), db.DiskUsageBytes(), s.CacheHitRate(), s.ThrottleNs/1e6)
+	if verbose {
+		lat := db.m.Latencies()
+		fmt.Fprintf(&b, "\nlatency (this process):")
+		fmt.Fprintf(&b, "\n  get        %s", lat.Get)
+		fmt.Fprintf(&b, "\n  put        %s", lat.Put)
+		fmt.Fprintf(&b, "\n  scan-next  %s", lat.ScanNext)
+		fmt.Fprintf(&b, "\n  flush      %s", lat.Flush)
+		fmt.Fprintf(&b, "\n  compaction %s", lat.Compaction)
+	}
+	return b.String()
+}
+
 // FilterMemoryBytes sums the pinned Bloom-filter bytes across every
 // live table — the memory side of the filter experiments.
 func (db *DB) FilterMemoryBytes() int64 {

@@ -17,9 +17,13 @@ type rateLimiter struct {
 	lastRefillNs int64
 	nowNs        func() int64
 	sleep        func(time.Duration)
+	// onWaitNs, when non-nil, is charged every nanosecond the limiter
+	// pauses a compaction — the observability hook that lets stats show
+	// how much of a job's duration was deliberate pacing.
+	onWaitNs func(ns int64)
 }
 
-func newRateLimiter(bytesPerSec int64, nowNs func() int64, sleep func(time.Duration)) *rateLimiter {
+func newRateLimiter(bytesPerSec int64, nowNs func() int64, sleep func(time.Duration), onWaitNs func(ns int64)) *rateLimiter {
 	if sleep == nil {
 		sleep = time.Sleep
 	}
@@ -33,6 +37,7 @@ func newRateLimiter(bytesPerSec int64, nowNs func() int64, sleep func(time.Durat
 		lastRefillNs: nowNs(),
 		nowNs:        nowNs,
 		sleep:        sleep,
+		onWaitNs:     onWaitNs,
 	}
 }
 
@@ -66,6 +71,9 @@ func (r *rateLimiter) waitFor(n int) {
 		r.mu.Unlock()
 		if waitNs < time.Millisecond {
 			waitNs = time.Millisecond
+		}
+		if r.onWaitNs != nil {
+			r.onWaitNs(int64(waitNs))
 		}
 		r.sleep(waitNs)
 	}

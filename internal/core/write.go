@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 
+	"lsmlab/internal/events"
 	"lsmlab/internal/kv"
 	"lsmlab/internal/wal"
 )
@@ -75,6 +76,12 @@ func (db *DB) DeleteRange(start, end []byte) error {
 func (db *DB) Apply(b *Batch) error {
 	if len(b.ops) == 0 {
 		return nil
+	}
+	// Commit latency includes any stall time spent in makeRoomLocked —
+	// the tail a caller actually observes.
+	if db.timeOps {
+		start := db.opts.NowNs()
+		defer func() { db.m.PutNs.RecordSince(start, db.opts.NowNs()) }()
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -161,20 +168,28 @@ func (db *DB) makeRoomLocked() error {
 	var stallStart int64
 	defer func() {
 		if stalled {
-			db.m.StallNs.Add(db.opts.NowNs() - stallStart)
+			dur := db.opts.NowNs() - stallStart
+			db.m.StallNs.Add(dur)
+			db.emit(events.Event{Type: events.WriteStallEnd, DurationNs: dur})
 		}
 	}()
 	for {
+		l0Stall := db.opts.StallL0Runs > 0 && len(db.version.Levels[0].Runs) >= db.opts.StallL0Runs
 		switch {
 		case db.closed:
 			return ErrClosed
-		case db.opts.StallL0Runs > 0 && len(db.version.Levels[0].Runs) >= db.opts.StallL0Runs,
+		case l0Stall,
 			db.mem.mt.ApproximateBytes() >= db.opts.BufferBytes &&
 				len(db.imm) >= db.opts.MaxImmutableBuffers:
 			if !stalled {
 				stalled = true
 				stallStart = db.opts.NowNs()
 				db.m.WriteStalls.Add(1)
+				cause := "immutable-buffers"
+				if l0Stall {
+					cause = "l0-runs"
+				}
+				db.emit(events.Event{Type: events.WriteStallBegin, Reason: cause})
 			}
 			// Background workers were woken when the condition arose;
 			// the writer just waits for them to signal progress.
@@ -219,6 +234,11 @@ func (db *DB) GCValueLog() (moved int, collected bool, err error) {
 	if db.vlog == nil {
 		return 0, false, nil
 	}
+	start := db.opts.NowNs()
+	defer func() {
+		db.emit(events.Event{Type: events.VlogGCEnd, MovedRecords: moved,
+			Collected: collected, DurationNs: db.opts.NowNs() - start, Err: err})
+	}()
 	if err := db.vlog.RotateForGC(); err != nil {
 		return 0, false, err
 	}

@@ -1,0 +1,251 @@
+// Package events delivers the engine's structural lifecycle as a typed
+// stream: flushes, compactions, write stalls, WAL rotations, value-log
+// garbage collection, and checkpoints each announce themselves to a
+// Listener as they begin and end. The experiments and the tuning loop
+// (tutorial Module III) reason about *when* jobs ran and how long they
+// took, not just how many — this package is the record they read.
+//
+// Listeners are invoked synchronously from engine goroutines, sometimes
+// with internal locks held: implementations must be fast, must not
+// block, and must not call back into the DB. The in-memory Ring below
+// satisfies those constraints and is the default consumer.
+package events
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Type identifies one kind of engine event.
+type Type uint8
+
+// The event types, in begin/end pairs where the underlying job has
+// duration. Begin and End events of one job share a JobID.
+const (
+	// FlushBegin/FlushEnd bracket one memtable flush to a level-0 run.
+	FlushBegin Type = iota
+	FlushEnd
+	// CompactionBegin/CompactionEnd bracket one compaction job.
+	CompactionBegin
+	CompactionEnd
+	// WriteStallBegin/WriteStallEnd bracket one writer blocking on
+	// backpressure (full immutable queue or too many L0 runs).
+	WriteStallBegin
+	WriteStallEnd
+	// WALRotated records a new write-ahead-log segment being opened.
+	WALRotated
+	// VlogGCEnd records one WiscKey value-log garbage collection pass.
+	VlogGCEnd
+	// CheckpointEnd records one completed (or failed) online checkpoint.
+	CheckpointEnd
+
+	numTypes
+)
+
+var typeNames = [numTypes]string{
+	FlushBegin:      "flush-begin",
+	FlushEnd:        "flush-end",
+	CompactionBegin: "compaction-begin",
+	CompactionEnd:   "compaction-end",
+	WriteStallBegin: "stall-begin",
+	WriteStallEnd:   "stall-end",
+	WALRotated:      "wal-rotated",
+	VlogGCEnd:       "vlog-gc-end",
+	CheckpointEnd:   "checkpoint-end",
+}
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("event(%d)", t)
+}
+
+// IsBegin reports whether t opens a begin/end pair.
+func (t Type) IsBegin() bool {
+	return t == FlushBegin || t == CompactionBegin || t == WriteStallBegin
+}
+
+// End returns the matching end type for a begin type (and t otherwise).
+func (t Type) End() Type {
+	switch t {
+	case FlushBegin:
+		return FlushEnd
+	case CompactionBegin:
+		return CompactionEnd
+	case WriteStallBegin:
+		return WriteStallEnd
+	}
+	return t
+}
+
+// Event is one occurrence. Fields beyond Type and TimeNs are populated
+// per type as documented; zero values mean "not applicable".
+type Event struct {
+	Type Type
+	// TimeNs is the engine clock (Options.NowNs) at emission.
+	TimeNs int64
+	// JobID pairs the Begin and End events of one flush or compaction;
+	// checkpoints also carry one so overlapping runs stay attributable.
+	JobID uint64
+	// Level is the source level of a compaction (0 for flushes).
+	Level int
+	// ToLevel is the output level of a compaction.
+	ToLevel int
+	// InputFiles/InputBytes describe a compaction's inputs.
+	InputFiles int
+	InputBytes int64
+	// OutputFiles/OutputBytes describe the files an end event produced.
+	OutputFiles int
+	OutputBytes int64
+	// DurationNs is the elapsed engine-clock time, on end events.
+	DurationNs int64
+	// Reason labels why the job ran (compaction trigger, stall cause).
+	Reason string
+	// Path names the subject of file-shaped events (WAL segment,
+	// checkpoint directory).
+	Path string
+	// MovedRecords and Collected summarize a value-log GC pass.
+	MovedRecords int
+	Collected    bool
+	// Err is the failure of an end event, nil on success.
+	Err error
+}
+
+// String renders one line per event, stable enough for logs and lsmctl.
+func (e Event) String() string {
+	var b strings.Builder
+	// Real clocks stamp Unix epoch nanoseconds — render those as wall
+	// time. Deterministic test clocks start near zero; a duration reads
+	// better there.
+	const year2000ns = 946684800e9
+	if e.TimeNs >= year2000ns {
+		fmt.Fprintf(&b, "%-16s t=%s", e.Type, time.Unix(0, e.TimeNs).Format("15:04:05.000"))
+	} else {
+		fmt.Fprintf(&b, "%-16s t=%s", e.Type, time.Duration(e.TimeNs))
+	}
+	if e.JobID != 0 {
+		fmt.Fprintf(&b, " job=%d", e.JobID)
+	}
+	switch e.Type {
+	case CompactionBegin, CompactionEnd:
+		fmt.Fprintf(&b, " L%d->L%d", e.Level, e.ToLevel)
+	}
+	if e.InputFiles > 0 || e.InputBytes > 0 {
+		fmt.Fprintf(&b, " in=%df/%dB", e.InputFiles, e.InputBytes)
+	}
+	if e.OutputFiles > 0 || e.OutputBytes > 0 {
+		fmt.Fprintf(&b, " out=%df/%dB", e.OutputFiles, e.OutputBytes)
+	}
+	if e.DurationNs > 0 {
+		fmt.Fprintf(&b, " dur=%s", time.Duration(e.DurationNs))
+	}
+	if e.Reason != "" {
+		fmt.Fprintf(&b, " reason=%s", e.Reason)
+	}
+	if e.Path != "" {
+		fmt.Fprintf(&b, " path=%s", e.Path)
+	}
+	if e.Type == VlogGCEnd {
+		fmt.Fprintf(&b, " moved=%d collected=%v", e.MovedRecords, e.Collected)
+	}
+	if e.Err != nil {
+		fmt.Fprintf(&b, " err=%q", e.Err)
+	}
+	return b.String()
+}
+
+// Listener receives events. Implementations must be safe for concurrent
+// Notify calls and must return quickly (see the package comment).
+type Listener interface {
+	Notify(Event)
+}
+
+// ListenerFunc adapts a function to the Listener interface.
+type ListenerFunc func(Event)
+
+// Notify implements Listener.
+func (f ListenerFunc) Notify(e Event) { f(e) }
+
+// Ring is a bounded in-memory listener keeping the most recent events.
+// It is the default sink: cheap enough to stay attached in production,
+// deep enough to reconstruct recent engine behavior after the fact.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int    // index of the slot the next event lands in
+	total uint64 // events ever observed (>= len(buf) once wrapped)
+}
+
+// NewRing returns a ring holding the last capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Notify implements Listener.
+func (r *Ring) Notify(e Event) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Total returns how many events the ring has ever observed; subtracting
+// len(Events()) gives the number dropped by the bound.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// tee fans one event out to several listeners in order.
+type tee struct{ ls []Listener }
+
+// Tee returns a listener multiplexing to every non-nil listener given.
+// With zero or one live targets it returns nil or the target itself, so
+// the engine's nil-listener fast path is preserved.
+func Tee(ls ...Listener) Listener {
+	live := make([]Listener, 0, len(ls))
+	for _, l := range ls {
+		if l != nil {
+			live = append(live, l)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return tee{live}
+}
+
+// Notify implements Listener.
+func (t tee) Notify(e Event) {
+	for _, l := range t.ls {
+		l.Notify(e)
+	}
+}

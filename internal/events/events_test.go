@@ -1,0 +1,138 @@
+package events
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTypeStrings(t *testing.T) {
+	for ty := Type(0); ty < numTypes; ty++ {
+		s := ty.String()
+		if s == "" || strings.HasPrefix(s, "event(") {
+			t.Errorf("type %d has no name", ty)
+		}
+	}
+	if Type(200).String() != "event(200)" {
+		t.Errorf("out-of-range type should render numerically")
+	}
+}
+
+func TestBeginEndPairing(t *testing.T) {
+	pairs := map[Type]Type{
+		FlushBegin:      FlushEnd,
+		CompactionBegin: CompactionEnd,
+		WriteStallBegin: WriteStallEnd,
+	}
+	for begin, end := range pairs {
+		if !begin.IsBegin() {
+			t.Errorf("%v should be a begin type", begin)
+		}
+		if begin.End() != end {
+			t.Errorf("%v.End() = %v, want %v", begin, begin.End(), end)
+		}
+	}
+	for _, ty := range []Type{WALRotated, VlogGCEnd, CheckpointEnd, FlushEnd} {
+		if ty.IsBegin() {
+			t.Errorf("%v should not be a begin type", ty)
+		}
+		if ty.End() != ty {
+			t.Errorf("%v.End() should be identity", ty)
+		}
+	}
+}
+
+func TestRingBounded(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Notify(Event{Type: FlushBegin, JobID: uint64(i + 1)})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	// Oldest first: jobs 7, 8, 9, 10.
+	for i, e := range evs {
+		if want := uint64(7 + i); e.JobID != want {
+			t.Errorf("evs[%d].JobID = %d, want %d", i, e.JobID, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Errorf("Total = %d, want 10", r.Total())
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(8)
+	r.Notify(Event{JobID: 1})
+	r.Notify(Event{JobID: 2})
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].JobID != 1 || evs[1].JobID != 2 {
+		t.Fatalf("partial ring wrong: %v", evs)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Notify(Event{Type: WALRotated})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 4000 {
+		t.Fatalf("Total = %d, want 4000", r.Total())
+	}
+	if len(r.Events()) != 64 {
+		t.Fatalf("retained %d, want 64", len(r.Events()))
+	}
+}
+
+func TestTee(t *testing.T) {
+	if Tee() != nil || Tee(nil, nil) != nil {
+		t.Fatal("Tee of no live listeners must be nil")
+	}
+	r := NewRing(4)
+	if Tee(nil, r) != Listener(r) {
+		t.Fatal("Tee of one live listener must be that listener")
+	}
+	r2 := NewRing(4)
+	both := Tee(r, nil, r2)
+	both.Notify(Event{Type: FlushBegin})
+	if r.Total() != 1 || r2.Total() != 1 {
+		t.Fatalf("tee did not fan out: %d %d", r.Total(), r2.Total())
+	}
+}
+
+func TestListenerFunc(t *testing.T) {
+	var got []Event
+	l := ListenerFunc(func(e Event) { got = append(got, e) })
+	l.Notify(Event{Type: CheckpointEnd})
+	if len(got) != 1 || got[0].Type != CheckpointEnd {
+		t.Fatalf("ListenerFunc did not deliver: %v", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{
+		Type: CompactionEnd, TimeNs: 1e9, JobID: 3, Level: 1, ToLevel: 2,
+		InputFiles: 4, InputBytes: 1 << 20, OutputFiles: 2, OutputBytes: 1 << 19,
+		DurationNs: 5e6, Reason: "level-size", Err: errors.New("boom"),
+	}
+	s := e.String()
+	for _, want := range []string{"compaction-end", "job=3", "L1->L2", "reason=level-size", `err="boom"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	gc := Event{Type: VlogGCEnd, MovedRecords: 7, Collected: true}
+	if !strings.Contains(gc.String(), "moved=7") {
+		t.Errorf("vlog gc String() = %q", gc.String())
+	}
+}

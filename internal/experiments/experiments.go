@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"text/tabwriter"
 
 	"lsmlab/internal/core"
+	"lsmlab/internal/metrics"
 	"lsmlab/internal/vfs"
 )
 
@@ -27,6 +29,10 @@ type Table struct {
 	Claim   string // the tutorial claim under test, with its section
 	Columns []string
 	Rows    [][]string
+	// Tail holds the get/put tail-latency summary merged across every
+	// engine the experiment opened (captured by Run; may be empty for
+	// experiments that bypass the engine).
+	Tail []string
 }
 
 // AddRow appends a formatted row.
@@ -42,6 +48,12 @@ func (t *Table) Fprint(w io.Writer) {
 		fmt.Fprintln(tw, strings.Join(r, "\t"))
 	}
 	tw.Flush()
+	if len(t.Tail) > 0 {
+		fmt.Fprintln(w, "tail latency (wall clock, all configurations merged):")
+		for _, line := range t.Tail {
+			fmt.Fprintln(w, "  "+line)
+		}
+	}
 	fmt.Fprintln(w)
 }
 
@@ -76,13 +88,50 @@ func newEnv(mutate func(*core.Options)) env {
 	opts.NumLevels = 5
 	opts.SizeRatio = 4
 	opts.CacheBytes = 0 // experiments opt in to caching explicitly
+	// Tail-latency footers need the op histograms, which are off by
+	// default to keep untimed runs clean.
+	opts.RecordLatencies = true
 	if mutate != nil {
 		mutate(&opts)
 	}
 	return env{fs: fs, opts: opts}
 }
 
-func (e env) open() (*core.DB, error) { return core.Open(e.opts) }
+func (e env) open() (*core.DB, error) {
+	db, err := core.Open(e.opts)
+	if err == nil {
+		latMu.Lock()
+		latDBs = append(latDBs, db)
+		latMu.Unlock()
+	}
+	return db, err
+}
+
+// Latency capture: every engine opened through env.open during one Run
+// is remembered; after the experiment finishes its histograms (valid
+// even after Close — they are plain atomics) merge into the table's
+// tail-latency footer.
+var (
+	latMu  sync.Mutex
+	latDBs []*core.DB
+)
+
+// capturedTail drains the capture list and renders the merged get/put
+// tails, or nil when no engine recorded operations.
+func capturedTail() []string {
+	latMu.Lock()
+	dbs := latDBs
+	latDBs = nil
+	latMu.Unlock()
+	var lat metrics.LatencySnapshot
+	for _, db := range dbs {
+		lat = lat.Merge(db.Latencies())
+	}
+	if lat.Get.Count()+lat.Put.Count() == 0 {
+		return nil
+	}
+	return []string{"get  " + lat.Get.String(), "put  " + lat.Put.String()}
+}
 
 // simMillis converts simulated nanoseconds to milliseconds for display.
 func simMillis(ns int64) string { return fmt.Sprintf("%.1f", float64(ns)/1e6) }
@@ -118,11 +167,19 @@ func All() []struct {
 	}
 }
 
-// Run executes one experiment by id.
+// Run executes one experiment by id, attaching the tail-latency footer
+// captured from every engine the experiment opened.
 func Run(id string, s Scale) (*Table, error) {
 	for _, e := range All() {
 		if strings.EqualFold(e.ID, id) {
-			return e.Run(s)
+			latMu.Lock()
+			latDBs = nil
+			latMu.Unlock()
+			tbl, err := e.Run(s)
+			if err == nil && tbl != nil {
+				tbl.Tail = capturedTail()
+			}
+			return tbl, err
 		}
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q", id)

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestBucketBoundaries pins the log-linear bucketing scheme: every
+// bucket's [lo, hi) bounds round-trip through bucketIndex, buckets
+// tile the value space with no gaps, and sub-bucket width is within the
+// documented 1/histSubCount relative error.
+func TestBucketBoundaries(t *testing.T) {
+	// Exact small-value buckets.
+	for v := int64(0); v < histSubCount; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", v, got, v)
+		}
+	}
+	// Bounds round-trip and tile, over the buckets reachable without
+	// overflowing int64 arithmetic.
+	prevHi := int64(0)
+	for i := 0; i < histBuckets-histSubCount; i++ {
+		lo, hi := bucketBounds(i)
+		if lo != prevHi {
+			t.Fatalf("bucket %d starts at %d, want %d (gap or overlap)", i, lo, prevHi)
+		}
+		if hi <= lo {
+			t.Fatalf("bucket %d empty: [%d, %d)", i, lo, hi)
+		}
+		if got := bucketIndex(lo); got != i {
+			t.Fatalf("bucketIndex(lo=%d) = %d, want %d", lo, got, i)
+		}
+		if got := bucketIndex(hi - 1); got != i {
+			t.Fatalf("bucketIndex(hi-1=%d) = %d, want %d", hi-1, got, i)
+		}
+		prevHi = hi
+	}
+	// Negative durations clamp to bucket 0.
+	if got := bucketIndex(-5); got != 0 {
+		t.Fatalf("bucketIndex(-5) = %d, want 0", got)
+	}
+	// Known example: 1000ns lies in [1024? no: [896, 1024)? Compute:
+	// 1000 = 0b1111101000, exp 9, octave [512,1024) split into 4 → sub
+	// width 128; 1000 ∈ [896, 1024).
+	lo, hi := bucketBounds(bucketIndex(1000))
+	if lo != 896 || hi != 1024 {
+		t.Fatalf("bucket of 1000ns = [%d, %d), want [896, 1024)", lo, hi)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// Uniform 1..10000: quantiles should reconstruct within the
+	// sub-bucket relative error (12.5%) plus one bucket.
+	for i := int64(1); i <= 10000; i++ {
+		h.RecordNs(i)
+	}
+	s := h.Snapshot()
+	if s.Count() != 10000 {
+		t.Fatalf("count = %d, want 10000", s.Count())
+	}
+	if s.Max != 10000 {
+		t.Fatalf("max = %d, want 10000", s.Max)
+	}
+	if got := s.Quantile(1); got != 10000 {
+		t.Fatalf("p100 = %d, want exact max 10000", got)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.5, 5000}, {0.9, 9000}, {0.99, 9900}} {
+		got := float64(s.Quantile(tc.q))
+		if got < tc.want*0.85 || got > tc.want*1.15 {
+			t.Errorf("q%.2f = %.0f, want %.0f ±15%%", tc.q, got, tc.want)
+		}
+	}
+	if m := s.Mean(); m < 4500 || m > 5500 {
+		t.Errorf("mean = %.0f, want ≈5000.5", m)
+	}
+	if s.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Count() != 0 {
+		t.Fatalf("empty histogram not zero: %+v", s)
+	}
+}
+
+// TestHistogramMerge checks that merging two snapshots equals the
+// histogram of the union of both observation streams.
+func TestHistogramMerge(t *testing.T) {
+	var a, b, both Histogram
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		va, vb := rng.Int63n(1_000_000), rng.Int63n(50_000_000)
+		a.RecordNs(va)
+		b.RecordNs(vb)
+		both.RecordNs(va)
+		both.RecordNs(vb)
+	}
+	merged := a.Snapshot().Merge(b.Snapshot())
+	want := both.Snapshot()
+	if merged != want {
+		t.Fatalf("merged snapshot differs from union histogram:\n got n=%d sum=%d max=%d\nwant n=%d sum=%d max=%d",
+			merged.N, merged.Sum, merged.Max, want.N, want.Sum, want.Max)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines;
+// under -race this also proves recording is data-race free.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, perG = 8, 20000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				h.RecordNs(rng.Int63n(10_000_000))
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count() != goroutines*perG {
+		t.Fatalf("count = %d, want %d", s.Count(), goroutines*perG)
+	}
+	var n int64
+	for _, c := range s.Counts {
+		n += c
+	}
+	if n != s.N {
+		t.Fatalf("bucket sum %d != N %d", n, s.N)
+	}
+}
+
+func TestLatencySnapshotMerge(t *testing.T) {
+	var m1, m2 Metrics
+	m1.GetNs.RecordNs(100)
+	m1.PutNs.RecordNs(200)
+	m2.GetNs.RecordNs(300)
+	m2.CompactionNs.RecordNs(400)
+	lat := m1.Latencies().Merge(m2.Latencies())
+	if lat.Get.Count() != 2 || lat.Put.Count() != 1 || lat.Compaction.Count() != 1 {
+		t.Fatalf("merge miscounted: get=%d put=%d compact=%d",
+			lat.Get.Count(), lat.Put.Count(), lat.Compaction.Count())
+	}
+	if lat.Get.Max != 300 {
+		t.Fatalf("merged get max = %d, want 300", lat.Get.Max)
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.RecordNs(int64(i) * 37)
+	}
+}

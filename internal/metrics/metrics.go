@@ -39,10 +39,31 @@ type Metrics struct {
 	// Stalls.
 	StallNs     atomic.Int64 // total time writers spent stalled
 	WriteStalls atomic.Int64 // number of stall events
+	ThrottleNs  atomic.Int64 // time compactions paused in the bandwidth throttle
 
 	// Block cache.
 	CacheHits   atomic.Int64
 	CacheMisses atomic.Int64
+
+	// Latency distributions (log-bucketed; see histogram.go). Counters
+	// answer "how much", these answer "how long" — the tail behavior
+	// that separates compaction designs (§2.2.3/§2.2.5).
+	GetNs        Histogram
+	PutNs        Histogram
+	ScanNextNs   Histogram
+	FlushNs      Histogram
+	CompactionNs Histogram
+}
+
+// Latencies returns a snapshot of every latency histogram.
+func (m *Metrics) Latencies() LatencySnapshot {
+	return LatencySnapshot{
+		Get:        m.GetNs.Snapshot(),
+		Put:        m.PutNs.Snapshot(),
+		ScanNext:   m.ScanNextNs.Snapshot(),
+		Flush:      m.FlushNs.Snapshot(),
+		Compaction: m.CompactionNs.Snapshot(),
+	}
 }
 
 // Snapshot is an immutable copy of the counters at one instant.
@@ -54,7 +75,8 @@ type Snapshot struct {
 	AgeCompactions                                int64
 	CompactionBytesRead, CompactionBytesWritten   int64
 	TombstonesDropped, EntriesDropped             int64
-	StallNs, WriteStalls, CacheHits, CacheMisses  int64
+	StallNs, WriteStalls, ThrottleNs              int64
+	CacheHits, CacheMisses                        int64
 }
 
 // Snapshot returns a copy of the current counter values.
@@ -81,6 +103,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		EntriesDropped:         m.EntriesDropped.Load(),
 		StallNs:                m.StallNs.Load(),
 		WriteStalls:            m.WriteStalls.Load(),
+		ThrottleNs:             m.ThrottleNs.Load(),
 		CacheHits:              m.CacheHits.Load(),
 		CacheMisses:            m.CacheMisses.Load(),
 	}
@@ -146,6 +169,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		EntriesDropped:         s.EntriesDropped - o.EntriesDropped,
 		StallNs:                s.StallNs - o.StallNs,
 		WriteStalls:            s.WriteStalls - o.WriteStalls,
+		ThrottleNs:             s.ThrottleNs - o.ThrottleNs,
 		CacheHits:              s.CacheHits - o.CacheHits,
 		CacheMisses:            s.CacheMisses - o.CacheMisses,
 	}
