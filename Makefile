@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench tables examples cover clean
+.PHONY: all build test race bench bench-write tables examples cover clean
 
 all: build test
 
@@ -20,6 +20,10 @@ race:
 # One testing.B target per experiment plus micro/ablation benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Write-path focus: group-commit scaling and batch-reuse allocations.
+bench-write:
+	$(GO) test -run '^$$' -bench 'BenchmarkPutParallel|BenchmarkBatchReuse' -benchmem .
 
 # Regenerate every experiment table at full scale (EXPERIMENTS.md data).
 tables:

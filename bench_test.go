@@ -9,8 +9,11 @@ package lsmlab
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"lsmlab/internal/bloom"
 	"lsmlab/internal/compaction"
@@ -236,6 +239,100 @@ func BenchmarkEnginePut(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := db.Put(workload.Key(int64(i)), val); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPutParallel measures aggregate Put throughput under write
+// concurrency — the commit pipeline's headline number. A large buffer
+// keeps flush/compaction backpressure out of the measurement so the
+// comparison is about the write path itself. Each serial/parallel pair
+// shares options: "serial" is the serialized baseline, "parallel"
+// drives GOMAXPROCS writers (b.RunParallel) drawing unique keys from a
+// shared counter. The sync pair models a 50µs device fsync on the
+// in-memory VFS — that is where group commit pays: concurrent writers
+// share one sync per group, so aggregate throughput rises with the
+// writer count even on a single core.
+func BenchmarkPutParallel(b *testing.B) {
+	const fsyncDelay = 50 * time.Microsecond
+	open := func(b *testing.B, syncWAL bool) *core.DB {
+		b.Helper()
+		fs := vfs.NewMem()
+		if syncWAL {
+			fs.SetSyncDelay(fsyncDelay)
+		}
+		opts := core.DefaultOptions(fs, "db")
+		opts.SyncWAL = syncWAL
+		opts.BufferBytes = 512 << 20 // isolate the commit path from flushes
+		db, err := core.Open(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+	for _, mode := range []struct {
+		name string
+		sync bool
+	}{
+		{"", false},
+		{"sync50us", true},
+	} {
+		serial, parallel := "serial", "parallel"
+		if mode.name != "" {
+			serial += "-" + mode.name
+			parallel += "-" + mode.name
+		}
+		b.Run(serial, func(b *testing.B) {
+			db := open(b, mode.sync)
+			defer db.Close()
+			val := make([]byte, 100)
+			b.SetBytes(100 + 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.Put(workload.Key(int64(i)), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(parallel, func(b *testing.B) {
+			db := open(b, mode.sync)
+			defer db.Close()
+			// RunParallel spawns GOMAXPROCS×parallelism goroutines; pad to
+			// at least 8 writers so commit groups form on small machines.
+			if p := runtime.GOMAXPROCS(0); p < 8 {
+				b.SetParallelism((8 + p - 1) / p)
+			}
+			var ctr atomic.Int64
+			b.SetBytes(100 + 16)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				val := make([]byte, 100)
+				for pb.Next() {
+					if err := db.Put(workload.Key(ctr.Add(1)), val); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkBatchReuse measures building a batch into a Reset-reused
+// Batch: the arena retains its blocks across Reset, so the steady state
+// is zero allocations per operation.
+func BenchmarkBatchReuse(b *testing.B) {
+	var batch core.Batch
+	key := make([]byte, 16)
+	val := make([]byte, 100)
+	const opsPerBatch = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Reset()
+		for j := 0; j < opsPerBatch; j++ {
+			key[0] = byte(j)
+			batch.Put(key, val)
 		}
 	}
 }

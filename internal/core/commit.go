@@ -1,0 +1,286 @@
+package core
+
+import (
+	"sync"
+
+	"lsmlab/internal/events"
+	"lsmlab/internal/kv"
+	"lsmlab/internal/wal"
+)
+
+// This file implements the leader-based group-commit pipeline (the
+// RocksDB write-group / Pebble commit-pipeline design, §2.1.1 A).
+// Concurrent Apply callers enqueue commit requests; one caller — the
+// leader — claims the whole queue as a group, assigns the group a
+// contiguous sequence-number range, writes every batch's WAL frame in
+// one buffered append, and issues a single Sync for the group. The
+// members then insert into the memtable concurrently (the memtables
+// carry their own locks), and a publish stage advances the visibleSeq
+// watermark in commit order so readers and snapshots never observe a
+// sequence-number hole.
+//
+// Lock order: db.mu → db.walMu → commit.mu / commit.pubMu (the two
+// pipeline mutexes are leaves and never held together with each other).
+
+// commitRequest is one Apply call's journey through the pipeline.
+type commitRequest struct {
+	userOps []wal.Op // the caller's original ops (user-size accounting)
+	ops     []wal.Op // after value-log diversion (== userOps otherwise)
+
+	// Filled by the leader while holding db.mu:
+	mem        *memWrapper // the buffer this batch applies to
+	base, last kv.SeqNum   // the batch's assigned sequence range
+	registered bool        // sequence assigned; must flow through publish
+
+	err error // commit failure, delivered to the caller
+
+	// wake is closed to release a waiting follower, either because its
+	// group's WAL stage finished or because it was promoted to leader
+	// (isLeader). Allocated lazily: a request that leads from the start
+	// never waits.
+	wake     chan struct{}
+	isLeader bool
+
+	// donePub is closed by whichever publisher sweeps this request past
+	// the watermark. A targeted close wakes exactly one waiter — a shared
+	// condition variable here would stampede the whole group on every
+	// advance. Allocated outside the pipeline locks by Apply.
+	donePub chan struct{}
+
+	// Publish state, guarded by commitPipeline.pubMu.
+	applied   bool // memtable insert done (or skipped on error)
+	published bool // visibleSeq has advanced past last
+}
+
+// commitPipeline serializes group formation and ordered publication.
+type commitPipeline struct {
+	mu     sync.Mutex
+	queue  []*commitRequest // waiting to be claimed by a leader
+	active bool             // a leader currently owns the pipeline
+
+	pubMu   sync.Mutex
+	pending []*commitRequest // registered requests in sequence order
+}
+
+func (c *commitPipeline) init() {}
+
+// enqueue adds req to the queue and reports whether the caller must
+// lead. Leadership is granted to the first writer to arrive while the
+// pipeline is idle; everyone else waits to be woken.
+func (c *commitPipeline) enqueue(req *commitRequest) (lead bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.queue = append(c.queue, req)
+	if !c.active {
+		c.active = true
+		return true
+	}
+	req.wake = make(chan struct{})
+	return false
+}
+
+// claim takes the entire queue as the leader's commit group. The
+// leader's own request is always queue[0].
+func (c *commitPipeline) claim() []*commitRequest {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.queue
+	c.queue = nil
+	return g
+}
+
+// handoff ends the current leadership: if writers queued up meanwhile,
+// the head of the queue is promoted to lead the next group; otherwise
+// the pipeline goes idle.
+func (c *commitPipeline) handoff() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) > 0 {
+		next := c.queue[0]
+		next.isLeader = true
+		close(next.wake)
+		return
+	}
+	c.active = false
+}
+
+// register appends the group to the publish queue in sequence order.
+// Called by the leader with db.mu held, which orders groups globally.
+func (c *commitPipeline) register(group []*commitRequest) {
+	c.pubMu.Lock()
+	for _, r := range group {
+		r.registered = true
+		c.pending = append(c.pending, r)
+	}
+	c.pubMu.Unlock()
+}
+
+// publish marks req applied, advances visibleSeq over the contiguous
+// prefix of applied requests (commit order — never past a hole), and
+// blocks until req itself is published. Every registered request must
+// pass through here exactly once, errors included, or the watermark
+// would stall.
+func (c *commitPipeline) publish(db *DB, req *commitRequest) {
+	c.pubMu.Lock()
+	req.applied = true
+	for len(c.pending) > 0 && c.pending[0].applied {
+		r := c.pending[0]
+		c.pending = c.pending[1:]
+		db.visibleSeq.Store(uint64(r.last))
+		r.published = true
+		close(r.donePub)
+	}
+	published := req.published
+	c.pubMu.Unlock()
+	if !published {
+		// A later publisher sweeps this request once the requests ahead
+		// of it have applied; donePub may already be closed by the time
+		// we get here, in which case the receive returns immediately.
+		<-req.donePub
+	}
+}
+
+// commitLead runs the leader stages for the group containing self:
+//
+//  1. Under db.mu: wait for room (write stalls), surface background
+//     errors, claim the group, assign its sequence range, pin the
+//     target memtable, and register the group for ordered publish.
+//  2. Under db.walMu (acquired before db.mu is released, so a WAL
+//     rotation can never slip between capture and append): write every
+//     batch's frame in one buffered append and issue one Sync.
+//  3. Hand leadership to the next queued writer, then wake the group;
+//     each member applies its own batch to the memtable concurrently.
+func (db *DB) commitLead(self *commitRequest) {
+	db.mu.Lock()
+	if err := db.makeRoomLocked(); err != nil {
+		group := db.commit.claim()
+		db.mu.Unlock()
+		db.commitFail(group, self, err)
+		return
+	}
+	if db.bgErr != nil {
+		err := db.bgErr
+		group := db.commit.claim()
+		db.mu.Unlock()
+		db.commitFail(group, self, err)
+		return
+	}
+	// Claim after the stall clears: batches that queued while the leader
+	// was blocked join this group, so a stall drains in one commit.
+	group := db.commit.claim()
+	db.walMu.Lock()
+	mem := db.mem
+	w := db.wal
+	var total uint64
+	for _, r := range group {
+		total += uint64(len(r.ops))
+	}
+	last := db.lastSeq.Add(total)
+	base := kv.SeqNum(last - total + 1)
+	for _, r := range group {
+		r.mem = mem
+		r.base = base
+		r.last = base + kv.SeqNum(len(r.ops)) - 1
+		base = r.last + 1
+	}
+	// Pin the buffer against flushing until every member's insert lands
+	// (doFlush waits on this group).
+	mem.writers.Add(len(group))
+	db.commit.register(group)
+	db.mu.Unlock()
+
+	var werr error
+	if !db.opts.DisableWAL {
+		batches := make([]*wal.Batch, len(group))
+		for i, r := range group {
+			batches[i] = &wal.Batch{Seq: r.base, Ops: r.ops}
+		}
+		n, err := w.AppendGroup(batches)
+		db.m.WALBytes.Add(int64(n))
+		werr = err
+		if werr == nil && db.opts.SyncWAL {
+			werr = w.Sync()
+			if werr == nil {
+				db.m.WALSyncs.Add(1)
+				db.m.WALSyncsSaved.Add(int64(len(group) - 1))
+			}
+		}
+	}
+	db.walMu.Unlock()
+
+	db.m.CommitGroups.Add(1)
+	db.m.CommitBatches.Add(int64(len(group)))
+	db.m.CommitGroupSize.RecordNs(int64(len(group)))
+	if len(group) > 1 {
+		db.emit(events.Event{Type: events.GroupCommit, Batches: len(group),
+			OutputBytes: int64(total)})
+	}
+	if werr != nil {
+		// The sequence range was claimed and registered: the members skip
+		// their memtable inserts but still publish, so visibleSeq advances
+		// over the hole instead of wedging every later commit.
+		for _, r := range group {
+			r.err = werr
+		}
+	}
+
+	db.commit.handoff()
+	for _, r := range group {
+		if r != self {
+			close(r.wake)
+		}
+	}
+}
+
+// commitFail delivers err to a group that never reached sequence
+// assignment (stall abort or background error) and releases leadership.
+func (db *DB) commitFail(group []*commitRequest, self *commitRequest, err error) {
+	for _, r := range group {
+		r.err = err
+	}
+	db.commit.handoff()
+	for _, r := range group {
+		if r != self {
+			close(r.wake)
+		}
+	}
+}
+
+// applyToMem inserts one request's operations into its pinned memtable.
+// Runs concurrently across group members; the memtables are internally
+// synchronized, and entries stay invisible until publish advances
+// visibleSeq past them.
+func (db *DB) applyToMem(req *commitRequest) {
+	seq := req.base
+	var puts, deletes, bytes int64
+	for i := range req.ops {
+		op := req.ops[i]
+		switch op.Kind {
+		case kv.KindRangeDelete:
+			// Copied out of the batch: the tombstone outlives Apply while
+			// the batch's arena may be reset and reused by the caller.
+			req.mem.addRangeDel(kv.RangeTombstone{Start: cp(op.Key), End: cp(op.Value), Seq: seq})
+			deletes++
+		case kv.KindDelete, kv.KindSingleDelete:
+			req.mem.mt.Add(seq, op.Kind, op.Key, op.Value)
+			deletes++
+		default:
+			req.mem.mt.Add(seq, op.Kind, op.Key, op.Value)
+			puts++
+		}
+		// Ingested bytes are accounted at user-visible size: for
+		// separated values, the value bytes count here (they were
+		// ingested) even though the tree only carries a pointer.
+		bytes += int64(len(req.userOps[i].Key) + len(req.userOps[i].Value))
+		seq++
+	}
+	// One atomic add per counter per batch: per-op adds ping-pong the
+	// counter cache lines across concurrently applying members.
+	if puts > 0 {
+		db.m.Puts.Add(puts)
+	}
+	if deletes > 0 {
+		db.m.Deletes.Add(deletes)
+	}
+	db.m.BytesIngested.Add(bytes)
+}

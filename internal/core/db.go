@@ -40,6 +40,12 @@ type memWrapper struct {
 	// spin a worker at full speed.
 	flushFailures int
 
+	// writers counts commit-group members whose memtable inserts are
+	// still in flight. A flush waits for it to drain, so a buffer
+	// retired while a group is applying is never written to disk (and
+	// its WAL segment never deleted) before those inserts land.
+	writers sync.WaitGroup
+
 	rmu       sync.RWMutex
 	rangeDels []kv.RangeTombstone
 }
@@ -77,7 +83,23 @@ type DB struct {
 	closed    bool
 	bgErr     error // first background error; surfaced on Close
 
-	lastSeq atomic.Uint64
+	// walMu serializes WAL appends against WAL rotation. The commit
+	// leader acquires it (under db.mu) before pinning db.wal and holds
+	// it through the group's buffered append and sync; rotation takes it
+	// (also under db.mu) for the file swap. Lock order: mu → walMu.
+	walMu sync.Mutex
+
+	// commit is the group-commit pipeline (commit.go): concurrent Apply
+	// calls form write groups with one WAL write and one sync per group.
+	commit commitPipeline
+
+	// lastSeq is the sequence allocation cursor (highest assigned);
+	// visibleSeq is the highest sequence published in commit order.
+	// Readers and snapshots use visibleSeq so a batch whose group
+	// predecessors are still applying is never observed early — and no
+	// sequence hole ever is.
+	lastSeq    atomic.Uint64
+	visibleSeq atomic.Uint64
 
 	bg     sync.WaitGroup
 	picker *compaction.Picker
@@ -126,7 +148,12 @@ func (s statsSink) FilterProbe(negative bool) {
 	}
 }
 
-func (s statsSink) BlockRead(cached bool) {}
+func (s statsSink) BlockRead(cached bool) {
+	s.m.BlockReads.Add(1)
+	if cached {
+		s.m.BlockReadsCached.Add(1)
+	}
+}
 
 func (s statsSink) CacheAccess(hit bool) {
 	if hit {
@@ -157,6 +184,7 @@ func Open(opts Options) (*DB, error) {
 		timeOps:   opts.EventListener != nil || opts.RecordLatencies,
 	}
 	db.cond = sync.NewCond(&db.mu)
+	db.commit.init()
 	if opts.CacheBytes > 0 {
 		db.bcache = cache.New(opts.CacheBytes)
 		db.bcache.SetStats(statsSink{&db.m})
@@ -213,6 +241,7 @@ func Open(opts Options) (*DB, error) {
 	if err := db.recoverWALs(); err != nil {
 		return nil, err
 	}
+	db.visibleSeq.Store(db.lastSeq.Load())
 	if err := db.newMemtable(); err != nil {
 		return nil, err
 	}
@@ -545,7 +574,7 @@ func (db *DB) Flush() error {
 		db.mu.Unlock()
 		return ErrClosed
 	}
-	if db.mem.mt.Len() > 0 || len(db.mem.rangeDels) > 0 {
+	if db.mem.mt.Len() > 0 || len(db.mem.rangeTombstones()) > 0 {
 		if err := db.rotateMemtableLocked(); err != nil {
 			db.mu.Unlock()
 			return err

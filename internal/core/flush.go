@@ -247,6 +247,12 @@ func (db *DB) flushMemtable(mw *memWrapper) error {
 // metadata for event reporting. Nothing is garbage-collected at flush
 // time: every version, tombstone, and range tombstone survives to disk.
 func (db *DB) doFlush(mw *memWrapper) ([]*manifest.FileMeta, error) {
+	// Wait out in-flight commit-group inserts: a buffer can be rotated
+	// into the immutable queue while members of a claimed group are
+	// still applying to it. Flushing before they land would write an
+	// incomplete run and delete the WAL segment that still protects
+	// those batches.
+	mw.writers.Wait()
 	rangeDels := mw.rangeTombstones()
 	it := mw.mt.NewIterator()
 	defer it.Close()

@@ -45,6 +45,26 @@ func (db *DB) NewIterator(opts IterOptions) (*Iterator, error) {
 	db.mu.Unlock()
 	db.m.Scans.Add(1)
 
+	// Like getEntry, iterator construction races against compactions
+	// deleting files referenced by the just-acquired view; each retry
+	// takes a fresh view, so only a reader starved on every attempt can
+	// still observe the missing file.
+	var lastErr error
+	for attempt := 0; attempt < 20; attempt++ {
+		it, err := db.newIterator(opts)
+		if err != nil {
+			if isMissingFile(err) {
+				lastErr = err
+				continue
+			}
+			return nil, err
+		}
+		return it, nil
+	}
+	return nil, lastErr
+}
+
+func (db *DB) newIterator(opts IterOptions) (*Iterator, error) {
 	view := db.acquireView(opts.snapshot)
 	it := &Iterator{db: db, opts: opts, seq: view.seq}
 

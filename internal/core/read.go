@@ -30,8 +30,11 @@ func (db *DB) acquireView(snap kv.SeqNum) readView {
 	for i := len(db.imm) - 1; i >= 0; i-- {
 		mems = append(mems, db.imm[i])
 	}
+	// Read views are bounded by the published watermark, not the
+	// allocation cursor: a commit group still applying to the memtable
+	// must stay invisible so no sequence-number hole can be observed.
 	if snap == 0 {
-		snap = kv.SeqNum(db.lastSeq.Load())
+		snap = kv.SeqNum(db.visibleSeq.Load())
 	}
 	return readView{mems: mems, version: db.version, seq: snap}
 }
@@ -89,8 +92,12 @@ func (db *DB) getEntry(key []byte, snap kv.SeqNum) (kv.Entry, error) {
 		return kv.Entry{}, ErrClosed
 	}
 	db.mu.Unlock()
+	// Each attempt takes a fresh view, so a lookup only fails if a racing
+	// compaction deletes a just-referenced file on every attempt — the
+	// generous bound covers schedulers that starve the reader (GOMAXPROCS
+	// of 1 under the race detector).
 	var lastErr error
-	for attempt := 0; attempt < 3; attempt++ {
+	for attempt := 0; attempt < 20; attempt++ {
 		view := db.acquireView(snap)
 		e, ok, err := db.searchView(view, key)
 		if err != nil {

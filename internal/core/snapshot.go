@@ -12,11 +12,13 @@ type Snapshot struct {
 	released bool
 }
 
-// NewSnapshot captures the current sequence number.
+// NewSnapshot captures the current published sequence number. The
+// visibleSeq watermark (not the allocation cursor) is captured, so a
+// snapshot taken mid-group observes only fully committed batches.
 func (db *DB) NewSnapshot() *Snapshot {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	seq := kv.SeqNum(db.lastSeq.Load())
+	seq := kv.SeqNum(db.visibleSeq.Load())
 	db.snapshots[seq]++
 	return &Snapshot{db: db, seq: seq}
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"lsmlab/internal/metrics"
 )
 
 // LevelStats summarizes one level for monitoring and experiments.
@@ -32,7 +34,7 @@ func (db *DB) TreeStats() TreeStats {
 	ts := TreeStats{
 		MemtableLen: db.mem.mt.Len(),
 		Immutables:  len(db.imm),
-		LiveSeq:     db.lastSeq.Load(),
+		LiveSeq:     db.visibleSeq.Load(),
 	}
 	for i, l := range db.version.Levels {
 		ls := LevelStats{Level: i, Runs: len(l.Runs), Files: l.NumFiles(), Bytes: l.Size()}
@@ -69,6 +71,9 @@ func (db *DB) FormatStats(verbose bool) string {
 	b.WriteString(s.String())
 	fmt.Fprintf(&b, "\nspace_amp=%.2f disk=%d bytes cache_hit=%.2f throttle_ms=%d",
 		db.SpaceAmplification(), db.DiskUsageBytes(), s.CacheHitRate(), s.ThrottleNs/1e6)
+	fmt.Fprintf(&b, "\nblock_reads=%d (cached %d) commit_groups=%d avg_group=%.2f wal_syncs=%d syncs_saved=%d",
+		s.BlockReads, s.BlockReadsCached, s.CommitGroups, s.AvgCommitGroupSize(),
+		s.WALSyncs, s.WALSyncsSaved)
 	if verbose {
 		lat := db.m.Latencies()
 		fmt.Fprintf(&b, "\nlatency (this process):")
@@ -77,9 +82,18 @@ func (db *DB) FormatStats(verbose bool) string {
 		fmt.Fprintf(&b, "\n  scan-next  %s", lat.ScanNext)
 		fmt.Fprintf(&b, "\n  flush      %s", lat.Flush)
 		fmt.Fprintf(&b, "\n  compaction %s", lat.Compaction)
+		gs := db.m.GroupSizes()
+		if gs.N > 0 {
+			fmt.Fprintf(&b, "\ncommit group size: n=%d mean=%.2f max=%d",
+				gs.N, gs.Mean(), gs.Max)
+		}
 	}
 	return b.String()
 }
+
+// CommitGroupSizes returns the histogram of batches per commit group
+// (values are counts, not durations).
+func (db *DB) CommitGroupSizes() metrics.HistogramSnapshot { return db.m.GroupSizes() }
 
 // FilterMemoryBytes sums the pinned Bloom-filter bytes across every
 // live table — the memory side of the filter experiments.

@@ -9,37 +9,71 @@ import (
 )
 
 // Batch is an atomic group of writes applied with consecutive sequence
-// numbers.
+// numbers. Keys and values are copied into an internal arena that Reset
+// retains, so a batch reused across a write loop reaches a steady state
+// of zero allocations per operation.
 type Batch struct {
-	ops []wal.Op
+	ops   []wal.Op
+	arena []byte // append-only byte arena backing the copied keys/values
+}
+
+// batchArenaMin is the smallest arena block allocated once a batch
+// copies its first bytes.
+const batchArenaMin = 1024
+
+// copyBytes appends p to the arena and returns the stable copy. When
+// the current block is full a larger one is allocated; earlier blocks
+// stay alive through the op slices that reference them, so previously
+// returned copies are never invalidated.
+func (b *Batch) copyBytes(p []byte) []byte {
+	if len(p) == 0 {
+		return nil
+	}
+	if cap(b.arena)-len(b.arena) < len(p) {
+		n := 2 * cap(b.arena)
+		if n < batchArenaMin {
+			n = batchArenaMin
+		}
+		if n < len(p) {
+			n = len(p)
+		}
+		b.arena = make([]byte, 0, n)
+	}
+	off := len(b.arena)
+	b.arena = append(b.arena, p...)
+	return b.arena[off:len(b.arena):len(b.arena)]
 }
 
 // Put records an insertion or update.
 func (b *Batch) Put(key, value []byte) {
-	b.ops = append(b.ops, wal.Op{Kind: kv.KindSet, Key: cp(key), Value: cp(value)})
+	b.ops = append(b.ops, wal.Op{Kind: kv.KindSet, Key: b.copyBytes(key), Value: b.copyBytes(value)})
 }
 
 // Delete records a point tombstone.
 func (b *Batch) Delete(key []byte) {
-	b.ops = append(b.ops, wal.Op{Kind: kv.KindDelete, Key: cp(key)})
+	b.ops = append(b.ops, wal.Op{Kind: kv.KindDelete, Key: b.copyBytes(key)})
 }
 
 // SingleDelete records a single-delete tombstone (for keys written at
 // most once since the last delete; tutorial §2.3.3, [101]).
 func (b *Batch) SingleDelete(key []byte) {
-	b.ops = append(b.ops, wal.Op{Kind: kv.KindSingleDelete, Key: cp(key)})
+	b.ops = append(b.ops, wal.Op{Kind: kv.KindSingleDelete, Key: b.copyBytes(key)})
 }
 
 // DeleteRange records a range tombstone covering [start, end).
 func (b *Batch) DeleteRange(start, end []byte) {
-	b.ops = append(b.ops, wal.Op{Kind: kv.KindRangeDelete, Key: cp(start), Value: cp(end)})
+	b.ops = append(b.ops, wal.Op{Kind: kv.KindRangeDelete, Key: b.copyBytes(start), Value: b.copyBytes(end)})
 }
 
 // Len returns the number of operations in the batch.
 func (b *Batch) Len() int { return len(b.ops) }
 
-// Reset clears the batch for reuse.
-func (b *Batch) Reset() { b.ops = b.ops[:0] }
+// Reset clears the batch for reuse, retaining the op slice and the
+// current arena block.
+func (b *Batch) Reset() {
+	b.ops = b.ops[:0]
+	b.arena = b.arena[:0]
+}
 
 func cp(b []byte) []byte { return append([]byte(nil), b...) }
 
@@ -73,6 +107,12 @@ func (db *DB) DeleteRange(start, end []byte) error {
 
 // Apply atomically applies a batch: one WAL record, consecutive
 // sequence numbers, all-or-nothing visibility within the memtable.
+//
+// Concurrent Apply calls flow through the group-commit pipeline
+// (commit.go): one leader writes and syncs the whole group's WAL
+// records, the members insert into the memtable concurrently, and the
+// batch becomes visible — and Apply returns — once the visibleSeq
+// watermark passes it in commit order.
 func (db *DB) Apply(b *Batch) error {
 	if len(b.ops) == 0 {
 		return nil
@@ -83,20 +123,11 @@ func (db *DB) Apply(b *Batch) error {
 		start := db.opts.NowNs()
 		defer func() { db.m.PutNs.RecordSince(start, db.opts.NowNs()) }()
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.makeRoomLocked(); err != nil {
-		return err
-	}
-	if db.bgErr != nil {
-		return db.bgErr
-	}
-
-	base := kv.SeqNum(db.lastSeq.Load()) + 1
 
 	// WiscKey: divert large values to the value log before WAL framing
 	// so that recovery replays pointers (the value bytes are already
-	// durable in the log).
+	// durable in the log). The value log is internally synchronized, so
+	// diversion runs before the pipeline, outside every engine lock.
 	ops := b.ops
 	if db.vlog != nil && db.opts.ValueSeparationThreshold > 0 {
 		ops = make([]wal.Op, len(b.ops))
@@ -113,48 +144,39 @@ func (db *DB) Apply(b *Batch) error {
 		}
 	}
 
-	if !db.opts.DisableWAL {
-		n, err := db.wal.Append(&wal.Batch{Seq: base, Ops: ops})
-		if err != nil {
-			return err
-		}
-		db.m.WALBytes.Add(int64(n))
-		if db.opts.SyncWAL {
-			if err := db.wal.Sync(); err != nil {
-				return err
-			}
+	req := &commitRequest{userOps: b.ops, ops: ops, donePub: make(chan struct{})}
+	if db.commit.enqueue(req) {
+		db.commitLead(req)
+	} else {
+		<-req.wake
+		if req.isLeader {
+			db.commitLead(req)
 		}
 	}
-
-	seq := base
-	for i := range ops {
-		op := ops[i]
-		switch op.Kind {
-		case kv.KindRangeDelete:
-			db.mem.addRangeDel(kv.RangeTombstone{Start: op.Key, End: op.Value, Seq: seq})
-			db.m.Deletes.Add(1)
-		case kv.KindDelete, kv.KindSingleDelete:
-			db.mem.mt.Add(seq, op.Kind, op.Key, op.Value)
-			db.m.Deletes.Add(1)
-		default:
-			db.mem.mt.Add(seq, op.Kind, op.Key, op.Value)
-			db.m.Puts.Add(1)
-		}
-		// Ingested bytes are accounted at user-visible size: for
-		// separated values, the value bytes count here (they were
-		// ingested) even though the tree only carries a pointer.
-		userLen := len(b.ops[i].Key) + len(b.ops[i].Value)
-		db.m.BytesIngested.Add(int64(userLen))
-		seq++
+	if !req.registered {
+		// The group failed before sequence assignment (stall abort or
+		// background error); nothing to apply or publish.
+		return req.err
 	}
-	db.lastSeq.Store(uint64(seq - 1))
+	if req.err == nil {
+		db.applyToMem(req)
+	}
+	req.mem.writers.Done()
+	db.commit.publish(db, req)
+	if req.err != nil {
+		return req.err
+	}
 
 	// Rotate a full buffer only while the immutable queue has room;
 	// otherwise leave it over-full and let the next write stall in
 	// makeRoomLocked until a flush completes.
-	if db.mem.mt.ApproximateBytes() >= db.opts.BufferBytes &&
-		len(db.imm) < db.opts.MaxImmutableBuffers {
-		return db.rotateMemtableLocked()
+	if req.mem.mt.ApproximateBytes() >= db.opts.BufferBytes {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if db.mem == req.mem && db.mem.mt.ApproximateBytes() >= db.opts.BufferBytes &&
+			len(db.imm) < db.opts.MaxImmutableBuffers {
+			return db.rotateMemtableLocked()
+		}
 	}
 	return nil
 }
@@ -203,11 +225,16 @@ func (db *DB) makeRoomLocked() error {
 }
 
 // rotateMemtableLocked retires the mutable buffer to the immutable
-// queue and installs a fresh one (and WAL segment).
+// queue and installs a fresh one (and WAL segment). Callers hold db.mu;
+// the WAL file swap additionally takes db.walMu so it cannot interleave
+// with a commit group's buffered append (commit.go pins db.wal under
+// both locks before appending).
 func (db *DB) rotateMemtableLocked() error {
-	if db.mem.mt.Len() == 0 && len(db.mem.rangeDels) == 0 {
+	if db.mem.mt.Len() == 0 && len(db.mem.rangeTombstones()) == 0 {
 		return nil
 	}
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
 	if db.walFile != nil {
 		if err := db.walFile.Sync(); err != nil {
 			return err

@@ -40,6 +40,11 @@ const (
 	VlogGCEnd
 	// CheckpointEnd records one completed (or failed) online checkpoint.
 	CheckpointEnd
+	// GroupCommit records one multi-batch commit group: Batches writers
+	// shared a single WAL write (and, under SyncWAL, a single sync).
+	// Single-batch groups are not reported — they are the uncontended
+	// common case and would flood the stream.
+	GroupCommit
 
 	numTypes
 )
@@ -54,6 +59,7 @@ var typeNames = [numTypes]string{
 	WALRotated:      "wal-rotated",
 	VlogGCEnd:       "vlog-gc-end",
 	CheckpointEnd:   "checkpoint-end",
+	GroupCommit:     "group-commit",
 }
 
 // String implements fmt.Stringer.
@@ -111,6 +117,8 @@ type Event struct {
 	// MovedRecords and Collected summarize a value-log GC pass.
 	MovedRecords int
 	Collected    bool
+	// Batches is the size of a commit group (GroupCommit events).
+	Batches int
 	// Err is the failure of an end event, nil on success.
 	Err error
 }
@@ -151,6 +159,9 @@ func (e Event) String() string {
 	}
 	if e.Type == VlogGCEnd {
 		fmt.Fprintf(&b, " moved=%d collected=%v", e.MovedRecords, e.Collected)
+	}
+	if e.Type == GroupCommit {
+		fmt.Fprintf(&b, " batches=%d", e.Batches)
 	}
 	if e.Err != nil {
 		fmt.Fprintf(&b, " err=%q", e.Err)

@@ -26,9 +26,11 @@ type SkipList struct {
 	mu     sync.RWMutex
 	head   *skipNode
 	height int
-	rnd    *rand.Rand
 	bytes  int
 	count  int
+	// prev is the search-path scratch for Add, reused across calls;
+	// it is only touched while mu is write-held.
+	prev [skipMaxHeight]*skipNode
 }
 
 // NewSkipList returns an empty skiplist memtable.
@@ -36,14 +38,18 @@ func NewSkipList() *SkipList {
 	return &SkipList{
 		head:   &skipNode{next: make([]*skipNode, skipMaxHeight)},
 		height: 1,
-		rnd:    rand.New(rand.NewSource(0xdecafbad)),
 	}
 }
 
-func (s *SkipList) randomHeight() int {
+// randomHeight draws a tower height with P(k+1 | k) = 1/skipBranching
+// from the global math/rand source (lock-free per-thread state), so
+// concurrent Adds can size their towers before taking the list lock.
+func randomHeight() int {
+	u := rand.Uint32()
 	h := 1
-	for h < skipMaxHeight && s.rnd.Intn(skipBranching) == 0 {
+	for h < skipMaxHeight && u&(skipBranching-1) == 0 {
 		h++
+		u >>= 2
 	}
 	return h
 }
@@ -70,23 +76,27 @@ func (s *SkipList) findGE(ikey []byte, prev []*skipNode) *skipNode {
 }
 
 // Add implements Memtable.
+//
+// Everything that can be done without the lock — key encoding, the
+// value copy, the height draw, and the node allocation — happens
+// before it, so concurrent writers (the commit pipeline's group
+// members) only serialize on the search-and-splice itself.
 func (s *SkipList) Add(seq kv.SeqNum, kind kv.Kind, ukey, value []byte) {
 	e := kv.Entry{Key: kv.MakeKey(ukey, seq, kind), Value: append([]byte(nil), value...)}
+	h := randomHeight()
+	n := &skipNode{entry: e, next: make([]*skipNode, h)}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	prev := make([]*skipNode, skipMaxHeight)
-	s.findGE(e.Key, prev)
-	h := s.randomHeight()
+	s.findGE(e.Key, s.prev[:])
 	if h > s.height {
 		for i := s.height; i < h; i++ {
-			prev[i] = s.head
+			s.prev[i] = s.head
 		}
 		s.height = h
 	}
-	n := &skipNode{entry: e, next: make([]*skipNode, h)}
 	for i := 0; i < h; i++ {
-		n.next[i] = prev[i].next[i]
-		prev[i].next[i] = n
+		n.next[i] = s.prev[i].next[i]
+		s.prev[i].next[i] = n
 	}
 	s.bytes += sizeOf(ukey, value)
 	s.count++

@@ -17,6 +17,12 @@ type Metrics struct {
 	BytesIngested atomic.Int64 // user key+value bytes accepted
 	WALBytes      atomic.Int64 // bytes appended to the write-ahead log
 
+	// Group commit (the leader-based commit pipeline).
+	CommitGroups  atomic.Int64 // commit groups written (one WAL write each)
+	CommitBatches atomic.Int64 // batches committed across all groups
+	WALSyncs      atomic.Int64 // WAL syncs issued (one per group under SyncWAL)
+	WALSyncsSaved atomic.Int64 // syncs avoided by group coalescing (group size - 1 each)
+
 	// Read path.
 	Gets            atomic.Int64 // user point lookups
 	GetHits         atomic.Int64 // lookups that found a live value
@@ -41,9 +47,13 @@ type Metrics struct {
 	WriteStalls atomic.Int64 // number of stall events
 	ThrottleNs  atomic.Int64 // time compactions paused in the bandwidth throttle
 
-	// Block cache.
-	CacheHits   atomic.Int64
-	CacheMisses atomic.Int64
+	// Block cache and table I/O. BlockReads counts data-block fetches by
+	// the sstable readers; BlockReadsCached is the subset served from the
+	// block cache without touching the filesystem.
+	CacheHits        atomic.Int64
+	CacheMisses      atomic.Int64
+	BlockReads       atomic.Int64
+	BlockReadsCached atomic.Int64
 
 	// Latency distributions (log-bucketed; see histogram.go). Counters
 	// answer "how much", these answer "how long" — the tail behavior
@@ -53,7 +63,16 @@ type Metrics struct {
 	ScanNextNs   Histogram
 	FlushNs      Histogram
 	CompactionNs Histogram
+
+	// CommitGroupSize records batches-per-group (a count, not a
+	// duration; the log-linear buckets work for any int64). Its tail
+	// shows how far write concurrency actually coalesces.
+	CommitGroupSize Histogram
 }
+
+// GroupSizes returns a snapshot of the commit-group-size histogram
+// (batches per group; values are counts, not nanoseconds).
+func (m *Metrics) GroupSizes() HistogramSnapshot { return m.CommitGroupSize.Snapshot() }
 
 // Latencies returns a snapshot of every latency histogram.
 func (m *Metrics) Latencies() LatencySnapshot {
@@ -69,6 +88,8 @@ func (m *Metrics) Latencies() LatencySnapshot {
 // Snapshot is an immutable copy of the counters at one instant.
 type Snapshot struct {
 	Puts, Deletes, BytesIngested, WALBytes        int64
+	CommitGroups, CommitBatches                   int64
+	WALSyncs, WALSyncsSaved                       int64
 	Gets, GetHits, Scans, RunsProbed              int64
 	FilterProbes, FilterNegatives, FilterFalsePos int64
 	Flushes, FlushBytes, Compactions              int64
@@ -77,6 +98,7 @@ type Snapshot struct {
 	TombstonesDropped, EntriesDropped             int64
 	StallNs, WriteStalls, ThrottleNs              int64
 	CacheHits, CacheMisses                        int64
+	BlockReads, BlockReadsCached                  int64
 }
 
 // Snapshot returns a copy of the current counter values.
@@ -86,6 +108,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		Deletes:                m.Deletes.Load(),
 		BytesIngested:          m.BytesIngested.Load(),
 		WALBytes:               m.WALBytes.Load(),
+		CommitGroups:           m.CommitGroups.Load(),
+		CommitBatches:          m.CommitBatches.Load(),
+		WALSyncs:               m.WALSyncs.Load(),
+		WALSyncsSaved:          m.WALSyncsSaved.Load(),
 		Gets:                   m.Gets.Load(),
 		GetHits:                m.GetHits.Load(),
 		Scans:                  m.Scans.Load(),
@@ -106,7 +132,19 @@ func (m *Metrics) Snapshot() Snapshot {
 		ThrottleNs:             m.ThrottleNs.Load(),
 		CacheHits:              m.CacheHits.Load(),
 		CacheMisses:            m.CacheMisses.Load(),
+		BlockReads:             m.BlockReads.Load(),
+		BlockReadsCached:       m.BlockReadsCached.Load(),
 	}
+}
+
+// AvgCommitGroupSize is the mean number of batches coalesced per commit
+// group — 1.0 means writes never overlapped, higher means the group
+// commit is amortizing WAL writes (and syncs, under SyncWAL).
+func (s Snapshot) AvgCommitGroupSize() float64 {
+	if s.CommitGroups == 0 {
+		return 0
+	}
+	return float64(s.CommitBatches) / float64(s.CommitGroups)
 }
 
 // WriteAmplification is the ratio of bytes written to storage (flushes
@@ -152,6 +190,10 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		Deletes:                s.Deletes - o.Deletes,
 		BytesIngested:          s.BytesIngested - o.BytesIngested,
 		WALBytes:               s.WALBytes - o.WALBytes,
+		CommitGroups:           s.CommitGroups - o.CommitGroups,
+		CommitBatches:          s.CommitBatches - o.CommitBatches,
+		WALSyncs:               s.WALSyncs - o.WALSyncs,
+		WALSyncsSaved:          s.WALSyncsSaved - o.WALSyncsSaved,
 		Gets:                   s.Gets - o.Gets,
 		GetHits:                s.GetHits - o.GetHits,
 		Scans:                  s.Scans - o.Scans,
@@ -172,6 +214,8 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		ThrottleNs:             s.ThrottleNs - o.ThrottleNs,
 		CacheHits:              s.CacheHits - o.CacheHits,
 		CacheMisses:            s.CacheMisses - o.CacheMisses,
+		BlockReads:             s.BlockReads - o.BlockReads,
+		BlockReadsCached:       s.BlockReadsCached - o.BlockReadsCached,
 	}
 }
 

@@ -20,6 +20,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // PageSize is the granularity at which CountingFS accounts I/O
@@ -75,7 +77,16 @@ type MemFS struct {
 	mu    sync.RWMutex
 	files map[string]*memFileData
 	dirs  map[string]bool
+	// syncDelayNs, when non-zero, makes every File.Sync block for that
+	// long (a real sleep). It models device fsync latency so durability
+	// optimizations — group commit amortizing one sync across many
+	// writers — are measurable without a physical disk.
+	syncDelayNs atomic.Int64
 }
+
+// SetSyncDelay makes subsequent Sync calls on files of this filesystem
+// block for d. Zero (the default) restores free syncs.
+func (fs *MemFS) SetSyncDelay(d time.Duration) { fs.syncDelayNs.Store(int64(d)) }
 
 type memFileData struct {
 	mu   sync.RWMutex
@@ -96,7 +107,7 @@ func (fs *MemFS) Create(name string) (File, error) {
 	defer fs.mu.Unlock()
 	fd := &memFileData{}
 	fs.files[name] = fd
-	return &memFile{fd: fd, writable: true}, nil
+	return &memFile{fs: fs, fd: fd, writable: true}, nil
 }
 
 // Append implements FS.
@@ -109,7 +120,7 @@ func (fs *MemFS) Append(name string) (File, error) {
 		fd = &memFileData{}
 		fs.files[name] = fd
 	}
-	return &memFile{fd: fd, writable: true}, nil
+	return &memFile{fs: fs, fd: fd, writable: true}, nil
 }
 
 // Open implements FS.
@@ -121,7 +132,7 @@ func (fs *MemFS) Open(name string) (File, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
 	}
-	return &memFile{fd: fd}, nil
+	return &memFile{fs: fs, fd: fd}, nil
 }
 
 // Remove implements FS.
@@ -196,6 +207,7 @@ func (fs *MemFS) TotalBytes() int64 {
 }
 
 type memFile struct {
+	fs       *MemFS
 	fd       *memFileData
 	writable bool
 	closed   bool
@@ -209,7 +221,24 @@ func (f *memFile) Write(p []byte) (int, error) {
 		return 0, errors.New("vfs: file opened read-only")
 	}
 	f.fd.mu.Lock()
-	f.fd.data = append(f.fd.data, p...)
+	d := f.fd.data
+	if need := len(d) + len(p); need > cap(d) {
+		// Grow by doubling rather than append's large-slice growth
+		// factor: WAL segments take hundreds of thousands of small
+		// appends, and fewer reallocations means far less copying and
+		// garbage while the commit pipeline holds the WAL lock.
+		newCap := 2 * cap(d)
+		if newCap < need {
+			newCap = need
+		}
+		if newCap < 4096 {
+			newCap = 4096
+		}
+		nd := make([]byte, len(d), newCap)
+		copy(nd, d)
+		d = nd
+	}
+	f.fd.data = append(d, p...)
 	f.fd.mu.Unlock()
 	return len(p), nil
 }
@@ -236,7 +265,12 @@ func (f *memFile) Size() (int64, error) {
 	return int64(len(f.fd.data)), nil
 }
 
-func (f *memFile) Sync() error { return nil }
+func (f *memFile) Sync() error {
+	if d := f.fs.syncDelayNs.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	return nil
+}
 func (f *memFile) Close() error {
 	f.closed = true
 	return nil

@@ -40,8 +40,13 @@ type Batch struct {
 	Ops []Op
 }
 
-func (b *Batch) encode() []byte {
-	var buf []byte
+// appendFrame encodes the batch's frame (header + payload) onto buf and
+// returns the extended slice. The length and CRC are backfilled once the
+// payload is in place, so a group of batches can be framed into one
+// contiguous buffer without intermediate allocations.
+func (b *Batch) appendFrame(buf []byte) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
 	buf = binary.AppendUvarint(buf, uint64(b.Seq))
 	buf = binary.AppendUvarint(buf, uint64(len(b.Ops)))
 	for _, op := range b.Ops {
@@ -51,6 +56,9 @@ func (b *Batch) encode() []byte {
 		buf = binary.AppendUvarint(buf, uint64(len(op.Value)))
 		buf = append(buf, op.Value...)
 	}
+	payload := buf[start+8:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, crcTable))
 	return buf
 }
 
@@ -87,23 +95,43 @@ func decodeBatch(payload []byte) (Batch, error) {
 	return b, nil
 }
 
-// Writer appends batches to a log file.
+// Writer appends batches to a log file. A Writer is not safe for
+// concurrent use; the engine's commit pipeline guarantees one appender
+// at a time (the group leader).
 type Writer struct {
-	f      vfs.File
-	offset int64
+	f       vfs.File
+	offset  int64
+	scratch []byte // reusable frame buffer for Append/AppendGroup
 }
+
+// scratchCap bounds the retained frame buffer: a pathological group
+// (huge values) should not pin its peak size forever.
+const scratchCap = 4 << 20
 
 // NewWriter returns a Writer appending to f.
 func NewWriter(f vfs.File) *Writer { return &Writer{f: f} }
 
 // Append frames and writes one batch, returning the bytes written.
 func (w *Writer) Append(b *Batch) (int, error) {
-	payload := b.encode()
-	frame := make([]byte, 8+len(payload))
-	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
-	copy(frame[8:], payload)
-	n, err := w.f.Write(frame)
+	return w.AppendGroup([]*Batch{b})
+}
+
+// AppendGroup frames every batch of a commit group into one contiguous
+// buffer and writes it with a single Write call — the group-commit I/O
+// coalescing step. Each batch keeps its own frame (length | crc |
+// payload), so crash recovery remains atomic per batch: a torn group
+// write loses only the un-framed suffix, never a framed prefix batch.
+func (w *Writer) AppendGroup(batches []*Batch) (int, error) {
+	buf := w.scratch[:0]
+	for _, b := range batches {
+		buf = b.appendFrame(buf)
+	}
+	if cap(buf) <= scratchCap {
+		w.scratch = buf[:0]
+	} else {
+		w.scratch = nil
+	}
+	n, err := w.f.Write(buf)
 	w.offset += int64(n)
 	return n, err
 }
