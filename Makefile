@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-write tables examples cover clean
+.PHONY: all build test race bench bench-write tables examples cover serve-smoke fuzz-wire clean
 
 all: build test
 
@@ -35,6 +35,15 @@ examples:
 	$(GO) run ./examples/privacy
 	$(GO) run ./examples/tuning
 	$(GO) run ./examples/counters
+
+# End-to-end smoke of the serving layer: lsmserved + lsmctl -addr
+# round trips, graceful SIGTERM drain, checkpoint, durability.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+# Short fuzz run over the wire-protocol codec (CI runs 30s).
+fuzz-wire:
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 30s
 
 # Coverage summary over the engine packages (CI runs this as a
 # non-blocking report).

@@ -7,18 +7,24 @@
 //	lsmbench -exp all            # run everything at full scale
 //	lsmbench -exp E1,E3 -scale 0.25
 //	lsmbench -writers 8 -ops 200000 -sync   # group-commit throughput
+//	lsmbench -serve -conns 8 -ops 100000 -sync   # same store, over TCP
+//	lsmbench -addr 127.0.0.1:4700 -conns 8       # against a live server
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strings"
 	"sync"
 	"time"
 
+	"lsmlab/internal/client"
 	"lsmlab/internal/core"
 	"lsmlab/internal/experiments"
+	"lsmlab/internal/metrics"
+	"lsmlab/internal/server"
 	"lsmlab/internal/vfs"
 	"lsmlab/internal/workload"
 )
@@ -35,8 +41,21 @@ func main() {
 		syncWAL   = flag.Bool("sync", false, "fsync the WAL on every commit in -writers mode")
 		syncDelay = flag.Duration("syncdelay", 0, "modeled fsync latency on the in-memory fs (e.g. 100us)")
 		dir       = flag.String("dir", "", "OS directory for -writers mode (default: in-memory fs; real fsync latency needs a real disk)")
+
+		serve = flag.Bool("serve", false, "network mode: serve the bench store in-process and write over TCP")
+		addr  = flag.String("addr", "", "network mode: benchmark an external lsmserved at this address")
+		conns = flag.Int("conns", 1, "network mode: number of client connections")
+		depth = flag.Int("depth", 1, "network mode: pipelined requests in flight per connection (1 = synchronous)")
 	)
 	flag.Parse()
+
+	if *serve || *addr != "" {
+		if err := runNet(*addr, *conns, *ops, *valueSize, *depth, *syncWAL, *syncDelay, *dir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *writers > 0 {
 		if err := runWriters(*writers, *ops, *valueSize, *batchSize, *syncWAL, *syncDelay, *dir); err != nil {
@@ -144,6 +163,136 @@ func runWriters(writers, ops, valueSize, batchSize int, syncWAL bool, syncDelay 
 	gs := db.CommitGroupSizes()
 	if gs.N > 0 {
 		fmt.Printf("group size: n=%d mean=%.2f max=%d\n", gs.N, gs.Mean(), gs.Max)
+	}
+	return nil
+}
+
+// runNet measures put throughput over the wire: conns connections,
+// each keeping up to depth requests in flight. With -serve the store
+// and server run in this process (so engine coalescing stats are
+// reported too); with -addr the target is an external lsmserved.
+func runNet(addr string, conns, ops, valueSize, depth int, syncWAL bool, syncDelay time.Duration, dir string) error {
+	if conns < 1 {
+		conns = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+
+	var db *core.DB
+	if addr == "" {
+		// -serve: host the bench store in-process, same defaults as
+		// -writers mode.
+		var fs vfs.FS
+		dbDir := "bench-db"
+		if dir != "" {
+			fs = vfs.NewOS()
+			dbDir = dir
+		} else {
+			mem := vfs.NewMem()
+			mem.SetSyncDelay(syncDelay)
+			fs = mem
+		}
+		opts := core.DefaultOptions(fs, dbDir)
+		opts.SyncWAL = syncWAL
+		var err error
+		db, err = core.Open(opts)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		srv := server.New(db, server.Options{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		serveDone := make(chan error, 1)
+		go func() { serveDone <- srv.Serve(ln) }()
+		defer func() {
+			srv.Shutdown(10 * time.Second)
+			<-serveDone
+		}()
+		addr = ln.Addr().String()
+	}
+
+	cl, err := client.Dial(addr, client.Options{PoolSize: conns})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	perConn := ops / conns
+	val := make([]byte, valueSize)
+	var wg sync.WaitGroup
+	errs := make([]error, conns)
+	var lat metrics.Histogram
+	start := time.Now()
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			p, err := cl.Pipeline()
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			base := int64(c * perConn)
+			// window holds in-flight futures; latency is enqueue→ack.
+			type inflight struct {
+				f       *client.Future
+				startNs int64
+			}
+			window := make([]inflight, 0, depth)
+			drainOne := func() error {
+				in := window[0]
+				window = window[1:]
+				if err := in.f.Err(); err != nil {
+					return err
+				}
+				lat.RecordSince(in.startNs, time.Now().UnixNano())
+				return nil
+			}
+			for i := 0; i < perConn; i++ {
+				if len(window) == depth {
+					if err := drainOne(); err != nil {
+						errs[c] = err
+						return
+					}
+				}
+				f := p.Put(workload.Key(base+int64(i)), val)
+				window = append(window, inflight{f, time.Now().UnixNano()})
+			}
+			for len(window) > 0 {
+				if err := drainOne(); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	total := perConn * conns
+	fmt.Printf("net conns=%d depth=%d ops=%d value=%dB sync=%v addr=%s\n",
+		conns, depth, total, valueSize, syncWAL, addr)
+	fmt.Printf("elapsed=%.2fs throughput=%.0f ops/s\n",
+		elapsed.Seconds(), float64(total)/elapsed.Seconds())
+	fmt.Printf("put latency: %s\n", lat.Snapshot())
+	if db != nil {
+		m := db.Metrics()
+		fmt.Printf("commit_groups=%d batches=%d avg_group=%.2f wal_syncs=%d syncs_saved=%d\n",
+			m.CommitGroups, m.CommitBatches, m.AvgCommitGroupSize(),
+			m.WALSyncs, m.WALSyncsSaved)
+		gs := db.CommitGroupSizes()
+		if gs.N > 0 {
+			fmt.Printf("group size: n=%d mean=%.2f max=%d\n", gs.N, gs.Mean(), gs.Max)
+		}
 	}
 	return nil
 }

@@ -17,6 +17,13 @@
 //	lsmctl -db /tmp/demo retune <strategy> [T]  # reshape online, then drain
 //	lsmctl -db /tmp/demo checkpoint <dir>       # consistent online backup
 //	lsmctl -db /tmp/demo bench <n>      # quick ingest of n keys
+//
+// With -addr instead of -db, commands run against a live lsmserved
+// over the wire (put, get, delete, scan, stats, compact):
+//
+//	lsmctl -addr 127.0.0.1:4700 put <key> <value>
+//	lsmctl -addr 127.0.0.1:4700 scan <prefix> [limit]
+//	lsmctl -addr 127.0.0.1:4700 stats [-v]
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"strconv"
 	"time"
 
+	"lsmlab/internal/client"
 	"lsmlab/internal/compaction"
 	"lsmlab/internal/core"
 	"lsmlab/internal/events"
@@ -35,14 +43,19 @@ import (
 )
 
 func main() {
-	dbPath := flag.String("db", "", "database directory (required)")
+	dbPath := flag.String("db", "", "database directory (opens the store locally)")
+	addr := flag.String("addr", "", "lsmserved address (runs commands over the wire instead)")
 	strategy := flag.String("strategy", "", "compaction strategy, e.g. 'lazy-leveling(4)/partial/tombstone-density'")
 	sizeRatio := flag.Int("T", 0, "size ratio between level capacities (default 10)")
 	flag.Parse()
 	args := flag.Args()
-	if *dbPath == "" || len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lsmctl -db DIR [-strategy S] [-T n] {put|get|delete|scan|shape|stats|events|compact|retune|bench} ...")
+	if (*dbPath == "") == (*addr == "") || len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: lsmctl {-db DIR | -addr HOST:PORT} [-strategy S] [-T n] {put|get|delete|scan|shape|stats|events|compact|retune|bench} ...")
 		os.Exit(2)
+	}
+	if *addr != "" {
+		remote(*addr, args)
+		return
 	}
 
 	opts := core.DefaultOptions(vfs.NewOS(), *dbPath)
@@ -189,6 +202,66 @@ func main() {
 			n, el, float64(n)/el.Seconds(), db.FormatStats(true), ring.Total())
 	default:
 		fatal(fmt.Errorf("unknown command %q", args[0]))
+	}
+}
+
+// remote runs one command against a live lsmserved over the wire.
+func remote(addr string, args []string) {
+	cl, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+	switch args[0] {
+	case "put":
+		need(args, 3)
+		if err := cl.Put([]byte(args[1]), []byte(args[2])); err != nil {
+			fatal(err)
+		}
+	case "get":
+		need(args, 2)
+		v, err := cl.Get([]byte(args[1]))
+		if errors.Is(err, client.ErrNotFound) {
+			fmt.Println("(not found)")
+			return
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s\n", v)
+	case "delete":
+		need(args, 2)
+		if err := cl.Delete([]byte(args[1])); err != nil {
+			fatal(err)
+		}
+	case "scan":
+		// Over the wire, scan is prefix-based: scan <prefix> [limit].
+		need(args, 2)
+		limit := 100
+		if len(args) > 2 {
+			limit, _ = strconv.Atoi(args[2])
+		}
+		kvs, err := cl.Scan([]byte(args[1]), limit)
+		if err != nil {
+			fatal(err)
+		}
+		for _, kvp := range kvs {
+			fmt.Printf("%s = %s\n", kvp.Key, kvp.Value)
+		}
+	case "stats":
+		verbose := len(args) > 1 && (args[1] == "-v" || args[1] == "v")
+		text, err := cl.Stats(verbose)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(text)
+	case "compact":
+		if err := cl.Compact(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("compaction complete")
+	default:
+		fatal(fmt.Errorf("command %q is not available over -addr (remote commands: put get delete scan stats compact)", args[0]))
 	}
 }
 

@@ -1,0 +1,345 @@
+// Package client is the Go client for lsmserved, speaking the
+// length-prefixed binary protocol of internal/wire. It maintains a
+// fixed-size pool of pipelined connections: every connection can carry
+// many in-flight requests (responses arrive in request order), and the
+// pool spreads callers round-robin, so N concurrent goroutines on one
+// client become N concurrent request streams server-side — which the
+// engine's commit pipeline coalesces into shared WAL writes.
+//
+// Synchronous calls (Get, Put, ...) retry transparently on transient
+// transport errors — dial failures, resets, a peer draining — with
+// exponential backoff. All verbs are idempotent, so a retried write is
+// at-least-once, never corrupting. A request that times out waiting for
+// its response poisons its connection (the stream can no longer be
+// matched) and is NOT retried, because the server may have applied it.
+//
+// For explicit pipelining — keeping many writes in flight from one
+// goroutine — see Pipeline.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lsmlab/internal/wire"
+)
+
+// Typed client errors.
+var (
+	// ErrNotFound is returned by Get when the key has no live value.
+	ErrNotFound = errors.New("lsmclient: key not found")
+	// ErrClosed is returned by calls on a closed client.
+	ErrClosed = errors.New("lsmclient: client closed")
+	// ErrTimeout is returned when a response missed the request
+	// timeout. The request may still have been applied server-side.
+	ErrTimeout = errors.New("lsmclient: request timed out")
+)
+
+// Options configures a Client. The zero value plus Addr is usable.
+type Options struct {
+	// Addr is the server's host:port (required).
+	Addr string
+	// PoolSize is the number of pipelined connections. Default 1;
+	// raise it to multiply server-side write concurrency.
+	PoolSize int
+	// DialTimeout bounds connection establishment. Default 5s.
+	DialTimeout time.Duration
+	// RequestTimeout bounds each call's wait for its response.
+	// Default 30s.
+	RequestTimeout time.Duration
+	// MaxRetries is how many times a transiently failed call is
+	// re-attempted (beyond the first try). Default 2.
+	MaxRetries int
+	// RetryBackoff is the initial backoff between attempts; it doubles
+	// per retry. Default 10ms.
+	RetryBackoff time.Duration
+	// MaxFrameBytes caps request and response frames. Default
+	// wire.DefaultMaxFrame.
+	MaxFrameBytes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.PoolSize <= 0 {
+		o.PoolSize = 1
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	} else if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 10 * time.Millisecond
+	}
+	if o.MaxFrameBytes <= 0 {
+		o.MaxFrameBytes = wire.DefaultMaxFrame
+	}
+	return o
+}
+
+// Client is a pooling, pipelining lsmserved client. It is safe for
+// concurrent use.
+type Client struct {
+	opts Options
+
+	mu     sync.Mutex
+	conns  []*conn // lazily dialed; nil or dead slots re-dial on use
+	closed bool
+
+	rr atomic.Uint64
+}
+
+// New returns a client for opts.Addr. Connections are dialed lazily;
+// use Ping to verify reachability eagerly.
+func New(opts Options) *Client {
+	opts = opts.withDefaults()
+	return &Client{opts: opts, conns: make([]*conn, opts.PoolSize)}
+}
+
+// Dial returns a client and verifies the server is reachable with one
+// Ping.
+func Dial(addr string, opts Options) (*Client, error) {
+	opts.Addr = addr
+	c := New(opts)
+	if err := c.Ping(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close tears down every pooled connection. In-flight calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, cn := range c.conns {
+		if cn != nil {
+			cn.fail(ErrClosed)
+		}
+	}
+	return nil
+}
+
+// connAt returns the pooled connection at slot i, dialing if the slot
+// is empty or its connection died.
+func (c *Client) connAt(i int) (*conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if cn := c.conns[i]; cn != nil && !cn.dead.Load() {
+		return cn, nil
+	}
+	nc, err := net.DialTimeout("tcp", c.opts.Addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	cn := newClientConn(nc, c.opts.MaxFrameBytes)
+	c.conns[i] = cn
+	return cn, nil
+}
+
+// do sends one request and waits for its response, retrying transient
+// transport failures with exponential backoff.
+func (c *Client) do(op byte, payload []byte) (status byte, resp []byte, err error) {
+	backoff := c.opts.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		slot := int(c.rr.Add(1)-1) % c.opts.PoolSize
+		cn, err := c.connAt(slot)
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return 0, nil, err
+			}
+			lastErr = err
+			continue
+		}
+		call, err := cn.send(op, payload, true)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		status, resp, err = call.wait(c.opts.RequestTimeout, cn)
+		if err == nil {
+			return status, resp, nil
+		}
+		if errors.Is(err, ErrTimeout) {
+			// The response may still arrive; the stream can no longer be
+			// matched and the request may have been applied — poison the
+			// connection and surface the timeout without retrying.
+			return 0, nil, err
+		}
+		lastErr = err // transport failure mid-wait: retry
+	}
+	return 0, nil, fmt.Errorf("lsmclient: %s failed after %d attempts: %w",
+		wire.OpName(op), c.opts.MaxRetries+1, lastErr)
+}
+
+// statusToErr maps a response to a typed error (nil for StatusOK).
+func statusToErr(status byte, payload []byte) error {
+	switch status {
+	case wire.StatusOK:
+		return nil
+	case wire.StatusNotFound:
+		return ErrNotFound
+	default:
+		return &wire.StatusError{Code: status, Msg: string(payload)}
+	}
+}
+
+// Get returns the value of key, or ErrNotFound.
+func (c *Client) Get(key []byte) ([]byte, error) {
+	status, resp, err := c.do(wire.OpGet, wire.AppendBytes(nil, key))
+	if err != nil {
+		return nil, err
+	}
+	if err := statusToErr(status, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Put stores key → value.
+func (c *Client) Put(key, value []byte) error {
+	payload := wire.AppendBytes(nil, key)
+	payload = wire.AppendBytes(payload, value)
+	return c.doSimple(wire.OpPut, payload)
+}
+
+// Delete removes key.
+func (c *Client) Delete(key []byte) error {
+	return c.doSimple(wire.OpDelete, wire.AppendBytes(nil, key))
+}
+
+// KV is one key-value pair returned by Scan.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// Scan returns up to limit live entries whose keys start with prefix
+// (limit <= 0 uses the server's cap).
+func (c *Client) Scan(prefix []byte, limit int) ([]KV, error) {
+	payload := wire.AppendBytes(nil, prefix)
+	if limit < 0 {
+		limit = 0
+	}
+	payload = wire.AppendUvarint(payload, uint64(limit))
+	status, resp, err := c.do(wire.OpScan, payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := statusToErr(status, resp); err != nil {
+		return nil, err
+	}
+	return decodeScan(resp)
+}
+
+func decodeScan(resp []byte) ([]KV, error) {
+	count, rest, err := wire.ReadUvarint(resp)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]KV, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var k, v []byte
+		k, rest, err = wire.ReadBytes(rest)
+		if err != nil {
+			return nil, err
+		}
+		v, rest, err = wire.ReadBytes(rest)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, KV{Key: k, Value: v})
+	}
+	return out, nil
+}
+
+// Apply sends a batch to be applied atomically.
+func (c *Client) Apply(b *Batch) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	return c.doSimple(wire.OpBatch, b.payload())
+}
+
+// Stats returns the server's stats block (the STATS admin verb).
+func (c *Client) Stats(verbose bool) (string, error) {
+	flag := []byte{0}
+	if verbose {
+		flag[0] = 1
+	}
+	status, resp, err := c.do(wire.OpStats, flag)
+	if err != nil {
+		return "", err
+	}
+	if err := statusToErr(status, resp); err != nil {
+		return "", err
+	}
+	return string(resp), nil
+}
+
+// Compact runs a full manual compaction (the COMPACT admin verb).
+func (c *Client) Compact() error { return c.doSimple(wire.OpCompact, nil) }
+
+// Ping round-trips an empty request.
+func (c *Client) Ping() error { return c.doSimple(wire.OpPing, nil) }
+
+func (c *Client) doSimple(op byte, payload []byte) error {
+	status, resp, err := c.do(op, payload)
+	if err != nil {
+		return err
+	}
+	return statusToErr(status, resp)
+}
+
+// Batch accumulates puts and deletes for one atomic Apply.
+type Batch struct {
+	count int
+	buf   []byte
+}
+
+// Put records key → value.
+func (b *Batch) Put(key, value []byte) {
+	b.buf = append(b.buf, wire.BatchPut)
+	b.buf = wire.AppendBytes(b.buf, key)
+	b.buf = wire.AppendBytes(b.buf, value)
+	b.count++
+}
+
+// Delete records a tombstone for key.
+func (b *Batch) Delete(key []byte) {
+	b.buf = append(b.buf, wire.BatchDelete)
+	b.buf = wire.AppendBytes(b.buf, key)
+	b.count++
+}
+
+// Len returns the number of operations recorded.
+func (b *Batch) Len() int { return b.count }
+
+// Reset clears the batch for reuse, retaining its buffer.
+func (b *Batch) Reset() {
+	b.count = 0
+	b.buf = b.buf[:0]
+}
+
+func (b *Batch) payload() []byte {
+	out := wire.AppendUvarint(make([]byte, 0, len(b.buf)+2), uint64(b.count))
+	return append(out, b.buf...)
+}

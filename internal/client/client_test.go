@@ -1,0 +1,157 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lsmlab/internal/wire"
+)
+
+// fakeServer speaks just enough of the protocol to exercise the
+// client's failure handling. Its behavior is switched at runtime:
+// "refuse" closes accepted connections immediately, "mute" reads
+// requests but never answers, "ok" answers everything with StatusOK.
+type fakeServer struct {
+	ln   net.Listener
+	mode atomic.Value // string
+}
+
+func newFakeServer(t *testing.T, mode string) *fakeServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &fakeServer{ln: ln}
+	s.mode.Store(mode)
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			switch s.mode.Load().(string) {
+			case "refuse":
+				nc.Close()
+				continue
+			}
+			go s.serve(nc)
+		}
+	}()
+	return s
+}
+
+func (s *fakeServer) serve(nc net.Conn) {
+	defer nc.Close()
+	for {
+		_, _, _, err := wire.ReadFrame(nc, 0, nil)
+		if err != nil {
+			return
+		}
+		if s.mode.Load().(string) == "mute" {
+			continue // swallow the request
+		}
+		if _, err := nc.Write(wire.AppendFrame(nil, wire.StatusOK, nil)); err != nil {
+			return
+		}
+	}
+}
+
+func TestRetriesTransientTransportFailures(t *testing.T) {
+	s := newFakeServer(t, "refuse")
+	cl := New(Options{
+		Addr:         s.ln.Addr().String(),
+		MaxRetries:   4,
+		RetryBackoff: 2 * time.Millisecond,
+	})
+	defer cl.Close()
+
+	// Every attempt meets an immediately-closed connection.
+	if err := cl.Ping(); err == nil {
+		t.Fatal("ping against a refusing server should fail")
+	}
+
+	// Flip the server healthy: the same client recovers on retry
+	// (dead pool slots are re-dialed).
+	s.mode.Store("ok")
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("ping after server recovery: %v", err)
+	}
+}
+
+func TestResponseTimeoutPoisonsConnNotRetried(t *testing.T) {
+	s := newFakeServer(t, "mute")
+	cl := New(Options{
+		Addr:           s.ln.Addr().String(),
+		RequestTimeout: 30 * time.Millisecond,
+		RetryBackoff:   time.Millisecond,
+	})
+	defer cl.Close()
+
+	start := time.Now()
+	_, err := cl.Get([]byte("k"))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	// Not retried: one timeout window, not MaxRetries of them.
+	if d := time.Since(start); d > 200*time.Millisecond {
+		t.Fatalf("timed-out request took %v — looks retried", d)
+	}
+
+	// The poisoned connection is replaced once the server answers.
+	s.mode.Store("ok")
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("ping after poison: %v", err)
+	}
+}
+
+func TestClosedClientFailsFast(t *testing.T) {
+	s := newFakeServer(t, "ok")
+	cl := New(Options{Addr: s.ln.Addr().String()})
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	if err := cl.Ping(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestDialFailsWhenUnreachable(t *testing.T) {
+	// Grab a port and close it so nothing listens there.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := Dial(addr, Options{DialTimeout: 200 * time.Millisecond,
+		MaxRetries: 1, RetryBackoff: time.Millisecond}); err == nil {
+		t.Fatal("Dial to a dead address should fail")
+	}
+}
+
+func TestBatchEncoding(t *testing.T) {
+	var b Batch
+	b.Put([]byte("k1"), []byte("v1"))
+	b.Delete([]byte("k2"))
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	payload := b.payload()
+	count, rest, err := wire.ReadUvarint(payload)
+	if err != nil || count != 2 {
+		t.Fatalf("count=%d err=%v", count, err)
+	}
+	if rest[0] != wire.BatchPut {
+		t.Fatalf("first kind = %#x", rest[0])
+	}
+	b.Reset()
+	if b.Len() != 0 || len(b.payload()) != 1 {
+		t.Fatal("Reset did not clear the batch")
+	}
+}

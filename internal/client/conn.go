@@ -1,0 +1,185 @@
+package client
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lsmlab/internal/wire"
+)
+
+// pipelineDepth bounds in-flight requests per connection; senders
+// block (briefly) when the window is full, a natural cap on how far a
+// producer can run ahead of the server.
+const pipelineDepth = 4096
+
+// call is one in-flight request awaiting its response.
+type call struct {
+	status  byte
+	payload []byte
+	err     error
+	done    chan struct{}
+}
+
+// wait blocks for the response, the timeout, or connection death. On
+// timeout the connection is poisoned: a late response could otherwise
+// be matched to the wrong request.
+func (cl *call) wait(timeout time.Duration, cn *conn) (byte, []byte, error) {
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case <-cl.done:
+		if cl.err != nil {
+			return 0, nil, cl.err
+		}
+		return cl.status, cl.payload, nil
+	case <-timer:
+		cn.fail(ErrTimeout)
+		// The receive loop may have completed the call between the
+		// timer firing and the poison taking effect; prefer the result.
+		select {
+		case <-cl.done:
+			if cl.err == nil {
+				return cl.status, cl.payload, nil
+			}
+		default:
+		}
+		return 0, nil, ErrTimeout
+	}
+}
+
+// conn is one pipelined connection: frames go out under wmu (enqueue
+// then write, so pending order matches wire order) and a single
+// receive goroutine completes pending calls strictly FIFO.
+type conn struct {
+	nc  net.Conn
+	bw  *bufio.Writer
+	max int
+
+	wmu     sync.Mutex
+	pending chan *call
+
+	dead    atomic.Bool
+	failMu  sync.Mutex
+	failErr error
+}
+
+func newClientConn(nc net.Conn, max int) *conn {
+	c := &conn{
+		nc:      nc,
+		bw:      bufio.NewWriterSize(nc, 64<<10),
+		max:     max,
+		pending: make(chan *call, pipelineDepth),
+	}
+	go c.recvLoop()
+	return c
+}
+
+// send writes one request frame and registers its call. With flush
+// false the frame may sit in the write buffer until a later flush —
+// the pipelining fast path.
+func (c *conn) send(op byte, payload []byte, flush bool) (*call, error) {
+	cl := &call{done: make(chan struct{})}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.dead.Load() {
+		return nil, c.failure()
+	}
+	select {
+	case c.pending <- cl:
+	default:
+		return nil, errors.New("lsmclient: pipeline window full")
+	}
+	frame := wire.AppendFrame(nil, op, payload)
+	if _, err := c.bw.Write(frame); err != nil {
+		c.fail(err)
+		return nil, err
+	}
+	if flush {
+		if err := c.bw.Flush(); err != nil {
+			c.fail(err)
+			return nil, err
+		}
+	}
+	return cl, nil
+}
+
+// flush pushes any buffered frames to the wire.
+func (c *conn) flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.dead.Load() {
+		return c.failure()
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.fail(err)
+		return err
+	}
+	return nil
+}
+
+// recvLoop completes pending calls in FIFO order as responses arrive.
+func (c *conn) recvLoop() {
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	for {
+		// Fresh scratch per frame: payloads are handed to callers.
+		op, payload, _, err := wire.ReadFrame(br, c.max, nil)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		select {
+		case cl := <-c.pending:
+			cl.status = op
+			cl.payload = payload
+			close(cl.done)
+		default:
+			c.fail(errors.New("lsmclient: response with no pending request"))
+			return
+		}
+	}
+}
+
+// fail marks the connection dead exactly once, closes it, and fails
+// every pending call. Callers that raced a completed call still see
+// its result.
+func (c *conn) fail(err error) {
+	c.failMu.Lock()
+	if c.failErr == nil {
+		c.failErr = err
+	}
+	first := !c.dead.Swap(true)
+	c.failMu.Unlock()
+	if !first {
+		return
+	}
+	c.nc.Close()
+	// The receive loop exits on the closed socket; drain everything it
+	// will never complete. Senders check dead under wmu before
+	// enqueueing, so this drain is eventually exhaustive.
+	for {
+		select {
+		case cl := <-c.pending:
+			cl.err = c.failure()
+			close(cl.done)
+		default:
+			return
+		}
+	}
+}
+
+func (c *conn) failure() error {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	if c.failErr == nil {
+		return errors.New("lsmclient: connection failed")
+	}
+	return c.failErr
+}

@@ -1,0 +1,109 @@
+package client
+
+import "lsmlab/internal/wire"
+
+// Pipeline pins one pooled connection and issues requests without
+// waiting for responses, so a single goroutine can keep many writes in
+// flight — the client-side half of the server's write coalescing.
+// Because requests on one connection are answered (and, for writes,
+// made visible) in order, a Get pipelined after a Put of the same key
+// observes it: read-your-writes per connection.
+//
+// Requests buffer in the connection's writer; Flush pushes them out,
+// and waiting on any Future flushes first, so waiting cannot deadlock.
+// A Pipeline is not safe for concurrent use; open one per goroutine
+// (each pins its own pool slot round-robin).
+type Pipeline struct {
+	cl *Client
+	cn *conn
+}
+
+// Pipeline returns a pipeline pinned to one pooled connection.
+func (c *Client) Pipeline() (*Pipeline, error) {
+	slot := int(c.rr.Add(1)-1) % c.opts.PoolSize
+	cn, err := c.connAt(slot)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{cl: c, cn: cn}, nil
+}
+
+// Future is one pipelined request's pending result.
+type Future struct {
+	p    *Pipeline
+	call *call
+	err  error // send-time failure; set when call is nil
+}
+
+func (p *Pipeline) enqueue(op byte, payload []byte) *Future {
+	cl, err := p.cn.send(op, payload, false)
+	if err != nil {
+		return &Future{p: p, err: err}
+	}
+	return &Future{p: p, call: cl}
+}
+
+// Put pipelines a write; the returned Future resolves when the server
+// acknowledges it.
+func (p *Pipeline) Put(key, value []byte) *Future {
+	payload := wire.AppendBytes(nil, key)
+	payload = wire.AppendBytes(payload, value)
+	return p.enqueue(wire.OpPut, payload)
+}
+
+// Delete pipelines a tombstone write.
+func (p *Pipeline) Delete(key []byte) *Future {
+	return p.enqueue(wire.OpDelete, wire.AppendBytes(nil, key))
+}
+
+// Get pipelines a point lookup; resolve it with Future.Value.
+func (p *Pipeline) Get(key []byte) *Future {
+	return p.enqueue(wire.OpGet, wire.AppendBytes(nil, key))
+}
+
+// Apply pipelines an atomic batch.
+func (p *Pipeline) Apply(b *Batch) *Future {
+	if b.Len() == 0 {
+		return &Future{p: p}
+	}
+	return p.enqueue(wire.OpBatch, b.payload())
+}
+
+// Flush pushes all buffered requests to the wire.
+func (p *Pipeline) Flush() error { return p.cn.flush() }
+
+// wait flushes (so the awaited request is actually on the wire) and
+// blocks for the response under the client's request timeout.
+func (f *Future) wait() (byte, []byte, error) {
+	if f.call == nil {
+		return 0, nil, f.err
+	}
+	if err := f.p.cn.flush(); err != nil {
+		// The call may still complete (failure drains pending); fall
+		// through to wait, which surfaces the connection error.
+		_ = err
+	}
+	return f.call.wait(f.p.cl.opts.RequestTimeout, f.p.cn)
+}
+
+// Err resolves a write/batch future: nil on acknowledgment.
+func (f *Future) Err() error {
+	status, payload, err := f.wait()
+	if err != nil {
+		return err
+	}
+	return statusToErr(status, payload)
+}
+
+// Value resolves a Get future: the value, ErrNotFound, or a transport
+// or server error.
+func (f *Future) Value() ([]byte, error) {
+	status, payload, err := f.wait()
+	if err != nil {
+		return nil, err
+	}
+	if err := statusToErr(status, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

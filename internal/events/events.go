@@ -45,6 +45,17 @@ const (
 	// Single-batch groups are not reported — they are the uncontended
 	// common case and would flood the stream.
 	GroupCommit
+	// ConnOpen/ConnClose bracket one network connection's lifetime on
+	// the serving layer (internal/server). JobID is the connection ID
+	// and Path the remote address; ConnClose carries the connection's
+	// total DurationNs.
+	ConnOpen
+	ConnClose
+	// RequestBegin/RequestEnd bracket one network request. JobID is a
+	// server-wide request ID, Reason names the opcode, and RequestEnd
+	// carries DurationNs plus any error the response reported.
+	RequestBegin
+	RequestEnd
 
 	numTypes
 )
@@ -60,6 +71,10 @@ var typeNames = [numTypes]string{
 	VlogGCEnd:       "vlog-gc-end",
 	CheckpointEnd:   "checkpoint-end",
 	GroupCommit:     "group-commit",
+	ConnOpen:        "conn-open",
+	ConnClose:       "conn-close",
+	RequestBegin:    "request-begin",
+	RequestEnd:      "request-end",
 }
 
 // String implements fmt.Stringer.
@@ -72,7 +87,8 @@ func (t Type) String() string {
 
 // IsBegin reports whether t opens a begin/end pair.
 func (t Type) IsBegin() bool {
-	return t == FlushBegin || t == CompactionBegin || t == WriteStallBegin
+	return t == FlushBegin || t == CompactionBegin || t == WriteStallBegin ||
+		t == ConnOpen || t == RequestBegin
 }
 
 // End returns the matching end type for a begin type (and t otherwise).
@@ -84,6 +100,10 @@ func (t Type) End() Type {
 		return CompactionEnd
 	case WriteStallBegin:
 		return WriteStallEnd
+	case ConnOpen:
+		return ConnClose
+	case RequestBegin:
+		return RequestEnd
 	}
 	return t
 }

@@ -186,6 +186,7 @@ type LatencySnapshot struct {
 	ScanNext   HistogramSnapshot // Iterator.Next advances
 	Flush      HistogramSnapshot // memtable flush jobs
 	Compaction HistogramSnapshot // compaction jobs
+	Request    HistogramSnapshot // network requests (internal/server)
 }
 
 // Merge returns the component-wise merge of two latency snapshots.
@@ -196,5 +197,6 @@ func (s LatencySnapshot) Merge(o LatencySnapshot) LatencySnapshot {
 		ScanNext:   s.ScanNext.Merge(o.ScanNext),
 		Flush:      s.Flush.Merge(o.Flush),
 		Compaction: s.Compaction.Merge(o.Compaction),
+		Request:    s.Request.Merge(o.Request),
 	}
 }

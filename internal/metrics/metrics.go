@@ -55,6 +55,18 @@ type Metrics struct {
 	BlockReads       atomic.Int64
 	BlockReadsCached atomic.Int64
 
+	// Network serving layer (maintained by internal/server; a server
+	// owns its own Metrics instance, separate from the engine's, so
+	// these stay zero on an embedded DB). ConnsOpened - ConnsClosed is
+	// the live connection count.
+	ConnsOpened      atomic.Int64 // connections accepted
+	ConnsClosed      atomic.Int64 // connections fully torn down
+	ConnsRejected    atomic.Int64 // connections refused at the MaxConns limit
+	NetRequests      atomic.Int64 // request frames received
+	NetRequestErrors atomic.Int64 // requests answered with an error status
+	NetBytesRead     atomic.Int64 // request frame bytes received
+	NetBytesWritten  atomic.Int64 // response frame bytes sent
+
 	// Latency distributions (log-bucketed; see histogram.go). Counters
 	// answer "how much", these answer "how long" — the tail behavior
 	// that separates compaction designs (§2.2.3/§2.2.5).
@@ -68,6 +80,10 @@ type Metrics struct {
 	// duration; the log-linear buckets work for any int64). Its tail
 	// shows how far write concurrency actually coalesces.
 	CommitGroupSize Histogram
+
+	// RequestNs records end-to-end network request latency (frame
+	// decoded → response queued), maintained by internal/server.
+	RequestNs Histogram
 }
 
 // GroupSizes returns a snapshot of the commit-group-size histogram
@@ -82,6 +98,7 @@ func (m *Metrics) Latencies() LatencySnapshot {
 		ScanNext:   m.ScanNextNs.Snapshot(),
 		Flush:      m.FlushNs.Snapshot(),
 		Compaction: m.CompactionNs.Snapshot(),
+		Request:    m.RequestNs.Snapshot(),
 	}
 }
 
@@ -99,6 +116,9 @@ type Snapshot struct {
 	StallNs, WriteStalls, ThrottleNs              int64
 	CacheHits, CacheMisses                        int64
 	BlockReads, BlockReadsCached                  int64
+	ConnsOpened, ConnsClosed, ConnsRejected       int64
+	NetRequests, NetRequestErrors                 int64
+	NetBytesRead, NetBytesWritten                 int64
 }
 
 // Snapshot returns a copy of the current counter values.
@@ -134,6 +154,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		CacheMisses:            m.CacheMisses.Load(),
 		BlockReads:             m.BlockReads.Load(),
 		BlockReadsCached:       m.BlockReadsCached.Load(),
+		ConnsOpened:            m.ConnsOpened.Load(),
+		ConnsClosed:            m.ConnsClosed.Load(),
+		ConnsRejected:          m.ConnsRejected.Load(),
+		NetRequests:            m.NetRequests.Load(),
+		NetRequestErrors:       m.NetRequestErrors.Load(),
+		NetBytesRead:           m.NetBytesRead.Load(),
+		NetBytesWritten:        m.NetBytesWritten.Load(),
 	}
 }
 
@@ -216,6 +243,13 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		CacheMisses:            s.CacheMisses - o.CacheMisses,
 		BlockReads:             s.BlockReads - o.BlockReads,
 		BlockReadsCached:       s.BlockReadsCached - o.BlockReadsCached,
+		ConnsOpened:            s.ConnsOpened - o.ConnsOpened,
+		ConnsClosed:            s.ConnsClosed - o.ConnsClosed,
+		ConnsRejected:          s.ConnsRejected - o.ConnsRejected,
+		NetRequests:            s.NetRequests - o.NetRequests,
+		NetRequestErrors:       s.NetRequestErrors - o.NetRequestErrors,
+		NetBytesRead:           s.NetBytesRead - o.NetBytesRead,
+		NetBytesWritten:        s.NetBytesWritten - o.NetBytesWritten,
 	}
 }
 

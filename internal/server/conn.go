@@ -1,0 +1,448 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"net"
+	"time"
+
+	"lsmlab/internal/core"
+	"lsmlab/internal/events"
+	"lsmlab/internal/wire"
+)
+
+// connBufSize sizes the per-connection read and write buffers. The
+// read buffer is also the coalescing window: only fully buffered
+// pipelined writes fold into one Apply.
+const connBufSize = 64 << 10
+
+// conn is one served connection. The read goroutine decodes and
+// executes requests in arrival order (which is what makes per-
+// connection read-your-writes trivial); encoded responses flow through
+// out to the write goroutine, so reading request N+1 overlaps with
+// writing response N.
+type conn struct {
+	s        *Server
+	nc       net.Conn
+	id       uint64
+	remote   string
+	openedNs int64
+
+	br *bufio.Reader
+
+	// out carries encoded response frames in request order. The reader
+	// blocks here when the writer backs up — natural backpressure from
+	// a slow client to its own pipeline.
+	out chan []byte
+
+	// wdead is closed when the write goroutine dies early (write
+	// timeout or error), unblocking a reader mid-send.
+	wdead chan struct{}
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{
+		s:        s,
+		nc:       nc,
+		id:       s.connIDs.Add(1),
+		remote:   nc.RemoteAddr().String(),
+		openedNs: s.opts.NowNs(),
+		br:       bufio.NewReaderSize(nc, connBufSize),
+		out:      make(chan []byte, 128),
+		wdead:    make(chan struct{}),
+	}
+}
+
+// send queues one encoded response frame, failing if the writer died.
+func (c *conn) send(frame []byte) bool {
+	select {
+	case c.out <- frame:
+		return true
+	case <-c.wdead:
+		return false
+	}
+}
+
+// respond encodes and queues one response. Error statuses are counted.
+func (c *conn) respond(status byte, payload []byte) bool {
+	if status >= wire.StatusBadRequest {
+		c.s.m.NetRequestErrors.Add(1)
+	}
+	return c.send(wire.AppendFrame(nil, status, payload))
+}
+
+func (c *conn) respondErr(status byte, err error) bool {
+	return c.respond(status, []byte(err.Error()))
+}
+
+// readLoop decodes and executes requests until the peer closes, an
+// unrecoverable protocol error occurs, or the server drains. It owns
+// the out channel: closing it tells the writer to flush and tear the
+// connection down.
+func (c *conn) readLoop() {
+	defer c.s.wg.Done()
+	defer close(c.out)
+	var scratch []byte
+	batch := new(core.Batch)
+	for {
+		if idle := c.s.opts.IdleTimeout; idle > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(idle))
+		}
+		// Drain check after arming the deadline: Shutdown stores the
+		// flag and then kicks the read deadline, so either this load
+		// observes it or the pending read aborts.
+		if c.s.drain.Load() {
+			return
+		}
+		op, payload, buf, err := wire.ReadFrame(c.br, c.s.opts.MaxRequestBytes, scratch)
+		scratch = buf
+		if err != nil {
+			// Frame-level violations get a structured answer before the
+			// connection closes; stream-level errors (EOF, reset, the
+			// drain kick) just end the connection.
+			switch {
+			case errors.Is(err, wire.ErrTooLarge):
+				c.respondErr(wire.StatusTooLarge, err)
+			case errors.Is(err, wire.ErrMalformed):
+				c.respondErr(wire.StatusBadRequest, err)
+			}
+			return
+		}
+		c.s.m.NetBytesRead.Add(int64(4 + 1 + len(payload)))
+		if !c.handle(op, payload, batch) {
+			return
+		}
+	}
+}
+
+// writeLoop writes queued responses, flushing whenever the queue goes
+// idle, each write bounded by the slow-client timeout. It performs the
+// connection's final teardown.
+func (c *conn) writeLoop() {
+	defer c.s.wg.Done()
+	defer c.s.removeConn(c)
+	defer c.nc.Close()
+	bw := bufio.NewWriterSize(c.nc, connBufSize)
+	fail := func() {
+		close(c.wdead)
+		c.nc.Close() // unblocks the reader too
+		for range c.out {
+		} // discard queued responses so the reader never wedges
+	}
+	for frame := range c.out {
+		c.nc.SetWriteDeadline(time.Now().Add(c.s.opts.WriteTimeout))
+		if _, err := bw.Write(frame); err != nil {
+			fail()
+			return
+		}
+		c.s.m.NetBytesWritten.Add(int64(len(frame)))
+		if len(c.out) == 0 {
+			if err := bw.Flush(); err != nil {
+				fail()
+				return
+			}
+		}
+	}
+	c.nc.SetWriteDeadline(time.Now().Add(c.s.opts.WriteTimeout))
+	bw.Flush()
+}
+
+// beginRequest stamps one request's accounting; the returned func
+// completes it.
+func (c *conn) beginRequest(op byte) func(err error) {
+	c.s.m.NetRequests.Add(1)
+	reqID := c.s.reqIDs.Add(1)
+	start := c.s.opts.NowNs()
+	c.s.emit(events.Event{Type: events.RequestBegin, JobID: reqID, Reason: wire.OpName(op)})
+	return func(err error) {
+		now := c.s.opts.NowNs()
+		c.s.m.RequestNs.RecordSince(start, now)
+		c.s.emit(events.Event{Type: events.RequestEnd, JobID: reqID,
+			Reason: wire.OpName(op), DurationNs: now - start, Err: err})
+	}
+}
+
+// handle executes one request frame (plus, for writes, any pipelined
+// write frames already buffered behind it) and queues the responses.
+// It returns false when the connection must close.
+func (c *conn) handle(op byte, payload []byte, batch *core.Batch) bool {
+	switch op {
+	case wire.OpPut, wire.OpDelete:
+		return c.handleWrites(op, payload, batch)
+	case wire.OpGet:
+		done := c.beginRequest(op)
+		key, rest, err := wire.ReadBytes(payload)
+		if err != nil || len(rest) != 0 {
+			done(wire.ErrMalformed)
+			return c.respondErr(wire.StatusBadRequest, wire.ErrMalformed)
+		}
+		v, err := c.s.db.Get(key)
+		switch {
+		case errors.Is(err, core.ErrNotFound):
+			done(nil)
+			return c.respond(wire.StatusNotFound, nil)
+		case errors.Is(err, core.ErrClosed):
+			done(err)
+			return c.respondErr(wire.StatusShuttingDown, err)
+		case err != nil:
+			done(err)
+			return c.respondErr(wire.StatusInternal, err)
+		}
+		done(nil)
+		return c.respond(wire.StatusOK, v)
+	case wire.OpScan:
+		return c.handleScan(payload)
+	case wire.OpBatch:
+		done := c.beginRequest(op)
+		batch.Reset()
+		if err := decodeBatch(payload, batch); err != nil {
+			done(err)
+			return c.respondErr(wire.StatusBadRequest, err)
+		}
+		err := c.s.db.Apply(batch)
+		done(err)
+		return c.respondApply(err)
+	case wire.OpStats:
+		done := c.beginRequest(op)
+		verbose := len(payload) > 0 && payload[0] != 0
+		text := c.s.FormatStats(verbose)
+		done(nil)
+		return c.respond(wire.StatusOK, []byte(text))
+	case wire.OpCompact:
+		done := c.beginRequest(op)
+		err := c.s.db.Compact()
+		done(err)
+		return c.respondApply(err)
+	case wire.OpPing:
+		done := c.beginRequest(op)
+		done(nil)
+		return c.respond(wire.StatusOK, nil)
+	default:
+		// Framing was intact, so the stream is still in sync: answer
+		// with a structured error and keep the connection.
+		done := c.beginRequest(op)
+		done(wire.ErrMalformed)
+		return c.respond(wire.StatusUnknownOp, []byte(wire.OpName(op)))
+	}
+}
+
+// respondApply maps an Apply/Compact error to a response status.
+func (c *conn) respondApply(err error) bool {
+	switch {
+	case err == nil:
+		return c.respond(wire.StatusOK, nil)
+	case errors.Is(err, core.ErrClosed):
+		return c.respondErr(wire.StatusShuttingDown, err)
+	default:
+		return c.respondErr(wire.StatusInternal, err)
+	}
+}
+
+// handleWrites folds the first write plus any pipelined PUT/DELETE
+// frames already sitting in the read buffer into one core.Batch and
+// applies it once. Each folded frame remains its own request on the
+// wire — its own response, metrics, and events — but the engine sees a
+// single Apply, whose commit the leader-based pipeline then coalesces
+// with other connections' groups.
+func (c *conn) handleWrites(op byte, payload []byte, batch *core.Batch) bool {
+	type pending struct{ done func(error) }
+	batch.Reset()
+	reqs := make([]pending, 0, 8)
+	add := func(op byte, payload []byte) bool {
+		done := c.beginRequest(op)
+		if err := addWrite(batch, op, payload); err != nil {
+			done(err)
+			c.respondErr(wire.StatusBadRequest, err)
+			return false
+		}
+		reqs = append(reqs, pending{done})
+		return true
+	}
+	if !add(op, payload) {
+		// The first frame was malformed; nothing batched, stream still
+		// framed — keep the connection.
+		return true
+	}
+	for len(reqs) < c.s.opts.MaxBatchOps {
+		op2, payload2, size, ok := c.peekBufferedWrite()
+		if !ok {
+			break
+		}
+		okAdd := add(op2, payload2)
+		c.br.Discard(size)
+		c.s.m.NetBytesRead.Add(int64(size))
+		if !okAdd {
+			break
+		}
+	}
+	err := c.s.db.Apply(batch)
+	alive := true
+	for _, r := range reqs {
+		r.done(err)
+		if !c.respondApply(err) {
+			alive = false
+		}
+	}
+	return alive
+}
+
+// peekBufferedWrite returns the next frame without consuming it, but
+// only if it is fully buffered (never blocking the coalescing loop)
+// and is a PUT or DELETE. Anything else — partial frames, other
+// opcodes, malformed lengths — is left for the main read loop.
+func (c *conn) peekBufferedWrite() (op byte, payload []byte, size int, ok bool) {
+	buffered := c.br.Buffered()
+	if buffered < 5 {
+		return 0, nil, 0, false
+	}
+	hdr, err := c.br.Peek(4)
+	if err != nil {
+		return 0, nil, 0, false
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n == 0 || uint64(n) > uint64(c.s.opts.MaxRequestBytes) {
+		return 0, nil, 0, false
+	}
+	size = 4 + int(n)
+	if size > buffered {
+		return 0, nil, 0, false
+	}
+	full, err := c.br.Peek(size)
+	if err != nil {
+		return 0, nil, 0, false
+	}
+	op = full[4]
+	if op != wire.OpPut && op != wire.OpDelete {
+		return 0, nil, 0, false
+	}
+	return op, full[5:size], size, true
+}
+
+// addWrite parses one PUT/DELETE payload into the batch (which copies
+// the bytes into its arena, so peeked views are safe to pass).
+func addWrite(batch *core.Batch, op byte, payload []byte) error {
+	key, rest, err := wire.ReadBytes(payload)
+	if err != nil {
+		return err
+	}
+	if op == wire.OpDelete {
+		if len(rest) != 0 {
+			return wire.ErrMalformed
+		}
+		batch.Delete(key)
+		return nil
+	}
+	value, rest, err := wire.ReadBytes(rest)
+	if err != nil || len(rest) != 0 {
+		return wire.ErrMalformed
+	}
+	batch.Put(key, value)
+	return nil
+}
+
+// decodeBatch parses an OpBatch payload into the batch.
+func decodeBatch(payload []byte, batch *core.Batch) error {
+	count, rest, err := wire.ReadUvarint(payload)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < count; i++ {
+		if len(rest) == 0 {
+			return wire.ErrTruncated
+		}
+		kind := rest[0]
+		rest = rest[1:]
+		var key, value []byte
+		key, rest, err = wire.ReadBytes(rest)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case wire.BatchPut:
+			value, rest, err = wire.ReadBytes(rest)
+			if err != nil {
+				return err
+			}
+			batch.Put(key, value)
+		case wire.BatchDelete:
+			batch.Delete(key)
+		default:
+			return wire.ErrMalformed
+		}
+	}
+	if len(rest) != 0 {
+		return wire.ErrMalformed
+	}
+	return nil
+}
+
+// handleScan answers one prefix scan, capped by MaxScanLimit and the
+// per-request deadline (checked while iterating, so a pathological
+// range cannot pin the connection past its budget).
+func (c *conn) handleScan(payload []byte) bool {
+	done := c.beginRequest(wire.OpScan)
+	prefix, rest, err := wire.ReadBytes(payload)
+	if err != nil {
+		done(err)
+		return c.respondErr(wire.StatusBadRequest, err)
+	}
+	limit64, rest, err := wire.ReadUvarint(rest)
+	if err != nil || len(rest) != 0 {
+		done(wire.ErrMalformed)
+		return c.respondErr(wire.StatusBadRequest, wire.ErrMalformed)
+	}
+	limit := int(limit64)
+	if limit <= 0 || limit > c.s.opts.MaxScanLimit {
+		limit = c.s.opts.MaxScanLimit
+	}
+	var deadlineNs int64
+	if c.s.opts.RequestTimeout > 0 {
+		deadlineNs = c.s.opts.NowNs() + int64(c.s.opts.RequestTimeout)
+	}
+
+	it, err := c.s.db.NewIterator(core.IterOptions{
+		LowerBound: prefix, UpperBound: prefixEnd(prefix)})
+	if err != nil {
+		done(err)
+		if errors.Is(err, core.ErrClosed) {
+			return c.respondErr(wire.StatusShuttingDown, err)
+		}
+		return c.respondErr(wire.StatusInternal, err)
+	}
+	defer it.Close()
+	body := make([]byte, 0, 512)
+	count := 0
+	for ok := it.First(); ok && count < limit; ok = it.Next() {
+		body = wire.AppendBytes(body, it.Key())
+		body = wire.AppendBytes(body, it.Value())
+		count++
+		if deadlineNs != 0 && count%64 == 0 && c.s.opts.NowNs() > deadlineNs {
+			err := errors.New("scan exceeded request deadline")
+			done(err)
+			return c.respondErr(wire.StatusDeadline, err)
+		}
+	}
+	if err := it.Err(); err != nil {
+		done(err)
+		return c.respondErr(wire.StatusInternal, err)
+	}
+	resp := wire.AppendUvarint(make([]byte, 0, len(body)+4), uint64(count))
+	resp = append(resp, body...)
+	done(nil)
+	return c.respond(wire.StatusOK, resp)
+}
+
+// prefixEnd returns the smallest key greater than every key with the
+// given prefix, or nil when no upper bound exists (empty or all-0xFF
+// prefixes scan to the end).
+func prefixEnd(prefix []byte) []byte {
+	for i := len(prefix) - 1; i >= 0; i-- {
+		if prefix[i] != 0xFF {
+			end := append([]byte(nil), prefix[:i+1]...)
+			end[i]++
+			return end
+		}
+	}
+	return nil
+}

@@ -1,0 +1,280 @@
+// Package server exposes a core.DB over TCP with the length-prefixed
+// binary protocol of internal/wire. Connections are pipelined: a
+// client may have many requests in flight; the server answers in
+// arrival order. Each connection runs one read goroutine (decode,
+// execute) and one write goroutine (respond, flush), so reading the
+// next request overlaps with writing the previous response.
+//
+// The write path is the point: pipelined PUT/DELETE frames that are
+// already buffered on a connection are folded into a single core.Batch
+// and applied once, and concurrent connections issue concurrent Apply
+// calls — which the engine's leader-based commit pipeline coalesces
+// into commit groups with one WAL write (and one sync) each. Network
+// concurrency becomes commit-group coalescing with no extra machinery.
+//
+// Robustness is part of the contract, not an extra: connection and
+// frame-size limits, per-request deadlines, slow-client write
+// timeouts, structured error statuses on the wire, and a graceful
+// drain that finishes in-flight requests while refusing new ones.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lsmlab/internal/core"
+	"lsmlab/internal/events"
+	"lsmlab/internal/metrics"
+	"lsmlab/internal/wire"
+)
+
+// ErrShutdown is returned by Serve when the server was drained.
+var ErrShutdown = errors.New("server: shutting down")
+
+// Options configures a Server. The zero value is usable; unset fields
+// take the defaults documented per field.
+type Options struct {
+	// MaxConns caps concurrently served connections; further accepts
+	// receive a StatusBusy frame and are closed. Default 256.
+	MaxConns int
+	// MaxRequestBytes caps a request frame's length field. Oversized
+	// frames receive StatusTooLarge and the connection is closed (the
+	// unread body makes resynchronization impossible). Default
+	// wire.DefaultMaxFrame.
+	MaxRequestBytes int
+	// MaxBatchOps caps how many already-buffered pipelined PUT/DELETE
+	// frames one connection folds into a single Apply. Default 128.
+	MaxBatchOps int
+	// MaxScanLimit caps (and defaults) the entry count of one SCAN
+	// response. Default 10000.
+	MaxScanLimit int
+	// WriteTimeout bounds each response write to a slow client; a
+	// connection that cannot absorb its responses in time is closed.
+	// Default 10s.
+	WriteTimeout time.Duration
+	// IdleTimeout closes connections with no request for this long.
+	// 0 (the default) disables.
+	IdleTimeout time.Duration
+	// RequestTimeout is the per-request deadline. Requests that exceed
+	// it are answered with StatusDeadline; SCAN checks it while
+	// iterating, so a pathological range cannot pin a connection.
+	// 0 (the default) disables.
+	RequestTimeout time.Duration
+	// EventListener receives ConnOpen/ConnClose/RequestBegin/RequestEnd
+	// lifecycle events. Same contract as core.Options.EventListener:
+	// fast, non-blocking, no calls back into the server.
+	EventListener events.Listener
+	// NowNs supplies time (injected for deterministic tests).
+	NowNs func() int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxConns <= 0 {
+		o.MaxConns = 256
+	}
+	if o.MaxRequestBytes <= 0 {
+		o.MaxRequestBytes = wire.DefaultMaxFrame
+	}
+	if o.MaxBatchOps <= 0 {
+		o.MaxBatchOps = 128
+	}
+	if o.MaxScanLimit <= 0 {
+		o.MaxScanLimit = 10000
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.NowNs == nil {
+		o.NowNs = func() int64 { return time.Now().UnixNano() }
+	}
+	return o
+}
+
+// Server serves one core.DB over any net.Listener.
+type Server struct {
+	db   *core.DB
+	opts Options
+
+	m metrics.Metrics
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+
+	drain   atomic.Bool // mirrors draining for lock-free reads
+	connIDs atomic.Uint64
+	reqIDs  atomic.Uint64
+
+	wg sync.WaitGroup // one unit per connection goroutine
+}
+
+// New returns a server for db. The db stays owned by the caller: the
+// server never closes it, so an embedded DB can outlive its listener.
+func New(db *core.DB, opts Options) *Server {
+	return &Server{db: db, opts: opts.withDefaults(), conns: make(map[*conn]struct{})}
+}
+
+// emit delivers one lifecycle event, stamping the server clock.
+func (s *Server) emit(e events.Event) {
+	if s.opts.EventListener == nil {
+		return
+	}
+	e.TimeNs = s.opts.NowNs()
+	s.opts.EventListener.Notify(e)
+}
+
+// Serve accepts connections on ln until ln fails or the server drains.
+// It returns nil after a Shutdown, the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrShutdown
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.drain.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		if len(s.conns) >= s.opts.MaxConns {
+			s.m.ConnsRejected.Add(1)
+			s.mu.Unlock()
+			go s.refuse(nc, wire.StatusBusy, "connection limit reached")
+			continue
+		}
+		c := newConn(s, nc)
+		s.conns[c] = struct{}{}
+		s.wg.Add(2)
+		s.mu.Unlock()
+		s.m.ConnsOpened.Add(1)
+		s.emit(events.Event{Type: events.ConnOpen, JobID: c.id, Path: nc.RemoteAddr().String()})
+		go c.readLoop()
+		go c.writeLoop()
+	}
+}
+
+// refuse writes one error frame and closes the connection, bounded by
+// the write timeout so a dead peer cannot pin the goroutine.
+func (s *Server) refuse(nc net.Conn, status byte, msg string) {
+	defer nc.Close()
+	nc.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+	frame := wire.AppendFrame(nil, status, []byte(msg))
+	if n, err := nc.Write(frame); err == nil {
+		s.m.NetBytesWritten.Add(int64(n))
+	}
+}
+
+// removeConn finalizes one connection's accounting.
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.m.ConnsClosed.Add(1)
+	s.emit(events.Event{Type: events.ConnClose, JobID: c.id,
+		Path: c.remote, DurationNs: s.opts.NowNs() - c.openedNs})
+}
+
+// ConnCount returns the number of connections currently being served.
+func (s *Server) ConnCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Metrics returns a snapshot of the server's network counters (the
+// engine's counters live on the DB).
+func (s *Server) Metrics() metrics.Snapshot { return s.m.Snapshot() }
+
+// Latencies returns the engine's latency histograms with the server's
+// request histogram merged in, extending the DB's Latencies plumbing
+// across the wire boundary.
+func (s *Server) Latencies() metrics.LatencySnapshot {
+	lat := s.db.Latencies()
+	lat.Request = lat.Request.Merge(s.m.RequestNs.Snapshot())
+	return lat
+}
+
+// FormatStats renders the engine's stats block with the serving
+// layer's counters (and, verbosely, request latency) appended — the
+// payload of the STATS admin verb.
+func (s *Server) FormatStats(verbose bool) string {
+	out := s.db.FormatStats(verbose)
+	m := s.m.Snapshot()
+	out += fmt.Sprintf("\nserver: conns_open=%d opened=%d rejected=%d requests=%d errors=%d net_read=%dB net_written=%dB",
+		m.ConnsOpened-m.ConnsClosed, m.ConnsOpened, m.ConnsRejected,
+		m.NetRequests, m.NetRequestErrors, m.NetBytesRead, m.NetBytesWritten)
+	if verbose {
+		out += fmt.Sprintf("\n  request    %s", s.m.RequestNs.Snapshot())
+	}
+	return out
+}
+
+// Shutdown gracefully drains the server: stop accepting, let every
+// in-flight request finish and its response flush, then close all
+// connections. Requests not yet read when the drain begins are
+// refused by connection close. If the drain outlives grace, remaining
+// connections are severed. The DB is left open for the caller (which
+// typically checkpoints and closes it next).
+func (s *Server) Shutdown(grace time.Duration) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.drain.Store(true)
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if already {
+		return nil
+	}
+	if ln != nil {
+		ln.Close()
+	}
+	// Kick readers out of blocking reads; in-flight handlers and their
+	// queued responses still complete before each connection closes.
+	for _, c := range conns {
+		c.nc.SetReadDeadline(time.Now())
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var timeout <-chan time.Time
+	if grace > 0 {
+		t := time.NewTimer(grace)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case <-done:
+		return nil
+	case <-timeout:
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return fmt.Errorf("server: drain exceeded %v; connections severed", grace)
+	}
+}

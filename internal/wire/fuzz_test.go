@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecodeFrame throws arbitrary bytes at the frame decoder. The
+// invariants: no panic, no allocation chasing hostile length prefixes
+// (DecodeFrame never allocates; ReadFrame is bounded by the cap), a
+// successful decode re-encodes to exactly the consumed prefix, and the
+// streaming and in-memory decoders agree.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(binary.BigEndian.AppendUint32(nil, 0))
+	f.Add(binary.BigEndian.AppendUint32(nil, 0xFFFFFFFF))
+	f.Add(AppendFrame(nil, OpPut, AppendBytes(AppendBytes(nil, []byte("k")), []byte("v"))))
+	f.Add(AppendFrame(AppendFrame(nil, OpGet, []byte("a")), 0xEE, bytes.Repeat([]byte{0}, 100)))
+	f.Add([]byte{0, 0, 0, 2, OpScan})
+
+	const max = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		op, payload, rest, err := DecodeFrame(data, max)
+		if err != nil {
+			if len(rest) != len(data) {
+				t.Fatalf("failed decode consumed input: rest=%d data=%d", len(rest), len(data))
+			}
+		} else {
+			consumed := data[:len(data)-len(rest)]
+			re := AppendFrame(nil, op, payload)
+			if !bytes.Equal(re, consumed) {
+				t.Fatalf("re-encode mismatch: %x vs %x", re, consumed)
+			}
+			if 1+len(payload) > max {
+				t.Fatalf("decoded frame exceeds cap: %d", 1+len(payload))
+			}
+		}
+
+		// The streaming decoder must agree with the in-memory one.
+		sop, spayload, _, serr := ReadFrame(bufio.NewReader(bytes.NewReader(data)), max, nil)
+		if (err == nil) != (serr == nil) {
+			t.Fatalf("decoders disagree: DecodeFrame err=%v ReadFrame err=%v", err, serr)
+		}
+		if err == nil && (sop != op || !bytes.Equal(spayload, payload)) {
+			t.Fatalf("decoders diverge: op %#x/%#x payload %x/%x", op, sop, payload, spayload)
+		}
+
+		// Field helpers must be panic-free on the same input.
+		if b, rest2, err := ReadBytes(data); err == nil {
+			_ = b
+			_, _, _ = ReadUvarint(rest2)
+		}
+	})
+}

@@ -1,0 +1,254 @@
+// Package wire defines the length-prefixed binary protocol spoken
+// between lsmserved and its clients. A frame is
+//
+//	[4-byte big-endian length n][1-byte opcode][payload, n-1 bytes]
+//
+// where the length covers the opcode byte plus the payload. Requests
+// and responses share the framing; response opcodes occupy the high
+// half of the byte space (see StatusOK and friends) so a stream
+// position can always be classified. Connections are strictly
+// pipelined: a peer may send many requests before reading, and the
+// server answers in arrival order, so no request IDs travel on the
+// wire.
+//
+// Payload fields are uvarint-length-prefixed byte strings (AppendBytes
+// / ReadBytes) and bare uvarints, composed per opcode as documented on
+// the Op constants. Malformed input yields typed errors — ErrTruncated,
+// ErrTooLarge, ErrMalformed — never a panic, and decoding never
+// allocates more than the enforced frame cap.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// DefaultMaxFrame bounds a frame's length field unless the caller
+// supplies its own cap. 4 MiB fits any reasonable batch while keeping a
+// hostile length prefix from reserving real memory.
+const DefaultMaxFrame = 4 << 20
+
+// headerSize is the byte length of the frame length prefix.
+const headerSize = 4
+
+// Request opcodes. The payload layout of each is given inline.
+const (
+	// OpGet: key. Response: StatusOK + value, or StatusNotFound.
+	OpGet byte = 0x01
+	// OpPut: key, value. Response: StatusOK (empty).
+	OpPut byte = 0x02
+	// OpDelete: key. Response: StatusOK (empty).
+	OpDelete byte = 0x03
+	// OpScan: prefix, uvarint limit (0 = server default). Response:
+	// StatusOK + uvarint count + count×(key, value).
+	OpScan byte = 0x04
+	// OpBatch: uvarint count, then count entries of
+	// [1-byte kind (BatchPut|BatchDelete)][key][value if put].
+	// Applied atomically. Response: StatusOK (empty).
+	OpBatch byte = 0x05
+	// OpStats: 1-byte verbose flag. Response: StatusOK + UTF-8 text.
+	OpStats byte = 0x06
+	// OpCompact: empty. Runs a full manual compaction. Response:
+	// StatusOK (empty).
+	OpCompact byte = 0x07
+	// OpPing: empty. Response: StatusOK (empty).
+	OpPing byte = 0x08
+)
+
+// Batch entry kinds (OpBatch payload).
+const (
+	BatchPut    byte = 0x00
+	BatchDelete byte = 0x01
+)
+
+// Response opcodes (statuses). Error statuses carry a UTF-8 message as
+// their payload.
+const (
+	// StatusOK is success; the payload is op-specific.
+	StatusOK byte = 0x80
+	// StatusNotFound is Get on a key with no live value.
+	StatusNotFound byte = 0x81
+
+	// StatusBadRequest: the payload of a known opcode failed to parse.
+	StatusBadRequest byte = 0xE0
+	// StatusTooLarge: the request frame exceeded the server's cap. The
+	// server closes the connection after sending it (the oversized body
+	// is never read, so the stream cannot be resynchronized).
+	StatusTooLarge byte = 0xE1
+	// StatusUnknownOp: unrecognized opcode. The connection stays open —
+	// framing was intact, so the stream is still in sync.
+	StatusUnknownOp byte = 0xE2
+	// StatusInternal: the engine returned an error.
+	StatusInternal byte = 0xE3
+	// StatusShuttingDown: the server is draining and refused the
+	// request.
+	StatusShuttingDown byte = 0xE4
+	// StatusDeadline: the request exceeded the server's per-request
+	// deadline.
+	StatusDeadline byte = 0xE5
+	// StatusBusy: the server is at its connection limit; sent once on
+	// accept, then the connection is closed.
+	StatusBusy byte = 0xE6
+)
+
+// Typed decode errors.
+var (
+	// ErrTruncated reports a frame (or field) that ends early.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrTooLarge reports a length prefix above the configured cap.
+	ErrTooLarge = errors.New("wire: frame exceeds size limit")
+	// ErrMalformed reports a structurally invalid frame or field.
+	ErrMalformed = errors.New("wire: malformed frame")
+)
+
+// opNames maps opcodes and statuses to stable display names.
+var opNames = map[byte]string{
+	OpGet:              "get",
+	OpPut:              "put",
+	OpDelete:           "delete",
+	OpScan:             "scan",
+	OpBatch:            "batch",
+	OpStats:            "stats",
+	OpCompact:          "compact",
+	OpPing:             "ping",
+	StatusOK:           "ok",
+	StatusNotFound:     "not-found",
+	StatusBadRequest:   "bad-request",
+	StatusTooLarge:     "too-large",
+	StatusUnknownOp:    "unknown-op",
+	StatusInternal:     "internal",
+	StatusShuttingDown: "shutting-down",
+	StatusDeadline:     "deadline",
+	StatusBusy:         "busy",
+}
+
+// OpName returns a stable name for an opcode or status byte.
+func OpName(op byte) string {
+	if n, ok := opNames[op]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(0x%02x)", op)
+}
+
+// IsStatus reports whether op is a response opcode.
+func IsStatus(op byte) bool { return op >= 0x80 }
+
+// StatusError is a structured error status received off the wire.
+type StatusError struct {
+	Code byte
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *StatusError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("wire: server error %s", OpName(e.Code))
+	}
+	return fmt.Sprintf("wire: server error %s: %s", OpName(e.Code), e.Msg)
+}
+
+// AppendFrame appends one encoded frame to dst and returns the
+// extended slice.
+func AppendFrame(dst []byte, op byte, payload []byte) []byte {
+	n := 1 + len(payload)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
+	dst = append(dst, op)
+	return append(dst, payload...)
+}
+
+// DecodeFrame decodes one frame from the front of buf without copying:
+// payload aliases buf, and rest is the unconsumed tail. max caps the
+// length field (<= 0 means DefaultMaxFrame). Incomplete input returns
+// ErrTruncated; a zero length returns ErrMalformed; an over-cap length
+// returns ErrTooLarge. DecodeFrame never allocates.
+func DecodeFrame(buf []byte, max int) (op byte, payload, rest []byte, err error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	if len(buf) < headerSize {
+		return 0, nil, buf, ErrTruncated
+	}
+	n := binary.BigEndian.Uint32(buf)
+	if n == 0 {
+		return 0, nil, buf, ErrMalformed
+	}
+	if uint64(n) > uint64(max) {
+		return 0, nil, buf, ErrTooLarge
+	}
+	if uint64(len(buf)-headerSize) < uint64(n) {
+		return 0, nil, buf, ErrTruncated
+	}
+	body := buf[headerSize : headerSize+int(n)]
+	return body[0], body[1:], buf[headerSize+int(n):], nil
+}
+
+// ReadFrame reads one frame from r. scratch is an optional buffer to
+// reuse across calls; the returned payload aliases the returned buffer
+// and is valid only until the next call that reuses it. max caps the
+// length field (<= 0 means DefaultMaxFrame); nothing beyond the header
+// is read — or allocated — for an over-cap frame, so a hostile length
+// prefix costs four bytes. Stream-level read failures are returned
+// verbatim (io.EOF on a clean close before a header); a frame cut off
+// mid-body wraps ErrTruncated.
+func ReadFrame(r io.Reader, max int, scratch []byte) (op byte, payload, buf []byte, err error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+		return 0, nil, scratch, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, nil, scratch, ErrMalformed
+	}
+	if uint64(n) > uint64(max) {
+		return 0, nil, scratch, ErrTooLarge
+	}
+	if cap(scratch) < int(n) {
+		scratch = make([]byte, n)
+	}
+	scratch = scratch[:n]
+	if _, err := io.ReadFull(r, scratch); err != nil {
+		return 0, nil, scratch, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return scratch[0], scratch[1:], scratch, nil
+}
+
+// AppendUvarint appends v in uvarint encoding.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// ReadUvarint decodes a uvarint from the front of p.
+func ReadUvarint(p []byte) (v uint64, rest []byte, err error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, p, ErrMalformed
+	}
+	return v, p[n:], nil
+}
+
+// AppendBytes appends b as a uvarint-length-prefixed byte string.
+func AppendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// ReadBytes decodes a uvarint-length-prefixed byte string from the
+// front of p without copying.
+func ReadBytes(p []byte) (b, rest []byte, err error) {
+	n, rest, err := ReadUvarint(p)
+	if err != nil {
+		return nil, p, err
+	}
+	if n > uint64(len(rest)) {
+		return nil, p, ErrTruncated
+	}
+	return rest[:n], rest[n:], nil
+}

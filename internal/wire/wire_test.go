@@ -1,0 +1,174 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("kv"), 500)}
+	for _, p := range payloads {
+		frame := AppendFrame(nil, OpPut, p)
+		op, payload, rest, err := DecodeFrame(frame, 0)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if op != OpPut || !bytes.Equal(payload, p) || len(rest) != 0 {
+			t.Fatalf("round trip mismatch: op=%#x payload=%q rest=%d", op, payload, len(rest))
+		}
+	}
+}
+
+func TestDecodeFrameMultiple(t *testing.T) {
+	buf := AppendFrame(nil, OpGet, []byte("a"))
+	buf = AppendFrame(buf, OpDelete, []byte("b"))
+	op1, p1, rest, err := DecodeFrame(buf, 0)
+	if err != nil || op1 != OpGet || string(p1) != "a" {
+		t.Fatalf("first frame: op=%#x p=%q err=%v", op1, p1, err)
+	}
+	op2, p2, rest, err := DecodeFrame(rest, 0)
+	if err != nil || op2 != OpDelete || string(p2) != "b" || len(rest) != 0 {
+		t.Fatalf("second frame: op=%#x p=%q rest=%d err=%v", op2, p2, len(rest), err)
+	}
+}
+
+func TestDecodeFrameTruncated(t *testing.T) {
+	frame := AppendFrame(nil, OpPut, []byte("hello world"))
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, _, err := DecodeFrame(frame[:cut], 0); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut=%d: want ErrTruncated, got %v", cut, err)
+		}
+	}
+}
+
+func TestDecodeFrameHostileLengths(t *testing.T) {
+	// Zero length is structurally invalid (a frame always has an op).
+	zero := binary.BigEndian.AppendUint32(nil, 0)
+	if _, _, _, err := DecodeFrame(zero, 0); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("zero length: want ErrMalformed, got %v", err)
+	}
+	// A huge length must be rejected by the cap, not chased.
+	huge := binary.BigEndian.AppendUint32(nil, 0xFFFFFFFF)
+	if _, _, _, err := DecodeFrame(huge, 0); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("huge length: want ErrTooLarge, got %v", err)
+	}
+	// Just above a small explicit cap.
+	over := AppendFrame(nil, OpPut, bytes.Repeat([]byte{1}, 64))
+	if _, _, _, err := DecodeFrame(over, 32); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("over cap: want ErrTooLarge, got %v", err)
+	}
+	if _, _, _, err := DecodeFrame(over, 0); err != nil {
+		t.Fatalf("default cap should admit it: %v", err)
+	}
+}
+
+func TestReadFrame(t *testing.T) {
+	var stream []byte
+	stream = AppendFrame(stream, OpGet, []byte("k1"))
+	stream = AppendFrame(stream, OpScan, []byte("prefix"))
+	br := bufio.NewReader(bytes.NewReader(stream))
+	var scratch []byte
+	op, p, scratch, err := ReadFrame(br, 0, scratch)
+	if err != nil || op != OpGet || string(p) != "k1" {
+		t.Fatalf("frame 1: op=%#x p=%q err=%v", op, p, err)
+	}
+	op, p, scratch, err = ReadFrame(br, 0, scratch)
+	if err != nil || op != OpScan || string(p) != "prefix" {
+		t.Fatalf("frame 2: op=%#x p=%q err=%v", op, p, err)
+	}
+	if _, _, _, err = ReadFrame(br, 0, scratch); err != io.EOF {
+		t.Fatalf("clean end: want io.EOF, got %v", err)
+	}
+}
+
+func TestReadFrameTruncatedBody(t *testing.T) {
+	frame := AppendFrame(nil, OpPut, []byte("abcdef"))
+	br := bufio.NewReader(bytes.NewReader(frame[:len(frame)-3]))
+	if _, _, _, err := ReadFrame(br, 0, nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+}
+
+// TestReadFrameHostileLengthNoOverAllocation feeds a 4 GiB length
+// prefix: ReadFrame must reject it from the header alone, without
+// reading (or allocating) the advertised body.
+func TestReadFrameHostileLengthNoOverAllocation(t *testing.T) {
+	hdr := binary.BigEndian.AppendUint32(nil, 0xFFFFFFFF)
+	r := &countingReader{r: bytes.NewReader(append(hdr, 0xAA))}
+	br := bufio.NewReaderSize(r, 16)
+	if _, _, _, err := ReadFrame(br, 1<<20, nil); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+	if r.n > 16 {
+		t.Fatalf("read %d bytes chasing a hostile length", r.n)
+	}
+}
+
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
+
+func TestBytesAndUvarint(t *testing.T) {
+	var p []byte
+	p = AppendBytes(p, []byte("key"))
+	p = AppendBytes(p, nil)
+	p = AppendUvarint(p, 1<<40)
+	b1, p, err := ReadBytes(p)
+	if err != nil || string(b1) != "key" {
+		t.Fatalf("b1=%q err=%v", b1, err)
+	}
+	b2, p, err := ReadBytes(p)
+	if err != nil || len(b2) != 0 {
+		t.Fatalf("b2=%q err=%v", b2, err)
+	}
+	v, p, err := ReadUvarint(p)
+	if err != nil || v != 1<<40 || len(p) != 0 {
+		t.Fatalf("v=%d rest=%d err=%v", v, len(p), err)
+	}
+}
+
+func TestReadBytesHostile(t *testing.T) {
+	// Length prefix far beyond the remaining bytes.
+	p := AppendUvarint(nil, 1<<50)
+	p = append(p, 'x')
+	if _, _, err := ReadBytes(p); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+	// Empty input.
+	if _, _, err := ReadBytes(nil); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("want ErrMalformed, got %v", err)
+	}
+	// Over-long uvarint (non-terminating continuation bits).
+	bad := bytes.Repeat([]byte{0x80}, 11)
+	if _, _, err := ReadUvarint(bad); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("want ErrMalformed, got %v", err)
+	}
+}
+
+func TestOpNames(t *testing.T) {
+	if OpName(OpGet) != "get" || OpName(StatusShuttingDown) != "shutting-down" {
+		t.Fatalf("unexpected names: %q %q", OpName(OpGet), OpName(StatusShuttingDown))
+	}
+	if !strings.HasPrefix(OpName(0x7F), "op(") {
+		t.Fatalf("unknown op name: %q", OpName(0x7F))
+	}
+	if IsStatus(OpGet) || !IsStatus(StatusOK) {
+		t.Fatal("IsStatus misclassifies")
+	}
+	e := &StatusError{Code: StatusInternal, Msg: "boom"}
+	if !strings.Contains(e.Error(), "internal") || !strings.Contains(e.Error(), "boom") {
+		t.Fatalf("status error: %q", e.Error())
+	}
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the serving layer: build lsmserved + lsmctl,
+# start a server, round-trip put/get/scan/stats/compact over the wire
+# with lsmctl -addr, then SIGTERM the server and verify it drains,
+# checkpoints, exits cleanly, and left a durable store behind.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+bin="$work/bin"
+mkdir -p "$bin"
+srv_pid=""
+
+cleanup() {
+  if [[ -n "$srv_pid" ]] && kill -0 "$srv_pid" 2>/dev/null; then
+    kill -9 "$srv_pid" 2>/dev/null || true
+  fi
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== build =="
+go build -o "$bin/lsmserved" ./cmd/lsmserved
+go build -o "$bin/lsmctl" ./cmd/lsmctl
+
+echo "== start server =="
+"$bin/lsmserved" -db "$work/db" -addr 127.0.0.1:0 -addr-file "$work/addr" \
+  -checkpoint-dir "$work/ckpt" -grace 10s >"$work/server.log" 2>&1 &
+srv_pid=$!
+
+for _ in $(seq 1 100); do
+  [[ -s "$work/addr" ]] && break
+  kill -0 "$srv_pid" || { cat "$work/server.log"; echo "server died"; exit 1; }
+  sleep 0.05
+done
+[[ -s "$work/addr" ]] || { echo "server never published its address"; exit 1; }
+addr="$(cat "$work/addr")"
+echo "server at $addr"
+
+ctl() { "$bin/lsmctl" -addr "$addr" "$@"; }
+
+echo "== round trips =="
+ctl put alpha 1
+ctl put alphabet 2
+ctl put beta 3
+[[ "$(ctl get alpha)" == "1" ]] || { echo "get alpha mismatch"; exit 1; }
+ctl delete beta
+[[ "$(ctl get beta)" == "(not found)" ]] || { echo "deleted key still readable"; exit 1; }
+
+scan_out="$(ctl scan alpha)"
+echo "$scan_out"
+[[ "$(echo "$scan_out" | wc -l)" -eq 2 ]] || { echo "scan expected 2 rows"; exit 1; }
+echo "$scan_out" | grep -q '^alphabet = 2$' || { echo "scan missing alphabet"; exit 1; }
+
+stats_out="$(ctl stats -v)"
+echo "$stats_out" | grep -q 'server: conns_open=' || { echo "stats missing server block"; exit 1; }
+echo "$stats_out" | grep -q 'request' || { echo "stats -v missing request latency"; exit 1; }
+ctl compact
+
+echo "== graceful shutdown =="
+kill -TERM "$srv_pid"
+for _ in $(seq 1 200); do
+  kill -0 "$srv_pid" 2>/dev/null || break
+  sleep 0.05
+done
+if kill -0 "$srv_pid" 2>/dev/null; then
+  cat "$work/server.log"; echo "server ignored SIGTERM"; exit 1
+fi
+wait "$srv_pid" || { cat "$work/server.log"; echo "server exited non-zero"; exit 1; }
+srv_pid=""
+
+grep -q 'draining' "$work/server.log" || { cat "$work/server.log"; echo "no drain line"; exit 1; }
+grep -q 'checkpoint written' "$work/server.log" || { cat "$work/server.log"; echo "no checkpoint line"; exit 1; }
+grep -q 'closed cleanly' "$work/server.log" || { cat "$work/server.log"; echo "no clean close line"; exit 1; }
+
+echo "== durability =="
+[[ "$("$bin/lsmctl" -db "$work/db" get alpha)" == "1" ]] || { echo "store lost alpha"; exit 1; }
+[[ "$("$bin/lsmctl" -db "$work/ckpt" get alphabet)" == "2" ]] || { echo "checkpoint lost alphabet"; exit 1; }
+
+echo "serve smoke OK"
