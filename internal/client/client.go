@@ -255,7 +255,14 @@ func decodeScan(resp []byte) ([]KV, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]KV, 0, count)
+	// Clamp the preallocation by what the payload could possibly hold
+	// (each entry costs at least two length bytes), so a corrupt count
+	// can neither panic makeslice nor reserve unbounded memory.
+	capHint := count
+	if max := uint64(len(rest)) / 2; capHint > max {
+		capHint = max
+	}
+	out := make([]KV, 0, capHint)
 	for i := uint64(0); i < count; i++ {
 		var k, v []byte
 		k, rest, err = wire.ReadBytes(rest)

@@ -135,6 +135,41 @@ func TestDialFailsWhenUnreachable(t *testing.T) {
 	}
 }
 
+func TestDecodeScanHostileCount(t *testing.T) {
+	// A corrupt count near 2^62 must neither panic makeslice nor
+	// reserve real memory: preallocation is clamped by the bytes the
+	// payload could actually hold, and decoding errors out when the
+	// entries run dry.
+	resp := wire.AppendUvarint(nil, 1<<62)
+	resp = wire.AppendBytes(resp, []byte("k"))
+	resp = wire.AppendBytes(resp, []byte("v"))
+	if _, err := decodeScan(resp); err == nil {
+		t.Fatal("count exceeding payload must error")
+	}
+	// An honest response still decodes.
+	resp = wire.AppendUvarint(nil, 1)
+	resp = wire.AppendBytes(resp, []byte("k"))
+	resp = wire.AppendBytes(resp, []byte("v"))
+	kvs, err := decodeScan(resp)
+	if err != nil || len(kvs) != 1 || string(kvs[0].Key) != "k" || string(kvs[0].Value) != "v" {
+		t.Fatalf("kvs=%v err=%v", kvs, err)
+	}
+}
+
+func TestPipelineEmptyBatchApply(t *testing.T) {
+	s := newFakeServer(t, "ok")
+	cl := New(Options{Addr: s.ln.Addr().String()})
+	defer cl.Close()
+	p, err := cl.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Batch
+	if err := p.Apply(&b).Err(); err != nil {
+		t.Fatalf("empty-batch Apply is a no-op, want nil, got %v", err)
+	}
+}
+
 func TestBatchEncoding(t *testing.T) {
 	var b Batch
 	b.Put([]byte("k1"), []byte("v1"))

@@ -61,7 +61,8 @@ func (p *Pipeline) Get(key []byte) *Future {
 	return p.enqueue(wire.OpGet, wire.AppendBytes(nil, key))
 }
 
-// Apply pipelines an atomic batch.
+// Apply pipelines an atomic batch. An empty batch resolves to an
+// already-acknowledged no-op without touching the wire.
 func (p *Pipeline) Apply(b *Batch) *Future {
 	if b.Len() == 0 {
 		return &Future{p: p}
@@ -76,7 +77,11 @@ func (p *Pipeline) Flush() error { return p.cn.flush() }
 // blocks for the response under the client's request timeout.
 func (f *Future) wait() (byte, []byte, error) {
 	if f.call == nil {
-		return 0, nil, f.err
+		if f.err != nil {
+			return 0, nil, f.err
+		}
+		// No call and no error: a resolved no-op (empty-batch Apply).
+		return wire.StatusOK, nil, nil
 	}
 	if err := f.p.cn.flush(); err != nil {
 		// The call may still complete (failure drains pending); fall

@@ -246,40 +246,36 @@ func (c *conn) respondApply(err error) bool {
 // single Apply, whose commit the leader-based pipeline then coalesces
 // with other connections' groups.
 func (c *conn) handleWrites(op byte, payload []byte, batch *core.Batch) bool {
-	type pending struct{ done func(error) }
 	batch.Reset()
-	reqs := make([]pending, 0, 8)
-	add := func(op byte, payload []byte) bool {
-		done := c.beginRequest(op)
-		if err := addWrite(batch, op, payload); err != nil {
-			done(err)
-			c.respondErr(wire.StatusBadRequest, err)
-			return false
-		}
-		reqs = append(reqs, pending{done})
-		return true
-	}
-	if !add(op, payload) {
+	done := c.beginRequest(op)
+	if err := addWrite(batch, op, payload); err != nil {
 		// The first frame was malformed; nothing batched, stream still
-		// framed — keep the connection.
-		return true
+		// framed — answer and keep the connection.
+		done(err)
+		return c.respondErr(wire.StatusBadRequest, err)
 	}
-	for len(reqs) < c.s.opts.MaxBatchOps {
+	dones := make([]func(error), 0, 8)
+	dones = append(dones, done)
+	for len(dones) < c.s.opts.MaxBatchOps {
 		op2, payload2, size, ok := c.peekBufferedWrite()
 		if !ok {
 			break
 		}
-		okAdd := add(op2, payload2)
-		c.br.Discard(size)
-		c.s.m.NetBytesRead.Add(int64(size))
-		if !okAdd {
+		// Validate before consuming: a malformed frame stays in the read
+		// buffer, so the main read loop answers it only after this
+		// batch's responses are queued — responses stay FIFO with
+		// requests, which is how the client matches them.
+		if err := addWrite(batch, op2, payload2); err != nil {
 			break
 		}
+		dones = append(dones, c.beginRequest(op2))
+		c.br.Discard(size)
+		c.s.m.NetBytesRead.Add(int64(size))
 	}
 	err := c.s.db.Apply(batch)
 	alive := true
-	for _, r := range reqs {
-		r.done(err)
+	for _, d := range dones {
+		d(err)
 		if !c.respondApply(err) {
 			alive = false
 		}
@@ -377,9 +373,11 @@ func decodeBatch(payload []byte, batch *core.Batch) error {
 	return nil
 }
 
-// handleScan answers one prefix scan, capped by MaxScanLimit and the
-// per-request deadline (checked while iterating, so a pathological
-// range cannot pin the connection past its budget).
+// handleScan answers one prefix scan, capped by MaxScanLimit, by
+// response size (so the frame never exceeds what a peer with the same
+// frame cap will accept), and by the per-request deadline (checked
+// while iterating, so a pathological range cannot pin the connection
+// past its budget).
 func (c *conn) handleScan(payload []byte) bool {
 	done := c.beginRequest(wire.OpScan)
 	prefix, rest, err := wire.ReadBytes(payload)
@@ -411,9 +409,17 @@ func (c *conn) handleScan(payload []byte) bool {
 		return c.respondErr(wire.StatusInternal, err)
 	}
 	defer it.Close()
+	// Stop before the response frame outgrows MaxRequestBytes: a client
+	// enforcing the same cap on responses would otherwise reject the
+	// frame and poison its connection. 32 bytes of headroom covers the
+	// count uvarint and the frame's own op byte.
+	maxBody := c.s.opts.MaxRequestBytes - 32
 	body := make([]byte, 0, 512)
 	count := 0
 	for ok := it.First(); ok && count < limit; ok = it.Next() {
+		if len(body)+len(it.Key())+len(it.Value())+2*binary.MaxVarintLen32 > maxBody {
+			break
+		}
 		body = wire.AppendBytes(body, it.Key())
 		body = wire.AppendBytes(body, it.Value())
 		count++

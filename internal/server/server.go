@@ -43,7 +43,9 @@ type Options struct {
 	MaxConns int
 	// MaxRequestBytes caps a request frame's length field. Oversized
 	// frames receive StatusTooLarge and the connection is closed (the
-	// unread body makes resynchronization impossible). Default
+	// unread body makes resynchronization impossible). Responses are
+	// bounded by the same cap (scans truncate to fit), so clients
+	// should keep their MaxFrameBytes at least this large. Default
 	// wire.DefaultMaxFrame.
 	MaxRequestBytes int
 	// MaxBatchOps caps how many already-buffered pipelined PUT/DELETE
@@ -59,10 +61,12 @@ type Options struct {
 	// IdleTimeout closes connections with no request for this long.
 	// 0 (the default) disables.
 	IdleTimeout time.Duration
-	// RequestTimeout is the per-request deadline. Requests that exceed
-	// it are answered with StatusDeadline; SCAN checks it while
-	// iterating, so a pathological range cannot pin a connection.
-	// 0 (the default) disables.
+	// RequestTimeout is the execution deadline for SCAN, the one verb
+	// whose cost scales with a client-chosen range: a scan that exceeds
+	// it is answered with StatusDeadline (checked while iterating, so a
+	// pathological range cannot pin a connection). Point ops complete in
+	// bounded time and COMPACT runs to completion, so neither enforces
+	// it. 0 (the default) disables.
 	RequestTimeout time.Duration
 	// EventListener receives ConnOpen/ConnClose/RequestBegin/RequestEnd
 	// lifecycle events. Same contract as core.Options.EventListener:

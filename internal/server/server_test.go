@@ -326,6 +326,68 @@ func TestServerSideWriteCoalescing(t *testing.T) {
 	}
 }
 
+func TestMalformedPipelinedWriteKeepsFIFOResponses(t *testing.T) {
+	// Three PUT frames written in one burst — valid, malformed payload,
+	// valid — must be answered strictly in arrival order (OK,
+	// BadRequest, OK) whether or not the server folds them: the wire
+	// protocol has no request IDs, so clients match responses FIFO.
+	_, db, addr := testServer(t, nil, nil)
+	nc := rawConn(t, addr)
+	putPayload := func(k, v string) []byte {
+		p := wire.AppendBytes(nil, []byte(k))
+		return wire.AppendBytes(p, []byte(v))
+	}
+	var burst []byte
+	burst = wire.AppendFrame(burst, wire.OpPut, putPayload("f1", "1"))
+	burst = wire.AppendFrame(burst, wire.OpPut, []byte{0xFF}) // truncated varint
+	burst = wire.AppendFrame(burst, wire.OpPut, putPayload("f3", "3"))
+	if _, err := nc.Write(burst); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{wire.StatusOK, wire.StatusBadRequest, wire.StatusOK}
+	for i, w := range want {
+		status, _, err := readResp(t, nc)
+		if err != nil || status != w {
+			t.Fatalf("response %d: status=%#x err=%v, want %#x", i, status, err, w)
+		}
+	}
+	// Both valid writes landed.
+	for _, k := range []string{"f1", "f3"} {
+		if _, err := db.Get([]byte(k)); err != nil {
+			t.Fatalf("get %s: %v", k, err)
+		}
+	}
+}
+
+func TestScanTruncatesToFrameCap(t *testing.T) {
+	// A scan over values whose total exceeds the frame cap truncates
+	// instead of building a response the peer would reject.
+	const frameCap = 4 << 10
+	_, db, addr := testServer(t, nil, func(o *server.Options) { o.MaxRequestBytes = frameCap })
+	val := bytes.Repeat([]byte("v"), 200)
+	for i := 0; i < 100; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("t%04d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl, err := client.Dial(addr, client.Options{MaxFrameBytes: frameCap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	kvs, err := cl.Scan([]byte("t"), 0)
+	if err != nil {
+		t.Fatalf("scan rejected by frame cap: %v", err)
+	}
+	if len(kvs) == 0 || len(kvs) >= 100 {
+		t.Fatalf("scan returned %d entries, want a truncated non-empty result", len(kvs))
+	}
+	// The connection is still usable (no ErrTooLarge poisoning).
+	if _, err := cl.Get([]byte("t0000")); err != nil {
+		t.Fatalf("get after capped scan: %v", err)
+	}
+}
+
 func TestScanLimitAndDeadline(t *testing.T) {
 	_, db, addr := testServer(t, nil, func(o *server.Options) { o.MaxScanLimit = 10 })
 	for i := 0; i < 50; i++ {
