@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-write tables examples cover serve-smoke fuzz-wire clean
+.PHONY: all build test race bench bench-write tables examples cover serve-smoke fuzz-wire torture clean
 
 all: build test
 
@@ -40,6 +40,11 @@ examples:
 # round trips, graceful SIGTERM drain, checkpoint, durability.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Randomized crash+fault torture: 250 seeded iterations of inject one
+# fault, crash, reopen, verify no acknowledged write was lost.
+torture:
+	TORTURE_ITERS=250 $(GO) test ./internal/core -run 'TestTorture' -count=1 -v
 
 # Short fuzz run over the wire-protocol codec (CI runs 30s).
 fuzz-wire:

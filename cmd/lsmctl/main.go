@@ -14,12 +14,14 @@
 //	lsmctl -db /tmp/demo stats [-v]     # engine counters (-v adds latency percentiles)
 //	lsmctl -db /tmp/demo events [compact]  # dump this session's engine events
 //	lsmctl -db /tmp/demo compact        # full manual compaction
+//	lsmctl -db /tmp/demo scrub          # verify every checksum; quarantine corrupt tables
+//	lsmctl -db /tmp/demo health         # degraded-mode status and last background error
 //	lsmctl -db /tmp/demo retune <strategy> [T]  # reshape online, then drain
 //	lsmctl -db /tmp/demo checkpoint <dir>       # consistent online backup
 //	lsmctl -db /tmp/demo bench <n>      # quick ingest of n keys
 //
 // With -addr instead of -db, commands run against a live lsmserved
-// over the wire (put, get, delete, scan, stats, compact):
+// over the wire (put, get, delete, scan, stats, compact, health):
 //
 //	lsmctl -addr 127.0.0.1:4700 put <key> <value>
 //	lsmctl -addr 127.0.0.1:4700 scan <prefix> [limit]
@@ -50,7 +52,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if (*dbPath == "") == (*addr == "") || len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lsmctl {-db DIR | -addr HOST:PORT} [-strategy S] [-T n] {put|get|delete|scan|shape|stats|events|compact|retune|bench} ...")
+		fmt.Fprintln(os.Stderr, "usage: lsmctl {-db DIR | -addr HOST:PORT} [-strategy S] [-T n] {put|get|delete|scan|shape|stats|events|compact|scrub|health|retune|bench} ...")
 		os.Exit(2)
 	}
 	if *addr != "" {
@@ -151,6 +153,18 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(db.TreeStats())
+	case "scrub":
+		rep, err := db.Scrub()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rep)
+	case "health":
+		h := db.Health()
+		printHealth(h.Degraded, h.Op, h.Kind, h.Cause)
+		if h.BgErr != "" {
+			fmt.Printf("last_bg_err op=%s: %s\n", h.BgErrOp, h.BgErr)
+		}
 	case "checkpoint":
 		need(args, 2)
 		if err := db.Checkpoint(args[1]); err != nil {
@@ -260,9 +274,25 @@ func remote(addr string, args []string) {
 			fatal(err)
 		}
 		fmt.Println("compaction complete")
+	case "health":
+		h, err := cl.Health()
+		if err != nil {
+			fatal(err)
+		}
+		printHealth(h.Degraded, h.Op, h.Kind, h.Cause)
 	default:
-		fatal(fmt.Errorf("command %q is not available over -addr (remote commands: put get delete scan stats compact)", args[0]))
+		fatal(fmt.Errorf("command %q is not available over -addr (remote commands: put get delete scan stats compact health)", args[0]))
 	}
+}
+
+// printHealth renders the shared health line for both the local and the
+// wire form of the command.
+func printHealth(degraded bool, op, kind, cause string) {
+	if degraded {
+		fmt.Printf("degraded=true op=%s kind=%s cause=%s\n", op, kind, cause)
+		return
+	}
+	fmt.Println("degraded=false")
 }
 
 func need(args []string, n int) {

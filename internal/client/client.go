@@ -37,6 +37,11 @@ var (
 	// ErrTimeout is returned when a response missed the request
 	// timeout. The request may still have been applied server-side.
 	ErrTimeout = errors.New("lsmclient: request timed out")
+	// ErrUnavailable is returned when the server refused a write because
+	// its engine degraded to read-only mode. The condition is sticky —
+	// retrying cannot help — so the client surfaces it after a single
+	// attempt; reads keep working, and Health explains the cause.
+	ErrUnavailable = errors.New("lsmclient: server degraded to read-only mode")
 )
 
 // Options configures a Client. The zero value plus Addr is usable.
@@ -191,12 +196,16 @@ func (c *Client) do(op byte, payload []byte) (status byte, resp []byte, err erro
 }
 
 // statusToErr maps a response to a typed error (nil for StatusOK).
+// Statuses are terminal: do retries only transport failures, so a
+// StatusUnavailable write is reported after exactly one attempt.
 func statusToErr(status byte, payload []byte) error {
 	switch status {
 	case wire.StatusOK:
 		return nil
 	case wire.StatusNotFound:
 		return ErrNotFound
+	case wire.StatusUnavailable:
+		return fmt.Errorf("%w: %s", ErrUnavailable, payload)
 	default:
 		return &wire.StatusError{Code: status, Msg: string(payload)}
 	}
@@ -307,6 +316,45 @@ func (c *Client) Compact() error { return c.doSimple(wire.OpCompact, nil) }
 
 // Ping round-trips an empty request.
 func (c *Client) Ping() error { return c.doSimple(wire.OpPing, nil) }
+
+// Health describes the server engine's degradation state.
+type Health struct {
+	// Degraded reports the sticky read-only mode; when set, Cause, Op,
+	// and Kind explain the failure that triggered it.
+	Degraded bool
+	Cause    string
+	Op       string
+	Kind     string
+}
+
+// Health queries the server's engine health (the HEALTH admin verb).
+// It keeps working while the engine is degraded.
+func (c *Client) Health() (Health, error) {
+	status, resp, err := c.do(wire.OpHealth, nil)
+	if err != nil {
+		return Health{}, err
+	}
+	if err := statusToErr(status, resp); err != nil {
+		return Health{}, err
+	}
+	if len(resp) < 1 {
+		return Health{}, wire.ErrTruncated
+	}
+	h := Health{Degraded: resp[0] != 0}
+	rest := resp[1:]
+	var cause, op, kind []byte
+	if cause, rest, err = wire.ReadBytes(rest); err != nil {
+		return Health{}, err
+	}
+	if op, rest, err = wire.ReadBytes(rest); err != nil {
+		return Health{}, err
+	}
+	if kind, _, err = wire.ReadBytes(rest); err != nil {
+		return Health{}, err
+	}
+	h.Cause, h.Op, h.Kind = string(cause), string(op), string(kind)
+	return h, nil
+}
 
 func (c *Client) doSimple(op byte, payload []byte) error {
 	status, resp, err := c.do(op, payload)

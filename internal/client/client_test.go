@@ -15,8 +15,9 @@ import (
 // "refuse" closes accepted connections immediately, "mute" reads
 // requests but never answers, "ok" answers everything with StatusOK.
 type fakeServer struct {
-	ln   net.Listener
-	mode atomic.Value // string
+	ln       net.Listener
+	mode     atomic.Value // string
+	requests atomic.Int64 // frames read across all connections
 }
 
 func newFakeServer(t *testing.T, mode string) *fakeServer {
@@ -52,8 +53,16 @@ func (s *fakeServer) serve(nc net.Conn) {
 		if err != nil {
 			return
 		}
-		if s.mode.Load().(string) == "mute" {
+		s.requests.Add(1)
+		switch s.mode.Load().(string) {
+		case "mute":
 			continue // swallow the request
+		case "unavailable":
+			if _, err := nc.Write(wire.AppendFrame(nil, wire.StatusUnavailable,
+				[]byte("degraded to read-only"))); err != nil {
+				return
+			}
+			continue
 		}
 		if _, err := nc.Write(wire.AppendFrame(nil, wire.StatusOK, nil)); err != nil {
 			return
@@ -188,5 +197,38 @@ func TestBatchEncoding(t *testing.T) {
 	b.Reset()
 	if b.Len() != 0 || len(b.payload()) != 1 {
 		t.Fatal("Reset did not clear the batch")
+	}
+}
+
+// TestUnavailableWriteNotRetried is the degraded-server regression
+// test: StatusUnavailable means the engine is read-only and the
+// condition is sticky, so the client must surface ErrUnavailable after
+// exactly one attempt — retrying a degraded server is pure load.
+func TestUnavailableWriteNotRetried(t *testing.T) {
+	s := newFakeServer(t, "unavailable")
+	cl := New(Options{
+		Addr:         s.ln.Addr().String(),
+		MaxRetries:   4,
+		RetryBackoff: time.Millisecond,
+	})
+	defer cl.Close()
+
+	err := cl.Put([]byte("k"), []byte("v"))
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want ErrUnavailable, got %v", err)
+	}
+	if got := s.requests.Load(); got != 1 {
+		t.Fatalf("degraded write reached the server %d times, want exactly 1", got)
+	}
+
+	// Reads against the same degraded answer also surface immediately
+	// (the server only sends Unavailable for writes, but the client's
+	// no-status-retry rule is op-independent).
+	s.requests.Store(0)
+	if _, err := cl.Get([]byte("k")); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want ErrUnavailable, got %v", err)
+	}
+	if got := s.requests.Load(); got != 1 {
+		t.Fatalf("get retried %d times, want exactly 1", got)
 	}
 }

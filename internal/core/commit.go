@@ -158,8 +158,11 @@ func (db *DB) commitLead(self *commitRequest) {
 		db.commitFail(group, self, err)
 		return
 	}
-	if db.bgErr != nil {
-		err := db.bgErr
+	// Only a degraded engine refuses writes. A transient background
+	// error (bgErr set, degraded not) is being retried with backoff and
+	// must not poison the write path — that was the old behavior this
+	// degradation story replaces.
+	if err := db.degradedErrLocked(); err != nil {
 		group := db.commit.claim()
 		db.mu.Unlock()
 		db.commitFail(group, self, err)

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"lsmlab/internal/vfs"
+	"lsmlab/internal/vfs/faultfs"
 )
 
 // stressKey names one op of one batch of one writer, so tests can
@@ -217,7 +218,7 @@ func TestSnapshotAtomicityUnderConcurrentWrites(t *testing.T) {
 // framing.
 func TestGroupCommitCrashRecovery(t *testing.T) {
 	base := vfs.NewMem()
-	ffs := newFaultFS(base, ".wal")
+	ffs := faultfs.New(base, 1)
 	db, err := Open(DefaultOptions(ffs, "db"))
 	if err != nil {
 		t.Fatal(err)
@@ -230,7 +231,7 @@ func TestGroupCommitCrashRecovery(t *testing.T) {
 
 	// Fail the 60th WAL write: with group commit, that takes down one
 	// whole commit group mid-stream.
-	ffs.arm(60)
+	ffs.Arm(faultfs.ClassWAL, faultfs.OpWrite, 60)
 
 	var wg sync.WaitGroup
 	for w := 0; w < writers; w++ {

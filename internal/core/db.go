@@ -81,7 +81,20 @@ type DB struct {
 	busyLevel map[int]bool         // levels currently compacting
 	building  map[*memWrapper]bool // immutable buffers being flushed
 	closed    bool
-	bgErr     error // first background error; surfaced on Close
+	bgErr     error  // first background error; surfaced in Health/stats and on Close
+	bgErrOp   string // operation ("flush", "compaction") that produced bgErr
+
+	// compactFailures counts consecutive failed compaction attempts
+	// (guarded by db.mu), driving retry backoff and the degradation
+	// policy symmetrically with memWrapper.flushFailures.
+	compactFailures int
+
+	// degraded, once set, is the sticky read-only mode (health.go):
+	// writes fail fast with this error, reads keep serving, background
+	// work stops. degradedFlag mirrors it for lock-free fast paths.
+	degraded      *DegradedError
+	degradedSince int64
+	degradedFlag  atomic.Bool
 
 	// walMu serializes WAL appends against WAL rotation. The commit
 	// leader acquires it (under db.mu) before pinning db.wal and holds
@@ -454,6 +467,13 @@ func (db *DB) worker(flushOnly bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	for !db.closed {
+		// A degraded engine initiates no background work: the device is
+		// suspect and writes are already refused, so workers park until
+		// close.
+		if db.degraded != nil {
+			db.cond.Wait()
+			continue
+		}
 		// Flushes first: they unblock writers. Multiple workers may
 		// build flushes concurrently; installation is serialized in
 		// queue order so level-0 run recency stays correct.
@@ -466,12 +486,9 @@ func (db *DB) worker(flushOnly bool) {
 		}
 		if flushTarget != nil {
 			db.building[flushTarget] = true
-			backoff := time.Duration(flushTarget.flushFailures) * 10 * time.Millisecond
+			backoff := retryBackoff(flushTarget.flushFailures)
 			db.mu.Unlock()
 			if backoff > 0 {
-				if backoff > time.Second {
-					backoff = time.Second
-				}
 				time.Sleep(backoff)
 			}
 			err := db.flushMemtable(flushTarget)
@@ -479,9 +496,7 @@ func (db *DB) worker(flushOnly bool) {
 			delete(db.building, flushTarget)
 			if err != nil {
 				flushTarget.flushFailures++
-				if db.bgErr == nil {
-					db.bgErr = err
-				}
+				db.noteBackgroundFailure("flush", flushTarget.flushFailures, err)
 			} else {
 				flushTarget.flushFailures = 0
 			}
@@ -494,15 +509,22 @@ func (db *DB) worker(flushOnly bool) {
 					db.busyLevel[lvl] = true
 				}
 				db.busyLevel[job.ToLevel] = true
+				backoff := retryBackoff(db.compactFailures)
 				db.mu.Unlock()
+				if backoff > 0 {
+					time.Sleep(backoff)
+				}
 				err := db.runCompaction(job)
 				db.mu.Lock()
 				for lvl := range job.Inputs {
 					delete(db.busyLevel, lvl)
 				}
 				delete(db.busyLevel, job.ToLevel)
-				if err != nil && db.bgErr == nil {
-					db.bgErr = err
+				if err != nil {
+					db.compactFailures++
+					db.noteBackgroundFailure("compaction", db.compactFailures, err)
+				} else {
+					db.compactFailures = 0
 				}
 				db.cond.Broadcast()
 				continue
@@ -510,6 +532,24 @@ func (db *DB) worker(flushOnly bool) {
 		}
 		db.cond.Wait()
 	}
+}
+
+// retryBackoff is the capped exponential backoff between retries of a
+// failing background job: 10ms doubling per consecutive failure, at
+// most one second, so a flapping device is retried politely and a dead
+// one cannot spin a worker at full speed before degradation kicks in.
+func retryBackoff(failures int) time.Duration {
+	if failures <= 0 {
+		return 0
+	}
+	if failures > 7 { // 10ms << 7 > 1s; avoid shift overflow
+		return time.Second
+	}
+	d := 10 * time.Millisecond << (failures - 1)
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
 }
 
 // pickUnlockedJob returns the highest-priority compaction job that does
@@ -528,7 +568,9 @@ func (db *DB) waitIdle() {
 	for {
 		idle := len(db.imm) == 0 && len(db.building) == 0 && len(db.busyLevel) == 0 &&
 			db.pickUnlockedJob() == nil
-		if idle || db.closed {
+		// A degraded engine counts as idle: workers are parked and the
+		// pending queue will never drain, so waiting would hang forever.
+		if idle || db.closed || db.degraded != nil {
 			db.mu.Unlock()
 			return
 		}
@@ -574,6 +616,11 @@ func (db *DB) Flush() error {
 		db.mu.Unlock()
 		return ErrClosed
 	}
+	if err := db.degradedErrLocked(); err != nil {
+		// Read-only: flushing would write; fail fast with the cause.
+		db.mu.Unlock()
+		return err
+	}
 	if db.mem.mt.Len() > 0 || len(db.mem.rangeTombstones()) > 0 {
 		if err := db.rotateMemtableLocked(); err != nil {
 			db.mu.Unlock()
@@ -583,7 +630,10 @@ func (db *DB) Flush() error {
 	db.mu.Unlock()
 	db.waitIdle()
 	db.mu.Lock()
-	err := db.bgErr
+	err := db.degradedErrLocked()
+	if err == nil {
+		err = db.bgErr
+	}
 	db.mu.Unlock()
 	return err
 }

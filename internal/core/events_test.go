@@ -8,6 +8,7 @@ import (
 
 	"lsmlab/internal/events"
 	"lsmlab/internal/vfs"
+	"lsmlab/internal/vfs/faultfs"
 )
 
 // checkPaired asserts that every begin event in evs has exactly one
@@ -118,7 +119,7 @@ func TestFlushAndCompactionEventsPaired(t *testing.T) {
 func TestFlushFailureEmitsPairedEndWithError(t *testing.T) {
 	ring := events.NewRing(1024)
 	base := vfs.NewMem()
-	ffs := newFaultFS(base, ".sst")
+	ffs := faultfs.New(base, 1)
 	opts := DefaultOptions(ffs, "db")
 	opts.BufferBytes = 4 << 10
 	opts.EventListener = ring
@@ -131,7 +132,7 @@ func TestFlushFailureEmitsPairedEndWithError(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	ffs.arm(1)
+	ffs.Arm(faultfs.ClassSST, faultfs.OpWrite, 1)
 	if err := db.Flush(); err == nil {
 		t.Fatal("flush with failing device must error")
 	}
@@ -155,7 +156,7 @@ func TestFlushFailureEmitsPairedEndWithError(t *testing.T) {
 func TestCompactionFailureEmitsPairedEndWithError(t *testing.T) {
 	ring := events.NewRing(4096)
 	base := vfs.NewMem()
-	ffs := newFaultFS(base, ".sst")
+	ffs := faultfs.New(base, 1)
 	opts := DefaultOptions(ffs, "db")
 	opts.BufferBytes = 4 << 10
 	opts.Workers = 1
@@ -173,7 +174,7 @@ func TestCompactionFailureEmitsPairedEndWithError(t *testing.T) {
 		t.Fatal(err)
 	}
 	db.WaitIdle()
-	ffs.arm(2)
+	ffs.Arm(faultfs.ClassSST, faultfs.OpWrite, 2)
 	_ = db.Compact() // error may surface here or via bgErr
 	db.Close()
 

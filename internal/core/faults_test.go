@@ -1,67 +1,20 @@
 package core
 
 import (
-	"errors"
 	"fmt"
-	"sync/atomic"
 	"testing"
 
 	"lsmlab/internal/vfs"
+	"lsmlab/internal/vfs/faultfs"
 )
 
-// faultFS injects a write failure after a countdown of Write calls on
-// files whose names match a suffix. Countdown < 0 disables injection.
-type faultFS struct {
-	vfs.FS
-	suffix    string
-	countdown atomic.Int64
-	errInject error
-}
-
-func newFaultFS(base vfs.FS, suffix string) *faultFS {
-	f := &faultFS{FS: base, suffix: suffix, errInject: errors.New("injected write failure")}
-	f.countdown.Store(-1)
-	return f
-}
-
-// arm makes the nth matching write (1-based) fail.
-func (f *faultFS) arm(n int64) { f.countdown.Store(n) }
-
-func (f *faultFS) Create(name string) (vfs.File, error) {
-	file, err := f.FS.Create(name)
-	if err != nil {
-		return nil, err
-	}
-	if f.suffix != "" && !vfs.HasSuffix(name, f.suffix) {
-		return file, nil
-	}
-	return &faultFile{File: file, fs: f}, nil
-}
-
-type faultFile struct {
-	vfs.File
-	fs *faultFS
-}
-
-func (f *faultFile) Write(p []byte) (int, error) {
-	for {
-		cur := f.fs.countdown.Load()
-		if cur < 0 {
-			return f.File.Write(p)
-		}
-		if f.fs.countdown.CompareAndSwap(cur, cur-1) {
-			if cur-1 == 0 {
-				f.fs.countdown.Store(-1)
-				return 0, f.fs.errInject
-			}
-			return f.File.Write(p)
-		}
-	}
-}
+// These tests drive the engine's error paths through the shared
+// fault-injection filesystem (internal/vfs/faultfs), which replaced the
+// test-local injector this file used to carry.
 
 func TestFlushFailureSurfacesAndDataSurvivesInWAL(t *testing.T) {
 	base := vfs.NewMem()
-	ffs := newFaultFS(base, ".sst")
+	ffs := faultfs.New(base, 1)
 	opts := DefaultOptions(ffs, "db")
 	opts.BufferBytes = 4 << 10
 	db, err := Open(opts)
@@ -75,16 +28,19 @@ func TestFlushFailureSurfacesAndDataSurvivesInWAL(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	ffs.arm(1)
+	ffs.Arm(faultfs.ClassSST, faultfs.OpWrite, 1)
 	err = db.Flush()
 	if err == nil {
 		t.Fatal("flush with failing device must error")
 	}
-	// The DB reports the background error on close too.
+	// The failure was transient and one-shot: the flush retry succeeds,
+	// so the engine must NOT be degraded — only bgErr records it.
+	if h := db.Health(); h.Degraded {
+		t.Fatalf("single transient failure degraded the engine: %+v", h)
+	}
 	db.Close()
 
-	// Reopen over the same (now healthy) filesystem: the WAL still holds
-	// the data, so nothing is lost.
+	// Reopen over the same (now healthy) filesystem: nothing is lost.
 	db2, err := Open(DefaultOptions(base, "db"))
 	if err != nil {
 		t.Fatal(err)
@@ -99,7 +55,7 @@ func TestFlushFailureSurfacesAndDataSurvivesInWAL(t *testing.T) {
 
 func TestCompactionFailureKeepsOldVersionReadable(t *testing.T) {
 	base := vfs.NewMem()
-	ffs := newFaultFS(base, ".sst")
+	ffs := faultfs.New(base, 1)
 	opts := DefaultOptions(ffs, "db")
 	opts.BufferBytes = 4 << 10
 	opts.Workers = 1
@@ -121,7 +77,7 @@ func TestCompactionFailureKeepsOldVersionReadable(t *testing.T) {
 	db.WaitIdle()
 
 	// Fail the next table write, then force a compaction.
-	ffs.arm(2)
+	ffs.Arm(faultfs.ClassSST, faultfs.OpWrite, 2)
 	compactErr := db.Compact()
 	// Whether or not the error surfaced through Compact (it may land in
 	// bgErr), every key must remain readable from the old version.
@@ -162,7 +118,7 @@ func TestCompactionFailureKeepsOldVersionReadable(t *testing.T) {
 
 func TestWALWriteFailureSurfacesToWriter(t *testing.T) {
 	base := vfs.NewMem()
-	ffs := newFaultFS(base, ".wal")
+	ffs := faultfs.New(base, 1)
 	opts := DefaultOptions(ffs, "db")
 	db, err := Open(opts)
 	if err != nil {
@@ -172,11 +128,12 @@ func TestWALWriteFailureSurfacesToWriter(t *testing.T) {
 	if err := db.Put([]byte("ok"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	ffs.arm(1)
+	ffs.Arm(faultfs.ClassWAL, faultfs.OpWrite, 1)
 	if err := db.Put([]byte("doomed"), []byte("v")); err == nil {
 		t.Fatal("put with failing WAL must error")
 	}
-	// Subsequent writes work again (failure was transient).
+	// Subsequent writes work again (failure was transient, and WAL
+	// errors surface to the writer without degrading the engine).
 	if err := db.Put([]byte("after"), []byte("v")); err != nil {
 		t.Fatalf("post-failure put: %v", err)
 	}
@@ -184,7 +141,7 @@ func TestWALWriteFailureSurfacesToWriter(t *testing.T) {
 
 func TestManifestFailureSurfaces(t *testing.T) {
 	base := vfs.NewMem()
-	ffs := newFaultFS(base, "") // any file
+	ffs := faultfs.New(base, 1)
 	opts := DefaultOptions(ffs, "db")
 	opts.BufferBytes = 2 << 10
 	db, err := Open(opts)
@@ -196,7 +153,7 @@ func TestManifestFailureSurfaces(t *testing.T) {
 	}
 	// Arm far enough ahead that some structural write (table, manifest)
 	// hits it during flush.
-	ffs.arm(3)
+	ffs.Arm(faultfs.ClassAny, faultfs.OpWrite, 3)
 	flushErr := db.Flush()
 	closeErr := db.Close()
 	if flushErr == nil && closeErr == nil {

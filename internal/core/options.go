@@ -135,6 +135,14 @@ type Options struct {
 	// NowNs supplies time (injected for deterministic tests).
 	NowNs func() int64
 
+	// MaxBackgroundRetries bounds how many consecutive failures of one
+	// background job (a flush of one buffer, or compactions generally)
+	// are retried — with capped exponential backoff — before the engine
+	// degrades to read-only mode. Corruption errors skip retries and
+	// degrade immediately. Default 5; negative degrades on the first
+	// failure.
+	MaxBackgroundRetries int
+
 	// Paranoid re-validates version invariants after every structural
 	// change.
 	Paranoid bool
@@ -145,23 +153,24 @@ type Options struct {
 // skiplist buffer, uniform 10 bits/key filters, 8 MiB block cache.
 func DefaultOptions(fs vfs.FS, path string) Options {
 	return Options{
-		FS:                  fs,
-		Path:                path,
-		NumLevels:           5,
-		SizeRatio:           10,
-		MemtableKind:        memtable.KindSkipList,
-		BufferBytes:         1 << 20,
-		MaxImmutableBuffers: 2,
-		Layout:              compaction.TieredFirst{K0: 4},
-		Granularity:         compaction.GranularityPartial,
-		MovePolicy:          compaction.PickMinOverlap,
-		TargetFileSize:      2 << 20,
-		FilterMode:          FilterUniform,
-		BitsPerKey:          10,
-		BlockSize:           4096,
-		CacheBytes:          8 << 20,
-		Workers:             1,
-		StallL0Runs:         12,
+		FS:                   fs,
+		Path:                 path,
+		NumLevels:            5,
+		SizeRatio:            10,
+		MemtableKind:         memtable.KindSkipList,
+		BufferBytes:          1 << 20,
+		MaxImmutableBuffers:  2,
+		Layout:               compaction.TieredFirst{K0: 4},
+		Granularity:          compaction.GranularityPartial,
+		MovePolicy:           compaction.PickMinOverlap,
+		TargetFileSize:       2 << 20,
+		FilterMode:           FilterUniform,
+		BitsPerKey:           10,
+		BlockSize:            4096,
+		CacheBytes:           8 << 20,
+		Workers:              1,
+		StallL0Runs:          12,
+		MaxBackgroundRetries: 5,
 	}
 }
 
@@ -200,6 +209,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BaseLevelBytes == 0 {
 		o.BaseLevelBytes = uint64(o.BufferBytes) * uint64(o.SizeRatio)
+	}
+	if o.MaxBackgroundRetries == 0 {
+		o.MaxBackgroundRetries = d.MaxBackgroundRetries
 	}
 	if o.NowNs == nil {
 		o.NowNs = func() int64 { return time.Now().UnixNano() }

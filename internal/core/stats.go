@@ -74,6 +74,22 @@ func (db *DB) FormatStats(verbose bool) string {
 	fmt.Fprintf(&b, "\nblock_reads=%d (cached %d) commit_groups=%d avg_group=%.2f wal_syncs=%d syncs_saved=%d",
 		s.BlockReads, s.BlockReadsCached, s.CommitGroups, s.AvgCommitGroupSize(),
 		s.WALSyncs, s.WALSyncsSaved)
+	// Health is always one line: operators grep for "degraded=" and a
+	// background error is visible the moment it happens, not at Close.
+	// Injected errors carry op+path (faultfs.OpError, os.PathError), so
+	// the failing operation and file name surface here.
+	h := db.Health()
+	switch {
+	case h.Degraded:
+		fmt.Fprintf(&b, "\ndegraded=true op=%s kind=%s cause=%q", h.Op, h.Kind, h.Cause)
+	case h.BgErr != "":
+		fmt.Fprintf(&b, "\ndegraded=false bg_err_op=%s bg_err=%q", h.BgErrOp, h.BgErr)
+	default:
+		fmt.Fprintf(&b, "\ndegraded=false")
+	}
+	if s.ScrubbedTables > 0 || s.ScrubCorruptions > 0 {
+		fmt.Fprintf(&b, " scrubbed=%d scrub_corruptions=%d", s.ScrubbedTables, s.ScrubCorruptions)
+	}
 	if verbose {
 		lat := db.m.Latencies()
 		fmt.Fprintf(&b, "\nlatency (this process):")

@@ -26,6 +26,10 @@ type tcEntry struct {
 	r      *sstable.Reader
 	refs   int
 	doomed bool
+	// keepFile suppresses the physical delete of a doomed entry: the
+	// scrubber quarantines corrupt tables by renaming them aside, so the
+	// cache must drop its reader without removing the evidence.
+	keepFile bool
 }
 
 func newTableCache(fs vfs.FS, dir string, ropts func(uint64) sstable.ReaderOptions) *tableCache {
@@ -86,7 +90,9 @@ func (tc *tableCache) release(fileNum uint64) {
 	tc.mu.Unlock()
 	if del {
 		e.r.Close()
-		tc.fs.Remove(vfs.Join(tc.dir, manifest.FileName(fileNum)))
+		if !e.keepFile {
+			tc.fs.Remove(vfs.Join(tc.dir, manifest.FileName(fileNum)))
+		}
 	}
 }
 
@@ -111,6 +117,28 @@ func (tc *tableCache) evict(fileNum uint64) {
 			e.r.Close()
 		}
 		tc.fs.Remove(vfs.Join(tc.dir, manifest.FileName(fileNum)))
+	}
+}
+
+// forget dooms a file like evict but never deletes it physically: the
+// cached reader closes as soon as the last reference drops, while the
+// file itself stays on disk for the quarantine rename.
+func (tc *tableCache) forget(fileNum uint64) {
+	tc.mu.Lock()
+	e, ok := tc.entries[fileNum]
+	if !ok {
+		tc.mu.Unlock()
+		return
+	}
+	e.doomed = true
+	e.keepFile = true
+	del := e.refs == 0
+	if del {
+		delete(tc.entries, fileNum)
+	}
+	tc.mu.Unlock()
+	if del && e.r != nil {
+		e.r.Close()
 	}
 }
 

@@ -117,6 +117,12 @@ func (db *DB) Apply(b *Batch) error {
 	if len(b.ops) == 0 {
 		return nil
 	}
+	// Degraded mode fails writes fast — before value-log diversion, so
+	// a read-only engine appends nothing anywhere. The check is one
+	// atomic load on the healthy path.
+	if err := db.degradedErr(); err != nil {
+		return err
+	}
 	// Commit latency includes any stall time spent in makeRoomLocked —
 	// the tail a caller actually observes.
 	if db.timeOps {
@@ -200,6 +206,11 @@ func (db *DB) makeRoomLocked() error {
 		switch {
 		case db.closed:
 			return ErrClosed
+		case db.degraded != nil:
+			// Degradation mid-stall: the flush that would have made room
+			// is never coming, so blocked writers fail with the cause
+			// (degradeLocked broadcast the condition variable).
+			return db.degradedErrLocked()
 		case l0Stall,
 			db.mem.mt.ApproximateBytes() >= db.opts.BufferBytes &&
 				len(db.imm) >= db.opts.MaxImmutableBuffers:
@@ -235,20 +246,29 @@ func (db *DB) rotateMemtableLocked() error {
 	}
 	db.walMu.Lock()
 	defer db.walMu.Unlock()
+	// Seal the active WAL before anything moves: the buffer's frames must
+	// be durable before the flusher can own (and later delete) them.
 	if db.walFile != nil {
 		if err := db.walFile.Sync(); err != nil {
 			return err
 		}
-		if err := db.walFile.Close(); err != nil {
-			return err
-		}
-		db.walFile = nil
 	}
-	db.imm = append(db.imm, db.mem)
+	// Install the replacement buffer and WAL segment BEFORE retiring the
+	// full one, so a failed install leaves the rotation un-begun: db.mem
+	// unchanged, the sealed WAL still active (acknowledged writes stay
+	// durable), and nothing queued. Appending to db.imm first and then
+	// erroring out used to strand the buffer in the queue without a
+	// broadcast — stalled writers waited on workers that were never woken
+	// (found by the crash+fault torture harness).
+	old, oldWAL := db.mem, db.walFile
 	if err := db.newMemtableLocked(); err != nil {
 		return err
 	}
+	db.imm = append(db.imm, old)
 	db.maybeScheduleWork()
+	if oldWAL != nil {
+		return oldWAL.Close()
+	}
 	return nil
 }
 

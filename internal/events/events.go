@@ -56,6 +56,16 @@ const (
 	// carries DurationNs plus any error the response reported.
 	RequestBegin
 	RequestEnd
+	// DegradedEnter records the engine's one-way transition to read-only
+	// degraded mode: Path names the failing background operation, Reason
+	// the error class (transient/corruption/no-space), and Err the root
+	// cause. There is no matching exit event — degradation is sticky
+	// until the process restarts against a healthy device.
+	DegradedEnter
+	// ScrubEnd records one completed integrity scrub: OutputFiles is the
+	// number of files checked, InputFiles the number of corruption
+	// findings, and DurationNs the elapsed time.
+	ScrubEnd
 
 	numTypes
 )
@@ -75,6 +85,8 @@ var typeNames = [numTypes]string{
 	ConnClose:       "conn-close",
 	RequestBegin:    "request-begin",
 	RequestEnd:      "request-end",
+	DegradedEnter:   "degraded",
+	ScrubEnd:        "scrub-end",
 }
 
 // String implements fmt.Stringer.

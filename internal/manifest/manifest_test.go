@@ -1,11 +1,13 @@
 package manifest
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
 	"lsmlab/internal/kv"
 	"lsmlab/internal/vfs"
+	"lsmlab/internal/vfs/faultfs"
 )
 
 func fm(num uint64, smallest, largest string, size uint64) *FileMeta {
@@ -327,5 +329,124 @@ func TestEmptyVersionState(t *testing.T) {
 	}
 	if rec == nil || rec.Version.NumLevels() != 5 || rec.Version.TotalFiles() != 0 {
 		t.Fatal("empty version roundtrip")
+	}
+}
+
+// TestStoreTornAppendHeals covers the dirty-commit recovery: after a
+// failed append the store must not keep appending past a possibly torn
+// frame (replay would silently ignore everything after it) — the next
+// Commit rewrites the manifest from scratch.
+func TestStoreTornAppendHeals(t *testing.T) {
+	base := vfs.NewMem()
+	ffs := faultfs.New(base, 1)
+	st, _, err := OpenStore(ffs, "MANIFEST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(makeState(1)); err != nil {
+		t.Fatal(err)
+	}
+	ffs.Arm(faultfs.ClassManifest, faultfs.OpWrite, 1)
+	if err := st.Commit(makeState(2)); err == nil {
+		t.Fatal("commit with failing device must error")
+	}
+	// Device healed: the next commit must land durably and readably.
+	if err := st.Commit(makeState(3)); err != nil {
+		t.Fatalf("post-failure commit did not heal: %v", err)
+	}
+	st.Close()
+	_, rec, err := OpenStore(base, "MANIFEST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil || !statesEqual(makeState(3), rec) {
+		t.Fatal("healed commit not recovered")
+	}
+}
+
+// TestStoreTornRenameRecovers crashes the write-temp-then-rename swap
+// at the rename: the store must keep the previous manifest authoritative
+// (recovery sees the last committed state), remove the stale temp file
+// on reopen, and — without a crash — heal on the next Commit.
+func TestStoreTornRenameRecovers(t *testing.T) {
+	base := vfs.NewMem()
+	ffs := faultfs.New(base, 1)
+	st, _, err := OpenStore(ffs, "MANIFEST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.rewriteAt = 1 // every commit rewrites via temp+rename
+	if err := st.Commit(makeState(1)); err != nil {
+		t.Fatal(err)
+	}
+	ffs.Arm(faultfs.ClassManifest, faultfs.OpRename, 1)
+	if err := st.Commit(makeState(2)); err == nil {
+		t.Fatal("commit with failing rename must error")
+	}
+
+	// Crash here: the manifest is still authoritative — the append that
+	// preceded the rewrite already made state 2 durable, and the failed
+	// swap must neither corrupt it nor roll it back. The stale temp file
+	// must be cleaned up.
+	_, rec, err := OpenStore(base, "MANIFEST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil || !statesEqual(makeState(2), rec) {
+		t.Fatal("torn rename corrupted the committed state")
+	}
+	if base.Exists("MANIFEST.tmp") {
+		t.Fatal("stale temp manifest survived reopen")
+	}
+
+	// No crash: the same store heals on the next commit.
+	if err := st.Commit(makeState(3)); err != nil {
+		t.Fatalf("commit after torn rename did not heal: %v", err)
+	}
+	st.Close()
+	_, rec2, err := OpenStore(base, "MANIFEST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2 == nil || !statesEqual(makeState(3), rec2) {
+		t.Fatal("healed state not recovered after torn rename")
+	}
+}
+
+func TestVerifyManifest(t *testing.T) {
+	fs := vfs.NewMem()
+	st, _, _ := OpenStore(fs, "MANIFEST")
+	st.Commit(makeState(1))
+	st.Commit(makeState(2))
+	st.Close()
+	if err := Verify(fs, "MANIFEST"); err != nil {
+		t.Fatalf("clean manifest flagged: %v", err)
+	}
+
+	// A torn tail is tolerated: that is exactly what recovery discards.
+	f, _ := fs.Open("MANIFEST")
+	sz, _ := f.Size()
+	data := make([]byte, sz)
+	f.ReadAt(data, 0)
+	f.Close()
+	g, _ := fs.Create("MANIFEST")
+	g.Write(data[:sz-5])
+	g.Close()
+	if err := Verify(fs, "MANIFEST"); err != nil {
+		t.Fatalf("torn tail flagged as corruption: %v", err)
+	}
+
+	// A flipped byte inside a complete frame is corruption: recovery
+	// would silently fall back to an older snapshot.
+	data[12] ^= 0x40
+	g, _ = fs.Create("MANIFEST")
+	g.Write(data)
+	g.Close()
+	if err := Verify(fs, "MANIFEST"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit flip not flagged: %v", err)
+	}
+
+	if err := Verify(fs, "NOPE"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("missing manifest not flagged: %v", err)
 	}
 }

@@ -156,6 +156,11 @@ type Store struct {
 	f         vfs.File
 	size      int64
 	rewriteAt int64
+	// dirty means a Commit failed partway: the file may end in a torn
+	// frame that replayLast tolerates but further appends would land
+	// after, making them invisible to recovery. The next Commit heals by
+	// rewriting from scratch instead of appending.
+	dirty bool
 }
 
 // DefaultRewriteThreshold is the manifest size that triggers a rewrite.
@@ -166,6 +171,11 @@ const DefaultRewriteThreshold = 4 << 20
 // no valid snapshot.
 func OpenStore(fs vfs.FS, path string) (*Store, *State, error) {
 	st := &Store{fs: fs, path: path, rewriteAt: DefaultRewriteThreshold}
+	// A stale temp file means a previous rewrite crashed between Create
+	// and Rename; the manifest itself is still authoritative.
+	if fs.Exists(path + ".tmp") {
+		fs.Remove(path + ".tmp")
+	}
 	var recovered *State
 	if fs.Exists(path) {
 		f, err := fs.Open(path)
@@ -222,17 +232,31 @@ func replayLast(f vfs.File) (*State, error) {
 	return last, nil
 }
 
-// Commit durably appends a snapshot of s.
+// Commit durably appends a snapshot of s. After a failed Commit the
+// store self-heals: the next Commit rewrites the whole manifest (write-
+// temp-then-rename) instead of appending past a possibly torn frame.
 func (st *Store) Commit(s *State) error {
+	if st.f == nil || st.dirty {
+		// Either a rewrite failed after closing the old handle, or a prior
+		// append tore. A full rewrite reestablishes the invariant that the
+		// file ends in a valid snapshot.
+		if err := st.rewrite(s); err != nil {
+			return err
+		}
+		st.dirty = false
+		return nil
+	}
 	payload := encodeState(s)
 	frame := make([]byte, 8+len(payload))
 	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
 	copy(frame[8:], payload)
 	if _, err := st.f.Write(frame); err != nil {
+		st.dirty = true
 		return err
 	}
 	if err := st.f.Sync(); err != nil {
+		st.dirty = true
 		return err
 	}
 	st.size += int64(len(frame))
@@ -282,6 +306,56 @@ func (st *Store) rewrite(s *State) error {
 		return err
 	}
 	st.size = written
+	return nil
+}
+
+// Verify checks the manifest at path: every complete frame must carry
+// a valid checksum and decode, and at least one valid snapshot must
+// exist. An incomplete trailing frame is tolerated (that is the torn
+// tail recovery is designed to discard), but a complete frame with a
+// bad CRC or undecodable payload is corruption — recovery would
+// silently fall back to an older state, losing committed structure.
+func Verify(fs vfs.FS, path string) error {
+	if !fs.Exists(path) {
+		return fmt.Errorf("%w: missing manifest %s", ErrCorrupt, path)
+	}
+	f, err := fs.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return err
+	}
+	var off int64
+	valid := 0
+	hdr := make([]byte, 8)
+	for off+8 <= size {
+		if _, err := f.ReadAt(hdr, off); err != nil && err != io.EOF {
+			return err
+		}
+		length := int64(binary.LittleEndian.Uint32(hdr[:4]))
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+		if off+8+length > size {
+			break // torn tail: tolerated
+		}
+		payload := make([]byte, length)
+		if _, err := f.ReadAt(payload, off+8); err != nil && err != io.EOF {
+			return err
+		}
+		if crc32.Checksum(payload, crcTable) != wantCRC {
+			return fmt.Errorf("%w: bad frame checksum at offset %d", ErrCorrupt, off)
+		}
+		if _, err := decodeState(payload); err != nil {
+			return fmt.Errorf("%w: undecodable frame at offset %d", ErrCorrupt, off)
+		}
+		valid++
+		off += 8 + length
+	}
+	if valid == 0 {
+		return fmt.Errorf("%w: no valid snapshot in %s", ErrCorrupt, path)
+	}
 	return nil
 }
 

@@ -55,6 +55,15 @@ type Metrics struct {
 	BlockReads       atomic.Int64
 	BlockReadsCached atomic.Int64
 
+	// Robustness. Degraded is a 0/1 gauge set when the engine enters
+	// read-only degraded mode; BgRetries counts background flush or
+	// compaction attempts that failed (and were retried or escalated).
+	// The scrub counters accumulate across DB.Scrub passes.
+	Degraded         atomic.Int64 // 1 once the engine is read-only degraded
+	BgRetries        atomic.Int64 // failed background job attempts
+	ScrubbedTables   atomic.Int64 // sstables checked by scrubs
+	ScrubCorruptions atomic.Int64 // corrupt files found by scrubs
+
 	// Network serving layer (maintained by internal/server; a server
 	// owns its own Metrics instance, separate from the engine's, so
 	// these stay zero on an embedded DB). ConnsOpened - ConnsClosed is
@@ -116,6 +125,8 @@ type Snapshot struct {
 	StallNs, WriteStalls, ThrottleNs              int64
 	CacheHits, CacheMisses                        int64
 	BlockReads, BlockReadsCached                  int64
+	Degraded, BgRetries                           int64
+	ScrubbedTables, ScrubCorruptions              int64
 	ConnsOpened, ConnsClosed, ConnsRejected       int64
 	NetRequests, NetRequestErrors                 int64
 	NetBytesRead, NetBytesWritten                 int64
@@ -154,6 +165,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		CacheMisses:            m.CacheMisses.Load(),
 		BlockReads:             m.BlockReads.Load(),
 		BlockReadsCached:       m.BlockReadsCached.Load(),
+		Degraded:               m.Degraded.Load(),
+		BgRetries:              m.BgRetries.Load(),
+		ScrubbedTables:         m.ScrubbedTables.Load(),
+		ScrubCorruptions:       m.ScrubCorruptions.Load(),
 		ConnsOpened:            m.ConnsOpened.Load(),
 		ConnsClosed:            m.ConnsClosed.Load(),
 		ConnsRejected:          m.ConnsRejected.Load(),
@@ -243,6 +258,10 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		CacheMisses:            s.CacheMisses - o.CacheMisses,
 		BlockReads:             s.BlockReads - o.BlockReads,
 		BlockReadsCached:       s.BlockReadsCached - o.BlockReadsCached,
+		Degraded:               s.Degraded, // gauge: intervals keep the current state
+		BgRetries:              s.BgRetries - o.BgRetries,
+		ScrubbedTables:         s.ScrubbedTables - o.ScrubbedTables,
+		ScrubCorruptions:       s.ScrubCorruptions - o.ScrubCorruptions,
 		ConnsOpened:            s.ConnsOpened - o.ConnsOpened,
 		ConnsClosed:            s.ConnsClosed - o.ConnsClosed,
 		ConnsRejected:          s.ConnsRejected - o.ConnsRejected,

@@ -218,6 +218,18 @@ func (c *conn) handle(op byte, payload []byte, batch *core.Batch) bool {
 		done := c.beginRequest(op)
 		done(nil)
 		return c.respond(wire.StatusOK, nil)
+	case wire.OpHealth:
+		done := c.beginRequest(op)
+		h := c.s.db.Health()
+		resp := make([]byte, 1, 64)
+		if h.Degraded {
+			resp[0] = 1
+		}
+		resp = wire.AppendBytes(resp, []byte(h.Cause))
+		resp = wire.AppendBytes(resp, []byte(h.Op))
+		resp = wire.AppendBytes(resp, []byte(h.Kind))
+		done(nil)
+		return c.respond(wire.StatusOK, resp)
 	default:
 		// Framing was intact, so the stream is still in sync: answer
 		// with a structured error and keep the connection.
@@ -234,6 +246,10 @@ func (c *conn) respondApply(err error) bool {
 		return c.respond(wire.StatusOK, nil)
 	case errors.Is(err, core.ErrClosed):
 		return c.respondErr(wire.StatusShuttingDown, err)
+	case errors.Is(err, core.ErrDegraded):
+		// Read-only mode: the refusal is sticky, so the status is the
+		// non-retryable kind — clients surface it instead of looping.
+		return c.respondErr(wire.StatusUnavailable, err)
 	default:
 		return c.respondErr(wire.StatusInternal, err)
 	}

@@ -15,6 +15,7 @@ import (
 	"lsmlab/internal/core"
 	"lsmlab/internal/server"
 	"lsmlab/internal/vfs"
+	"lsmlab/internal/vfs/faultfs"
 	"lsmlab/internal/wire"
 )
 
@@ -410,5 +411,77 @@ func TestScanLimitAndDeadline(t *testing.T) {
 	kvs, err = cl.Scan([]byte("s"), 3)
 	if err != nil || len(kvs) != 3 {
 		t.Fatalf("scan limit: %d %v", len(kvs), err)
+	}
+}
+
+// TestDegradedServerRefusesWritesServesReads drives the engine into
+// read-only degradation under a live server: writes must come back as
+// StatusUnavailable (surfaced as client.ErrUnavailable, not retried),
+// reads and admin verbs must keep working, and the HEALTH verb must
+// name the root cause.
+func TestDegradedServerRefusesWritesServesReads(t *testing.T) {
+	var ffs *faultfs.FS
+	_, db, addr := testServer(t, func(o *core.Options) {
+		ffs = faultfs.New(o.FS, 1)
+		o.FS = ffs
+		o.BufferBytes = 4 << 10
+		o.MaxBackgroundRetries = -1 // degrade on the first failure
+	}, nil)
+	cl, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Put([]byte("k0"), []byte("v0")); err != nil {
+		t.Fatal(err)
+	}
+	if h, err := cl.Health(); err != nil || h.Degraded {
+		t.Fatalf("healthy server reports %+v, %v", h, err)
+	}
+
+	// Kill the device under tables and fill a buffer so the flush fails.
+	ffs.AddRule(faultfs.Rule{
+		Classes:   faultfs.ClassSST,
+		Ops:       faultfs.OpWrite | faultfs.OpCreate,
+		Countdown: 1,
+		Sticky:    true,
+	})
+	for i := 0; i < 20; i++ {
+		if err := cl.Put([]byte(fmt.Sprintf("k%03d", i)), make([]byte, 100)); err != nil {
+			t.Fatalf("pre-degradation put: %v", err)
+		}
+	}
+	if err := db.Flush(); err == nil {
+		t.Fatal("flush against dead device must error")
+	}
+	waitFor(t, "degraded", func() bool { return db.Health().Degraded })
+
+	// Writes: refused, typed, and not retried into the degraded server.
+	if err := cl.Put([]byte("doomed"), []byte("v")); !errors.Is(err, client.ErrUnavailable) {
+		t.Fatalf("put on degraded server: %v, want ErrUnavailable", err)
+	}
+	var b client.Batch
+	b.Put([]byte("doomed2"), []byte("v"))
+	if err := cl.Apply(&b); !errors.Is(err, client.ErrUnavailable) {
+		t.Fatalf("apply on degraded server: %v, want ErrUnavailable", err)
+	}
+
+	// Reads and admin verbs keep working.
+	if v, err := cl.Get([]byte("k0")); err != nil || string(v) != "v0" {
+		t.Fatalf("read while degraded: %q %v", v, err)
+	}
+	stats, err := cl.Stats(false)
+	if err != nil || !strings.Contains(stats, "degraded=true") {
+		t.Fatalf("stats while degraded (%v):\n%s", err, stats)
+	}
+
+	// HEALTH names the cause.
+	h, err := cl.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Degraded || h.Op != "flush" || h.Kind != "transient" || h.Cause == "" {
+		t.Fatalf("health misses the cause: %+v", h)
 	}
 }

@@ -1,0 +1,549 @@
+// Package faultfs wraps any vfs.FS with deterministic, seedable fault
+// injection. It is the substrate for the engine's robustness tests and
+// the torture harness: every failure mode a real device exhibits —
+// failed writes and fsyncs, disk-full, crashes that tear unsynced
+// suffixes, and bit rot on the read path — can be injected on demand,
+// per file class, and replayed exactly from a seed.
+//
+// Three mechanisms compose:
+//
+//   - Rules inject errors (or read-path bit flips) on the Nth matching
+//     operation of a given file class. A rule is one-shot by default
+//     (the fault clears, modeling a transient error) or Sticky (every
+//     subsequent matching operation fails, modeling a dead device).
+//   - A write budget models ENOSPC: once the cumulative bytes written
+//     through the wrapper exceed the budget, writes fail with an error
+//     wrapping vfs.ErrNoSpace.
+//   - Crash() simulates power loss: every file written through the
+//     wrapper is truncated back to its last synced length plus a
+//     seeded-random prefix of its unsynced tail (a torn write); files
+//     never synced at all may disappear entirely.
+//
+// All injected errors are *OpError values carrying the operation and
+// path, so the engine's health surface can name the failing file.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"lsmlab/internal/vfs"
+)
+
+// ErrInjected is the default error delivered by a tripped rule.
+var ErrInjected = errors.New("faultfs: injected I/O failure")
+
+// ErrNoSpace is returned by writes once the write budget is exhausted.
+// It wraps vfs.ErrNoSpace so errors.Is(err, vfs.ErrNoSpace) holds.
+var ErrNoSpace = fmt.Errorf("faultfs: %w", vfs.ErrNoSpace)
+
+// OpError is the concrete error type of every injected failure. It
+// names the operation and file so callers can surface "what failed,
+// where" without string parsing, and unwraps to the underlying cause
+// (ErrInjected, ErrNoSpace, or a rule-supplied error).
+type OpError struct {
+	Op   string // "write", "sync", "create", "rename", "read"
+	Path string
+	Err  error
+}
+
+func (e *OpError) Error() string { return fmt.Sprintf("faultfs: %s %s: %v", e.Op, e.Path, e.Err) }
+func (e *OpError) Unwrap() error { return e.Err }
+
+// Class is a bitmask of file classes, derived from the file name.
+type Class uint8
+
+// File classes. ClassWAL matches both ".wal" (this engine) and ".log"
+// (the conventional name); ".vlog" value-log segments are their own
+// class; ClassManifest matches any name containing "MANIFEST",
+// including the rewrite temp file.
+const (
+	ClassWAL Class = 1 << iota
+	ClassSST
+	ClassVLog
+	ClassManifest
+	ClassOther
+	ClassAny = ClassWAL | ClassSST | ClassVLog | ClassManifest | ClassOther
+)
+
+// Classify maps a file name to its class.
+func Classify(name string) Class {
+	base := filepath.Base(name)
+	switch {
+	case strings.Contains(base, "MANIFEST"):
+		return ClassManifest
+	case strings.HasSuffix(base, ".vlog"):
+		return ClassVLog
+	case strings.HasSuffix(base, ".wal"), strings.HasSuffix(base, ".log"):
+		return ClassWAL
+	case strings.HasSuffix(base, ".sst"):
+		return ClassSST
+	default:
+		return ClassOther
+	}
+}
+
+// Op is a bitmask of interceptable operations.
+type Op uint8
+
+// Interceptable operations. OpReadAt is the read path; a rule matching
+// it with BitFlip set corrupts one bit of the returned data instead of
+// returning an error, exercising checksum verification end to end.
+const (
+	OpWrite Op = 1 << iota
+	OpSync
+	OpCreate
+	OpRename
+	OpReadAt
+	OpAnyWrite = OpWrite | OpSync | OpCreate | OpRename
+)
+
+// Rule arms one fault. The Countdown'th operation matching (Classes,
+// Ops) trips it; a tripped one-shot rule disarms, a Sticky rule keeps
+// failing every subsequent match.
+type Rule struct {
+	Classes   Class // file classes to match (required, e.g. ClassAny)
+	Ops       Op    // operations to match (required)
+	Countdown int64 // 1 = the next matching operation trips
+	Sticky    bool  // keep failing after tripping (dead-device model)
+	BitFlip   bool  // for OpReadAt: flip one bit instead of erroring
+	Err       error // injected error; nil means ErrInjected
+}
+
+type rule struct {
+	spec      Rule
+	remaining int64
+	tripped   bool
+}
+
+// fileState tracks durability for one path written through the wrapper.
+type fileState struct {
+	size      int64 // bytes written through the wrapper
+	syncedLen int64 // prefix known durable (advanced by successful Sync)
+	created   bool  // file came into being through this wrapper
+}
+
+// FS wraps a base filesystem with fault injection. Safe for concurrent
+// use; determinism holds as long as the operation order is itself
+// deterministic (single-threaded tests) or the assertions tolerate
+// schedule-dependent fault placement (the torture harness does).
+type FS struct {
+	base vfs.FS
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rules    []*rule
+	budget   int64 // remaining write bytes; < 0 means unlimited
+	files    map[string]*fileState
+	injected int64
+}
+
+var _ vfs.FS = (*FS)(nil)
+
+// New wraps base. All randomness (torn-write lengths, bit positions)
+// derives from seed.
+func New(base vfs.FS, seed int64) *FS {
+	return &FS{
+		base:   base,
+		rng:    rand.New(rand.NewSource(seed)),
+		budget: -1,
+		files:  make(map[string]*fileState),
+	}
+}
+
+// AddRule arms r.
+func (f *FS) AddRule(r Rule) {
+	if r.Countdown < 1 {
+		r.Countdown = 1
+	}
+	f.mu.Lock()
+	f.rules = append(f.rules, &rule{spec: r, remaining: r.Countdown})
+	f.mu.Unlock()
+}
+
+// Arm is shorthand for a one-shot ErrInjected rule: the n'th operation
+// matching (classes, ops) fails. It mirrors the arm(n) semantics of the
+// original test-local faultFS.
+func (f *FS) Arm(classes Class, ops Op, n int64) {
+	f.AddRule(Rule{Classes: classes, Ops: ops, Countdown: n})
+}
+
+// ClearRules disarms every rule (armed or tripped).
+func (f *FS) ClearRules() {
+	f.mu.Lock()
+	f.rules = nil
+	f.mu.Unlock()
+}
+
+// SetWriteBudget allows n more bytes of writes before ENOSPC; negative
+// restores unlimited space.
+func (f *FS) SetWriteBudget(n int64) {
+	f.mu.Lock()
+	f.budget = n
+	f.mu.Unlock()
+}
+
+// InjectedFaults returns how many faults have fired (rules and budget).
+func (f *FS) InjectedFaults() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// hit decides whether an operation fails. Every armed rule matching
+// (op, class) counts down; the first rule that is tripped (or already
+// tripped and Sticky) fires. Returns the fired rule, or nil.
+func (f *FS) hit(op Op, class Class) *rule {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var fired *rule
+	for _, r := range f.rules {
+		if r.spec.Ops&op == 0 || r.spec.Classes&class == 0 {
+			continue
+		}
+		if r.tripped {
+			if r.spec.Sticky && fired == nil {
+				fired = r
+			}
+			continue
+		}
+		r.remaining--
+		if r.remaining <= 0 {
+			r.tripped = true
+			if fired == nil {
+				fired = r
+			}
+		}
+	}
+	if fired != nil {
+		f.injected++
+	}
+	return fired
+}
+
+func (f *FS) injectErr(r *rule, op, path string) error {
+	cause := r.spec.Err
+	if cause == nil {
+		cause = ErrInjected
+	}
+	return &OpError{Op: op, Path: path, Err: cause}
+}
+
+// state returns the tracked durability state for name, creating it
+// with the given initial size if unseen. Callers hold f.mu.
+func (f *FS) stateLocked(name string, size int64, created bool) *fileState {
+	st, ok := f.files[name]
+	if !ok {
+		st = &fileState{size: size, syncedLen: size, created: created}
+		f.files[name] = st
+	}
+	return st
+}
+
+// Create implements vfs.FS.
+func (f *FS) Create(name string) (vfs.File, error) {
+	name = filepath.Clean(name)
+	if r := f.hit(OpCreate, Classify(name)); r != nil {
+		return nil, f.injectErr(r, "create", name)
+	}
+	base, err := f.base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	// Create truncates: any previous durability state is gone.
+	st := &fileState{created: true}
+	f.files[name] = st
+	f.mu.Unlock()
+	return &file{fs: f, f: base, name: name, class: Classify(name), st: st}, nil
+}
+
+// Append implements vfs.FS.
+func (f *FS) Append(name string) (vfs.File, error) {
+	name = filepath.Clean(name)
+	existed := f.base.Exists(name)
+	if !existed {
+		// Creating via Append counts as a create for fault matching.
+		if r := f.hit(OpCreate, Classify(name)); r != nil {
+			return nil, f.injectErr(r, "create", name)
+		}
+	}
+	base, err := f.base.Append(name)
+	if err != nil {
+		return nil, err
+	}
+	size := int64(0)
+	if existed {
+		if size, err = base.Size(); err != nil {
+			base.Close()
+			return nil, err
+		}
+	}
+	f.mu.Lock()
+	// Pre-existing bytes are treated as durable: the crash simulator
+	// only tears data written (and not synced) through this wrapper.
+	st := f.stateLocked(name, size, !existed)
+	f.mu.Unlock()
+	return &file{fs: f, f: base, name: name, class: Classify(name), st: st}, nil
+}
+
+// Open implements vfs.FS. Read handles participate in OpReadAt rules
+// (bit flips / read errors).
+func (f *FS) Open(name string) (vfs.File, error) {
+	name = filepath.Clean(name)
+	base, err := f.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, f: base, name: name, class: Classify(name), readOnly: true}, nil
+}
+
+// Remove implements vfs.FS.
+func (f *FS) Remove(name string) error {
+	name = filepath.Clean(name)
+	err := f.base.Remove(name)
+	if err == nil {
+		f.mu.Lock()
+		delete(f.files, name)
+		f.mu.Unlock()
+	}
+	return err
+}
+
+// Rename implements vfs.FS. Renames are modeled as atomic and durable
+// (the common journaling-filesystem contract the engine relies on for
+// the MANIFEST swap); a rule can still make them fail outright.
+func (f *FS) Rename(oldname, newname string) error {
+	oldname, newname = filepath.Clean(oldname), filepath.Clean(newname)
+	if r := f.hit(OpRename, Classify(oldname)|Classify(newname)); r != nil {
+		return f.injectErr(r, "rename", oldname)
+	}
+	err := f.base.Rename(oldname, newname)
+	if err == nil {
+		f.mu.Lock()
+		if st, ok := f.files[oldname]; ok {
+			delete(f.files, oldname)
+			f.files[newname] = st
+		} else {
+			delete(f.files, newname)
+		}
+		f.mu.Unlock()
+	}
+	return err
+}
+
+// List implements vfs.FS.
+func (f *FS) List(dir string) ([]string, error) { return f.base.List(dir) }
+
+// MkdirAll implements vfs.FS.
+func (f *FS) MkdirAll(dir string) error { return f.base.MkdirAll(dir) }
+
+// Exists implements vfs.FS.
+func (f *FS) Exists(name string) bool { return f.base.Exists(name) }
+
+// Crash simulates power loss: every file written through the wrapper
+// is cut back to its synced length plus a seeded-random prefix of its
+// unsynced tail (torn write). Files created through the wrapper and
+// never synced may be removed entirely. Tracking state resets; armed
+// rules survive (use ClearRules for a clean restart). The caller must
+// have abandoned all open handles — this rewrites files via base.
+func (f *FS) Crash() error {
+	f.mu.Lock()
+	files := f.files
+	f.files = make(map[string]*fileState)
+	type cut struct {
+		name    string
+		keep    int64
+		created bool
+	}
+	cuts := make([]cut, 0, len(files))
+	for name, st := range files {
+		keep := st.syncedLen
+		if unsynced := st.size - st.syncedLen; unsynced > 0 {
+			// Torn write: any prefix of the unsynced tail may have
+			// reached the platter, including all or none of it.
+			keep += f.rng.Int63n(unsynced + 1)
+		}
+		cuts = append(cuts, cut{name, keep, st.created})
+	}
+	f.mu.Unlock()
+	for _, c := range cuts {
+		if !f.base.Exists(c.name) {
+			continue
+		}
+		if c.keep == 0 && c.created {
+			// Never-synced file: its directory entry need not survive.
+			if err := f.base.Remove(c.name); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := truncateTo(f.base, c.name, c.keep); err != nil {
+			return fmt.Errorf("faultfs: crash %s: %w", c.name, err)
+		}
+	}
+	return nil
+}
+
+// truncateTo rewrites name to its first n bytes using only the vfs.FS
+// interface (it has no Truncate).
+func truncateTo(base vfs.FS, name string, n int64) error {
+	rf, err := base.Open(name)
+	if err != nil {
+		return err
+	}
+	size, err := rf.Size()
+	if err != nil {
+		rf.Close()
+		return err
+	}
+	if n >= size {
+		return rf.Close()
+	}
+	buf := make([]byte, n)
+	if n > 0 {
+		if _, err := rf.ReadAt(buf, 0); err != nil {
+			rf.Close()
+			return err
+		}
+	}
+	rf.Close()
+	wf, err := base.Create(name)
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		if _, err := wf.Write(buf); err != nil {
+			wf.Close()
+			return err
+		}
+	}
+	if err := wf.Sync(); err != nil {
+		wf.Close()
+		return err
+	}
+	return wf.Close()
+}
+
+// FlipBit flips one bit of the named file in place, modeling at-rest
+// bit rot. bit < 0 picks a seeded-random position. The rewrite goes
+// through base, bypassing rules and the budget.
+func (f *FS) FlipBit(name string, bit int64) error {
+	name = filepath.Clean(name)
+	rf, err := f.base.Open(name)
+	if err != nil {
+		return err
+	}
+	size, err := rf.Size()
+	if err != nil {
+		rf.Close()
+		return err
+	}
+	if size == 0 {
+		rf.Close()
+		return fmt.Errorf("faultfs: flip bit: %s is empty", name)
+	}
+	buf := make([]byte, size)
+	if _, err := rf.ReadAt(buf, 0); err != nil {
+		rf.Close()
+		return err
+	}
+	rf.Close()
+	if bit < 0 {
+		f.mu.Lock()
+		bit = f.rng.Int63n(size * 8)
+		f.mu.Unlock()
+	}
+	if bit >= size*8 {
+		return fmt.Errorf("faultfs: flip bit %d out of range for %s (%d bytes)", bit, name, size)
+	}
+	buf[bit/8] ^= 1 << (bit % 8)
+	wf, err := f.base.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := wf.Write(buf); err != nil {
+		wf.Close()
+		return err
+	}
+	if err := wf.Sync(); err != nil {
+		wf.Close()
+		return err
+	}
+	return wf.Close()
+}
+
+// file wraps one handle, applying rules, the budget, and durability
+// tracking.
+type file struct {
+	fs       *FS
+	f        vfs.File
+	name     string
+	class    Class
+	st       *fileState
+	readOnly bool
+}
+
+func (w *file) Write(p []byte) (int, error) {
+	if r := w.fs.hit(OpWrite, w.class); r != nil {
+		return 0, w.fs.injectErr(r, "write", w.name)
+	}
+	w.fs.mu.Lock()
+	if w.fs.budget >= 0 {
+		if w.fs.budget < int64(len(p)) {
+			w.fs.injected++
+			w.fs.mu.Unlock()
+			return 0, &OpError{Op: "write", Path: w.name, Err: ErrNoSpace}
+		}
+		w.fs.budget -= int64(len(p))
+	}
+	w.fs.mu.Unlock()
+	n, err := w.f.Write(p)
+	if n > 0 && w.st != nil {
+		w.fs.mu.Lock()
+		w.st.size += int64(n)
+		w.fs.mu.Unlock()
+	}
+	return n, err
+}
+
+func (w *file) Sync() error {
+	if r := w.fs.hit(OpSync, w.class); r != nil {
+		// A failed fsync leaves the unsynced suffix volatile: the
+		// durable prefix does not advance.
+		return w.fs.injectErr(r, "sync", w.name)
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if w.st != nil {
+		w.fs.mu.Lock()
+		w.st.syncedLen = w.st.size
+		w.fs.mu.Unlock()
+	}
+	return nil
+}
+
+func (w *file) ReadAt(p []byte, off int64) (int, error) {
+	n, err := w.f.ReadAt(p, off)
+	if r := w.fs.hit(OpReadAt, w.class); r != nil {
+		if !r.spec.BitFlip {
+			return 0, w.fs.injectErr(r, "read", w.name)
+		}
+		if n > 0 {
+			w.fs.mu.Lock()
+			bit := w.fs.rng.Intn(n * 8)
+			w.fs.mu.Unlock()
+			p[bit/8] ^= 1 << (bit % 8)
+		}
+	}
+	return n, err
+}
+
+func (w *file) Close() error { return w.f.Close() }
+
+func (w *file) Size() (int64, error) { return w.f.Size() }

@@ -1,0 +1,269 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lsmlab/internal/vfs"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		want Class
+	}{
+		{"db/000001.wal", ClassWAL},
+		{"db/000001.log", ClassWAL},
+		{"db/000002.sst", ClassSST},
+		{"db/000003.vlog", ClassVLog},
+		{"db/MANIFEST", ClassManifest},
+		{"db/MANIFEST.tmp", ClassManifest},
+		{"db/notes.txt", ClassOther},
+	}
+	for _, c := range cases {
+		if got := Classify(c.name); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestArmNthWriteFails(t *testing.T) {
+	ffs := New(vfs.NewMem(), 1)
+	ffs.Arm(ClassSST, OpWrite, 2)
+	f, err := ffs.Create("db/000001.sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("a")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	_, err = f.Write([]byte("b"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write: got %v, want ErrInjected", err)
+	}
+	var oe *OpError
+	if !errors.As(err, &oe) || oe.Op != "write" || oe.Path != "db/000001.sst" {
+		t.Fatalf("error does not carry op/path: %v", err)
+	}
+	// One-shot: the rule disarmed.
+	if _, err := f.Write([]byte("c")); err != nil {
+		t.Fatalf("third write after one-shot fault: %v", err)
+	}
+	if got := ffs.InjectedFaults(); got != 1 {
+		t.Fatalf("InjectedFaults = %d, want 1", got)
+	}
+}
+
+func TestStickyRuleKeepsFailing(t *testing.T) {
+	ffs := New(vfs.NewMem(), 1)
+	ffs.AddRule(Rule{Classes: ClassWAL, Ops: OpWrite, Countdown: 1, Sticky: true})
+	f, err := ffs.Create("db/000001.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("write %d: got %v, want ErrInjected", i, err)
+		}
+	}
+	// Other classes are untouched.
+	g, err := ffs.Create("db/000002.sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write([]byte("y")); err != nil {
+		t.Fatalf("sst write under wal-only sticky rule: %v", err)
+	}
+}
+
+func TestClassFiltering(t *testing.T) {
+	ffs := New(vfs.NewMem(), 1)
+	ffs.Arm(ClassManifest, OpRename, 1)
+	if err := ffs.MkdirAll("db"); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := ffs.Create("db/a.sst")
+	f.Close()
+	if err := ffs.Rename("db/a.sst", "db/b.sst"); err != nil {
+		t.Fatalf("sst rename under manifest-only rule: %v", err)
+	}
+	g, _ := ffs.Create("db/MANIFEST.tmp")
+	g.Close()
+	if err := ffs.Rename("db/MANIFEST.tmp", "db/MANIFEST"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("manifest rename: got %v, want ErrInjected", err)
+	}
+}
+
+func TestWriteBudgetENOSPC(t *testing.T) {
+	ffs := New(vfs.NewMem(), 1)
+	ffs.SetWriteBudget(10)
+	f, err := ffs.Create("db/000001.sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("write within budget: %v", err)
+	}
+	_, err = f.Write(make([]byte, 8))
+	if !errors.Is(err, vfs.ErrNoSpace) {
+		t.Fatalf("write over budget: got %v, want vfs.ErrNoSpace", err)
+	}
+	// Small writes still fit the remainder.
+	if _, err := f.Write(make([]byte, 2)); err != nil {
+		t.Fatalf("write filling remainder: %v", err)
+	}
+	ffs.SetWriteBudget(-1)
+	if _, err := f.Write(make([]byte, 1024)); err != nil {
+		t.Fatalf("write after budget lifted: %v", err)
+	}
+}
+
+func TestCrashDropsUnsyncedSuffix(t *testing.T) {
+	base := vfs.NewMem()
+	ffs := New(base, 42)
+	f, err := ffs.Create("db/000001.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	synced := bytes.Repeat([]byte("S"), 100)
+	if _, err := f.Write(synced); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(bytes.Repeat([]byte("U"), 50)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := ffs.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := base.Open("db/000001.wal")
+	if err != nil {
+		t.Fatalf("synced file vanished in crash: %v", err)
+	}
+	size, _ := rf.Size()
+	if size < 100 || size > 150 {
+		t.Fatalf("post-crash size %d, want within [100,150]", size)
+	}
+	got := make([]byte, 100)
+	if _, err := rf.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, synced) {
+		t.Fatal("synced prefix corrupted by crash")
+	}
+	rf.Close()
+}
+
+func TestCrashFailedSyncLeavesDataVolatile(t *testing.T) {
+	base := vfs.NewMem()
+	ffs := New(base, 7)
+	ffs.Arm(ClassWAL, OpSync, 1)
+	f, _ := ffs.Create("db/000001.wal")
+	f.Write(bytes.Repeat([]byte("x"), 64))
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync: got %v, want ErrInjected", err)
+	}
+	f.Close()
+	if err := ffs.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	// The failed fsync must not have advanced durability: the file may
+	// hold any torn prefix, never more than what was written.
+	if base.Exists("db/000001.wal") {
+		rf, _ := base.Open("db/000001.wal")
+		size, _ := rf.Size()
+		rf.Close()
+		if size > 64 {
+			t.Fatalf("post-crash size %d exceeds written bytes", size)
+		}
+	}
+}
+
+func TestRenameMovesDurabilityState(t *testing.T) {
+	base := vfs.NewMem()
+	ffs := New(base, 3)
+	f, _ := ffs.Create("db/MANIFEST.tmp")
+	f.Write([]byte("snapshot"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := ffs.Rename("db/MANIFEST.tmp", "db/MANIFEST"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := base.Open("db/MANIFEST")
+	if err != nil {
+		t.Fatalf("renamed synced file lost in crash: %v", err)
+	}
+	size, _ := rf.Size()
+	rf.Close()
+	if size != 8 {
+		t.Fatalf("post-crash MANIFEST size %d, want 8", size)
+	}
+}
+
+func TestFlipBitChangesExactlyOneBit(t *testing.T) {
+	base := vfs.NewMem()
+	ffs := New(base, 5)
+	f, _ := base.Create("db/000001.sst")
+	orig := bytes.Repeat([]byte{0xAB}, 256)
+	f.Write(orig)
+	f.Close()
+	if err := ffs.FlipBit("db/000001.sst", 100); err != nil {
+		t.Fatal(err)
+	}
+	rf, _ := base.Open("db/000001.sst")
+	got := make([]byte, 256)
+	rf.ReadAt(got, 0)
+	rf.Close()
+	diff := 0
+	for i := range got {
+		b := got[i] ^ orig[i]
+		for ; b != 0; b &= b - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("FlipBit changed %d bits, want 1", diff)
+	}
+	if got[100/8] == orig[100/8] {
+		t.Fatal("FlipBit changed the wrong byte")
+	}
+}
+
+func TestReadAtBitFlipRule(t *testing.T) {
+	base := vfs.NewMem()
+	ffs := New(base, 9)
+	f, _ := base.Create("db/000001.sst")
+	orig := bytes.Repeat([]byte{0x55}, 128)
+	f.Write(orig)
+	f.Close()
+	ffs.AddRule(Rule{Classes: ClassSST, Ops: OpReadAt, Countdown: 1, BitFlip: true})
+	rf, err := ffs.Open("db/000001.sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 128)
+	if _, err := rf.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, orig) {
+		t.Fatal("bit-flip rule did not corrupt the read")
+	}
+	// One-shot: the next read is clean.
+	got2 := make([]byte, 128)
+	if _, err := rf.ReadAt(got2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, orig) {
+		t.Fatal("second read still corrupted")
+	}
+	rf.Close()
+}

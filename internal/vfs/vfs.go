@@ -35,6 +35,12 @@ var ErrNotExist = errors.New("vfs: file does not exist")
 // CreateExcl semantics (not currently used by Create, which truncates).
 var ErrExist = errors.New("vfs: file already exists")
 
+// ErrNoSpace is the portable out-of-space condition. Fault-injection
+// wrappers (faultfs byte budgets) wrap it so the engine can classify a
+// failed write as disk-full without depending on the injector; OS-level
+// ENOSPC is classified separately via syscall.ENOSPC.
+var ErrNoSpace = errors.New("vfs: no space left on device")
+
 // File is an open file handle. Writers append sequentially (the engine
 // only ever writes immutable files front to back); readers use ReadAt.
 type File interface {

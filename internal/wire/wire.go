@@ -55,6 +55,11 @@ const (
 	OpCompact byte = 0x07
 	// OpPing: empty. Response: StatusOK (empty).
 	OpPing byte = 0x08
+	// OpHealth: empty. Response: StatusOK + 1-byte degraded flag +
+	// cause, op, kind (byte strings; empty when healthy). The engine
+	// keeps answering this while degraded — it is how operators learn
+	// why writes are failing.
+	OpHealth byte = 0x09
 )
 
 // Batch entry kinds (OpBatch payload).
@@ -91,6 +96,11 @@ const (
 	// StatusBusy: the server is at its connection limit; sent once on
 	// accept, then the connection is closed.
 	StatusBusy byte = 0xE6
+	// StatusUnavailable: the engine is degraded to read-only mode and
+	// refused a write. Not retryable — the condition is sticky until the
+	// operator intervenes — so clients must surface it, never loop on it.
+	// Reads remain served; the connection stays open.
+	StatusUnavailable byte = 0xE7
 )
 
 // Typed decode errors.
@@ -113,6 +123,7 @@ var opNames = map[byte]string{
 	OpStats:            "stats",
 	OpCompact:          "compact",
 	OpPing:             "ping",
+	OpHealth:           "health",
 	StatusOK:           "ok",
 	StatusNotFound:     "not-found",
 	StatusBadRequest:   "bad-request",
@@ -122,6 +133,7 @@ var opNames = map[byte]string{
 	StatusShuttingDown: "shutting-down",
 	StatusDeadline:     "deadline",
 	StatusBusy:         "busy",
+	StatusUnavailable:  "unavailable",
 }
 
 // OpName returns a stable name for an opcode or status byte.
