@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-write tables examples cover serve-smoke fuzz-wire torture clean
+.PHONY: all build test race bench bench-write bench-smoke tables examples cover serve-smoke fuzz-wire torture clean
 
 all: build test
 
@@ -24,6 +24,19 @@ bench:
 # Write-path focus: group-commit scaling and batch-reuse allocations.
 bench-write:
 	$(GO) test -run '^$$' -bench 'BenchmarkPutParallel|BenchmarkBatchReuse' -benchmem .
+
+# Quick benchmark smoke (CI): one iteration of every testing.B bench,
+# then short engine and network lsmbench runs that must emit parseable
+# machine-readable JSON summaries.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/lsmbench -writers 4 -ops 20000 -json bench_smoke.json
+	grep -q '"ops_per_sec"' bench_smoke.json
+	grep -q '"p99_ns"' bench_smoke.json
+	grep -q '"write_amplification"' bench_smoke.json
+	$(GO) run ./cmd/lsmbench -serve -conns 4 -ops 20000 -json bench_smoke_net.json
+	grep -q '"mode": "net"' bench_smoke_net.json
+	grep -q '"p999_ns"' bench_smoke_net.json
 
 # Regenerate every experiment table at full scale (EXPERIMENTS.md data).
 tables:
@@ -57,4 +70,4 @@ cover:
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
 clean:
-	rm -f bench_tables.txt coverage.out
+	rm -f bench_tables.txt coverage.out bench_smoke.json bench_smoke_net.json

@@ -22,6 +22,7 @@ import (
 	"lsmlab/internal/kv"
 	"lsmlab/internal/memtable"
 	"lsmlab/internal/sstable"
+	"lsmlab/internal/trace"
 	"lsmlab/internal/vfs"
 	"lsmlab/internal/workload"
 )
@@ -126,6 +127,10 @@ func BenchmarkE12CacheLeaper(b *testing.B) {
 
 func BenchmarkE13Partitioning(b *testing.B) {
 	runExperiment(b, "E13", "8", "total_wall_ms", "eight_part_total_ms")
+}
+
+func BenchmarkO1TraceAttribution(b *testing.B) {
+	runExperiment(b, "O1", "10bpk/all", "p99_us", "traced_get_p99_us")
 }
 
 // ---------------------------------------------------------------------
@@ -334,6 +339,71 @@ func BenchmarkBatchReuse(b *testing.B) {
 			key[0] = byte(j)
 			batch.Put(key, val)
 		}
+	}
+}
+
+// BenchmarkTraceOverhead prices per-op request tracing on both hot
+// paths — point reads (the per-stage instrumentation's heaviest
+// consumer) and puts (the write path) — at three settings: no tracer,
+// 1% sampling (the suggested production setting), and trace-everything.
+// The O1 section in EXPERIMENTS.md quotes these numbers.
+func BenchmarkTraceOverhead(b *testing.B) {
+	openTraced := func(b *testing.B, every int) *core.DB {
+		b.Helper()
+		fs := vfs.NewMem()
+		opts := core.DefaultOptions(fs, "db")
+		opts.BufferBytes = 512 << 20 // keep flushes out of the put loop
+		if every > 0 {
+			opts.Tracer = trace.New(trace.Options{SampleEvery: every, RingSize: 1024})
+		}
+		db, err := core.Open(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+	for _, tc := range []struct {
+		name  string
+		every int
+	}{
+		{"off", 0},
+		{"sample1pct", 100},
+		{"sampleAll", 1},
+	} {
+		b.Run("get/"+tc.name, func(b *testing.B) {
+			db := openTraced(b, tc.every)
+			defer db.Close()
+			const n = 20000
+			val := make([]byte, 100)
+			for i := 0; i < n; i++ {
+				if err := db.Put(workload.Key(int64(i)), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := db.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			db.WaitIdle()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Get(workload.Key(int64(i % n))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("put/"+tc.name, func(b *testing.B) {
+			db := openTraced(b, tc.every)
+			defer db.Close()
+			val := make([]byte, 100)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.Put(workload.Key(int64(i)), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,5 +1,6 @@
 // Command lsmbench regenerates the experiment tables of DESIGN.md §3:
-// one table per tutorial claim (E1–E12). It also carries a concurrent
+// one table per tutorial claim (E1–E13, plus the O1 trace-attribution
+// table built from /traces). It also carries a concurrent
 // write benchmark that exercises the leader-based commit pipeline.
 //
 // Usage:
@@ -12,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -31,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated experiment ids (E1..E12) or 'all'")
+		exp   = flag.String("exp", "all", "comma-separated experiment ids (E1..E13, O1) or 'all'")
 		scale = flag.Float64("scale", 1.0, "workload scale factor (1.0 = documented size)")
 
 		writers   = flag.Int("writers", 0, "run the concurrent write benchmark with this many writers (0 = run experiments)")
@@ -46,11 +48,13 @@ func main() {
 		addr  = flag.String("addr", "", "network mode: benchmark an external lsmserved at this address")
 		conns = flag.Int("conns", 1, "network mode: number of client connections")
 		depth = flag.Int("depth", 1, "network mode: pipelined requests in flight per connection (1 = synchronous)")
+
+		jsonPath = flag.String("json", "", "write a machine-readable result summary to this file (-writers and network modes)")
 	)
 	flag.Parse()
 
 	if *serve || *addr != "" {
-		if err := runNet(*addr, *conns, *ops, *valueSize, *depth, *syncWAL, *syncDelay, *dir); err != nil {
+		if err := runNet(*addr, *conns, *ops, *valueSize, *depth, *syncWAL, *syncDelay, *dir, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -58,7 +62,7 @@ func main() {
 	}
 
 	if *writers > 0 {
-		if err := runWriters(*writers, *ops, *valueSize, *batchSize, *syncWAL, *syncDelay, *dir); err != nil {
+		if err := runWriters(*writers, *ops, *valueSize, *batchSize, *syncWAL, *syncDelay, *dir, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -93,12 +97,79 @@ func main() {
 	}
 }
 
+// benchResult is the machine-readable summary written by -json: the
+// numbers CI trend lines and scripts consume without scraping the
+// human output.
+type benchResult struct {
+	Mode       string  `json:"mode"` // "writers" or "net"
+	Writers    int     `json:"writers,omitempty"`
+	Conns      int     `json:"conns,omitempty"`
+	Depth      int     `json:"depth,omitempty"`
+	Ops        int     `json:"ops"`
+	ValueBytes int     `json:"value_bytes"`
+	BatchSize  int     `json:"batch_size,omitempty"`
+	SyncWAL    bool    `json:"sync_wal"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+
+	// Put latency percentiles, nanoseconds (enqueue→ack in net mode,
+	// Apply duration in writers mode).
+	P50Ns  int64 `json:"p50_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	P999Ns int64 `json:"p999_ns"`
+	MaxNs  int64 `json:"max_ns"`
+
+	// Engine-side totals (zero when benchmarking an external server).
+	WriteAmp           float64 `json:"write_amplification"`
+	ReadAmp            float64 `json:"read_amplification"`
+	BytesIngested      int64   `json:"bytes_ingested"`
+	WALBytes           int64   `json:"wal_bytes"`
+	FlushBytes         int64   `json:"flush_bytes"`
+	CompactionBytesOut int64   `json:"compaction_bytes_written"`
+	AvgCommitGroup     float64 `json:"avg_commit_group_size"`
+	WALSyncs           int64   `json:"wal_syncs"`
+	WALSyncsSaved      int64   `json:"wal_syncs_saved"`
+}
+
+// fillEngine copies the engine-side totals from a metrics snapshot.
+func (r *benchResult) fillEngine(m metrics.Snapshot) {
+	r.WriteAmp = m.WriteAmplification()
+	r.ReadAmp = m.ReadAmplification()
+	r.BytesIngested = m.BytesIngested
+	r.WALBytes = m.WALBytes
+	r.FlushBytes = m.FlushBytes
+	r.CompactionBytesOut = m.CompactionBytesWritten
+	r.AvgCommitGroup = m.AvgCommitGroupSize()
+	r.WALSyncs = m.WALSyncs
+	r.WALSyncsSaved = m.WALSyncsSaved
+}
+
+// fillLatency copies the percentile summary from a histogram snapshot.
+func (r *benchResult) fillLatency(h metrics.HistogramSnapshot) {
+	r.P50Ns = h.Quantile(0.5)
+	r.P99Ns = h.Quantile(0.99)
+	r.P999Ns = h.Quantile(0.999)
+	r.MaxNs = h.Max
+}
+
+// writeJSON persists the summary (no-op when -json was not given).
+func (r *benchResult) writeJSON(path string) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // runWriters drives `writers` goroutines over disjoint key ranges
 // through one DB and reports aggregate throughput plus the commit
 // pipeline's coalescing statistics. The default in-memory filesystem
 // keeps the numbers about the engine; pass -dir to pay real fsync
 // latency, which is where group commit coalesces hardest.
-func runWriters(writers, ops, valueSize, batchSize int, syncWAL bool, syncDelay time.Duration, dir string) error {
+func runWriters(writers, ops, valueSize, batchSize int, syncWAL bool, syncDelay time.Duration, dir, jsonPath string) error {
 	if batchSize < 1 {
 		batchSize = 1
 	}
@@ -114,6 +185,7 @@ func runWriters(writers, ops, valueSize, batchSize int, syncWAL bool, syncDelay 
 	}
 	opts := core.DefaultOptions(fs, dbDir)
 	opts.SyncWAL = syncWAL
+	opts.RecordLatencies = true
 	db, err := core.Open(opts)
 	if err != nil {
 		return err
@@ -164,14 +236,21 @@ func runWriters(writers, ops, valueSize, batchSize int, syncWAL bool, syncDelay 
 	if gs.N > 0 {
 		fmt.Printf("group size: n=%d mean=%.2f max=%d\n", gs.N, gs.Mean(), gs.Max)
 	}
-	return nil
+	res := benchResult{
+		Mode: "writers", Writers: writers, Ops: total, ValueBytes: valueSize,
+		BatchSize: batchSize, SyncWAL: syncWAL,
+		ElapsedSec: elapsed.Seconds(), OpsPerSec: float64(total) / elapsed.Seconds(),
+	}
+	res.fillEngine(m)
+	res.fillLatency(db.Latencies().Put)
+	return res.writeJSON(jsonPath)
 }
 
 // runNet measures put throughput over the wire: conns connections,
 // each keeping up to depth requests in flight. With -serve the store
 // and server run in this process (so engine coalescing stats are
 // reported too); with -addr the target is an external lsmserved.
-func runNet(addr string, conns, ops, valueSize, depth int, syncWAL bool, syncDelay time.Duration, dir string) error {
+func runNet(addr string, conns, ops, valueSize, depth int, syncWAL bool, syncDelay time.Duration, dir, jsonPath string) error {
 	if conns < 1 {
 		conns = 1
 	}
@@ -279,6 +358,12 @@ func runNet(addr string, conns, ops, valueSize, depth int, syncWAL bool, syncDel
 	}
 
 	total := perConn * conns
+	res := benchResult{
+		Mode: "net", Conns: conns, Depth: depth, Ops: total, ValueBytes: valueSize,
+		SyncWAL:    syncWAL,
+		ElapsedSec: elapsed.Seconds(), OpsPerSec: float64(total) / elapsed.Seconds(),
+	}
+	res.fillLatency(lat.Snapshot())
 	fmt.Printf("net conns=%d depth=%d ops=%d value=%dB sync=%v addr=%s\n",
 		conns, depth, total, valueSize, syncWAL, addr)
 	fmt.Printf("elapsed=%.2fs throughput=%.0f ops/s\n",
@@ -286,6 +371,7 @@ func runNet(addr string, conns, ops, valueSize, depth int, syncWAL bool, syncDel
 	fmt.Printf("put latency: %s\n", lat.Snapshot())
 	if db != nil {
 		m := db.Metrics()
+		res.fillEngine(m)
 		fmt.Printf("commit_groups=%d batches=%d avg_group=%.2f wal_syncs=%d syncs_saved=%d\n",
 			m.CommitGroups, m.CommitBatches, m.AvgCommitGroupSize(),
 			m.WALSyncs, m.WALSyncsSaved)
@@ -294,5 +380,5 @@ func runNet(addr string, conns, ops, valueSize, depth int, syncWAL bool, syncDel
 			fmt.Printf("group size: n=%d mean=%.2f max=%d\n", gs.N, gs.Mean(), gs.Max)
 		}
 	}
-	return nil
+	return res.writeJSON(jsonPath)
 }

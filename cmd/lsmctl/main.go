@@ -26,6 +26,7 @@
 //	lsmctl -addr 127.0.0.1:4700 put <key> <value>
 //	lsmctl -addr 127.0.0.1:4700 scan <prefix> [limit]
 //	lsmctl -addr 127.0.0.1:4700 stats [-v]
+//	lsmctl -addr 127.0.0.1:4700 top [-interval 1s] [-count n] [-plain]
 package main
 
 import (
@@ -52,7 +53,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if (*dbPath == "") == (*addr == "") || len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lsmctl {-db DIR | -addr HOST:PORT} [-strategy S] [-T n] {put|get|delete|scan|shape|stats|events|compact|scrub|health|retune|bench} ...")
+		fmt.Fprintln(os.Stderr, "usage: lsmctl {-db DIR | -addr HOST:PORT} [-strategy S] [-T n] {put|get|delete|scan|shape|stats|top|events|compact|scrub|health|retune|bench} ...")
 		os.Exit(2)
 	}
 	if *addr != "" {
@@ -280,8 +281,12 @@ func remote(addr string, args []string) {
 			fatal(err)
 		}
 		printHealth(h.Degraded, h.Op, h.Kind, h.Cause)
+	case "top":
+		if err := topCmd(cl, args[1:], os.Stdout); err != nil {
+			fatal(err)
+		}
 	default:
-		fatal(fmt.Errorf("command %q is not available over -addr (remote commands: put get delete scan stats compact health)", args[0]))
+		fatal(fmt.Errorf("command %q is not available over -addr (remote commands: put get delete scan stats top compact health)", args[0]))
 	}
 }
 

@@ -13,10 +13,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -26,6 +28,7 @@ import (
 	"lsmlab/internal/core"
 	"lsmlab/internal/events"
 	"lsmlab/internal/server"
+	"lsmlab/internal/trace"
 	"lsmlab/internal/vfs"
 )
 
@@ -56,6 +59,14 @@ func run(args []string, sig <-chan os.Signal, out io.Writer) error {
 		strategy      = fs.String("strategy", "", "compaction strategy, e.g. 'lazy-leveling(4)/partial/tombstone-density'")
 		sizeRatio     = fs.Int("T", 0, "size ratio between level capacities (default 10)")
 		syncWAL       = fs.Bool("sync-wal", true, "fsync the WAL on commit (group commit amortizes the cost)")
+		bufferBytes   = fs.Int("buffer-bytes", 0, "memtable size that triggers a flush (default 1MiB; tiny values force churn for tests)")
+		cacheBytes    = fs.Int("cache-bytes", -1, "block cache capacity (-1 = engine default 8MiB, 0 = disabled)")
+		recordLat     = fs.Bool("record-latencies", true, "maintain per-operation latency histograms (stats -v, /metrics)")
+		debugAddr     = fs.String("debug-addr", "", "HTTP debug listener: /metrics, /healthz, /events, /traces, /debug/pprof (off when empty)")
+		debugAddrFile = fs.String("debug-addr-file", "", "write the bound debug address to this file (for port-0 discovery)")
+		traceSample   = fs.Int("trace-sample", 0, "retain every Nth request span (1 = all, 0 = only slow/wire-traced)")
+		traceSlow     = fs.Duration("trace-slow", 0, "always retain spans at least this slow (0 = off)")
+		traceRing     = fs.Int("trace-ring", 1024, "capacity of the captured-span ring served at /traces")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -67,8 +78,24 @@ func run(args []string, sig <-chan os.Signal, out io.Writer) error {
 
 	opts := core.DefaultOptions(vfs.NewOS(), *dbPath)
 	opts.SyncWAL = *syncWAL
+	opts.RecordLatencies = *recordLat
+	if *bufferBytes > 0 {
+		opts.BufferBytes = *bufferBytes
+	}
+	if *cacheBytes >= 0 {
+		opts.CacheBytes = *cacheBytes
+	}
 	ring := events.NewRing(4096)
 	opts.EventListener = ring
+	// The tracer is always attached: with no sampling and no slow
+	// threshold it retains nothing on its own, but wire-propagated
+	// trace ids from clients still land spans in the /traces ring.
+	tracer := trace.New(trace.Options{
+		SampleEvery: *traceSample,
+		SlowNs:      int64(*traceSlow),
+		RingSize:    *traceRing,
+	})
+	opts.Tracer = tracer
 	if *strategy != "" {
 		s, err := compaction.ParseStrategy(*strategy)
 		if err != nil {
@@ -108,6 +135,28 @@ func run(args []string, sig <-chan os.Signal, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "lsmserved: serving %s on %s\n", *dbPath, bound)
 
+	// The debug plane listens separately so operators can firewall it
+	// apart from the data port; it only reads, so it drains trivially.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		debugBound := dln.Addr().String()
+		if *debugAddrFile != "" {
+			if err := os.WriteFile(*debugAddrFile, []byte(debugBound), 0o644); err != nil {
+				ln.Close()
+				dln.Close()
+				return err
+			}
+		}
+		debugSrv = &http.Server{Handler: srv.DebugHandler(ring, tracer)}
+		go debugSrv.Serve(dln)
+		fmt.Fprintf(out, "lsmserved: debug plane on http://%s\n", debugBound)
+	}
+
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
@@ -122,6 +171,11 @@ func run(args []string, sig <-chan os.Signal, out io.Writer) error {
 	// responses; then checkpoint (if asked) and close the store.
 	if err := srv.Shutdown(*grace); err != nil {
 		fmt.Fprintf(out, "lsmserved: drain: %v\n", err)
+	}
+	if debugSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		debugSrv.Shutdown(ctx)
+		cancel()
 	}
 	if err := <-serveErr; err != nil {
 		return err

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lsmlab/internal/trace"
 	"lsmlab/internal/wire"
 )
 
@@ -65,6 +66,22 @@ type Options struct {
 	// MaxFrameBytes caps request and response frames. Default
 	// wire.DefaultMaxFrame.
 	MaxFrameBytes int
+
+	// TraceEvery, when > 0, marks every Nth data request (Get, Put,
+	// Delete, Scan, Apply) with wire.TraceFlag: the server threads the
+	// id into its per-operation span and echoes its own observed
+	// duration, which the client stitches with the latency it measured
+	// into a TraceRecord (Traces). Requests to a server that predates
+	// tracing fall back to untraced automatically after one
+	// StatusUnknownOp answer. 0 disables tracing.
+	TraceEvery int
+	// TraceRingSize bounds the ring of completed TraceRecords.
+	// Default 256.
+	TraceRingSize int
+
+	// NowNs supplies time for trace latency measurement (injected for
+	// deterministic tests).
+	NowNs func() int64
 }
 
 func (o Options) withDefaults() Options {
@@ -88,7 +105,24 @@ func (o Options) withDefaults() Options {
 	if o.MaxFrameBytes <= 0 {
 		o.MaxFrameBytes = wire.DefaultMaxFrame
 	}
+	if o.TraceRingSize <= 0 {
+		o.TraceRingSize = 256
+	}
+	if o.NowNs == nil {
+		o.NowNs = func() int64 { return time.Now().UnixNano() }
+	}
 	return o
+}
+
+// TraceRecord is one completed traced request, stitching the latency
+// the client observed with the server's own measurement of the same
+// request: the difference is time spent on the network and in queues
+// on both sides.
+type TraceRecord struct {
+	TraceID  uint64 `json:"trace_id"`
+	Op       string `json:"op"`
+	ClientNs int64  `json:"client_ns"`
+	ServerNs int64  `json:"server_ns"`
 }
 
 // Client is a pooling, pipelining lsmserved client. It is safe for
@@ -101,13 +135,30 @@ type Client struct {
 	closed bool
 
 	rr atomic.Uint64
+
+	// Tracing state. traceOff flips on permanently after a server
+	// answers a flagged opcode with StatusUnknownOp (old protocol).
+	traceCtr  atomic.Uint64
+	traceSeq  atomic.Uint64
+	traceSeed uint64
+	traceOff  atomic.Bool
+
+	traceMu   sync.Mutex
+	traceRing []TraceRecord
+	traceNext int
+	traceN    int
 }
 
 // New returns a client for opts.Addr. Connections are dialed lazily;
 // use Ping to verify reachability eagerly.
 func New(opts Options) *Client {
 	opts = opts.withDefaults()
-	return &Client{opts: opts, conns: make([]*conn, opts.PoolSize)}
+	return &Client{
+		opts:      opts,
+		conns:     make([]*conn, opts.PoolSize),
+		traceSeed: uint64(time.Now().UnixNano()),
+		traceRing: make([]TraceRecord, opts.TraceRingSize),
+	}
 }
 
 // Dial returns a client and verifies the server is reachable with one
@@ -155,10 +206,55 @@ func (c *Client) connAt(i int) (*conn, error) {
 	return cn, nil
 }
 
+// maybeTraceID decides whether this request is traced (data ops only,
+// every TraceEvery-th request) and mints its non-zero id.
+func (c *Client) maybeTraceID(op byte) uint64 {
+	switch op {
+	case wire.OpGet, wire.OpPut, wire.OpDelete, wire.OpScan, wire.OpBatch:
+	default:
+		return 0
+	}
+	n := c.opts.TraceEvery
+	if n <= 0 || c.traceOff.Load() {
+		return 0
+	}
+	if n > 1 && c.traceCtr.Add(1)%uint64(n) != 0 {
+		return 0
+	}
+	for {
+		if id := trace.Mix64(c.traceSeed + c.traceSeq.Add(1)); id != 0 {
+			return id
+		}
+	}
+}
+
+// recordTrace stores one completed record in the bounded ring.
+func (c *Client) recordTrace(rec TraceRecord) {
+	c.traceMu.Lock()
+	c.traceRing[c.traceNext] = rec
+	c.traceNext = (c.traceNext + 1) % len(c.traceRing)
+	if c.traceN < len(c.traceRing) {
+		c.traceN++
+	}
+	c.traceMu.Unlock()
+}
+
+// Traces returns the retained trace records, oldest first.
+func (c *Client) Traces() []TraceRecord {
+	c.traceMu.Lock()
+	defer c.traceMu.Unlock()
+	out := make([]TraceRecord, 0, c.traceN)
+	for i := 0; i < c.traceN; i++ {
+		out = append(out, c.traceRing[(c.traceNext-c.traceN+i+len(c.traceRing))%len(c.traceRing)])
+	}
+	return out
+}
+
 // do sends one request and waits for its response, retrying transient
 // transport failures with exponential backoff.
 func (c *Client) do(op byte, payload []byte) (status byte, resp []byte, err error) {
 	backoff := c.opts.RetryBackoff
+	traceID := c.maybeTraceID(op)
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
@@ -174,13 +270,38 @@ func (c *Client) do(op byte, payload []byte) (status byte, resp []byte, err erro
 			lastErr = err
 			continue
 		}
-		call, err := cn.send(op, payload, true)
+		sendOp, sendPayload := op, payload
+		traced := traceID != 0 && !c.traceOff.Load()
+		if traced {
+			sendOp = op | wire.TraceFlag
+			sendPayload = append(wire.AppendTraceID(make([]byte, 0, 8+len(payload)), traceID), payload...)
+		}
+		start := c.opts.NowNs()
+		call, err := cn.send(sendOp, sendPayload, true)
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		status, resp, err = call.wait(c.opts.RequestTimeout, cn)
 		if err == nil {
+			if traced {
+				if wire.IsTracedStatus(status) {
+					id, serverNs, rest, perr := wire.ReadTraceEcho(resp)
+					if perr != nil {
+						return 0, nil, fmt.Errorf("lsmclient: malformed trace echo: %w", perr)
+					}
+					c.recordTrace(TraceRecord{TraceID: id, Op: wire.OpName(op),
+						ClientNs: c.opts.NowNs() - start, ServerNs: serverNs})
+					status, resp = wire.BaseOp(status), rest
+				} else if status == wire.StatusUnknownOp {
+					// A pre-trace server: flagged opcodes are unknown to it
+					// but framing survived. Fall back permanently and retry
+					// this request untraced.
+					c.traceOff.Store(true)
+					lastErr = errors.New("lsmclient: server does not support tracing")
+					continue
+				}
+			}
 			return status, resp, nil
 		}
 		if errors.Is(err, ErrTimeout) {

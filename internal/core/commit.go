@@ -31,6 +31,8 @@ type commitRequest struct {
 	mem        *memWrapper // the buffer this batch applies to
 	base, last kv.SeqNum   // the batch's assigned sequence range
 	registered bool        // sequence assigned; must flow through publish
+	groupN     int32       // size of the commit group this batch joined
+	stallNs    int64       // leader stall time spent on the group's behalf
 
 	err error // commit failure, delivered to the caller
 
@@ -152,9 +154,13 @@ func (c *commitPipeline) publish(db *DB, req *commitRequest) {
 //     each member applies its own batch to the memtable concurrently.
 func (db *DB) commitLead(self *commitRequest) {
 	db.mu.Lock()
-	if err := db.makeRoomLocked(); err != nil {
+	stallNs, err := db.makeRoomLocked()
+	if err != nil {
 		group := db.commit.claim()
 		db.mu.Unlock()
+		for _, r := range group {
+			r.stallNs = stallNs
+		}
 		db.commitFail(group, self, err)
 		return
 	}
@@ -165,6 +171,9 @@ func (db *DB) commitLead(self *commitRequest) {
 	if err := db.degradedErrLocked(); err != nil {
 		group := db.commit.claim()
 		db.mu.Unlock()
+		for _, r := range group {
+			r.stallNs = stallNs
+		}
 		db.commitFail(group, self, err)
 		return
 	}
@@ -185,6 +194,8 @@ func (db *DB) commitLead(self *commitRequest) {
 		r.base = base
 		r.last = base + kv.SeqNum(len(r.ops)) - 1
 		base = r.last + 1
+		r.groupN = int32(len(group))
+		r.stallNs = stallNs
 	}
 	// Pin the buffer against flushing until every member's insert lands
 	// (doFlush waits on this group).

@@ -7,6 +7,7 @@ import (
 	"lsmlab/internal/events"
 	"lsmlab/internal/kv"
 	"lsmlab/internal/manifest"
+	"lsmlab/internal/trace"
 	"lsmlab/internal/wisckey"
 )
 
@@ -342,6 +343,7 @@ func (db *DB) runCompaction(job *compaction.Job) error {
 	}
 	jobID := db.nextJobID()
 	start := db.opts.NowNs()
+	sp := db.tracer.StartRetained(trace.OpCompaction)
 	db.emit(events.Event{Type: events.CompactionBegin, JobID: jobID,
 		Level: job.FromLevel, ToLevel: job.ToLevel,
 		InputFiles: inFiles, InputBytes: int64(job.InputBytes()),
@@ -349,6 +351,10 @@ func (db *DB) runCompaction(job *compaction.Job) error {
 	metas, err := db.doCompaction(job)
 	dur := db.opts.NowNs() - start
 	db.m.CompactionNs.RecordNs(dur)
+	sp.AddBytes(int64(totalBytes(metas)))
+	sp.AddEntries(len(metas))
+	sp.SetErr(err)
+	db.tracer.Finish(sp)
 	db.emit(events.Event{Type: events.CompactionEnd, JobID: jobID,
 		Level: job.FromLevel, ToLevel: job.ToLevel,
 		InputFiles: inFiles, InputBytes: int64(job.InputBytes()),
@@ -426,6 +432,14 @@ func (db *DB) doCompaction(job *compaction.Job) ([]*manifest.FileMeta, error) {
 			out.abort()
 			return nil, err
 		}
+	}
+	// A corrupt input block makes its source look exhausted rather than
+	// failed; installing the output here would silently drop every entry
+	// after the bad block and delete the only copy. Surface it instead —
+	// the background-failure path degrades the store on corruption.
+	if err := merge.Error(); err != nil {
+		out.abort()
+		return nil, err
 	}
 	metas, err := out.finish()
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"lsmlab/internal/memtable"
 	"lsmlab/internal/metrics"
 	"lsmlab/internal/sstable"
+	"lsmlab/internal/trace"
 	"lsmlab/internal/vfs"
 	"lsmlab/internal/wal"
 	"lsmlab/internal/wisckey"
@@ -127,6 +128,11 @@ type DB struct {
 	listener events.Listener
 	jobIDs   atomic.Uint64
 
+	// tracer, when non-nil, mints per-operation spans (trace.go methods
+	// GetTraced/ApplyTraced carry wire-propagated ids into them). The
+	// nil fast path is one pointer compare per operation.
+	tracer *trace.Tracer
+
 	// timeOps gates the per-operation latency histograms (Get, Put,
 	// Scan-next). Clock reads cost ~100ns per op — real money against a
 	// memtable hit — so they run only when observability is on: a
@@ -176,6 +182,30 @@ func (s statsSink) CacheAccess(hit bool) {
 	}
 }
 
+// tracedSink fans read-path events out to both the engine metrics and
+// one operation's span, replacing the readers' baked-in statsSink for
+// the duration of a traced lookup. It exists per traced operation only,
+// so untraced reads allocate nothing.
+type tracedSink struct {
+	m  *metrics.Metrics
+	sp *trace.Span
+}
+
+func (s *tracedSink) FilterProbe(negative bool) {
+	statsSink{s.m}.FilterProbe(negative)
+	s.sp.FilterProbe(negative)
+}
+
+func (s *tracedSink) BlockRead(cached bool) {
+	statsSink{s.m}.BlockRead(cached)
+	s.sp.BlockRead(cached)
+}
+
+// Tracer returns the tracer this DB was opened with (nil when tracing
+// is disabled). The serving layer uses it to span wire requests whose
+// engine entry points it drives directly.
+func (db *DB) Tracer() *trace.Tracer { return db.tracer }
+
 // Open opens (creating if necessary) a database at opts.Path and
 // recovers any committed state and WAL tail.
 func Open(opts Options) (*DB, error) {
@@ -194,6 +224,7 @@ func Open(opts Options) (*DB, error) {
 		busyLevel: make(map[int]bool),
 		building:  make(map[*memWrapper]bool),
 		listener:  opts.EventListener,
+		tracer:    opts.Tracer,
 		timeOps:   opts.EventListener != nil || opts.RecordLatencies,
 	}
 	db.cond = sync.NewCond(&db.mu)

@@ -7,6 +7,7 @@ import (
 	"lsmlab/internal/kv"
 	"lsmlab/internal/manifest"
 	"lsmlab/internal/sstable"
+	"lsmlab/internal/trace"
 	"lsmlab/internal/vfs"
 )
 
@@ -232,11 +233,16 @@ func totalBytes(metas []*manifest.FileMeta) uint64 {
 func (db *DB) flushMemtable(mw *memWrapper) error {
 	jobID := db.nextJobID()
 	start := db.opts.NowNs()
+	sp := db.tracer.StartRetained(trace.OpFlush)
 	db.emit(events.Event{Type: events.FlushBegin, JobID: jobID,
 		InputBytes: int64(mw.mt.ApproximateBytes())})
 	metas, err := db.doFlush(mw)
 	dur := db.opts.NowNs() - start
 	db.m.FlushNs.RecordNs(dur)
+	sp.AddBytes(int64(totalBytes(metas)))
+	sp.AddEntries(len(metas))
+	sp.SetErr(err)
+	db.tracer.Finish(sp)
 	db.emit(events.Event{Type: events.FlushEnd, JobID: jobID,
 		OutputFiles: len(metas), OutputBytes: int64(totalBytes(metas)),
 		DurationNs: dur, Err: err})

@@ -169,6 +169,11 @@ func (it *Iterator) settle(srcValid bool) bool {
 		it.key = append(it.key[:0], ukey...)
 		srcValid = it.skipKey(it.key)
 	}
+	// Exhaustion and a corrupt block look identical from here; keep the
+	// distinction so Error/Close report a truncated scan.
+	if it.err == nil {
+		it.err = it.merge.Error()
+	}
 	it.valid = false
 	return false
 }

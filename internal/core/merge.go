@@ -130,6 +130,11 @@ func (db *DB) resolveMergeSlow(view readView, key []byte, snap kv.SeqNum) ([]byt
 			break
 		}
 	}
+	// A corrupt block ends the walk indistinguishably from a finished
+	// history; folding a truncated operand chain would corrupt the value.
+	if err := merge.Error(); err != nil {
+		return nil, err
+	}
 	operands := make([][]byte, 0, len(newestFirst))
 	for i := len(newestFirst) - 1; i >= 0; i-- {
 		operands = append(operands, newestFirst[i])

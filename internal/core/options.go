@@ -15,6 +15,7 @@ import (
 	"lsmlab/internal/compaction"
 	"lsmlab/internal/events"
 	"lsmlab/internal/memtable"
+	"lsmlab/internal/trace"
 	"lsmlab/internal/vfs"
 )
 
@@ -125,6 +126,15 @@ type Options struct {
 	// bounded in-memory log or events.Tee to fan out. Nil (the default)
 	// keeps the hot paths free of any listener cost.
 	EventListener events.Listener
+
+	// Tracer, when non-nil, enables per-operation request tracing:
+	// every Get/Apply/Scan and background flush/compaction is annotated
+	// into a trace.Span (runs probed, filter outcomes, blocks read vs
+	// cache-hit, stall and commit waits, value-log hops), and the
+	// tracer's sampling/slow-op policy decides which spans its bounded
+	// ring retains. Nil (the default) keeps the hot paths at a single
+	// pointer compare with zero allocations.
+	Tracer *trace.Tracer
 
 	// RecordLatencies turns on the per-operation latency histograms
 	// (DB.Latencies) even without an EventListener. Attaching a listener

@@ -7,6 +7,8 @@ import (
 	"lsmlab/internal/bloom"
 	"lsmlab/internal/kv"
 	"lsmlab/internal/manifest"
+	"lsmlab/internal/sstable"
+	"lsmlab/internal/trace"
 	"lsmlab/internal/vfs"
 	"lsmlab/internal/wisckey"
 )
@@ -40,42 +42,91 @@ func (db *DB) acquireView(snap kv.SeqNum) readView {
 }
 
 // Get returns the current value of key, or ErrNotFound.
-func (db *DB) Get(key []byte) ([]byte, error) { return db.get(key, 0) }
+func (db *DB) Get(key []byte) ([]byte, error) { return db.get(key, 0, 0) }
 
-func (db *DB) get(key []byte, snap kv.SeqNum) ([]byte, error) {
+// GetTraced is Get carrying a wire-propagated trace id: the lookup's
+// span adopts the id (0 mints a fresh one) and is always retained in
+// the tracer's ring, so a client-requested trace can be found later via
+// /traces. Without a tracer it behaves exactly like Get.
+func (db *DB) GetTraced(key []byte, traceID uint64) ([]byte, error) {
+	return db.get(key, 0, traceID)
+}
+
+func (db *DB) get(key []byte, snap kv.SeqNum, traceID uint64) ([]byte, error) {
 	if db.timeOps {
 		start := db.opts.NowNs()
 		defer func() { db.m.GetNs.RecordSince(start, db.opts.NowNs()) }()
 	}
 	db.m.Gets.Add(1)
-	e, err := db.getEntry(key, snap)
+	var sp *trace.Span
+	var st sstable.ReadStats
+	if db.tracer != nil {
+		sp = db.tracer.StartID(trace.OpGet, traceID)
+		if sp != nil { // head sampling may have declined this op
+			if traceID != 0 {
+				sp.Retain() // explicitly requested over the wire
+			}
+			st = &tracedSink{m: &db.m, sp: sp}
+			defer db.tracer.Finish(sp)
+		}
+	}
+	var t0 int64
+	if sp != nil {
+		t0 = db.opts.NowNs()
+	}
+	e, err := db.getEntryWith(key, snap, sp, st)
+	if sp != nil {
+		sp.StageSince("search", t0, db.opts.NowNs())
+	}
 	if err != nil {
+		if err != ErrNotFound {
+			sp.SetErr(err)
+		}
 		return nil, err
 	}
 	switch e.Kind() {
 	case kv.KindSet:
 		db.m.GetHits.Add(1)
+		sp.AddBytes(int64(len(e.Value)))
 		return e.Value, nil
 	case kv.KindMerge:
 		// Slow path: walk the key's full visible history to fold the
 		// operands onto their base (§2.2.6).
+		if sp != nil {
+			t0 = db.opts.NowNs()
+		}
 		view := db.acquireView(snap)
 		v, err := db.resolveMergeSlow(view, key, view.seq)
+		if sp != nil {
+			sp.StageSince("merge", t0, db.opts.NowNs())
+		}
 		if err != nil {
+			sp.SetErr(err)
 			return nil, err
 		}
 		db.m.GetHits.Add(1)
+		sp.AddBytes(int64(len(v)))
 		return v, nil
 	case kv.KindValuePointer:
 		p, err := wisckey.DecodePointer(e.Value)
 		if err != nil {
+			sp.SetErr(err)
 			return nil, err
 		}
+		if sp != nil {
+			t0 = db.opts.NowNs()
+		}
 		v, err := db.vlog.Read(p)
+		if sp != nil {
+			sp.AddVlogRead()
+			sp.StageSince("vlog", t0, db.opts.NowNs())
+		}
 		if err != nil {
+			sp.SetErr(err)
 			return nil, err
 		}
 		db.m.GetHits.Add(1)
+		sp.AddBytes(int64(len(v)))
 		return v, nil
 	default:
 		return nil, ErrNotFound
@@ -86,6 +137,12 @@ func (db *DB) get(key []byte, snap kv.SeqNum) ([]byte, error) {
 // tombstone or value pointer), with range tombstones applied.
 // It retries when a racing compaction deletes a file mid-read.
 func (db *DB) getEntry(key []byte, snap kv.SeqNum) (kv.Entry, error) {
+	return db.getEntryWith(key, snap, nil, nil)
+}
+
+// getEntryWith is getEntry with an optional span and per-operation read
+// stats sink; both nil on untraced lookups.
+func (db *DB) getEntryWith(key []byte, snap kv.SeqNum, sp *trace.Span, st sstable.ReadStats) (kv.Entry, error) {
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
@@ -99,7 +156,7 @@ func (db *DB) getEntry(key []byte, snap kv.SeqNum) (kv.Entry, error) {
 	var lastErr error
 	for attempt := 0; attempt < 20; attempt++ {
 		view := db.acquireView(snap)
-		e, ok, err := db.searchView(view, key)
+		e, ok, err := db.searchView(view, key, sp, st)
 		if err != nil {
 			if isMissingFile(err) {
 				lastErr = err
@@ -121,7 +178,7 @@ func isMissingFile(err error) bool { return errors.Is(err, vfs.ErrNotExist) }
 // highest covering range-tombstone sequence seen so far. The first
 // point entry found is the newest visible version; it is live only if
 // no newer range tombstone covers it (tutorial §2.1.2 Get).
-func (db *DB) searchView(view readView, key []byte) (kv.Entry, bool, error) {
+func (db *DB) searchView(view readView, key []byte, sp *trace.Span, st sstable.ReadStats) (kv.Entry, bool, error) {
 	var maxRT kv.SeqNum
 	hash := bloom.Hash64(key) // hash sharing: one hash per lookup (§2.1.3)
 
@@ -162,7 +219,8 @@ func (db *DB) searchView(view readView, key []byte) (kv.Entry, bool, error) {
 				}
 			}
 			db.m.RunsProbed.Add(1)
-			e, ok, err := r.Get(key, hash, view.seq)
+			sp.AddRun()
+			e, ok, err := r.GetWith(key, hash, view.seq, st)
 			if err != nil {
 				release()
 				return kv.Entry{}, false, err
@@ -176,6 +234,7 @@ func (db *DB) searchView(view readView, key []byte) (kv.Entry, bool, error) {
 				// positive worth counting (only unambiguous without
 				// range tombstones extending the key range).
 				db.m.FilterFalsePos.Add(1)
+				sp.AddFalsePositive()
 			}
 			release()
 		}
@@ -217,17 +276,52 @@ type KV struct {
 // limit <= 0 means unlimited. It is a convenience wrapper over
 // NewIterator (tutorial §2.1.2 Scan).
 func (db *DB) Scan(start, end []byte, limit int) ([]KV, error) {
+	return db.scan(start, end, limit, 0)
+}
+
+// ScanTraced is Scan carrying a wire-propagated trace id: the scan's
+// span adopts the id (0 mints a fresh one) and is always retained in
+// the tracer's ring. Without a tracer it behaves exactly like Scan.
+func (db *DB) ScanTraced(start, end []byte, limit int, traceID uint64) ([]KV, error) {
+	return db.scan(start, end, limit, traceID)
+}
+
+func (db *DB) scan(start, end []byte, limit int, traceID uint64) ([]KV, error) {
+	var sp *trace.Span
+	if db.tracer != nil {
+		sp = db.tracer.StartID(trace.OpScan, traceID)
+		if sp != nil { // head sampling may have declined this op
+			if traceID != 0 {
+				sp.Retain() // explicitly requested over the wire
+			}
+			defer db.tracer.Finish(sp)
+		}
+	}
 	it, err := db.NewIterator(IterOptions{LowerBound: start, UpperBound: end})
 	if err != nil {
+		sp.SetErr(err)
 		return nil, err
 	}
 	defer it.Close()
+	var t0 int64
+	if sp != nil {
+		t0 = db.opts.NowNs()
+	}
 	var out []KV
+	var bytes int64
 	for ok := it.First(); ok; ok = it.Next() {
 		out = append(out, KV{Key: cp(it.Key()), Value: cp(it.Value())})
+		bytes += int64(len(it.Key()) + len(it.Value()))
 		if limit > 0 && len(out) >= limit {
 			break
 		}
 	}
-	return out, it.Err()
+	err = it.Err()
+	if sp != nil {
+		sp.StageSince("iterate", t0, db.opts.NowNs())
+		sp.AddEntries(len(out))
+		sp.AddBytes(bytes)
+		sp.SetErr(err)
+	}
+	return out, err
 }

@@ -28,7 +28,7 @@ func (s *Snapshot) Get(key []byte) ([]byte, error) {
 	if s.released {
 		return nil, ErrClosed
 	}
-	return s.db.get(key, s.seq)
+	return s.db.get(key, s.seq, 0)
 }
 
 // NewIterator iterates the store as of the snapshot.

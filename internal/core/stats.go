@@ -103,6 +103,10 @@ func (db *DB) FormatStats(verbose bool) string {
 			fmt.Fprintf(&b, "\ncommit group size: n=%d mean=%.2f max=%d",
 				gs.N, gs.Mean(), gs.Max)
 		}
+		// The tree shape rides along verbosely so remote consumers
+		// (lsmctl top over the STATS verb) see per-level runs/bytes
+		// without a second round trip.
+		fmt.Fprintf(&b, "\n%s", db.TreeStats())
 	}
 	return b.String()
 }

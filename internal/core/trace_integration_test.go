@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"lsmlab/internal/trace"
+)
+
+// traceTestDB opens a DB with an attached tracer that retains every
+// span, no block cache (every read hits disk), and no filters (every
+// run is probed), so lookups produce fully annotated spans.
+func traceTestDB(t *testing.T, mutate func(*Options)) (*DB, *trace.Tracer) {
+	t.Helper()
+	tr := trace.New(trace.Options{SampleEvery: 1, RingSize: 1024, Seed: 42})
+	db, _ := testDB(t, func(o *Options) {
+		o.Tracer = tr
+		o.CacheBytes = 0
+		o.FilterMode = FilterNone
+		if mutate != nil {
+			mutate(o)
+		}
+	})
+	return db, tr
+}
+
+// lastSpan returns the most recent retained span for op.
+func lastSpan(t *testing.T, tr *trace.Tracer, op string) trace.Span {
+	t.Helper()
+	spans := tr.Spans()
+	for i := len(spans) - 1; i >= 0; i-- {
+		if spans[i].Op == op {
+			return spans[i]
+		}
+	}
+	t.Fatalf("no %q span among %d retained", op, len(spans))
+	return trace.Span{}
+}
+
+// TestTracedGetAnnotatesAccessPath forces a multi-run lookup with a
+// cold cache and checks that the span records the runs probed, the
+// uncached block reads, and a timed search stage — the slow-Get shape
+// the /traces endpoint serves.
+func TestTracedGetAnnotatesAccessPath(t *testing.T) {
+	db, tr := traceTestDB(t, nil)
+	// Two flushed L0 runs with overlapping key ranges; the probed key
+	// lives only in the older run but inside the newer run's fence
+	// range, so the lookup must read blocks from both.
+	for i := 0; i < 50; i++ {
+		db.Put([]byte(fmt.Sprintf("k-%03d", i)), []byte("gen1"))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	db.Put([]byte("k-000"), []byte("gen2"))
+	db.Put([]byte("k-049"), []byte("gen2"))
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if v, err := db.Get([]byte("k-010")); err != nil || string(v) != "gen1" {
+		t.Fatalf("get: %q %v", v, err)
+	}
+	sp := lastSpan(t, tr, trace.OpGet)
+	if sp.Runs < 2 {
+		t.Fatalf("multi-run lookup probed %d runs, want >= 2", sp.Runs)
+	}
+	if sp.BlockReads == 0 || sp.BlockReadsCached != 0 {
+		t.Fatalf("cold-cache lookup: reads=%d cached=%d", sp.BlockReads, sp.BlockReadsCached)
+	}
+	stages := sp.Stages()
+	if len(stages) == 0 || stages[0].Name != "search" {
+		t.Fatalf("stages = %v, want leading search stage", stages)
+	}
+	if sp.DurNs <= 0 {
+		t.Fatalf("span duration not stamped: %+v", sp)
+	}
+}
+
+// TestTracedGetCountsFilterOutcomes checks filter probes and negatives
+// reach the span when filters are enabled.
+func TestTracedGetCountsFilterOutcomes(t *testing.T) {
+	db, tr := traceTestDB(t, func(o *Options) {
+		o.FilterMode = FilterUniform
+		o.BitsPerKey = 10
+	})
+	for i := 0; i < 50; i++ {
+		db.Put([]byte(fmt.Sprintf("k-%03d", i)), []byte("v"))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// In-range absent key: fence pointers admit the file, so the filter
+	// gets probed and answers negative.
+	if _, err := db.Get([]byte("k-025x")); err != ErrNotFound {
+		t.Fatalf("get absent: %v", err)
+	}
+	sp := lastSpan(t, tr, trace.OpGet)
+	if sp.FilterProbes == 0 {
+		t.Fatalf("filtered lookup recorded no probes: %+v", sp)
+	}
+	if sp.FilterNegatives == 0 {
+		t.Fatalf("absent key should hit a filter negative: %+v", sp)
+	}
+}
+
+// TestTracedApplyRecordsCommitStages checks the write span carries the
+// pipeline stages and the commit-group size.
+func TestTracedApplyRecordsCommitStages(t *testing.T) {
+	db, tr := traceTestDB(t, nil)
+	if err := db.Put([]byte("a"), []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	sp := lastSpan(t, tr, trace.OpPut)
+	if sp.Batches < 1 {
+		t.Fatalf("group size not stamped: %+v", sp)
+	}
+	if sp.Entries != 1 || sp.Bytes != 2 {
+		t.Fatalf("entries/bytes = %d/%d", sp.Entries, sp.Bytes)
+	}
+	names := map[string]bool{}
+	for _, st := range sp.Stages() {
+		names[st.Name] = true
+	}
+	for _, want := range []string{"commit", "apply", "publish"} {
+		if !names[want] {
+			t.Fatalf("missing stage %q in %v", want, sp.Stages())
+		}
+	}
+
+	// A multi-op batch spans as "batch".
+	var b Batch
+	b.Put([]byte("x"), []byte("1"))
+	b.Put([]byte("y"), []byte("2"))
+	if err := db.Apply(&b); err != nil {
+		t.Fatal(err)
+	}
+	if sp := lastSpan(t, tr, trace.OpBatch); sp.Entries != 2 {
+		t.Fatalf("batch span entries = %d", sp.Entries)
+	}
+}
+
+// TestTracedScanFlushCompaction covers the remaining span sources.
+func TestTracedScanFlushCompaction(t *testing.T) {
+	db, tr := traceTestDB(t, nil)
+	for i := 0; i < 50; i++ {
+		db.Put([]byte(fmt.Sprintf("k-%03d", i)), []byte("v"))
+	}
+	if _, err := db.Scan([]byte("k-000"), []byte("k-010"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if sp := lastSpan(t, tr, trace.OpScan); sp.Entries != 10 {
+		t.Fatalf("scan span entries = %d, want 10", sp.Entries)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sp := lastSpan(t, tr, trace.OpFlush); sp.Bytes == 0 {
+		t.Fatalf("flush span bytes = 0: %+v", sp)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	lastSpan(t, tr, trace.OpCompaction) // must exist
+}
+
+// TestTracedIDRetention checks wire-propagated ids force retention even
+// when sampling would drop the span.
+func TestTracedIDRetention(t *testing.T) {
+	tr := trace.New(trace.Options{SampleEvery: 1 << 30, RingSize: 64, Seed: 42})
+	db, _ := testDB(t, func(o *Options) { o.Tracer = tr })
+	if err := db.Put([]byte("k"), []byte("v")); err != nil { // untraced: dropped
+		t.Fatal(err)
+	}
+	if err := db.ApplyTraced(batchOf("k2", "v2"), 0xfeed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.GetTraced([]byte("k"), 0xbeef); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ScanTraced(nil, nil, 1, 0xcafe); err != nil {
+		t.Fatal(err)
+	}
+	ids := map[uint64]bool{}
+	for _, sp := range tr.Spans() {
+		ids[sp.TraceID] = true
+	}
+	for _, want := range []uint64{0xfeed, 0xbeef, 0xcafe} {
+		if !ids[want] {
+			t.Fatalf("wire id %#x not retained; ids=%v", want, ids)
+		}
+	}
+	if len(ids) != 3 {
+		t.Fatalf("untraced ops leaked into ring: %v", ids)
+	}
+}
+
+func batchOf(k, v string) *Batch {
+	var b Batch
+	b.Put([]byte(k), []byte(v))
+	return &b
+}
+
+// TestUntracedPathsUnchanged pins the nil-tracer behavior: no spans, no
+// accessor surprises.
+func TestUntracedPathsUnchanged(t *testing.T) {
+	db, _ := testDB(t, nil)
+	if db.Tracer() != nil {
+		t.Fatal("tracer should default to nil")
+	}
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := db.GetTraced([]byte("k"), 7); err != nil || string(v) != "v" {
+		t.Fatalf("GetTraced without tracer: %q %v", v, err)
+	}
+	if err := db.ApplyTraced(batchOf("k2", "v2"), 7); err != nil {
+		t.Fatalf("ApplyTraced without tracer: %v", err)
+	}
+	if _, err := db.ScanTraced(nil, nil, 0, 7); err != nil {
+		t.Fatalf("ScanTraced without tracer: %v", err)
+	}
+}

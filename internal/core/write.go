@@ -5,6 +5,7 @@ import (
 
 	"lsmlab/internal/events"
 	"lsmlab/internal/kv"
+	"lsmlab/internal/trace"
 	"lsmlab/internal/wal"
 )
 
@@ -113,7 +114,14 @@ func (db *DB) DeleteRange(start, end []byte) error {
 // records, the members insert into the memtable concurrently, and the
 // batch becomes visible — and Apply returns — once the visibleSeq
 // watermark passes it in commit order.
-func (db *DB) Apply(b *Batch) error {
+func (db *DB) Apply(b *Batch) error { return db.apply(b, 0) }
+
+// ApplyTraced is Apply carrying a wire-propagated trace id: the commit's
+// span adopts the id (0 mints a fresh one) and is always retained in the
+// tracer's ring. Without a tracer it behaves exactly like Apply.
+func (db *DB) ApplyTraced(b *Batch, traceID uint64) error { return db.apply(b, traceID) }
+
+func (db *DB) apply(b *Batch, traceID uint64) error {
 	if len(b.ops) == 0 {
 		return nil
 	}
@@ -129,6 +137,26 @@ func (db *DB) Apply(b *Batch) error {
 		start := db.opts.NowNs()
 		defer func() { db.m.PutNs.RecordSince(start, db.opts.NowNs()) }()
 	}
+	var sp *trace.Span
+	if db.tracer != nil {
+		op := trace.OpBatch
+		if len(b.ops) == 1 {
+			op = trace.OpPut
+		}
+		sp = db.tracer.StartID(op, traceID)
+		if sp != nil { // head sampling may have declined this op
+			if traceID != 0 {
+				sp.Retain() // explicitly requested over the wire
+			}
+			defer db.tracer.Finish(sp)
+			sp.AddEntries(len(b.ops))
+			var bytes int64
+			for i := range b.ops {
+				bytes += int64(len(b.ops[i].Key) + len(b.ops[i].Value))
+			}
+			sp.AddBytes(bytes)
+		}
+	}
 
 	// WiscKey: divert large values to the value log before WAL framing
 	// so that recovery replays pointers (the value bytes are already
@@ -136,20 +164,32 @@ func (db *DB) Apply(b *Batch) error {
 	// diversion runs before the pipeline, outside every engine lock.
 	ops := b.ops
 	if db.vlog != nil && db.opts.ValueSeparationThreshold > 0 {
+		var t0 int64
+		if sp != nil {
+			t0 = db.opts.NowNs()
+		}
 		ops = make([]wal.Op, len(b.ops))
 		copy(ops, b.ops)
 		for i := range ops {
 			if ops[i].Kind == kv.KindSet && len(ops[i].Value) >= db.opts.ValueSeparationThreshold {
 				p, err := db.vlog.Append(ops[i].Key, ops[i].Value)
 				if err != nil {
+					sp.SetErr(err)
 					return err
 				}
 				ops[i].Kind = kv.KindValuePointer
 				ops[i].Value = p.Encode()
 			}
 		}
+		if sp != nil {
+			sp.StageSince("vlog", t0, db.opts.NowNs())
+		}
 	}
 
+	var tCommit int64
+	if sp != nil {
+		tCommit = db.opts.NowNs()
+	}
 	req := &commitRequest{userOps: b.ops, ops: ops, donePub: make(chan struct{})}
 	if db.commit.enqueue(req) {
 		db.commitLead(req)
@@ -162,14 +202,36 @@ func (db *DB) Apply(b *Batch) error {
 	if !req.registered {
 		// The group failed before sequence assignment (stall abort or
 		// background error); nothing to apply or publish.
+		sp.AddStallNs(req.stallNs)
+		sp.SetErr(req.err)
 		return req.err
+	}
+	var tApply int64
+	if sp != nil {
+		tApply = db.opts.NowNs()
+		sp.StageSince("commit", tCommit, tApply)
+		sp.AddStallNs(req.stallNs)
+		sp.SetBatches(req.groupN)
 	}
 	if req.err == nil {
 		db.applyToMem(req)
 	}
 	req.mem.writers.Done()
+	var tPub int64
+	if sp != nil {
+		tPub = db.opts.NowNs()
+		sp.StageSince("apply", tApply, tPub)
+	}
 	db.commit.publish(db, req)
+	if sp != nil {
+		now := db.opts.NowNs()
+		sp.StageSince("publish", tPub, now)
+		// Commit wait is everything spent in the pipeline — WAL group
+		// write plus ordered publish — as the caller observed it.
+		sp.AddCommitWaitNs(now - tCommit - (tPub - tApply))
+	}
 	if req.err != nil {
+		sp.SetErr(req.err)
 		return req.err
 	}
 
@@ -191,26 +253,26 @@ func (db *DB) Apply(b *Batch) error {
 // writers wait when the immutable-buffer queue is full or level 0 has
 // accumulated too many runs. One stall event is counted per blocked
 // write, with the full blocked duration metered.
-func (db *DB) makeRoomLocked() error {
+func (db *DB) makeRoomLocked() (stallNs int64, err error) {
 	stalled := false
 	var stallStart int64
 	defer func() {
 		if stalled {
-			dur := db.opts.NowNs() - stallStart
-			db.m.StallNs.Add(dur)
-			db.emit(events.Event{Type: events.WriteStallEnd, DurationNs: dur})
+			stallNs = db.opts.NowNs() - stallStart
+			db.m.StallNs.Add(stallNs)
+			db.emit(events.Event{Type: events.WriteStallEnd, DurationNs: stallNs})
 		}
 	}()
 	for {
 		l0Stall := db.opts.StallL0Runs > 0 && len(db.version.Levels[0].Runs) >= db.opts.StallL0Runs
 		switch {
 		case db.closed:
-			return ErrClosed
+			return 0, ErrClosed
 		case db.degraded != nil:
 			// Degradation mid-stall: the flush that would have made room
 			// is never coming, so blocked writers fail with the cause
 			// (degradeLocked broadcast the condition variable).
-			return db.degradedErrLocked()
+			return 0, db.degradedErrLocked()
 		case l0Stall,
 			db.mem.mt.ApproximateBytes() >= db.opts.BufferBytes &&
 				len(db.imm) >= db.opts.MaxImmutableBuffers:
@@ -228,9 +290,9 @@ func (db *DB) makeRoomLocked() error {
 			// the writer just waits for them to signal progress.
 			db.cond.Wait()
 		case db.mem.mt.ApproximateBytes() < db.opts.BufferBytes:
-			return nil
+			return 0, nil
 		default:
-			return db.rotateMemtableLocked()
+			return 0, db.rotateMemtableLocked()
 		}
 	}
 }

@@ -94,6 +94,42 @@ func TestRingConcurrent(t *testing.T) {
 	}
 }
 
+func TestRingWraparoundBoundary(t *testing.T) {
+	// Exactly at capacity there is no wrap yet; one more event evicts
+	// exactly the oldest. Then run several full revolutions to check the
+	// modular arithmetic doesn't drift.
+	r := NewRing(4)
+	for i := 1; i <= 4; i++ {
+		r.Notify(Event{JobID: uint64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 4 || evs[0].JobID != 1 || evs[3].JobID != 4 {
+		t.Fatalf("full-but-unwrapped ring wrong: %v", evs)
+	}
+	r.Notify(Event{JobID: 5})
+	evs = r.Events()
+	if len(evs) != 4 || evs[0].JobID != 2 || evs[3].JobID != 5 {
+		t.Fatalf("first eviction wrong: %v", evs)
+	}
+	for i := 6; i <= 4*5; i++ {
+		r.Notify(Event{JobID: uint64(i)})
+	}
+	evs = r.Events()
+	for i, e := range evs {
+		if want := uint64(17 + i); e.JobID != want {
+			t.Fatalf("after revolutions evs[%d].JobID = %d, want %d", i, e.JobID, want)
+		}
+	}
+	if r.Total() != 20 {
+		t.Fatalf("Total = %d, want 20", r.Total())
+	}
+	// Events returns a copy: mutating it must not corrupt the ring.
+	evs[0].JobID = 999
+	if r.Events()[0].JobID == 999 {
+		t.Fatal("Events returned an aliased buffer")
+	}
+}
+
 func TestTee(t *testing.T) {
 	if Tee() != nil || Tee(nil, nil) != nil {
 		t.Fatal("Tee of no live listeners must be nil")
@@ -107,6 +143,33 @@ func TestTee(t *testing.T) {
 	both.Notify(Event{Type: FlushBegin})
 	if r.Total() != 1 || r2.Total() != 1 {
 		t.Fatalf("tee did not fan out: %d %d", r.Total(), r2.Total())
+	}
+}
+
+func TestTeeConcurrentNotify(t *testing.T) {
+	// The engine notifies from user goroutines and background workers at
+	// once; a tee over rings must deliver everything to every branch
+	// without racing (this is a -race test as much as a logic test).
+	r1, r2 := NewRing(32), NewRing(128)
+	l := Tee(r1, r2)
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 500
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				l.Notify(Event{Type: FlushEnd, JobID: uint64(g*each + i)})
+			}
+		}()
+	}
+	wg.Wait()
+	if r1.Total() != goroutines*each || r2.Total() != goroutines*each {
+		t.Fatalf("tee lost events under concurrency: %d %d", r1.Total(), r2.Total())
+	}
+	if len(r1.Events()) != 32 || len(r2.Events()) != 128 {
+		t.Fatalf("retention off: %d %d", len(r1.Events()), len(r2.Events()))
 	}
 }
 

@@ -164,6 +164,7 @@ func All() []struct {
 		{"E11", E11DeletePersistence},
 		{"E12", E12CacheLeaper},
 		{"E13", E13Partitioning},
+		{"O1", O1TraceAttribution},
 	}
 }
 

@@ -179,6 +179,30 @@ func TestE5Shape(t *testing.T) {
 	}
 }
 
+// TestO1Shape: weakening the filters moves traced gets off the
+// filter-skip path and onto the disk path. Shares are compared rather
+// than percentiles — wall-clock tails are noisy under CI, the path
+// mix is what the filter budget determines.
+func TestO1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moderate-scale shape test")
+	}
+	tbl, err := O1TraceAttribution(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skip2 := cell(t, tbl, findRow(t, tbl, "2bpk/filter-skip"), "share")
+	skip10 := cell(t, tbl, findRow(t, tbl, "10bpk/filter-skip"), "share")
+	if skip10 <= skip2 {
+		t.Errorf("strong filters must skip more: 10bpk share %.2f vs 2bpk %.2f", skip10, skip2)
+	}
+	disk2 := cell(t, tbl, findRow(t, tbl, "2bpk/disk"), "share")
+	disk10 := cell(t, tbl, findRow(t, tbl, "10bpk/disk"), "share")
+	if disk2 <= disk10 {
+		t.Errorf("weak filters must leak to disk: 2bpk share %.2f vs 10bpk %.2f", disk2, disk10)
+	}
+}
+
 // TestE11Shape: a tighter persistence threshold leaves fewer, younger
 // tombstones.
 func TestE11Shape(t *testing.T) {

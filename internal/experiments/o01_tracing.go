@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"lsmlab/internal/core"
+	"lsmlab/internal/server"
+	"lsmlab/internal/trace"
+	"lsmlab/internal/workload"
+)
+
+// O1TraceAttribution measures where the point-lookup tail comes from by
+// tracing every Get and classifying each captured span by the access
+// path its counters record: "filter-skip" (every run's Bloom filter
+// said no — the lookup never touched a data block), "cache-hit" (all
+// block reads served from the block cache), and "disk" (at least one
+// uncached block fetch). With strong filters (10 bits/key) absent keys
+// stay on the filter-skip path; with weak filters (2 bits/key) false
+// positives leak them into block reads and the tail follows.
+//
+// The spans are not read from the tracer directly: the experiment
+// mounts the server's debug handler and fetches /traces over HTTP, so
+// the table is regenerated from the same JSON an operator would curl.
+func O1TraceAttribution(s Scale) (*Table, error) {
+	t := &Table{
+		ID:    "O1",
+		Title: "Trace-based Get tail attribution (from /traces)",
+		Claim: "per-op spans attribute the Get tail to its access path: strong filters keep absent keys off the disk path; weak filters leak false positives into block reads and the p99 follows (§2.1.3, DESIGN §2e)",
+		Columns: []string{"config", "gets", "share", "p50_us", "p99_us",
+			"runs_per_get", "blocks_per_get", "cached_per_get"},
+	}
+	n := s.N(40_000)
+	nLookups := s.N(2_000) // per flavor: hot, cold, absent
+
+	for _, bits := range []float64{2, 10} {
+		tr := trace.New(trace.Options{SampleEvery: 1, RingSize: 1 << 14, Seed: 1})
+		e := newEnv(func(o *core.Options) {
+			o.FilterMode = core.FilterUniform
+			o.BitsPerKey = bits
+			o.CacheBytes = 512 << 10
+			o.Tracer = tr
+		})
+		db, err := e.open()
+		if err != nil {
+			return nil, err
+		}
+		gen := workload.New(workload.Config{Seed: 1, KeySpace: int64(n), Mix: workload.MixLoad, ValueLen: 100})
+		for i := 0; i < n; i++ {
+			op := gen.Next()
+			if err := db.Put(op.Key, op.Value); err != nil {
+				return nil, err
+			}
+		}
+		if err := db.Flush(); err != nil {
+			return nil, err
+		}
+		db.WaitIdle()
+
+		// Warm the cache with the hot subset so the cache-hit path exists.
+		hot := workload.New(workload.Config{Seed: 2, KeySpace: int64(n / 64), Mix: workload.MixC})
+		for i := 0; i < nLookups; i++ {
+			if _, err := db.Get(hot.Next().Key); err != nil && !errors.Is(err, core.ErrNotFound) {
+				return nil, err
+			}
+		}
+
+		// The measured phase interleaves three flavors: hot keys (cached
+		// blocks), uniform present keys (mostly uncached), absent keys
+		// (the filters' case). Every Get is traced (SampleEvery=1).
+		cold := workload.New(workload.Config{Seed: 3, KeySpace: int64(n), Mix: workload.MixC})
+		absent := workload.New(workload.Config{Seed: 4, KeySpace: int64(n), Mix: workload.Mix{GetZeros: 1}})
+		cutNs := time.Now().UnixNano() // excludes load/warm-up spans below
+		for i := 0; i < nLookups; i++ {
+			for _, g := range []*workload.Generator{hot, cold, absent} {
+				if _, err := db.Get(g.Next().Key); err != nil && !errors.Is(err, core.ErrNotFound) {
+					return nil, err
+				}
+			}
+		}
+
+		// Regenerate from the debug plane: mount the handler, GET /traces,
+		// and aggregate the JSON spans exactly as an operator would.
+		srv := server.New(db, server.Options{})
+		ts := httptest.NewServer(srv.DebugHandler(nil, tr))
+		spans, err := fetchTraceSpans(ts.URL + "/traces")
+		ts.Close()
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+
+		type agg struct {
+			durs           []int64
+			runs, blks, ch int64
+		}
+		paths := map[string]*agg{}
+		total := 0
+		for _, sp := range spans {
+			if sp.Op != "get" || sp.StartNs < cutNs {
+				continue
+			}
+			path := "disk"
+			switch {
+			case sp.BlockReads == 0:
+				path = "filter-skip"
+			case sp.BlockReadsCached == sp.BlockReads:
+				path = "cache-hit"
+			}
+			a := paths[path]
+			if a == nil {
+				a = &agg{}
+				paths[path] = a
+			}
+			a.durs = append(a.durs, sp.DurNs)
+			a.runs += int64(sp.Runs)
+			a.blks += int64(sp.BlockReads)
+			a.ch += int64(sp.BlockReadsCached)
+			total++
+		}
+		db.Close()
+		if total == 0 {
+			return nil, fmt.Errorf("O1: /traces returned no get spans")
+		}
+
+		// One summary row, then the per-path attribution, fixed order.
+		all := &agg{}
+		for _, a := range paths {
+			all.durs = append(all.durs, a.durs...)
+			all.runs += a.runs
+			all.blks += a.blks
+			all.ch += a.ch
+		}
+		label := fmt.Sprintf("%gbpk", bits)
+		for _, row := range []struct {
+			name string
+			a    *agg
+		}{
+			{label + "/all", all},
+			{label + "/filter-skip", paths["filter-skip"]},
+			{label + "/cache-hit", paths["cache-hit"]},
+			{label + "/disk", paths["disk"]},
+		} {
+			a := row.a
+			if a == nil || len(a.durs) == 0 {
+				t.AddRow(row.name, "0", "0.00", "-", "-", "-", "-", "-")
+				continue
+			}
+			cnt := float64(len(a.durs))
+			t.AddRow(
+				row.name,
+				fmt.Sprint(len(a.durs)),
+				f2(cnt/float64(total)),
+				f2(float64(percentileNs(a.durs, 0.50))/1e3),
+				f2(float64(percentileNs(a.durs, 0.99))/1e3),
+				f2(float64(a.runs)/cnt),
+				f2(float64(a.blks)/cnt),
+				f2(float64(a.ch)/cnt),
+			)
+		}
+	}
+	return t, nil
+}
+
+// traceSpanJSON mirrors the /traces wire shape (the fields O1 reads).
+type traceSpanJSON struct {
+	Op               string `json:"op"`
+	StartNs          int64  `json:"start_ns"`
+	DurNs            int64  `json:"dur_ns"`
+	Runs             int32  `json:"runs"`
+	FilterProbes     int32  `json:"filter_probes"`
+	FilterNegatives  int32  `json:"filter_negatives"`
+	BlockReads       int32  `json:"block_reads"`
+	BlockReadsCached int32  `json:"block_reads_cached"`
+}
+
+// fetchTraceSpans GETs and decodes a /traces endpoint.
+func fetchTraceSpans(url string) ([]traceSpanJSON, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var payload struct {
+		Spans []traceSpanJSON `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return nil, err
+	}
+	return payload.Spans, nil
+}
+
+// percentileNs returns the q-quantile of ds (sorted in place).
+func percentileNs(ds []int64, q float64) int64 {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	idx := int(q * float64(len(ds)-1))
+	return ds[idx]
+}

@@ -27,6 +27,18 @@ type Iterator interface {
 	Close() error
 }
 
+// IterError surfaces the deferred read error of an iterator, if it
+// keeps one. Block-backed iterators cannot fail inline — positioning
+// returns false both at end-of-data and on a bad block — so a consumer
+// that treats exhaustion as success (compaction, scans) must check this
+// after the loop or it will silently truncate the stream.
+func IterError(it Iterator) error {
+	if e, ok := it.(interface{ Error() error }); ok {
+		return e.Error()
+	}
+	return nil
+}
+
 // EmptyIterator is an Iterator over nothing.
 type EmptyIterator struct{}
 
@@ -164,6 +176,8 @@ func (m *MergingIterator) First() bool {
 	for _, item := range m.all {
 		if item.iter.First() {
 			m.heap = append(m.heap, item)
+		} else {
+			m.noteExhausted(item.iter)
 		}
 	}
 	heap.Init(&m.heap)
@@ -176,6 +190,8 @@ func (m *MergingIterator) SeekGE(ikey []byte) bool {
 	for _, item := range m.all {
 		if item.iter.SeekGE(ikey) {
 			m.heap = append(m.heap, item)
+		} else {
+			m.noteExhausted(item.iter)
 		}
 	}
 	heap.Init(&m.heap)
@@ -191,10 +207,24 @@ func (m *MergingIterator) Next() bool {
 	if top.iter.Next() {
 		heap.Fix(&m.heap, 0)
 	} else {
+		m.noteExhausted(top.iter)
 		heap.Pop(&m.heap)
 	}
 	return m.Valid()
 }
+
+// noteExhausted records why a source stopped yielding: a source that
+// "ends" on a bad block must not masquerade as a short but healthy run.
+func (m *MergingIterator) noteExhausted(it Iterator) {
+	if m.err == nil {
+		m.err = IterError(it)
+	}
+}
+
+// Error returns the first deferred read error of any merged source.
+// A merge that consumed a corrupt table looks exhausted, not failed, so
+// compaction and scan loops must check this after iterating.
+func (m *MergingIterator) Error() error { return m.err }
 
 // Valid implements Iterator.
 func (m *MergingIterator) Valid() bool { return len(m.heap) > 0 }
@@ -205,9 +235,10 @@ func (m *MergingIterator) Key() []byte { return m.heap[0].iter.Key() }
 // Value implements Iterator.
 func (m *MergingIterator) Value() []byte { return m.heap[0].iter.Value() }
 
-// Close closes every source iterator, returning the first error.
+// Close closes every source iterator, returning the deferred read
+// error if one occurred, else the first close error.
 func (m *MergingIterator) Close() error {
-	var first error
+	first := m.err
 	for _, item := range m.all {
 		if err := item.iter.Close(); err != nil && first == nil {
 			first = err

@@ -36,8 +36,33 @@ func TestSnapshotAndDerived(t *testing.T) {
 func TestDerivedZeroDenominators(t *testing.T) {
 	var s Snapshot
 	if s.WriteAmplification() != 0 || s.ReadAmplification() != 0 ||
-		s.FilterEffectiveness() != 0 || s.CacheHitRate() != 0 {
+		s.FilterEffectiveness() != 0 || s.CacheHitRate() != 0 ||
+		s.AvgCommitGroupSize() != 0 {
 		t.Error("zero denominators must yield 0, not NaN")
+	}
+	// Numerator without denominator (possible mid-snapshot: the batch
+	// counter is bumped before the group counter) still must not divide
+	// by zero.
+	s.CommitBatches = 7
+	if got := s.AvgCommitGroupSize(); got != 0 {
+		t.Errorf("AvgCommitGroupSize with 0 groups = %v, want 0", got)
+	}
+	s.FlushBytes, s.CompactionBytesWritten = 100, 300
+	if got := s.WriteAmplification(); got != 0 {
+		t.Errorf("WriteAmplification with 0 ingested = %v, want 0", got)
+	}
+	s.RunsProbed = 12
+	if got := s.ReadAmplification(); got != 0 {
+		t.Errorf("ReadAmplification with 0 gets = %v, want 0", got)
+	}
+}
+
+func TestAvgCommitGroupSize(t *testing.T) {
+	var m Metrics
+	m.CommitGroups.Store(4)
+	m.CommitBatches.Store(10)
+	if got := m.Snapshot().AvgCommitGroupSize(); got != 2.5 {
+		t.Errorf("AvgCommitGroupSize = %v, want 2.5", got)
 	}
 }
 
@@ -50,6 +75,41 @@ func TestSub(t *testing.T) {
 	d := m.Snapshot().Sub(before)
 	if d.Puts != 5 || d.Flushes != 2 {
 		t.Errorf("Sub = %+v", d)
+	}
+}
+
+func TestSubEdgeCases(t *testing.T) {
+	// An idle interval: every counter delta is zero, so every derived
+	// ratio over the interval must come out 0, never NaN or Inf.
+	var m Metrics
+	m.Puts.Store(10)
+	m.BytesIngested.Store(1000)
+	m.FlushBytes.Store(500)
+	m.Gets.Store(3)
+	m.RunsProbed.Store(6)
+	m.CommitGroups.Store(2)
+	m.CommitBatches.Store(4)
+	before := m.Snapshot()
+	d := m.Snapshot().Sub(before)
+	if d.Puts != 0 || d.BytesIngested != 0 {
+		t.Fatalf("idle interval has nonzero deltas: %+v", d)
+	}
+	if d.WriteAmplification() != 0 || d.ReadAmplification() != 0 ||
+		d.AvgCommitGroupSize() != 0 || d.CacheHitRate() != 0 {
+		t.Error("idle-interval ratios must be 0")
+	}
+
+	// Sub of itself is all-zero except gauges.
+	m.Degraded.Store(1)
+	s := m.Snapshot()
+	z := s.Sub(s)
+	if z.Puts != 0 || z.CommitBatches != 0 || z.NetRequests != 0 {
+		t.Errorf("self-Sub left counter residue: %+v", z)
+	}
+	// Degraded is a gauge: an interval reports the current state, not a
+	// delta (which would always be 0 and hide the condition).
+	if z.Degraded != 1 {
+		t.Errorf("self-Sub Degraded = %d, want gauge semantics (1)", z.Degraded)
 	}
 }
 

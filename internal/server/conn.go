@@ -9,6 +9,7 @@ import (
 
 	"lsmlab/internal/core"
 	"lsmlab/internal/events"
+	"lsmlab/internal/trace"
 	"lsmlab/internal/wire"
 )
 
@@ -163,13 +164,52 @@ func (c *conn) beginRequest(op byte) func(err error) {
 	}
 }
 
+// traceCtx carries one traced request's wire id and arrival time so
+// the response can be flagged and stamped with the server-observed
+// duration. The zero value means untraced.
+type traceCtx struct {
+	id      uint64
+	startNs int64
+}
+
+// respondTraced answers a request, adding the trace echo — flagged
+// status, id, server-observed nanoseconds — when the request was
+// traced and the status is a success (error statuses are never
+// flagged; every client understands them as-is).
+func (c *conn) respondTraced(tc traceCtx, status byte, payload []byte) bool {
+	if tc.id == 0 || (status != wire.StatusOK && status != wire.StatusNotFound) {
+		return c.respond(status, payload)
+	}
+	echo := wire.AppendTraceEcho(make([]byte, 0, 16+len(payload)), tc.id,
+		c.s.opts.NowNs()-tc.startNs)
+	return c.respond(status|wire.TraceFlag, append(echo, payload...))
+}
+
 // handle executes one request frame (plus, for writes, any pipelined
 // write frames already buffered behind it) and queues the responses.
 // It returns false when the connection must close.
 func (c *conn) handle(op byte, payload []byte, batch *core.Batch) bool {
+	var tc traceCtx
+	if wire.IsTracedOp(op) {
+		id, rest, err := wire.ReadTraceID(payload)
+		if err != nil {
+			done := c.beginRequest(op)
+			done(err)
+			return c.respondErr(wire.StatusBadRequest, err)
+		}
+		if id == 0 {
+			// A flagged frame with no id still wants an echo; mint one so
+			// the span and the response carry something findable.
+			if id = c.s.db.Tracer().NewID(); id == 0 {
+				id = 1
+			}
+		}
+		tc = traceCtx{id: id, startNs: c.s.opts.NowNs()}
+		op, payload = wire.BaseOp(op), rest
+	}
 	switch op {
 	case wire.OpPut, wire.OpDelete:
-		return c.handleWrites(op, payload, batch)
+		return c.handleWrites(op, payload, batch, tc)
 	case wire.OpGet:
 		done := c.beginRequest(op)
 		key, rest, err := wire.ReadBytes(payload)
@@ -177,11 +217,11 @@ func (c *conn) handle(op byte, payload []byte, batch *core.Batch) bool {
 			done(wire.ErrMalformed)
 			return c.respondErr(wire.StatusBadRequest, wire.ErrMalformed)
 		}
-		v, err := c.s.db.Get(key)
+		v, err := c.s.db.GetTraced(key, tc.id)
 		switch {
 		case errors.Is(err, core.ErrNotFound):
 			done(nil)
-			return c.respond(wire.StatusNotFound, nil)
+			return c.respondTraced(tc, wire.StatusNotFound, nil)
 		case errors.Is(err, core.ErrClosed):
 			done(err)
 			return c.respondErr(wire.StatusShuttingDown, err)
@@ -190,9 +230,9 @@ func (c *conn) handle(op byte, payload []byte, batch *core.Batch) bool {
 			return c.respondErr(wire.StatusInternal, err)
 		}
 		done(nil)
-		return c.respond(wire.StatusOK, v)
+		return c.respondTraced(tc, wire.StatusOK, v)
 	case wire.OpScan:
-		return c.handleScan(payload)
+		return c.handleScan(payload, tc)
 	case wire.OpBatch:
 		done := c.beginRequest(op)
 		batch.Reset()
@@ -200,9 +240,9 @@ func (c *conn) handle(op byte, payload []byte, batch *core.Batch) bool {
 			done(err)
 			return c.respondErr(wire.StatusBadRequest, err)
 		}
-		err := c.s.db.Apply(batch)
+		err := c.s.db.ApplyTraced(batch, tc.id)
 		done(err)
-		return c.respondApply(err)
+		return c.respondApplyTraced(tc, err)
 	case wire.OpStats:
 		done := c.beginRequest(op)
 		verbose := len(payload) > 0 && payload[0] != 0
@@ -241,9 +281,15 @@ func (c *conn) handle(op byte, payload []byte, batch *core.Batch) bool {
 
 // respondApply maps an Apply/Compact error to a response status.
 func (c *conn) respondApply(err error) bool {
+	return c.respondApplyTraced(traceCtx{}, err)
+}
+
+// respondApplyTraced is respondApply with the request's trace echo on
+// the success path.
+func (c *conn) respondApplyTraced(tc traceCtx, err error) bool {
 	switch {
 	case err == nil:
-		return c.respond(wire.StatusOK, nil)
+		return c.respondTraced(tc, wire.StatusOK, nil)
 	case errors.Is(err, core.ErrClosed):
 		return c.respondErr(wire.StatusShuttingDown, err)
 	case errors.Is(err, core.ErrDegraded):
@@ -261,7 +307,7 @@ func (c *conn) respondApply(err error) bool {
 // wire — its own response, metrics, and events — but the engine sees a
 // single Apply, whose commit the leader-based pipeline then coalesces
 // with other connections' groups.
-func (c *conn) handleWrites(op byte, payload []byte, batch *core.Batch) bool {
+func (c *conn) handleWrites(op byte, payload []byte, batch *core.Batch, tc traceCtx) bool {
 	batch.Reset()
 	done := c.beginRequest(op)
 	if err := addWrite(batch, op, payload); err != nil {
@@ -272,27 +318,38 @@ func (c *conn) handleWrites(op byte, payload []byte, batch *core.Batch) bool {
 	}
 	dones := make([]func(error), 0, 8)
 	dones = append(dones, done)
-	for len(dones) < c.s.opts.MaxBatchOps {
-		op2, payload2, size, ok := c.peekBufferedWrite()
-		if !ok {
-			break
+	// A traced write is never folded with its neighbors: its span (and
+	// echoed duration) must describe exactly the one request the client
+	// asked about. Group commit still coalesces the WAL writes below.
+	if tc.id == 0 {
+		for len(dones) < c.s.opts.MaxBatchOps {
+			op2, payload2, size, ok := c.peekBufferedWrite()
+			if !ok {
+				break
+			}
+			// Validate before consuming: a malformed frame stays in the read
+			// buffer, so the main read loop answers it only after this
+			// batch's responses are queued — responses stay FIFO with
+			// requests, which is how the client matches them.
+			if err := addWrite(batch, op2, payload2); err != nil {
+				break
+			}
+			dones = append(dones, c.beginRequest(op2))
+			c.br.Discard(size)
+			c.s.m.NetBytesRead.Add(int64(size))
 		}
-		// Validate before consuming: a malformed frame stays in the read
-		// buffer, so the main read loop answers it only after this
-		// batch's responses are queued — responses stay FIFO with
-		// requests, which is how the client matches them.
-		if err := addWrite(batch, op2, payload2); err != nil {
-			break
-		}
-		dones = append(dones, c.beginRequest(op2))
-		c.br.Discard(size)
-		c.s.m.NetBytesRead.Add(int64(size))
 	}
-	err := c.s.db.Apply(batch)
+	err := c.s.db.ApplyTraced(batch, tc.id)
 	alive := true
-	for _, d := range dones {
+	for i, d := range dones {
 		d(err)
-		if !c.respondApply(err) {
+		ok := false
+		if i == 0 {
+			ok = c.respondApplyTraced(tc, err)
+		} else {
+			ok = c.respondApply(err)
+		}
+		if !ok {
 			alive = false
 		}
 	}
@@ -394,16 +451,28 @@ func decodeBatch(payload []byte, batch *core.Batch) error {
 // frame cap will accept), and by the per-request deadline (checked
 // while iterating, so a pathological range cannot pin the connection
 // past its budget).
-func (c *conn) handleScan(payload []byte) bool {
+func (c *conn) handleScan(payload []byte, tc traceCtx) bool {
 	done := c.beginRequest(wire.OpScan)
+	// The server-side scan drives its own iterator (size and deadline
+	// caps), so it spans itself rather than going through core.Scan.
+	var sp *trace.Span
+	if tc.id != 0 {
+		if tr := c.s.db.Tracer(); tr != nil {
+			sp = tr.StartID(trace.OpScan, tc.id)
+			sp.Retain()
+			defer tr.Finish(sp)
+		}
+	}
 	prefix, rest, err := wire.ReadBytes(payload)
 	if err != nil {
 		done(err)
+		sp.SetErr(err)
 		return c.respondErr(wire.StatusBadRequest, err)
 	}
 	limit64, rest, err := wire.ReadUvarint(rest)
 	if err != nil || len(rest) != 0 {
 		done(wire.ErrMalformed)
+		sp.SetErr(wire.ErrMalformed)
 		return c.respondErr(wire.StatusBadRequest, wire.ErrMalformed)
 	}
 	limit := int(limit64)
@@ -419,6 +488,7 @@ func (c *conn) handleScan(payload []byte) bool {
 		LowerBound: prefix, UpperBound: prefixEnd(prefix)})
 	if err != nil {
 		done(err)
+		sp.SetErr(err)
 		if errors.Is(err, core.ErrClosed) {
 			return c.respondErr(wire.StatusShuttingDown, err)
 		}
@@ -432,6 +502,7 @@ func (c *conn) handleScan(payload []byte) bool {
 	maxBody := c.s.opts.MaxRequestBytes - 32
 	body := make([]byte, 0, 512)
 	count := 0
+	iterStart := tc.startNs
 	for ok := it.First(); ok && count < limit; ok = it.Next() {
 		if len(body)+len(it.Key())+len(it.Value())+2*binary.MaxVarintLen32 > maxBody {
 			break
@@ -442,17 +513,24 @@ func (c *conn) handleScan(payload []byte) bool {
 		if deadlineNs != 0 && count%64 == 0 && c.s.opts.NowNs() > deadlineNs {
 			err := errors.New("scan exceeded request deadline")
 			done(err)
+			sp.SetErr(err)
 			return c.respondErr(wire.StatusDeadline, err)
 		}
 	}
 	if err := it.Err(); err != nil {
 		done(err)
+		sp.SetErr(err)
 		return c.respondErr(wire.StatusInternal, err)
+	}
+	if sp != nil {
+		sp.StageSince("iterate", iterStart, c.s.opts.NowNs())
+		sp.AddEntries(count)
+		sp.AddBytes(int64(len(body)))
 	}
 	resp := wire.AppendUvarint(make([]byte, 0, len(body)+4), uint64(count))
 	resp = append(resp, body...)
 	done(nil)
-	return c.respond(wire.StatusOK, resp)
+	return c.respondTraced(tc, wire.StatusOK, resp)
 }
 
 // prefixEnd returns the smallest key greater than every key with the

@@ -1,0 +1,258 @@
+// The HTTP debug plane: a second, read-only listener exposing the
+// engine's live state to humans and scrapers — Prometheus-text
+// /metrics, Go pprof profiles, a health probe, and JSON dumps of the
+// event ring and the trace ring. It shares nothing with the data
+// protocol: the wire stays binary and minimal, while operators get
+// curl-able introspection on a separate port (lsmserved -debug-addr).
+
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+
+	"lsmlab/internal/events"
+	"lsmlab/internal/metrics"
+	"lsmlab/internal/trace"
+)
+
+// DebugHandler returns the debug-plane HTTP handler for this server:
+//
+//	/metrics        Prometheus text exposition (counters, gauges,
+//	                latency quantile summaries, per-level tree shape)
+//	/healthz        engine health JSON; 503 once degraded
+//	/events         the event ring, oldest first, as JSON
+//	/traces         the captured span ring, oldest first, as JSON
+//	/debug/pprof/*  the standard Go profiles
+//
+// ring and tr may be nil; the corresponding endpoints then serve empty
+// lists. The handler only reads — it can be exposed on a port the data
+// protocol never touches.
+func (s *Server) DebugHandler(ring *events.Ring, tr *trace.Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.writeMetrics(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.writeHealth(w)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		writeEvents(w, ring)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		writeTraces(w, tr)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// promWriter accumulates Prometheus text exposition format. Every
+// series carries the lsmlab_ prefix; HELP/TYPE headers precede each
+// family so the output parses under promtool and scrapes cleanly.
+type promWriter struct{ b strings.Builder }
+
+func (p *promWriter) counter(name, help string, v int64) {
+	fmt.Fprintf(&p.b, "# HELP lsmlab_%s %s\n# TYPE lsmlab_%s counter\nlsmlab_%s %d\n",
+		name, help, name, name, v)
+}
+
+func (p *promWriter) gauge(name, help string, v float64) {
+	fmt.Fprintf(&p.b, "# HELP lsmlab_%s %s\n# TYPE lsmlab_%s gauge\nlsmlab_%s %g\n",
+		name, help, name, name, v)
+}
+
+// gaugeVec opens a labeled gauge family; emit rows with sample.
+func (p *promWriter) gaugeVec(name, help string) {
+	fmt.Fprintf(&p.b, "# HELP lsmlab_%s %s\n# TYPE lsmlab_%s gauge\n", name, help, name)
+}
+
+func (p *promWriter) sample(name, labels string, v float64) {
+	fmt.Fprintf(&p.b, "lsmlab_%s{%s} %g\n", name, labels, v)
+}
+
+// summary renders one latency histogram as a Prometheus summary:
+// quantile series plus _sum and _count.
+func (p *promWriter) summary(name, help string, h metrics.HistogramSnapshot) {
+	fmt.Fprintf(&p.b, "# HELP lsmlab_%s %s\n# TYPE lsmlab_%s summary\n", name, help, name)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		fmt.Fprintf(&p.b, "lsmlab_%s{quantile=%q} %d\n", name, fmt.Sprintf("%g", q), h.Quantile(q))
+	}
+	fmt.Fprintf(&p.b, "lsmlab_%s_sum %d\nlsmlab_%s_count %d\n", name, h.Sum, name, h.N)
+}
+
+// writeMetrics renders the full /metrics payload: engine counters from
+// the DB, network counters from the server, derived ratios, the
+// per-level tree shape, and the latency summaries.
+func (s *Server) writeMetrics(w http.ResponseWriter) {
+	eng := s.db.Metrics() // engine counters
+	net := s.m.Snapshot() // serving-layer counters
+	var p promWriter
+
+	// Write path.
+	p.counter("puts_total", "User put operations.", eng.Puts)
+	p.counter("deletes_total", "User delete operations.", eng.Deletes)
+	p.counter("bytes_ingested_total", "User key+value bytes accepted.", eng.BytesIngested)
+	p.counter("wal_bytes_total", "Bytes appended to the write-ahead log.", eng.WALBytes)
+	p.counter("commit_groups_total", "Commit groups written (one WAL write each).", eng.CommitGroups)
+	p.counter("commit_batches_total", "Batches committed across all groups.", eng.CommitBatches)
+	p.counter("wal_syncs_total", "WAL syncs issued.", eng.WALSyncs)
+	p.counter("wal_syncs_saved_total", "Syncs avoided by group coalescing.", eng.WALSyncsSaved)
+
+	// Read path.
+	p.counter("gets_total", "User point lookups.", eng.Gets)
+	p.counter("get_hits_total", "Lookups that found a live value.", eng.GetHits)
+	p.counter("scans_total", "User range scans.", eng.Scans)
+	p.counter("runs_probed_total", "Sorted runs consulted by point lookups.", eng.RunsProbed)
+	p.counter("filter_probes_total", "Bloom filter probes.", eng.FilterProbes)
+	p.counter("filter_negatives_total", "Filter probes that skipped a run.", eng.FilterNegatives)
+	p.counter("filter_false_positives_total", "Filter passes that found nothing.", eng.FilterFalsePos)
+	p.counter("block_reads_total", "Data-block fetches by sstable readers.", eng.BlockReads)
+	p.counter("block_reads_cached_total", "Block fetches served from the cache.", eng.BlockReadsCached)
+	p.counter("cache_hits_total", "Block cache hits.", eng.CacheHits)
+	p.counter("cache_misses_total", "Block cache misses.", eng.CacheMisses)
+
+	// Structure maintenance and stalls.
+	p.counter("flushes_total", "Memtable flushes.", eng.Flushes)
+	p.counter("flush_bytes_total", "Bytes written by flushes.", eng.FlushBytes)
+	p.counter("compactions_total", "Compaction jobs completed.", eng.Compactions)
+	p.counter("compaction_bytes_read_total", "Bytes read by compactions.", eng.CompactionBytesRead)
+	p.counter("compaction_bytes_written_total", "Bytes written by compactions.", eng.CompactionBytesWritten)
+	p.counter("tombstones_dropped_total", "Tombstones purged by compaction.", eng.TombstonesDropped)
+	p.counter("write_stalls_total", "Write stall events.", eng.WriteStalls)
+	p.counter("stall_ns_total", "Total time writers spent stalled, ns.", eng.StallNs)
+
+	// Robustness.
+	p.counter("bg_retries_total", "Failed background job attempts.", eng.BgRetries)
+	p.counter("scrubbed_tables_total", "Sstables checked by scrubs.", eng.ScrubbedTables)
+	p.counter("scrub_corruptions_total", "Corrupt files found by scrubs.", eng.ScrubCorruptions)
+	p.gauge("degraded", "1 once the engine is read-only degraded.", float64(eng.Degraded))
+
+	// Serving layer.
+	p.counter("conns_opened_total", "Connections accepted.", net.ConnsOpened)
+	p.counter("conns_closed_total", "Connections fully torn down.", net.ConnsClosed)
+	p.counter("conns_rejected_total", "Connections refused at the limit.", net.ConnsRejected)
+	p.counter("net_requests_total", "Request frames received.", net.NetRequests)
+	p.counter("net_request_errors_total", "Requests answered with an error status.", net.NetRequestErrors)
+	p.counter("net_bytes_read_total", "Request frame bytes received.", net.NetBytesRead)
+	p.counter("net_bytes_written_total", "Response frame bytes sent.", net.NetBytesWritten)
+	p.gauge("conns_open", "Connections currently being served.", float64(net.ConnsOpened-net.ConnsClosed))
+
+	// Derived ratios (the paper's headline figures).
+	p.gauge("write_amplification", "Storage bytes written per user byte ingested.", eng.WriteAmplification())
+	p.gauge("read_amplification", "Average sorted runs probed per point lookup.", eng.ReadAmplification())
+	p.gauge("filter_effectiveness", "Fraction of filter probes that skipped a run.", eng.FilterEffectiveness())
+	p.gauge("cache_hit_rate", "Fraction of block-cache lookups that hit.", eng.CacheHitRate())
+	p.gauge("avg_commit_group_size", "Mean batches coalesced per commit group.", eng.AvgCommitGroupSize())
+	p.gauge("space_amplification", "Disk bytes per unique live byte.", s.db.SpaceAmplification())
+
+	// Tree shape, one row per level.
+	ts := s.db.TreeStats()
+	p.gauge("memtable_entries", "Live memtable entries.", float64(ts.MemtableLen))
+	p.gauge("immutable_memtables", "Immutable memtables awaiting flush.", float64(ts.Immutables))
+	p.gaugeVec("level_runs", "Sorted runs per level.")
+	for _, l := range ts.Levels {
+		p.sample("level_runs", fmt.Sprintf("level=%q", fmt.Sprint(l.Level)), float64(l.Runs))
+	}
+	p.gaugeVec("level_files", "Files per level.")
+	for _, l := range ts.Levels {
+		p.sample("level_files", fmt.Sprintf("level=%q", fmt.Sprint(l.Level)), float64(l.Files))
+	}
+	p.gaugeVec("level_bytes", "Bytes per level.")
+	for _, l := range ts.Levels {
+		p.sample("level_bytes", fmt.Sprintf("level=%q", fmt.Sprint(l.Level)), float64(l.Bytes))
+	}
+	p.gauge("total_bytes", "Total bytes across all levels.", float64(ts.TotalBytes))
+
+	// Latency summaries (engine histograms + the server's request
+	// histogram merged, same as the STATS verb).
+	lat := s.Latencies()
+	p.summary("get_latency_ns", "DB.Get end-to-end latency, ns.", lat.Get)
+	p.summary("put_latency_ns", "DB.Apply latency, ns.", lat.Put)
+	p.summary("scan_next_latency_ns", "Iterator.Next latency, ns.", lat.ScanNext)
+	p.summary("flush_latency_ns", "Memtable flush duration, ns.", lat.Flush)
+	p.summary("compaction_latency_ns", "Compaction job duration, ns.", lat.Compaction)
+	p.summary("request_latency_ns", "Network request latency, ns.", lat.Request)
+
+	// Tracer throughput, when one is attached.
+	if tr := s.db.Tracer(); tr != nil {
+		p.counter("trace_spans_started_total", "Spans begun by the tracer.", int64(tr.Started()))
+		p.counter("trace_spans_retained_total", "Spans retained into the ring.", int64(tr.Retained()))
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, p.b.String())
+}
+
+// writeHealth serves the engine health as JSON: HTTP 200 while
+// healthy, 503 once degraded, so it plugs into load-balancer and
+// orchestrator probes unchanged.
+func (s *Server) writeHealth(w http.ResponseWriter) {
+	h := s.db.Health()
+	w.Header().Set("Content-Type", "application/json")
+	if h.Degraded {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(struct {
+		Degraded bool   `json:"degraded"`
+		Op       string `json:"op,omitempty"`
+		Kind     string `json:"kind,omitempty"`
+		Cause    string `json:"cause,omitempty"`
+		SinceNs  int64  `json:"since_ns,omitempty"`
+		BgErr    string `json:"bg_err,omitempty"`
+		BgErrOp  string `json:"bg_err_op,omitempty"`
+	}{h.Degraded, h.Op, h.Kind, h.Cause, h.SinceNs, h.BgErr, h.BgErrOp})
+}
+
+// eventJSON is the wire shape of one ring event: the typed fields a
+// program wants plus the human-readable line lsmctl already prints.
+type eventJSON struct {
+	Type   string `json:"type"`
+	TimeNs int64  `json:"time_ns"`
+	JobID  uint64 `json:"job_id,omitempty"`
+	Err    string `json:"err,omitempty"`
+	Line   string `json:"line"`
+}
+
+// writeEvents dumps the event ring, oldest first.
+func writeEvents(w http.ResponseWriter, ring *events.Ring) {
+	var evs []events.Event
+	var total uint64
+	if ring != nil {
+		evs = ring.Events()
+		total = ring.Total()
+	}
+	out := struct {
+		Total  uint64      `json:"total"`
+		Events []eventJSON `json:"events"`
+	}{Total: total, Events: make([]eventJSON, 0, len(evs))}
+	for _, e := range evs {
+		ej := eventJSON{Type: e.Type.String(), TimeNs: e.TimeNs, JobID: e.JobID, Line: e.String()}
+		if e.Err != nil {
+			ej.Err = e.Err.Error()
+		}
+		out.Events = append(out.Events, ej)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// writeTraces dumps the captured span ring, oldest first.
+func writeTraces(w http.ResponseWriter, tr *trace.Tracer) {
+	out := struct {
+		Started  uint64       `json:"started"`
+		Retained uint64       `json:"retained"`
+		Spans    []trace.Span `json:"spans"`
+	}{Started: tr.Started(), Retained: tr.Retained(), Spans: tr.Spans()}
+	if out.Spans == nil {
+		out.Spans = []trace.Span{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}

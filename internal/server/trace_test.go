@@ -1,0 +1,263 @@
+package server_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"lsmlab/internal/client"
+	"lsmlab/internal/core"
+	"lsmlab/internal/trace"
+	"lsmlab/internal/wire"
+)
+
+// tracedFrame builds one trace-flagged request frame.
+func tracedFrame(op byte, id uint64, payload []byte) []byte {
+	body := wire.AppendTraceID(make([]byte, 0, 8+len(payload)), id)
+	body = append(body, payload...)
+	return wire.AppendFrame(nil, op|wire.TraceFlag, body)
+}
+
+// TestTracedRequestsEchoAndSpan drives flagged put/get/scan frames and
+// checks the responses carry the flagged status + echo, and that the
+// server's tracer retained spans under the propagated ids.
+func TestTracedRequestsEchoAndSpan(t *testing.T) {
+	tr := trace.New(trace.Options{RingSize: 64, Seed: 9}) // no sampling: only wire ids retain
+	_, _, addr := testServer(t, func(o *core.Options) { o.Tracer = tr }, nil)
+	nc := rawConn(t, addr)
+
+	put := wire.AppendBytes(nil, []byte("k"))
+	put = wire.AppendBytes(put, []byte("v"))
+	if _, err := nc.Write(tracedFrame(wire.OpPut, 0x1111, put)); err != nil {
+		t.Fatal(err)
+	}
+	status, resp, err := readResp(t, nc)
+	if err != nil || status != wire.StatusOK|wire.TraceFlag {
+		t.Fatalf("traced put: status=%#x err=%v", status, err)
+	}
+	id, serverNs, rest, err := wire.ReadTraceEcho(resp)
+	if err != nil || id != 0x1111 || serverNs < 0 || len(rest) != 0 {
+		t.Fatalf("put echo: id=%#x ns=%d rest=%d err=%v", id, serverNs, len(rest), err)
+	}
+
+	if _, err := nc.Write(tracedFrame(wire.OpGet, 0x2222, wire.AppendBytes(nil, []byte("k")))); err != nil {
+		t.Fatal(err)
+	}
+	status, resp, err = readResp(t, nc)
+	if err != nil || status != wire.StatusOK|wire.TraceFlag {
+		t.Fatalf("traced get: status=%#x err=%v", status, err)
+	}
+	id, _, rest, err = wire.ReadTraceEcho(resp)
+	if err != nil || id != 0x2222 || string(rest) != "v" {
+		t.Fatalf("get echo: id=%#x rest=%q err=%v", id, rest, err)
+	}
+
+	// Traced miss: flagged not-found.
+	if _, err := nc.Write(tracedFrame(wire.OpGet, 0x3333, wire.AppendBytes(nil, []byte("absent")))); err != nil {
+		t.Fatal(err)
+	}
+	status, _, err = readResp(t, nc)
+	if err != nil || status != wire.StatusNotFound|wire.TraceFlag {
+		t.Fatalf("traced miss: status=%#x err=%v", status, err)
+	}
+
+	// Traced scan.
+	scan := wire.AppendBytes(nil, []byte("k"))
+	scan = wire.AppendUvarint(scan, 10)
+	if _, err := nc.Write(tracedFrame(wire.OpScan, 0x4444, scan)); err != nil {
+		t.Fatal(err)
+	}
+	status, resp, err = readResp(t, nc)
+	if err != nil || status != wire.StatusOK|wire.TraceFlag {
+		t.Fatalf("traced scan: status=%#x err=%v", status, err)
+	}
+	if id, _, _, err = wire.ReadTraceEcho(resp); err != nil || id != 0x4444 {
+		t.Fatalf("scan echo: id=%#x err=%v", id, err)
+	}
+
+	// Every propagated id landed a span in the server's ring.
+	got := map[uint64]string{}
+	for _, sp := range tr.Spans() {
+		got[sp.TraceID] = sp.Op
+	}
+	for id, op := range map[uint64]string{
+		0x1111: trace.OpPut, 0x2222: trace.OpGet,
+		0x3333: trace.OpGet, 0x4444: trace.OpScan,
+	} {
+		if got[id] != op {
+			t.Fatalf("span for id %#x = %q, want %q (all: %v)", id, got[id], op, got)
+		}
+	}
+}
+
+// TestTracedWriteSkipsFolding checks that a traced write answers alone:
+// untraced writes pipelined behind it still succeed (the responses stay
+// FIFO), each as its own frame.
+func TestTracedWriteSkipsFolding(t *testing.T) {
+	tr := trace.New(trace.Options{RingSize: 16, Seed: 9})
+	_, db, addr := testServer(t, func(o *core.Options) { o.Tracer = tr }, nil)
+	nc := rawConn(t, addr)
+
+	var buf []byte
+	p1 := wire.AppendBytes(nil, []byte("t1"))
+	p1 = wire.AppendBytes(p1, []byte("v1"))
+	buf = append(buf, tracedFrame(wire.OpPut, 0xAAAA, p1)...)
+	p2 := wire.AppendBytes(nil, []byte("t2"))
+	p2 = wire.AppendBytes(p2, []byte("v2"))
+	buf = wire.AppendFrame(buf, wire.OpPut, p2)
+	if _, err := nc.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	status, resp, err := readResp(t, nc)
+	if err != nil || status != wire.StatusOK|wire.TraceFlag {
+		t.Fatalf("first: status=%#x err=%v", status, err)
+	}
+	if id, _, _, err := wire.ReadTraceEcho(resp); err != nil || id != 0xAAAA {
+		t.Fatalf("first echo: %#x %v", id, err)
+	}
+	status, _, err = readResp(t, nc)
+	if err != nil || status != wire.StatusOK {
+		t.Fatalf("second: status=%#x err=%v", status, err)
+	}
+	for _, k := range []string{"t1", "t2"} {
+		if _, err := db.Get([]byte(k)); err != nil {
+			t.Fatalf("key %s missing: %v", k, err)
+		}
+	}
+	// The traced span covers exactly one entry — folding was skipped.
+	for _, sp := range tr.Spans() {
+		if sp.TraceID == 0xAAAA && sp.Entries != 1 {
+			t.Fatalf("traced write folded neighbors: %+v", sp)
+		}
+	}
+}
+
+// TestClientTraceStitching runs a tracing client against a tracing
+// server and checks records stitch client- and server-observed latency.
+func TestClientTraceStitching(t *testing.T) {
+	tr := trace.New(trace.Options{RingSize: 64, Seed: 9})
+	_, _, addr := testServer(t, func(o *core.Options) { o.Tracer = tr }, nil)
+	cl, err := client.Dial(addr, client.Options{TraceEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Put([]byte("s"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := cl.Get([]byte("s")); err != nil || string(v) != "1" {
+		t.Fatalf("get: %q %v", v, err)
+	}
+	if _, err := cl.Get([]byte("absent")); err != client.ErrNotFound {
+		t.Fatalf("miss: %v", err)
+	}
+	if _, err := cl.Scan([]byte("s"), 5); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := cl.Traces()
+	if len(recs) != 4 {
+		t.Fatalf("got %d trace records, want 4: %+v", len(recs), recs)
+	}
+	ops := map[string]bool{}
+	for _, r := range recs {
+		ops[r.Op] = true
+		if r.TraceID == 0 || r.ServerNs < 0 || r.ClientNs <= 0 {
+			t.Fatalf("bad record: %+v", r)
+		}
+		if r.ClientNs < r.ServerNs {
+			t.Fatalf("client latency below server latency: %+v", r)
+		}
+	}
+	for _, want := range []string{"put", "get", "scan"} {
+		if !ops[want] {
+			t.Fatalf("missing op %q in %v", want, ops)
+		}
+	}
+}
+
+// TestClientFallsBackOnOldServer simulates a pre-trace server that
+// answers flagged opcodes with StatusUnknownOp: the client must retry
+// untraced and keep working, permanently disabling the flag.
+func TestClientFallsBackOnOldServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				defer nc.Close()
+				var scratch []byte
+				for {
+					op, _, buf, err := wire.ReadFrame(nc, 0, scratch)
+					scratch = buf
+					if err != nil {
+						return
+					}
+					var frame []byte
+					switch {
+					case wire.IsTracedOp(op):
+						// Old server: flagged opcode is unknown.
+						frame = wire.AppendFrame(nil, wire.StatusUnknownOp, []byte("unknown"))
+					case op == wire.OpPut, op == wire.OpPing:
+						frame = wire.AppendFrame(nil, wire.StatusOK, nil)
+					default:
+						frame = wire.AppendFrame(nil, wire.StatusUnknownOp, nil)
+					}
+					if _, err := nc.Write(frame); err != nil {
+						return
+					}
+				}
+			}(nc)
+		}
+	}()
+
+	cl, err := client.Dial(ln.Addr().String(), client.Options{
+		TraceEvery: 1, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// First traced put hits unknown-op, falls back, retries untraced.
+	if err := cl.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("put against old server: %v", err)
+	}
+	// Tracing is now off for good: no records, and writes keep working.
+	if err := cl.Put([]byte("k2"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if recs := cl.Traces(); len(recs) != 0 {
+		t.Fatalf("records against old server: %+v", recs)
+	}
+}
+
+// TestOldClientAgainstNewServer pins byte-level compatibility: a client
+// that never sets TraceFlag (the default) round-trips unchanged.
+func TestOldClientAgainstNewServer(t *testing.T) {
+	tr := trace.New(trace.Options{RingSize: 16, Seed: 9})
+	_, _, addr := testServer(t, func(o *core.Options) { o.Tracer = tr }, nil)
+	nc := rawConn(t, addr)
+	put := wire.AppendBytes(nil, []byte("plain"))
+	put = wire.AppendBytes(put, []byte("v"))
+	if _, err := nc.Write(wire.AppendFrame(nil, wire.OpPut, put)); err != nil {
+		t.Fatal(err)
+	}
+	status, resp, err := readResp(t, nc)
+	if err != nil || status != wire.StatusOK || len(resp) != 0 {
+		t.Fatalf("plain put: status=%#x resp=%q err=%v", status, resp, err)
+	}
+	if _, err := nc.Write(wire.AppendFrame(nil, wire.OpGet, wire.AppendBytes(nil, []byte("plain")))); err != nil {
+		t.Fatal(err)
+	}
+	status, resp, err = readResp(t, nc)
+	if err != nil || status != wire.StatusOK || string(resp) != "v" {
+		t.Fatalf("plain get: status=%#x resp=%q err=%v", status, resp, err)
+	}
+}

@@ -128,12 +128,19 @@ func (r *Reader) readRawUnwrapped(h blockHandle) ([]byte, error) {
 	return unwrapRaw(raw)
 }
 
-// readDataBlock fetches a data block through the cache.
+// readDataBlock fetches a data block through the cache, reporting to
+// the reader's configured stats sink.
 func (r *Reader) readDataBlock(h blockHandle) (*block, error) {
+	return r.readDataBlockWith(h, r.opts.Stats)
+}
+
+// readDataBlockWith is readDataBlock with an explicit stats sink, so a
+// traced lookup can attribute the fetch to its own span.
+func (r *Reader) readDataBlockWith(h blockHandle, st ReadStats) (*block, error) {
 	if r.opts.Cache != nil {
 		if v, ok := r.opts.Cache.Get(r.opts.FileNum, h.offset); ok {
-			if r.opts.Stats != nil {
-				r.opts.Stats.BlockRead(true)
+			if st != nil {
+				st.BlockRead(true)
 			}
 			return v.(*block), nil
 		}
@@ -146,8 +153,8 @@ func (r *Reader) readDataBlock(h blockHandle) (*block, error) {
 	if err != nil {
 		return nil, err
 	}
-	if r.opts.Stats != nil {
-		r.opts.Stats.BlockRead(false)
+	if st != nil {
+		st.BlockRead(false)
 	}
 	if r.opts.Cache != nil {
 		r.opts.Cache.Add(r.opts.FileNum, h.offset, b, len(raw))
@@ -172,12 +179,16 @@ func (r *Reader) FileSize() int64 { return r.fileSize }
 // hash (hash sharing across levels, §2.1.3). It returns false only if
 // the key is definitely absent.
 func (r *Reader) MayContainHash(h uint64) bool {
+	return r.mayContainHash(h, r.opts.Stats)
+}
+
+func (r *Reader) mayContainHash(h uint64, st ReadStats) bool {
 	if len(r.filter) == 0 {
 		return true
 	}
 	neg := !r.filter.MayContainHash(h)
-	if r.opts.Stats != nil {
-		r.opts.Stats.FilterProbe(neg)
+	if st != nil {
+		st.FilterProbe(neg)
 	}
 	return !neg
 }
@@ -198,7 +209,18 @@ func decodeHandle(v []byte) (blockHandle, error) {
 // consulted here — the read path merges them across runs. The Bloom
 // filter is probed with the precomputed hash.
 func (r *Reader) Get(ukey []byte, hash uint64, snap kv.SeqNum) (kv.Entry, bool, error) {
-	if !r.MayContainHash(hash) {
+	return r.GetWith(ukey, hash, snap, nil)
+}
+
+// GetWith is Get with a per-operation stats sink: a non-nil st replaces
+// the reader's configured ReadStats for this lookup, so a traced
+// request can attribute its filter probes and block fetches to its own
+// span. A nil st reports to r.opts.Stats as usual.
+func (r *Reader) GetWith(ukey []byte, hash uint64, snap kv.SeqNum, st ReadStats) (kv.Entry, bool, error) {
+	if st == nil {
+		st = r.opts.Stats
+	}
+	if !r.mayContainHash(hash, st) {
 		return kv.Entry{}, false, nil
 	}
 	search := kv.MakeSearchKey(ukey, snap)
@@ -210,7 +232,7 @@ func (r *Reader) Get(ukey []byte, hash uint64, snap kv.SeqNum) (kv.Entry, bool, 
 	if err != nil {
 		return kv.Entry{}, false, err
 	}
-	b, err := r.readDataBlock(h)
+	b, err := r.readDataBlockWith(h, st)
 	if err != nil {
 		return kv.Entry{}, false, err
 	}
@@ -384,6 +406,12 @@ func (it *tableIterator) Next() bool {
 }
 
 func (it *tableIterator) Valid() bool { return it.data != nil && it.data.Valid() }
+
+// Error returns the deferred block-read error, if any. Positioning
+// returns false both at end-of-table and on a corrupt block, so bulk
+// consumers (compaction, scans) must check this after iterating — see
+// kv.IterError.
+func (it *tableIterator) Error() error { return it.err }
 
 func (it *tableIterator) Key() []byte { return it.data.Key() }
 

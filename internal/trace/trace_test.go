@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeClock is a deterministic nanosecond clock.
+type fakeClock struct{ now int64 }
+
+func (c *fakeClock) Now() int64      { return c.now }
+func (c *fakeClock) Advance(d int64) { c.now += d }
+
+func TestNilTracerAndSpanAreInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start(OpGet)
+	if sp != nil {
+		t.Fatalf("nil tracer Start = %v, want nil", sp)
+	}
+	// Every span method must be a no-op on nil.
+	sp.Stage("x", 1)
+	sp.StageSince("y", 0, 1)
+	sp.FilterProbe(true)
+	sp.BlockRead(false)
+	sp.AddRun()
+	sp.AddFalsePositive()
+	sp.AddVlogRead()
+	sp.AddEntries(3)
+	sp.AddBytes(9)
+	sp.SetErr(nil)
+	sp.Retain()
+	if sp.ID() != 0 || sp.Stages() != nil {
+		t.Fatal("nil span leaked state")
+	}
+	tr.Finish(sp)
+	if tr.Spans() != nil || tr.Started() != 0 || tr.Retained() != 0 || tr.NewID() != 0 {
+		t.Fatal("nil tracer leaked state")
+	}
+}
+
+func TestSlowThresholdCapturesWorstOps(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(Options{SlowNs: 100, RingSize: 4, NowNs: clk.Now, Seed: 7})
+
+	fast := tr.Start(OpGet)
+	clk.Advance(50)
+	tr.Finish(fast)
+	if got := tr.Spans(); len(got) != 0 {
+		t.Fatalf("fast span retained: %v", got)
+	}
+
+	slow := tr.Start(OpGet)
+	slow.AddRun()
+	slow.BlockRead(false)
+	clk.Advance(150)
+	tr.Finish(slow)
+
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	got := spans[0]
+	if !got.Slow || got.Sampled {
+		t.Fatalf("slow span flags = slow:%v sampled:%v", got.Slow, got.Sampled)
+	}
+	if got.DurNs != 150 || got.Runs != 1 || got.BlockReads != 1 {
+		t.Fatalf("annotations lost: %+v", got)
+	}
+	if tr.Started() != 2 || tr.Retained() != 1 {
+		t.Fatalf("counters: started=%d retained=%d", tr.Started(), tr.Retained())
+	}
+}
+
+func TestSamplingRate(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(Options{SampleEvery: 10, RingSize: 1024, NowNs: clk.Now, Seed: 7})
+	for i := 0; i < 100; i++ {
+		sp := tr.Start(OpPut)
+		clk.Advance(1)
+		tr.Finish(sp)
+	}
+	if got := len(tr.Spans()); got != 10 {
+		t.Fatalf("1-in-10 sampling over 100 ops retained %d, want 10", got)
+	}
+	for _, sp := range tr.Spans() {
+		if !sp.Sampled || sp.Slow {
+			t.Fatalf("span flags = %+v", sp)
+		}
+	}
+
+	// SampleEvery 1 keeps everything.
+	all := New(Options{SampleEvery: 1, RingSize: 8, NowNs: clk.Now, Seed: 7})
+	sp := all.Start(OpScan)
+	all.Finish(sp)
+	if len(all.Spans()) != 1 {
+		t.Fatal("SampleEvery=1 dropped a span")
+	}
+}
+
+func TestRingBoundAndOrder(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(Options{SampleEvery: 1, RingSize: 3, NowNs: clk.Now, Seed: 7})
+	for i := 0; i < 5; i++ {
+		sp := tr.Start(OpGet)
+		sp.AddEntries(i)
+		clk.Advance(1)
+		tr.Finish(sp)
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("ring held %d, want 3", len(spans))
+	}
+	// Oldest first: entries 2, 3, 4 survive.
+	for i, want := range []int32{2, 3, 4} {
+		if spans[i].Entries != want {
+			t.Fatalf("span[%d].Entries = %d, want %d", i, spans[i].Entries, want)
+		}
+	}
+	if tr.Retained() != 5 {
+		t.Fatalf("retained = %d, want 5", tr.Retained())
+	}
+}
+
+func TestRetainForcesCaptureAndStages(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(Options{RingSize: 4, NowNs: clk.Now, Seed: 7}) // no sampling, no slow
+	// Head sampling gives plain Start a nil span here; background jobs
+	// use StartRetained, which always produces a captured span.
+	if tr.Start(OpFlush) != nil {
+		t.Fatal("unsampled Start without a slow threshold must return nil")
+	}
+	sp := tr.StartRetained(OpFlush)
+	start := clk.Now()
+	clk.Advance(40)
+	sp.StageSince("build", start, clk.Now())
+	sp.Stage("install", 2)
+	tr.Finish(sp)
+
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("retained span missing: %d", len(spans))
+	}
+	st := spans[0].Stages()
+	if len(st) != 2 || st[0] != (Stage{Name: "build", DurNs: 40}) || st[1] != (Stage{Name: "install", DurNs: 2}) {
+		t.Fatalf("stages = %v", st)
+	}
+}
+
+func TestStageOverflowTruncates(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(Options{SampleEvery: 1, RingSize: 2, NowNs: clk.Now, Seed: 7})
+	sp := tr.Start(OpGet)
+	for i := 0; i < MaxStages+3; i++ {
+		sp.Stage("s", int64(i))
+	}
+	tr.Finish(sp)
+	got := tr.Spans()[0]
+	if len(got.Stages()) != MaxStages || got.TruncatedStages != 3 {
+		t.Fatalf("stages=%d truncated=%d", len(got.Stages()), got.TruncatedStages)
+	}
+}
+
+func TestStartIDPropagatesAndMintsNonZero(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(Options{SampleEvery: 1, RingSize: 4, NowNs: clk.Now, Seed: 7})
+	sp := tr.StartID(OpGet, 0xabcd)
+	if sp.ID() != 0xabcd {
+		t.Fatalf("propagated id = %x", sp.ID())
+	}
+	tr.Finish(sp)
+	sp2 := tr.StartID(OpGet, 0)
+	if sp2.ID() == 0 {
+		t.Fatal("minted id must be non-zero")
+	}
+	tr.Finish(sp2)
+	// IDs from one tracer should not repeat over a small horizon.
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := tr.NewID()
+		if id == 0 || seen[id] {
+			t.Fatalf("id collision or zero at %d: %x", i, id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanJSONShape(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(Options{SampleEvery: 1, RingSize: 2, NowNs: clk.Now, Seed: 7})
+	sp := tr.StartID(OpGet, 0x1234)
+	sp.Stage("search", 10)
+	sp.AddRun()
+	sp.FilterProbe(false)
+	sp.BlockRead(true)
+	clk.Advance(25)
+	tr.Finish(sp)
+
+	raw, err := json.Marshal(tr.Spans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	for _, want := range []string{
+		`"trace_id":"0000000000001234"`, `"op":"get"`, `"dur_ns":25`,
+		`"stages":[{"name":"search","dur_ns":10}]`, `"runs":1`,
+		`"filter_probes":1`, `"block_reads":1`, `"block_reads_cached":1`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("JSON missing %s in %s", want, s)
+		}
+	}
+	// A decoded generic structure must round-trip (valid JSON array).
+	var decoded []map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("decoded %d spans", len(decoded))
+	}
+}
+
+func TestConcurrentFinishIsRaceFree(t *testing.T) {
+	tr := New(Options{SampleEvery: 2, SlowNs: 1, RingSize: 64, Seed: 7})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				sp := tr.Start(OpPut)
+				sp.AddRun()
+				sp.Stage("s", 1)
+				tr.Finish(sp)
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Started() != 4000 {
+		t.Fatalf("started = %d", tr.Started())
+	}
+	if got := len(tr.Spans()); got == 0 {
+		t.Fatal("no spans retained under concurrency")
+	}
+}
+
+func BenchmarkStartFinishDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(OpPut)
+		sp.AddRun()
+		tr.Finish(sp)
+	}
+}
+
+func BenchmarkStartFinishSampled(b *testing.B) {
+	tr := New(Options{SampleEvery: 100, RingSize: 256, Seed: 7})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(OpPut)
+		sp.AddRun()
+		tr.Finish(sp)
+	}
+}

@@ -68,6 +68,81 @@ const (
 	BatchDelete byte = 0x01
 )
 
+// TraceFlag, OR'd into a request opcode, marks the frame as traced: an
+// 8-byte big-endian trace id precedes the opcode's normal payload. A
+// tracing-aware server answers by OR'ing TraceFlag into the success
+// status (StatusOK → 0xC0, StatusNotFound → 0xC1) and prefixing the
+// response payload with the same id plus a uvarint of server-observed
+// nanoseconds, so the client can split its latency into network and
+// server shares. Error statuses already occupy 0xE0+ (bit 0x40 set)
+// and are never flagged: a traced request that fails is answered with
+// the plain error every client understands. Version interop is free on
+// both sides: an old server answers a flagged opcode with
+// StatusUnknownOp without losing framing (clients fall back to
+// untraced requests), and an old client never sets the flag, so it is
+// answered byte-identically to the pre-trace protocol.
+const TraceFlag byte = 0x40
+
+// IsTracedOp reports whether op is a known request opcode carrying
+// TraceFlag. Unknown bytes that merely have bit 0x40 set are not
+// traced requests — they answer StatusUnknownOp like any other
+// unrecognized opcode.
+func IsTracedOp(op byte) bool {
+	if IsStatus(op) || op&TraceFlag == 0 {
+		return false
+	}
+	_, ok := opNames[op&^TraceFlag]
+	return ok
+}
+
+// IsTracedStatus reports whether a status byte is a trace-flagged
+// success status (error statuses live at 0xE0+ and are never flagged).
+func IsTracedStatus(op byte) bool { return op >= 0xC0 && op < 0xE0 }
+
+// BaseOp strips TraceFlag from flagged opcodes and flagged success
+// statuses; every other byte passes through unchanged.
+func BaseOp(op byte) byte {
+	if IsTracedOp(op) || IsTracedStatus(op) {
+		return op &^ TraceFlag
+	}
+	return op
+}
+
+// AppendTraceID appends the 8-byte big-endian trace id that leads a
+// traced request's payload.
+func AppendTraceID(dst []byte, id uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, id)
+}
+
+// ReadTraceID decodes the leading 8-byte trace id of a traced payload.
+func ReadTraceID(p []byte) (id uint64, rest []byte, err error) {
+	if len(p) < 8 {
+		return 0, p, ErrTruncated
+	}
+	return binary.BigEndian.Uint64(p), p[8:], nil
+}
+
+// AppendTraceEcho appends the trace echo leading a traced response's
+// payload: the request's id and the server-observed duration.
+func AppendTraceEcho(dst []byte, id uint64, serverNs int64) []byte {
+	dst = AppendTraceID(dst, id)
+	return AppendUvarint(dst, uint64(serverNs))
+}
+
+// ReadTraceEcho decodes the echo from the front of a traced response
+// payload.
+func ReadTraceEcho(p []byte) (id uint64, serverNs int64, rest []byte, err error) {
+	id, rest, err = ReadTraceID(p)
+	if err != nil {
+		return 0, 0, p, err
+	}
+	ns, rest, err := ReadUvarint(rest)
+	if err != nil {
+		return 0, 0, p, err
+	}
+	return id, int64(ns), rest, nil
+}
+
 // Response opcodes (statuses). Error statuses carry a UTF-8 message as
 // their payload.
 const (
@@ -136,10 +211,16 @@ var opNames = map[byte]string{
 	StatusUnavailable:  "unavailable",
 }
 
-// OpName returns a stable name for an opcode or status byte.
+// OpName returns a stable name for an opcode or status byte; traced
+// variants display as their base name with a "+trace" suffix.
 func OpName(op byte) string {
 	if n, ok := opNames[op]; ok {
 		return n
+	}
+	if IsTracedOp(op) || IsTracedStatus(op) {
+		if n, ok := opNames[BaseOp(op)]; ok {
+			return n + "+trace"
+		}
 	}
 	return fmt.Sprintf("op(0x%02x)", op)
 }

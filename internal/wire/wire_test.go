@@ -172,3 +172,87 @@ func TestOpNames(t *testing.T) {
 		t.Fatalf("status error: %q", e.Error())
 	}
 }
+
+func TestTraceFlagClassification(t *testing.T) {
+	// Flagged requests stay in the request half of the byte space.
+	for _, op := range []byte{OpGet, OpPut, OpDelete, OpScan, OpBatch} {
+		traced := op | TraceFlag
+		if IsStatus(traced) {
+			t.Fatalf("traced op 0x%02x classified as status", traced)
+		}
+		if !IsTracedOp(traced) || IsTracedOp(op) {
+			t.Fatalf("IsTracedOp(0x%02x/0x%02x) misclassifies", traced, op)
+		}
+		if BaseOp(traced) != op || BaseOp(op) != op {
+			t.Fatalf("BaseOp round trip failed for 0x%02x", op)
+		}
+	}
+	// Flagged success statuses remain statuses and never collide with
+	// the error range.
+	for _, st := range []byte{StatusOK, StatusNotFound} {
+		traced := st | TraceFlag
+		if !IsStatus(traced) || !IsTracedStatus(traced) {
+			t.Fatalf("traced status 0x%02x misclassified", traced)
+		}
+		if traced >= StatusBadRequest {
+			t.Fatalf("traced status 0x%02x collides with error range", traced)
+		}
+		if BaseOp(traced) != st {
+			t.Fatalf("BaseOp(0x%02x) = 0x%02x", traced, BaseOp(traced))
+		}
+	}
+	// Error statuses have bit 0x40 set but are NOT traced statuses, and
+	// BaseOp must not strip their bits.
+	for _, st := range []byte{StatusBadRequest, StatusTooLarge, StatusUnknownOp,
+		StatusInternal, StatusShuttingDown, StatusDeadline, StatusBusy, StatusUnavailable} {
+		if IsTracedStatus(st) || IsTracedOp(st) {
+			t.Fatalf("error status 0x%02x misclassified as traced", st)
+		}
+		if BaseOp(st) != st {
+			t.Fatalf("BaseOp mangled error status 0x%02x -> 0x%02x", st, BaseOp(st))
+		}
+	}
+	if OpName(OpGet|TraceFlag) != "get+trace" || OpName(StatusOK|TraceFlag) != "ok+trace" {
+		t.Fatalf("traced names: %q %q", OpName(OpGet|TraceFlag), OpName(StatusOK|TraceFlag))
+	}
+}
+
+func TestTraceIDAndEchoRoundTrip(t *testing.T) {
+	payload := AppendTraceID(nil, 0xdeadbeefcafef00d)
+	payload = AppendBytes(payload, []byte("key"))
+	id, rest, err := ReadTraceID(payload)
+	if err != nil || id != 0xdeadbeefcafef00d {
+		t.Fatalf("ReadTraceID: %x %v", id, err)
+	}
+	if k, _, err := ReadBytes(rest); err != nil || string(k) != "key" {
+		t.Fatalf("payload after id: %q %v", k, err)
+	}
+	// Truncated id.
+	if _, _, err := ReadTraceID(payload[:7]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short id: %v", err)
+	}
+
+	echo := AppendTraceEcho(nil, 42, 1_234_567)
+	echo = AppendBytes(echo, []byte("value"))
+	id, ns, rest, err := ReadTraceEcho(echo)
+	if err != nil || id != 42 || ns != 1_234_567 {
+		t.Fatalf("ReadTraceEcho: %d %d %v", id, ns, err)
+	}
+	if v, _, err := ReadBytes(rest); err != nil || string(v) != "value" {
+		t.Fatalf("payload after echo: %q %v", v, err)
+	}
+	if _, _, _, err := ReadTraceEcho(echo[:8]); err == nil {
+		t.Fatal("echo without duration must fail")
+	}
+}
+
+func TestUnknownFlaggedByteIsNotTraced(t *testing.T) {
+	// 0x7E has bit 0x40 set but no known base opcode: it must classify
+	// as plain unknown, not as a traced request.
+	if IsTracedOp(0x7E) {
+		t.Fatal("0x7E misclassified as traced op")
+	}
+	if BaseOp(0x7E) != 0x7E {
+		t.Fatalf("BaseOp mangled unknown byte: 0x%02x", BaseOp(0x7E))
+	}
+}

@@ -22,20 +22,25 @@ trap cleanup EXIT
 echo "== build =="
 go build -o "$bin/lsmserved" ./cmd/lsmserved
 go build -o "$bin/lsmctl" ./cmd/lsmctl
+go build -o "$bin/lsmbench" ./cmd/lsmbench
 
 echo "== start server =="
 "$bin/lsmserved" -db "$work/db" -addr 127.0.0.1:0 -addr-file "$work/addr" \
+  -debug-addr 127.0.0.1:0 -debug-addr-file "$work/debug-addr" \
+  -trace-sample 1 \
   -checkpoint-dir "$work/ckpt" -grace 10s >"$work/server.log" 2>&1 &
 srv_pid=$!
 
 for _ in $(seq 1 100); do
-  [[ -s "$work/addr" ]] && break
+  [[ -s "$work/addr" && -s "$work/debug-addr" ]] && break
   kill -0 "$srv_pid" || { cat "$work/server.log"; echo "server died"; exit 1; }
   sleep 0.05
 done
 [[ -s "$work/addr" ]] || { echo "server never published its address"; exit 1; }
+[[ -s "$work/debug-addr" ]] || { echo "server never published its debug address"; exit 1; }
 addr="$(cat "$work/addr")"
-echo "server at $addr"
+debug="http://$(cat "$work/debug-addr")"
+echo "server at $addr, debug plane at $debug"
 
 ctl() { "$bin/lsmctl" -addr "$addr" "$@"; }
 
@@ -56,6 +61,32 @@ stats_out="$(ctl stats -v)"
 echo "$stats_out" | grep -q 'server: conns_open=' || { echo "stats missing server block"; exit 1; }
 echo "$stats_out" | grep -q 'request' || { echo "stats -v missing request latency"; exit 1; }
 ctl compact
+
+echo "== debug plane =="
+metrics="$(curl -fsS "$debug/metrics")"
+echo "$metrics" | grep -q '^lsmlab_puts_total ' || { echo "/metrics missing puts counter"; exit 1; }
+echo "$metrics" | grep -q '^lsmlab_degraded 0$' || { echo "/metrics missing degraded gauge"; exit 1; }
+echo "$metrics" | grep -q 'lsmlab_get_latency_ns{quantile="0.99"}' || { echo "/metrics missing get quantiles"; exit 1; }
+echo "$metrics" | grep -q '^lsmlab_scrubbed_tables_total ' || { echo "/metrics missing scrub counters"; exit 1; }
+echo "$metrics" | grep -q 'lsmlab_level_runs{level="0"}' || { echo "/metrics missing level gauges"; exit 1; }
+# Every sample line must parse as Prometheus text: name[{labels}] value.
+bad="$(echo "$metrics" | grep -v '^#' | grep -Ev '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$' || true)"
+[[ -z "$bad" ]] || { echo "unparseable /metrics lines:"; echo "$bad"; exit 1; }
+
+curl -fsS "$debug/healthz" | grep -c '"degraded":false' >/dev/null || { echo "/healthz not healthy"; exit 1; }
+curl -fsS "$debug/events" | grep -c '"type":"conn-open"' >/dev/null || { echo "/events missing conn lifecycle"; exit 1; }
+traces="$(curl -fsS "$debug/traces")"
+echo "$traces" | grep -q '"op":"put"' || { echo "/traces missing put spans"; exit 1; }
+echo "$traces" | grep -q '"stages"' || { echo "/traces spans carry no stages"; exit 1; }
+prof_bytes="$(curl -fsS "$debug/debug/pprof/profile?seconds=1" | wc -c)"
+[[ "$prof_bytes" -gt 0 ]] || { echo "pprof profile came back empty"; exit 1; }
+echo "debug plane OK (cpu profile ${prof_bytes}B)"
+
+echo "== bench json =="
+"$bin/lsmbench" -addr "$addr" -conns 2 -ops 2000 -json "$work/bench.json" >/dev/null
+grep -q '"mode": "net"' "$work/bench.json" || { echo "bench json missing mode"; exit 1; }
+grep -q '"ops_per_sec"' "$work/bench.json" || { echo "bench json missing throughput"; exit 1; }
+grep -q '"p99_ns"' "$work/bench.json" || { echo "bench json missing percentiles"; exit 1; }
 
 echo "== graceful shutdown =="
 kill -TERM "$srv_pid"
@@ -95,5 +126,53 @@ ls "$work/db"/*.corrupt >/dev/null || { echo "no quarantined .corrupt file on di
 # Reads after quarantine degrade to honest not-found, never a crash.
 post="$("$bin/lsmctl" -db "$work/db" get alpha)"
 [[ "$post" == "1" || "$post" == "(not found)" ]] || { echo "read after quarantine returned garbage: $post"; exit 1; }
+
+echo "== live degradation on the debug plane =="
+# A second server over a churn-heavy store: tiny memtables force many
+# flushes and background compactions. Corrupting the live tables makes
+# the next compaction fail with a corruption error, which degrades the
+# engine — visible as /healthz 503 and the degraded gauge flipping.
+"$bin/lsmserved" -db "$work/db2" -addr 127.0.0.1:0 -addr-file "$work/addr2" \
+  -debug-addr 127.0.0.1:0 -debug-addr-file "$work/debug-addr2" \
+  -buffer-bytes 2048 -cache-bytes 0 -grace 5s >"$work/server2.log" 2>&1 &
+srv_pid=$!
+for _ in $(seq 1 100); do
+  [[ -s "$work/addr2" && -s "$work/debug-addr2" ]] && break
+  kill -0 "$srv_pid" || { cat "$work/server2.log"; echo "server2 died"; exit 1; }
+  sleep 0.05
+done
+addr2="$(cat "$work/addr2")"
+debug2="http://$(cat "$work/debug-addr2")"
+
+"$bin/lsmbench" -addr "$addr2" -conns 2 -ops 1000 >/dev/null
+for _ in $(seq 1 100); do
+  ls "$work/db2"/*.sst >/dev/null 2>&1 && break
+  sleep 0.05
+done
+for sst in "$work/db2"/*.sst; do
+  printf '\xde\xad\xbe\xef' | dd of="$sst" bs=1 seek=16 conv=notrunc status=none
+done
+# More writes trigger fresh flushes and compactions over the now-bad
+# tables; tolerate write failures once the engine turns read-only.
+"$bin/lsmbench" -addr "$addr2" -conns 2 -ops 2000 >/dev/null 2>&1 || true
+
+degraded_seen=""
+for _ in $(seq 1 200); do
+  code="$(curl -s -o "$work/healthz2.json" -w '%{http_code}' "$debug2/healthz")"
+  if [[ "$code" == "503" ]]; then degraded_seen=1; break; fi
+  "$bin/lsmbench" -addr "$addr2" -conns 2 -ops 500 >/dev/null 2>&1 || true
+  sleep 0.05
+done
+[[ -n "$degraded_seen" ]] || { cat "$work/server2.log"; echo "engine never degraded"; exit 1; }
+grep -q '"degraded":true' "$work/healthz2.json" || { echo "/healthz 503 without degraded flag"; exit 1; }
+grep -q '"kind":"corruption"' "$work/healthz2.json" || { echo "degradation not classified as corruption"; exit 1; }
+# Capture before grepping: under pipefail, grep -q quitting at the
+# first match would fail curl with a broken pipe.
+metrics2="$(curl -fsS "$debug2/metrics")"
+echo "$metrics2" | grep -q '^lsmlab_degraded 1$' || { echo "degraded gauge not 1"; exit 1; }
+curl -fsS "$debug2/events" | grep -c '"type":"degraded"' >/dev/null || { echo "/events missing degraded transition"; exit 1; }
+kill -9 "$srv_pid" 2>/dev/null || true
+srv_pid=""
+echo "degradation visible on the debug plane"
 
 echo "serve smoke OK"
