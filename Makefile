@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-write bench-smoke tables examples cover serve-smoke fuzz-wire torture clean
+.PHONY: all build test race bench bench-write bench-smoke bench-baseline bench-diff tables examples cover serve-smoke fuzz-wire torture clean
 
 all: build test
 
@@ -38,6 +38,19 @@ bench-smoke:
 	grep -q '"mode": "net"' bench_smoke_net.json
 	grep -q '"p999_ns"' bench_smoke_net.json
 
+# Run the pinned perf-trajectory workload and gate it against the
+# newest committed BENCH_<n>.json (what the CI bench-trajectory job
+# runs; the fresh result lands in BENCH_ci.json).
+bench-baseline:
+	./scripts/bench_baseline.sh
+
+# Compare two trajectory files metric-by-metric (defaults to the
+# committed baseline pair). Override: make bench-diff OLD=a.json NEW=b.json
+OLD ?= BENCH_0.json
+NEW ?= BENCH_1.json
+bench-diff:
+	$(GO) run ./cmd/lsmbench -compare $(OLD) $(NEW)
+
 # Regenerate every experiment table at full scale (EXPERIMENTS.md data).
 tables:
 	$(GO) run ./cmd/lsmbench -exp all | tee bench_tables.txt
@@ -63,11 +76,16 @@ torture:
 fuzz-wire:
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 30s
 
-# Coverage summary over the engine packages (CI runs this as a
-# non-blocking report).
+# Coverage over the engine packages: per-package summary (the `ok`
+# lines), then a blocking floor on the combined total. CI fails the
+# cover job below COVER_FLOOR.
+COVER_FLOOR ?= 70
 cover:
 	$(GO) test -coverprofile=coverage.out ./internal/...
-	$(GO) tool cover -func=coverage.out | tail -n 1
+	@total=$$($(GO) tool cover -func=coverage.out | tail -n 1 | awk '{gsub(/%/,""); print $$NF}'); \
+	echo "total coverage: $$total% (floor: $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' \
+		|| { echo "FAIL: total coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
 clean:
 	rm -f bench_tables.txt coverage.out bench_smoke.json bench_smoke_net.json

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// lsmbench runs in exactly one of six modes; most flags only make sense
+// in some of them. Instead of silently ignoring a -depth passed to a
+// writers run (and letting the user believe it did something), flag
+// compatibility is validated up front and violations are usage errors.
+const (
+	modeExperiments = "experiments"
+	modeWriters     = "writers"
+	modeNet         = "net"
+	modeRead        = "read"
+	modeBaseline    = "baseline"
+	modeCompare     = "compare"
+)
+
+// modeDeterminers maps each mode-selecting flag to the mode it selects.
+// Two determiners selecting different modes is a conflict (-serve and
+// -addr both select net, which is fine).
+var modeDeterminers = map[string]string{
+	"writers":  modeWriters,
+	"serve":    modeNet,
+	"addr":     modeNet,
+	"mode":     modeRead,
+	"baseline": modeBaseline,
+	"compare":  modeCompare,
+	"exp":      modeExperiments,
+	"scale":    modeExperiments,
+}
+
+// flagModes whitelists the modes each non-determining flag applies to.
+// A flag set outside its modes is rejected, not ignored.
+var flagModes = map[string][]string{
+	"ops":             {modeWriters, modeNet, modeRead},
+	"value":           {modeWriters, modeNet, modeRead},
+	"batch":           {modeWriters},
+	"sync":            {modeWriters, modeNet, modeRead},
+	"syncdelay":       {modeWriters, modeNet},
+	"dir":             {modeWriters, modeNet, modeRead},
+	"json":            {modeWriters, modeNet, modeRead, modeBaseline},
+	"conns":           {modeNet},
+	"depth":           {modeNet},
+	"readers":         {modeRead},
+	"keys":            {modeRead},
+	"dist":            {modeRead},
+	"warm":            {modeRead},
+	"bits":            {modeRead},
+	"scanlen":         {modeRead},
+	"threshold-scale": {modeCompare},
+	"markdown":        {modeCompare},
+}
+
+// resolveMode picks the bench mode from the explicitly set flags,
+// rejecting combinations that select two different modes (e.g. -writers
+// with -serve, or -exp with -mode).
+func resolveMode(set map[string]bool) (string, error) {
+	mode := ""
+	chosenBy := ""
+	for _, f := range sortedFlags(set) {
+		m, ok := modeDeterminers[f]
+		if !ok {
+			continue
+		}
+		if mode != "" && m != mode {
+			return "", fmt.Errorf("-%s (%s mode) conflicts with -%s (%s mode)",
+				f, m, chosenBy, mode)
+		}
+		mode, chosenBy = m, f
+	}
+	if mode == "" {
+		mode = modeExperiments
+	}
+	return mode, nil
+}
+
+// validateFlags resolves the mode and rejects any explicitly set flag
+// that does not apply to it. It returns the resolved mode.
+func validateFlags(set map[string]bool) (string, error) {
+	mode, err := resolveMode(set)
+	if err != nil {
+		return "", err
+	}
+	for _, f := range sortedFlags(set) {
+		if _, isDeterminer := modeDeterminers[f]; isDeterminer {
+			continue
+		}
+		allowed, known := flagModes[f]
+		if !known {
+			continue
+		}
+		ok := false
+		for _, m := range allowed {
+			if m == mode {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return "", fmt.Errorf("-%s is not valid in %s mode (valid in: %s)",
+				f, mode, strings.Join(allowed, ", "))
+		}
+	}
+	return mode, nil
+}
+
+func sortedFlags(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func set(flags ...string) map[string]bool {
+	m := make(map[string]bool, len(flags))
+	for _, f := range flags {
+		m[f] = true
+	}
+	return m
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		set      map[string]bool
+		wantMode string
+		wantErr  string // substring; empty = no error
+	}{
+		{"no flags is experiments", set(), modeExperiments, ""},
+		{"exp selects experiments", set("exp", "scale"), modeExperiments, ""},
+		{"writers mode", set("writers", "ops", "value", "batch", "sync", "json"), modeWriters, ""},
+		{"net serve", set("serve", "conns", "depth", "ops", "json"), modeNet, ""},
+		{"net addr", set("addr", "conns", "depth"), modeNet, ""},
+		{"serve and addr agree on net", set("serve", "addr"), modeNet, ""},
+		{"read mode full knobs", set("mode", "readers", "keys", "dist", "warm", "bits", "scanlen", "ops", "json"), modeRead, ""},
+		{"baseline with json", set("baseline", "json"), modeBaseline, ""},
+		{"compare with thresholds", set("compare", "threshold-scale", "markdown"), modeCompare, ""},
+
+		// The silently-ignored combinations that motivated the validator.
+		{"depth in writers mode", set("writers", "depth"), "", "-depth is not valid in writers mode"},
+		{"conns without serve or addr", set("conns"), "", "-conns is not valid in experiments mode"},
+		{"batch in net mode", set("serve", "batch"), "", "-batch is not valid in net mode"},
+		{"readers in writers mode", set("writers", "readers"), "", "-readers is not valid in writers mode"},
+		{"bits in experiments mode", set("bits"), "", "-bits is not valid in experiments mode"},
+		{"json in experiments mode", set("json"), "", "-json is not valid in experiments mode"},
+		{"syncdelay in read mode", set("mode", "syncdelay"), "", "-syncdelay is not valid in read mode"},
+
+		// Conflicting mode determiners.
+		{"writers vs serve", set("writers", "serve"), "", "conflicts"},
+		{"exp vs mode", set("exp", "mode"), "", "conflicts"},
+		{"compare vs writers", set("compare", "writers"), "", "conflicts"},
+		{"baseline vs mode", set("baseline", "mode"), "", "conflicts"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mode, err := validateFlags(tc.set)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if mode != tc.wantMode {
+					t.Fatalf("mode = %q, want %q", mode, tc.wantMode)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got mode %q", tc.wantErr, mode)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestEveryKnownFlagHasAHome(t *testing.T) {
+	// Guard against adding a flag to flagModes with an empty or unknown
+	// mode list — that would make it unusable everywhere.
+	valid := map[string]bool{
+		modeExperiments: true, modeWriters: true, modeNet: true,
+		modeRead: true, modeBaseline: true, modeCompare: true,
+	}
+	for f, modes := range flagModes {
+		if len(modes) == 0 {
+			t.Errorf("flag -%s allows no modes", f)
+		}
+		for _, m := range modes {
+			if !valid[m] {
+				t.Errorf("flag -%s names unknown mode %q", f, m)
+			}
+		}
+	}
+	for f, m := range modeDeterminers {
+		if !valid[m] {
+			t.Errorf("determiner -%s names unknown mode %q", f, m)
+		}
+	}
+}

@@ -1,27 +1,38 @@
 // Command lsmbench regenerates the experiment tables of DESIGN.md §3:
 // one table per tutorial claim (E1–E13, plus the O1 trace-attribution
-// table built from /traces). It also carries a concurrent
-// write benchmark that exercises the leader-based commit pipeline.
+// table built from /traces). It also carries the engine benchmarks that
+// feed the committed perf trajectory (BENCH_*.json): concurrent writes
+// through the group-commit pipeline, point-read/scan/mixed workloads
+// over a preloaded key space, and a regression comparator.
 //
 // Usage:
 //
 //	lsmbench -exp all            # run everything at full scale
 //	lsmbench -exp E1,E3 -scale 0.25
 //	lsmbench -writers 8 -ops 200000 -sync   # group-commit throughput
+//	lsmbench -mode get -readers 8 -keys 200000 -dist zipfian -warm  # read path
 //	lsmbench -serve -conns 8 -ops 100000 -sync   # same store, over TCP
 //	lsmbench -addr 127.0.0.1:4700 -conns 8       # against a live server
+//	lsmbench -baseline -json BENCH_new.json      # pinned trajectory suite
+//	lsmbench -compare BENCH_0.json BENCH_1.json  # regression gate
+//
+// Flag combinations are validated up front: a flag that does not apply
+// to the selected mode is a usage error, never silently ignored.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
 
+	"lsmlab/internal/benchcmp"
 	"lsmlab/internal/client"
 	"lsmlab/internal/core"
 	"lsmlab/internal/experiments"
@@ -36,34 +47,98 @@ func main() {
 		exp   = flag.String("exp", "all", "comma-separated experiment ids (E1..E13, O1) or 'all'")
 		scale = flag.Float64("scale", 1.0, "workload scale factor (1.0 = documented size)")
 
-		writers   = flag.Int("writers", 0, "run the concurrent write benchmark with this many writers (0 = run experiments)")
-		ops       = flag.Int("ops", 100000, "total put operations for -writers mode")
-		valueSize = flag.Int("value", 100, "value size in bytes for -writers mode")
+		writers   = flag.Int("writers", 0, "run the concurrent write benchmark with this many writers")
+		ops       = flag.Int("ops", 100000, "total operations for writers/net/read modes")
+		valueSize = flag.Int("value", 100, "value size in bytes")
 		batchSize = flag.Int("batch", 1, "puts per Apply batch for -writers mode")
-		syncWAL   = flag.Bool("sync", false, "fsync the WAL on every commit in -writers mode")
+		syncWAL   = flag.Bool("sync", false, "fsync the WAL on every commit")
 		syncDelay = flag.Duration("syncdelay", 0, "modeled fsync latency on the in-memory fs (e.g. 100us)")
-		dir       = flag.String("dir", "", "OS directory for -writers mode (default: in-memory fs; real fsync latency needs a real disk)")
+		dir       = flag.String("dir", "", "OS directory (default: in-memory fs; real fsync latency needs a real disk)")
 
-		serve = flag.Bool("serve", false, "network mode: serve the bench store in-process and write over TCP")
+		_     = flag.Bool("serve", false, "network mode: serve the bench store in-process and write over TCP")
 		addr  = flag.String("addr", "", "network mode: benchmark an external lsmserved at this address")
 		conns = flag.Int("conns", 1, "network mode: number of client connections")
 		depth = flag.Int("depth", 1, "network mode: pipelined requests in flight per connection (1 = synchronous)")
 
-		jsonPath = flag.String("json", "", "write a machine-readable result summary to this file (-writers and network modes)")
+		mode    = flag.String("mode", "", "read benchmark: get|scan|mixed over a preloaded key space")
+		readers = flag.Int("readers", 8, "read mode: concurrent reader goroutines")
+		keys    = flag.Int64("keys", 200000, "read mode: distinct keys preloaded before measuring")
+		dist    = flag.String("dist", "zipfian", "read mode: key popularity, uniform|zipfian")
+		warm    = flag.Bool("warm", true, "read mode: warm the block cache with one full pass before measuring")
+		bits    = flag.Float64("bits", 10, "read mode: bloom filter bits per key")
+		scanLen = flag.Int("scanlen", 16, "read mode: entries per scan (scan/mixed)")
+
+		_ = flag.Bool("baseline", false, "run the pinned perf-trajectory suite and write it to -json")
+
+		_              = flag.Bool("compare", false, "compare two BENCH_*.json files: lsmbench -compare old.json new.json")
+		thresholdScale = flag.Float64("threshold-scale", 1, "multiply -compare regression tolerances (CI uses 2)")
+		markdown       = flag.Bool("markdown", false, "render the -compare table as markdown")
+
+		jsonPath = flag.String("json", "", "write a machine-readable result summary to this file")
 	)
 	flag.Parse()
 
-	if *serve || *addr != "" {
-		if err := runNet(*addr, *conns, *ops, *valueSize, *depth, *syncWAL, *syncDelay, *dir, *jsonPath); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+	explicit := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	benchMode, err := validateFlags(explicit)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lsmbench: %v\n", err)
+		os.Exit(2)
+	}
+
+	switch benchMode {
+	case modeCompare:
+		args := flag.Args()
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "lsmbench: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		failed, err := benchcmp.CompareFiles(args[0], args[1],
+			benchcmp.Options{Scale: *thresholdScale}, os.Stdout, *markdown)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lsmbench:", err)
+			os.Exit(2)
+		}
+		if failed {
 			os.Exit(1)
 		}
 		return
-	}
 
-	if *writers > 0 {
-		if err := runWriters(*writers, *ops, *valueSize, *batchSize, *syncWAL, *syncDelay, *dir, *jsonPath); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+	case modeBaseline:
+		if err := runBaseline(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "lsmbench:", err)
+			os.Exit(1)
+		}
+		return
+
+	case modeNet:
+		if err := runNet(*addr, *conns, *ops, *valueSize, *depth, *syncWAL, *syncDelay, *dir, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "lsmbench:", err)
+			os.Exit(1)
+		}
+		return
+
+	case modeWriters:
+		if *writers < 1 {
+			fmt.Fprintln(os.Stderr, "lsmbench: -writers must be at least 1")
+			os.Exit(2)
+		}
+		if err := runWriters(writersConfig{
+			writers: *writers, ops: *ops, valueSize: *valueSize, batchSize: *batchSize,
+			syncWAL: *syncWAL, syncDelay: *syncDelay, dir: *dir,
+		}, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "lsmbench:", err)
+			os.Exit(1)
+		}
+		return
+
+	case modeRead:
+		if err := runRead(readConfig{
+			mode: *mode, readers: *readers, ops: *ops, keys: *keys,
+			valueSize: *valueSize, dist: *dist, warm: *warm, bits: *bits,
+			scanLen: *scanLen, syncWAL: *syncWAL, dir: *dir,
+		}, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "lsmbench:", err)
 			os.Exit(1)
 		}
 		return
@@ -98,26 +173,51 @@ func main() {
 }
 
 // benchResult is the machine-readable summary written by -json: the
-// numbers CI trend lines and scripts consume without scraping the
-// human output.
+// numbers CI trend lines and the BENCH_*.json trajectory consume
+// without scraping the human output.
 type benchResult struct {
-	Mode       string  `json:"mode"` // "writers" or "net"
+	Mode       string  `json:"mode"` // "writers", "net", "get", "scan", "mixed"
 	Writers    int     `json:"writers,omitempty"`
 	Conns      int     `json:"conns,omitempty"`
 	Depth      int     `json:"depth,omitempty"`
+	Readers    int     `json:"readers,omitempty"`
 	Ops        int     `json:"ops"`
 	ValueBytes int     `json:"value_bytes"`
 	BatchSize  int     `json:"batch_size,omitempty"`
 	SyncWAL    bool    `json:"sync_wal"`
+	KeySpace   int64   `json:"key_space,omitempty"`
+	Dist       string  `json:"dist,omitempty"`
+	WarmCache  bool    `json:"warm_cache,omitempty"`
+	FilterBits float64 `json:"filter_bits_per_key,omitempty"`
+	ScanLen    int     `json:"scan_len,omitempty"`
 	ElapsedSec float64 `json:"elapsed_sec"`
 	OpsPerSec  float64 `json:"ops_per_sec"`
 
-	// Put latency percentiles, nanoseconds (enqueue→ack in net mode,
-	// Apply duration in writers mode).
+	// AllocsPerOp is the heap-allocation count per operation over the
+	// measured phase (runtime.ReadMemStats Mallocs delta / ops) — the
+	// CPU-side cost the zero-alloc get-path work drives down.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+
+	// Primary-operation latency percentiles, nanoseconds (puts in
+	// writers/net mode, gets in get/mixed mode, scans in scan mode).
 	P50Ns  int64 `json:"p50_ns"`
 	P99Ns  int64 `json:"p99_ns"`
 	P999Ns int64 `json:"p999_ns"`
 	MaxNs  int64 `json:"max_ns"`
+
+	// Read modes: operation counts and access-path attribution for the
+	// measured phase only (interval deltas, not engine totals).
+	GetOps           int64   `json:"get_ops,omitempty"`
+	ScanOps          int64   `json:"scan_ops,omitempty"`
+	PutOps           int64   `json:"put_ops,omitempty"`
+	HitRate          float64 `json:"get_hit_rate,omitempty"`
+	FilterNegatives  int64   `json:"filter_negatives,omitempty"`
+	FilterFalsePos   int64   `json:"filter_false_positives,omitempty"`
+	CacheHits        int64   `json:"cache_hits,omitempty"`
+	CacheMisses      int64   `json:"cache_misses,omitempty"`
+	CacheHitRate     float64 `json:"cache_hit_rate,omitempty"`
+	BlockReads       int64   `json:"block_reads,omitempty"`
+	BlockReadsCached int64   `json:"block_reads_cached,omitempty"`
 
 	// Engine-side totals (zero when benchmarking an external server).
 	WriteAmp           float64 `json:"write_amplification"`
@@ -134,7 +234,6 @@ type benchResult struct {
 // fillEngine copies the engine-side totals from a metrics snapshot.
 func (r *benchResult) fillEngine(m metrics.Snapshot) {
 	r.WriteAmp = m.WriteAmplification()
-	r.ReadAmp = m.ReadAmplification()
 	r.BytesIngested = m.BytesIngested
 	r.WALBytes = m.WALBytes
 	r.FlushBytes = m.FlushBytes
@@ -142,6 +241,27 @@ func (r *benchResult) fillEngine(m metrics.Snapshot) {
 	r.AvgCommitGroup = m.AvgCommitGroupSize()
 	r.WALSyncs = m.WALSyncs
 	r.WALSyncsSaved = m.WALSyncsSaved
+	if r.ReadAmp == 0 {
+		r.ReadAmp = m.ReadAmplification()
+	}
+}
+
+// fillReadPath copies the access-path attribution from an interval
+// delta of the engine counters (measured phase only, excluding preload
+// and warmup).
+func (r *benchResult) fillReadPath(d metrics.Snapshot) {
+	r.ReadAmp = d.ReadAmplification()
+	r.HitRate = 0
+	if d.Gets > 0 {
+		r.HitRate = float64(d.GetHits) / float64(d.Gets)
+	}
+	r.FilterNegatives = d.FilterNegatives
+	r.FilterFalsePos = d.FilterFalsePos
+	r.CacheHits = d.CacheHits
+	r.CacheMisses = d.CacheMisses
+	r.CacheHitRate = d.CacheHitRate()
+	r.BlockReads = d.BlockReads
+	r.BlockReadsCached = d.BlockReadsCached
 }
 
 // fillLatency copies the percentile summary from a histogram snapshot.
@@ -157,93 +277,122 @@ func (r *benchResult) writeJSON(path string) error {
 	if path == "" {
 		return nil
 	}
-	data, err := json.MarshalIndent(r, "", "  ")
+	return writeJSONFile(path, r)
+}
+
+func writeJSONFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// runWriters drives `writers` goroutines over disjoint key ranges
-// through one DB and reports aggregate throughput plus the commit
-// pipeline's coalescing statistics. The default in-memory filesystem
-// keeps the numbers about the engine; pass -dir to pay real fsync
-// latency, which is where group commit coalesces hardest.
-func runWriters(writers, ops, valueSize, batchSize int, syncWAL bool, syncDelay time.Duration, dir, jsonPath string) error {
-	if batchSize < 1 {
-		batchSize = 1
-	}
-	var fs vfs.FS
-	dbDir := "bench-db"
-	if dir != "" {
-		fs = vfs.NewOS()
-		dbDir = dir
-	} else {
-		mem := vfs.NewMem()
-		mem.SetSyncDelay(syncDelay)
-		fs = mem
-	}
-	opts := core.DefaultOptions(fs, dbDir)
-	opts.SyncWAL = syncWAL
-	opts.RecordLatencies = true
-	db, err := core.Open(opts)
+// writersConfig parameterizes the concurrent write benchmark.
+type writersConfig struct {
+	writers   int
+	ops       int
+	valueSize int
+	batchSize int
+	syncWAL   bool
+	syncDelay time.Duration
+	dir       string
+}
+
+// runWriters executes the write benchmark and writes the optional JSON
+// summary.
+func runWriters(cfg writersConfig, jsonPath string) error {
+	res, err := writersBench(cfg, os.Stdout)
 	if err != nil {
 		return err
 	}
+	return res.writeJSON(jsonPath)
+}
+
+// writersBench drives cfg.writers goroutines over disjoint key ranges
+// through one DB and reports aggregate throughput plus the commit
+// pipeline's coalescing statistics. The default in-memory filesystem
+// keeps the numbers about the engine; pass dir to pay real fsync
+// latency, which is where group commit coalesces hardest.
+func writersBench(cfg writersConfig, w io.Writer) (benchResult, error) {
+	if cfg.batchSize < 1 {
+		cfg.batchSize = 1
+	}
+	var fs vfs.FS
+	dbDir := "bench-db"
+	if cfg.dir != "" {
+		fs = vfs.NewOS()
+		dbDir = cfg.dir
+	} else {
+		mem := vfs.NewMem()
+		mem.SetSyncDelay(cfg.syncDelay)
+		fs = mem
+	}
+	opts := core.DefaultOptions(fs, dbDir)
+	opts.SyncWAL = cfg.syncWAL
+	opts.RecordLatencies = true
+	db, err := core.Open(opts)
+	if err != nil {
+		return benchResult{}, err
+	}
 	defer db.Close()
 
-	perWriter := ops / writers
+	perWriter := cfg.ops / cfg.writers
 	var wg sync.WaitGroup
-	errs := make([]error, writers)
+	errs := make([]error, cfg.writers)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	start := time.Now()
-	for w := 0; w < writers; w++ {
+	for wr := 0; wr < cfg.writers; wr++ {
 		wg.Add(1)
-		go func(w int) {
+		go func(wr int) {
 			defer wg.Done()
-			val := make([]byte, valueSize)
-			base := int64(w * perWriter)
+			val := make([]byte, cfg.valueSize)
+			base := int64(wr * perWriter)
 			var batch core.Batch
-			for i := 0; i < perWriter; i += batchSize {
+			for i := 0; i < perWriter; i += cfg.batchSize {
 				batch.Reset()
-				for j := 0; j < batchSize && i+j < perWriter; j++ {
+				for j := 0; j < cfg.batchSize && i+j < perWriter; j++ {
 					batch.Put(workload.Key(base+int64(i+j)), val)
 				}
 				if err := db.Apply(&batch); err != nil {
-					errs[w] = err
+					errs[wr] = err
 					return
 				}
 			}
-		}(w)
+		}(wr)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
 	for _, err := range errs {
 		if err != nil {
-			return err
+			return benchResult{}, err
 		}
 	}
 
 	m := db.Metrics()
-	total := perWriter * writers
-	fmt.Printf("writers=%d ops=%d value=%dB batch=%d sync=%v\n",
-		writers, total, valueSize, batchSize, syncWAL)
-	fmt.Printf("elapsed=%.2fs throughput=%.0f ops/s\n",
+	total := perWriter * cfg.writers
+	fmt.Fprintf(w, "writers=%d ops=%d value=%dB batch=%d sync=%v\n",
+		cfg.writers, total, cfg.valueSize, cfg.batchSize, cfg.syncWAL)
+	fmt.Fprintf(w, "elapsed=%.2fs throughput=%.0f ops/s\n",
 		elapsed.Seconds(), float64(total)/elapsed.Seconds())
-	fmt.Printf("commit_groups=%d batches=%d avg_group=%.2f wal_syncs=%d syncs_saved=%d\n",
+	fmt.Fprintf(w, "commit_groups=%d batches=%d avg_group=%.2f wal_syncs=%d syncs_saved=%d\n",
 		m.CommitGroups, m.CommitBatches, m.AvgCommitGroupSize(),
 		m.WALSyncs, m.WALSyncsSaved)
 	gs := db.CommitGroupSizes()
 	if gs.N > 0 {
-		fmt.Printf("group size: n=%d mean=%.2f max=%d\n", gs.N, gs.Mean(), gs.Max)
+		fmt.Fprintf(w, "group size: n=%d mean=%.2f max=%d\n", gs.N, gs.Mean(), gs.Max)
 	}
 	res := benchResult{
-		Mode: "writers", Writers: writers, Ops: total, ValueBytes: valueSize,
-		BatchSize: batchSize, SyncWAL: syncWAL,
+		Mode: "writers", Writers: cfg.writers, Ops: total, ValueBytes: cfg.valueSize,
+		BatchSize: cfg.batchSize, SyncWAL: cfg.syncWAL,
 		ElapsedSec: elapsed.Seconds(), OpsPerSec: float64(total) / elapsed.Seconds(),
+		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(total),
 	}
 	res.fillEngine(m)
 	res.fillLatency(db.Latencies().Put)
-	return res.writeJSON(jsonPath)
+	return res, nil
 }
 
 // runNet measures put throughput over the wire: conns connections,

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"lsmlab/internal/client"
+)
+
+// topCmd is the refreshing dashboard: it polls the server's verbose
+// STATS text (counters, derived amplifications, latency percentiles,
+// tree shape) over the data protocol — so it works against any server
+// build, with or without the HTTP debug plane — and redraws on an
+// interval like top(1).
+func topCmd(cl *client.Client, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	interval := fs.Duration("interval", time.Second, "refresh interval")
+	count := fs.Int("count", 0, "number of refreshes (0 = until interrupted)")
+	plain := fs.Bool("plain", false, "append frames instead of redrawing (for logs/pipes)")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for i := 0; *count <= 0 || i < *count; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		text, err := cl.Stats(true)
+		if err != nil {
+			return err
+		}
+		if !*plain {
+			// Clear screen and home the cursor between frames.
+			fmt.Fprint(w, "\x1b[2J\x1b[H")
+		}
+		fmt.Fprintf(w, "lsmctl top — %s (refresh %s)\n%s\n",
+			time.Now().Format("15:04:05"), *interval, text)
+	}
+	return nil
+}

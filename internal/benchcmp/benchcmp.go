@@ -1,0 +1,385 @@
+// Package benchcmp compares two machine-readable lsmbench result files
+// (the committed BENCH_*.json perf trajectory) metric by metric, with
+// direction-aware noise thresholds: a throughput drop or a latency-tail
+// rise beyond tolerance is a hard regression, everything else is
+// reported informationally. It is the engine behind `lsmbench -compare`
+// and the CI bench-trajectory gate.
+package benchcmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// File is one trajectory snapshot: named result sections, each a flat
+// map of numeric metrics. Plain single-result files (a bare `lsmbench
+// -json` object) load as one section named "result".
+type File struct {
+	Schema   int               `json:"schema"`
+	Workload string            `json:"workload,omitempty"`
+	Results  map[string]Result `json:"results"`
+}
+
+// Result is one benchmark section, flattened to its numeric fields.
+// Booleans load as 0/1; strings are dropped (they describe the
+// workload, not its performance).
+type Result map[string]float64
+
+// Load reads a BENCH_*.json file in either the trajectory format
+// ({"schema":1,"results":{...}}) or the bare single-result format.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	f := &File{Results: make(map[string]Result)}
+	if sections, ok := raw["results"]; ok {
+		var named map[string]map[string]any
+		if err := json.Unmarshal(sections, &named); err != nil {
+			return nil, fmt.Errorf("%s: results: %w", path, err)
+		}
+		if schema, ok := raw["schema"]; ok {
+			json.Unmarshal(schema, &f.Schema)
+		}
+		if wl, ok := raw["workload"]; ok {
+			json.Unmarshal(wl, &f.Workload)
+		}
+		for name, fields := range named {
+			f.Results[name] = flatten(fields)
+		}
+		return f, nil
+	}
+	var fields map[string]any
+	if err := json.Unmarshal(data, &fields); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	f.Results["result"] = flatten(fields)
+	return f, nil
+}
+
+func flatten(fields map[string]any) Result {
+	r := make(Result, len(fields))
+	for k, v := range fields {
+		switch t := v.(type) {
+		case float64:
+			r[k] = t
+		case bool:
+			if t {
+				r[k] = 1
+			}
+		}
+	}
+	return r
+}
+
+// Direction states which way a metric is allowed to move.
+type Direction int
+
+// The comparison directions.
+const (
+	// Info metrics are shown but never gate.
+	Info Direction = iota
+	// HigherBetter fails when the new value drops beyond tolerance.
+	HigherBetter
+	// LowerBetter fails when the new value rises beyond tolerance.
+	LowerBetter
+)
+
+// Rule gates one metric. RelTol is the allowed relative movement in the
+// bad direction (0.10 = 10%); AbsSlack is an absolute allowance added on
+// top, so near-zero baselines (allocs/op after a zero-alloc fix) don't
+// fail on measurement dust.
+type Rule struct {
+	Metric   string
+	Dir      Direction
+	RelTol   float64
+	AbsSlack float64
+}
+
+// DefaultRules is the gate: throughput may not drop more than 10%, the
+// p99 tail may not rise more than 20% (p999 30%, p50 25% — deeper tails
+// are noisier), allocations per op may not grow more than 25% (+0.5
+// absolute), and write amplification may not grow more than 50%. Every
+// other shared metric is informational.
+//
+// The absolute slacks are calibrated against the measured run-to-run
+// variance of the pinned workload on identical code: sync'd-put p99
+// swings by a few microseconds with goroutine scheduling, and write
+// amplification by ~40% with where background compaction happens to
+// stand when the run ends. The relative tolerances still catch order-
+// of-magnitude regressions; the slack absorbs scheduler dust on
+// near-memory-speed baselines.
+func DefaultRules() []Rule {
+	return []Rule{
+		{Metric: "ops_per_sec", Dir: HigherBetter, RelTol: 0.10},
+		{Metric: "p50_ns", Dir: LowerBetter, RelTol: 0.25, AbsSlack: 300},
+		{Metric: "p99_ns", Dir: LowerBetter, RelTol: 0.20, AbsSlack: 3000},
+		// p999 of a 100k-op section is the ~100th-worst op: it measures
+		// GC and compaction-stall luck and swings 3x on identical code,
+		// so only ms-scale tail explosions (lock convoys, stalls) gate.
+		{Metric: "p999_ns", Dir: LowerBetter, RelTol: 0.50, AbsSlack: 200000},
+		{Metric: "allocs_per_op", Dir: LowerBetter, RelTol: 0.25, AbsSlack: 0.5},
+		{Metric: "write_amplification", Dir: LowerBetter, RelTol: 0.50, AbsSlack: 0.05},
+	}
+}
+
+// Options configures a comparison.
+type Options struct {
+	// Scale multiplies every rule's tolerances; CI passes 2 so shared
+	// runners don't flake on scheduler noise. 0 means 1.
+	Scale float64
+	// Rules overrides DefaultRules when non-nil.
+	Rules []Rule
+}
+
+// Status classifies one metric delta.
+type Status int
+
+// The comparison outcomes, ordered by severity for sorting.
+const (
+	StatusOK Status = iota
+	StatusBetter
+	StatusInfo
+	StatusFail
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusBetter:
+		return "better"
+	case StatusFail:
+		return "FAIL"
+	default:
+		return "info"
+	}
+}
+
+// Row is one compared metric.
+type Row struct {
+	Section string
+	Metric  string
+	Old     float64
+	New     float64
+	// DeltaPct is the relative movement in percent ((new-old)/old); NaN
+	// when the old value is zero.
+	DeltaPct float64
+	Status   Status
+	Note     string
+}
+
+// Report is the outcome of comparing two files.
+type Report struct {
+	Rows []Row
+	// Failures counts hard regressions (and structural losses: a gated
+	// section or metric that vanished).
+	Failures int
+}
+
+// Failed reports whether any gate tripped.
+func (r *Report) Failed() bool { return r.Failures > 0 }
+
+// Compare evaluates new against old section by section. Sections
+// present in old but missing in new count as failures — a trajectory
+// that silently drops coverage is a regression of the harness itself.
+// Sections only present in new are reported informationally.
+func Compare(oldF, newF *File, opts Options) *Report {
+	scale := opts.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	rules := opts.Rules
+	if rules == nil {
+		rules = DefaultRules()
+	}
+	ruleFor := make(map[string]Rule, len(rules))
+	for _, r := range rules {
+		ruleFor[r.Metric] = r
+	}
+
+	rep := &Report{}
+	for _, section := range sortedKeys(oldF.Results) {
+		oldR := oldF.Results[section]
+		newR, ok := newF.Results[section]
+		if !ok {
+			rep.Rows = append(rep.Rows, Row{
+				Section: section, Metric: "(section)", Status: StatusFail,
+				Note: "section missing from new file",
+			})
+			rep.Failures++
+			continue
+		}
+		for _, metric := range sortedMetrics(oldR, ruleFor) {
+			oldV := oldR[metric]
+			newV, have := newR[metric]
+			rule, gated := ruleFor[metric]
+			if !have {
+				if gated {
+					rep.Rows = append(rep.Rows, Row{
+						Section: section, Metric: metric, Old: oldV,
+						Status: StatusFail, Note: "gated metric missing from new file",
+					})
+					rep.Failures++
+				}
+				continue
+			}
+			row := Row{Section: section, Metric: metric, Old: oldV, New: newV}
+			if oldV != 0 {
+				row.DeltaPct = (newV - oldV) / math.Abs(oldV) * 100
+			} else {
+				row.DeltaPct = math.NaN()
+			}
+			if !gated || rule.Dir == Info {
+				row.Status = StatusInfo
+			} else {
+				row.Status, row.Note = judge(oldV, newV, rule, scale)
+				if row.Status == StatusFail {
+					rep.Failures++
+				}
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	for _, section := range sortedKeys(newF.Results) {
+		if _, ok := oldF.Results[section]; !ok {
+			rep.Rows = append(rep.Rows, Row{
+				Section: section, Metric: "(section)", Status: StatusInfo,
+				Note: "new section (no baseline)",
+			})
+		}
+	}
+	return rep
+}
+
+// judge applies one rule: the allowed bad-direction movement is
+// old*RelTol*scale + AbsSlack*scale.
+func judge(oldV, newV float64, rule Rule, scale float64) (Status, string) {
+	allow := math.Abs(oldV)*rule.RelTol*scale + rule.AbsSlack*scale
+	switch rule.Dir {
+	case HigherBetter:
+		if newV < oldV-allow {
+			return StatusFail, fmt.Sprintf("dropped beyond -%.0f%% tolerance", rule.RelTol*scale*100)
+		}
+		if newV > oldV+allow {
+			return StatusBetter, ""
+		}
+	case LowerBetter:
+		if newV > oldV+allow {
+			return StatusFail, fmt.Sprintf("rose beyond +%.0f%% tolerance", rule.RelTol*scale*100)
+		}
+		if newV < oldV-allow {
+			return StatusBetter, ""
+		}
+	}
+	return StatusOK, ""
+}
+
+// WriteTable renders the report; markdown true emits a GitHub-flavored
+// table, false an aligned plain-text one.
+func (r *Report) WriteTable(w io.Writer, markdown bool) {
+	if markdown {
+		fmt.Fprintln(w, "| section | metric | old | new | delta | status |")
+		fmt.Fprintln(w, "|---|---|---:|---:|---:|---|")
+		for _, row := range r.Rows {
+			fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s |\n",
+				row.Section, row.Metric, fmtVal(row.Old), fmtVal(row.New),
+				fmtDelta(row.DeltaPct), statusNote(row))
+		}
+	} else {
+		fmt.Fprintf(w, "%-14s %-26s %14s %14s %9s  %s\n",
+			"section", "metric", "old", "new", "delta", "status")
+		for _, row := range r.Rows {
+			fmt.Fprintf(w, "%-14s %-26s %14s %14s %9s  %s\n",
+				row.Section, row.Metric, fmtVal(row.Old), fmtVal(row.New),
+				fmtDelta(row.DeltaPct), statusNote(row))
+		}
+	}
+	if r.Failures > 0 {
+		fmt.Fprintf(w, "\n%d hard regression(s)\n", r.Failures)
+	} else {
+		fmt.Fprintln(w, "\nno hard regressions")
+	}
+}
+
+func statusNote(row Row) string {
+	if row.Note != "" {
+		return row.Status.String() + " (" + row.Note + ")"
+	}
+	return row.Status.String()
+}
+
+func fmtVal(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+func fmtDelta(pct float64) string {
+	if math.IsNaN(pct) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", pct)
+}
+
+func sortedKeys(m map[string]Result) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedMetrics orders a section's metrics gated-first (in severity of
+// interest), then the rest alphabetically.
+func sortedMetrics(r Result, ruleFor map[string]Rule) []string {
+	keys := make([]string, 0, len(r))
+	for k := range r {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		_, gi := ruleFor[keys[i]]
+		_, gj := ruleFor[keys[j]]
+		if gi != gj {
+			return gi
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// CompareFiles is the one-call form used by lsmbench -compare: load
+// both paths, compare, render to w, and report failure.
+func CompareFiles(oldPath, newPath string, opts Options, w io.Writer, markdown bool) (bool, error) {
+	oldF, err := Load(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newF, err := Load(newPath)
+	if err != nil {
+		return false, err
+	}
+	if oldF.Workload != "" || newF.Workload != "" {
+		fmt.Fprintf(w, "old: %s\nnew: %s\n\n", describe(oldPath, oldF), describe(newPath, newF))
+	}
+	rep := Compare(oldF, newF, opts)
+	rep.WriteTable(w, markdown)
+	return rep.Failed(), nil
+}
+
+func describe(path string, f *File) string {
+	if f.Workload == "" {
+		return path
+	}
+	return path + " (" + f.Workload + ")"
+}

@@ -1,0 +1,185 @@
+package benchcmp
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadTrajectoryFormat(t *testing.T) {
+	path := writeFile(t, "b.json", `{
+		"schema": 1,
+		"workload": "pinned-v1",
+		"results": {
+			"get_uniform": {"ops_per_sec": 100000, "p99_ns": 2500, "warm_cache": true, "dist": "uniform"}
+		}
+	}`)
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != 1 || f.Workload != "pinned-v1" {
+		t.Fatalf("header not parsed: %+v", f)
+	}
+	r := f.Results["get_uniform"]
+	if r["ops_per_sec"] != 100000 || r["p99_ns"] != 2500 {
+		t.Fatalf("numeric fields not parsed: %v", r)
+	}
+	if r["warm_cache"] != 1 {
+		t.Fatalf("bool should flatten to 1, got %v", r["warm_cache"])
+	}
+	if _, ok := r["dist"]; ok {
+		t.Fatal("string fields must be dropped")
+	}
+}
+
+func TestLoadBareResult(t *testing.T) {
+	path := writeFile(t, "bare.json", `{"mode": "writers", "ops_per_sec": 5000, "p99_ns": 100}`)
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Results["result"]["ops_per_sec"] != 5000 {
+		t.Fatalf("bare file should load as section %q: %v", "result", f.Results)
+	}
+}
+
+func mkFile(sections map[string]Result) *File {
+	return &File{Schema: 1, Results: sections}
+}
+
+func TestCompareDirections(t *testing.T) {
+	cases := []struct {
+		name       string
+		metric     string
+		oldV, newV float64
+		want       Status
+	}{
+		{"throughput drop fails", "ops_per_sec", 100000, 80000, StatusFail},
+		{"throughput within noise ok", "ops_per_sec", 100000, 95000, StatusOK},
+		{"throughput gain is better", "ops_per_sec", 100000, 150000, StatusBetter},
+		{"p99 rise fails", "p99_ns", 100000, 140000, StatusFail},
+		{"p99 within noise ok", "p99_ns", 100000, 110000, StatusOK},
+		{"p99 rise within abs slack ok", "p99_ns", 1000, 3500, StatusOK},
+		{"p99 improvement is better", "p99_ns", 100000, 50000, StatusBetter},
+		{"allocs regression fails", "allocs_per_op", 2, 8, StatusFail},
+		{"allocs zero stays ok within slack", "allocs_per_op", 0, 0.2, StatusOK},
+		{"untracked metric is info", "block_reads", 10, 99999, StatusInfo},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			oldF := mkFile(map[string]Result{"s": {tc.metric: tc.oldV}})
+			newF := mkFile(map[string]Result{"s": {tc.metric: tc.newV}})
+			rep := Compare(oldF, newF, Options{})
+			if len(rep.Rows) != 1 {
+				t.Fatalf("want 1 row, got %d", len(rep.Rows))
+			}
+			if rep.Rows[0].Status != tc.want {
+				t.Fatalf("%s %v -> %v: got %v, want %v",
+					tc.metric, tc.oldV, tc.newV, rep.Rows[0].Status, tc.want)
+			}
+			if (tc.want == StatusFail) != rep.Failed() {
+				t.Fatalf("Failed()=%v inconsistent with status %v", rep.Failed(), tc.want)
+			}
+		})
+	}
+}
+
+func TestCompareScaleLoosensGate(t *testing.T) {
+	oldF := mkFile(map[string]Result{"s": {"ops_per_sec": 100000}})
+	newF := mkFile(map[string]Result{"s": {"ops_per_sec": 85000}}) // -15%
+	if !Compare(oldF, newF, Options{}).Failed() {
+		t.Fatal("15% drop must fail at scale 1 (10% tolerance)")
+	}
+	if Compare(oldF, newF, Options{Scale: 2}).Failed() {
+		t.Fatal("15% drop must pass at scale 2 (20% tolerance)")
+	}
+}
+
+func TestCompareMissingSectionFails(t *testing.T) {
+	oldF := mkFile(map[string]Result{"get_uniform": {"ops_per_sec": 1}, "put": {"ops_per_sec": 1}})
+	newF := mkFile(map[string]Result{"put": {"ops_per_sec": 1}})
+	rep := Compare(oldF, newF, Options{})
+	if !rep.Failed() {
+		t.Fatal("dropping a baseline section must fail")
+	}
+}
+
+func TestCompareMissingGatedMetricFails(t *testing.T) {
+	oldF := mkFile(map[string]Result{"s": {"p99_ns": 100, "block_reads": 5}})
+	newF := mkFile(map[string]Result{"s": {"block_reads": 7}})
+	rep := Compare(oldF, newF, Options{})
+	if !rep.Failed() {
+		t.Fatal("losing a gated metric must fail")
+	}
+	// The non-gated metric must not fail, only inform.
+	for _, row := range rep.Rows {
+		if row.Metric == "block_reads" && row.Status != StatusInfo {
+			t.Fatalf("block_reads should be info, got %v", row.Status)
+		}
+	}
+}
+
+func TestCompareNewSectionIsInfo(t *testing.T) {
+	oldF := mkFile(map[string]Result{"s": {"p99_ns": 100}})
+	newF := mkFile(map[string]Result{"s": {"p99_ns": 100}, "extra": {"p99_ns": 1}})
+	rep := Compare(oldF, newF, Options{})
+	if rep.Failed() {
+		t.Fatal("a new section must not fail the gate")
+	}
+}
+
+func TestWriteTableRendersBothForms(t *testing.T) {
+	oldF := mkFile(map[string]Result{"s": {"ops_per_sec": 100, "p99_ns": 10}})
+	newF := mkFile(map[string]Result{"s": {"ops_per_sec": 50, "p99_ns": 10}})
+	rep := Compare(oldF, newF, Options{})
+
+	var plain bytes.Buffer
+	rep.WriteTable(&plain, false)
+	if !strings.Contains(plain.String(), "FAIL") || !strings.Contains(plain.String(), "1 hard regression") {
+		t.Fatalf("plain table missing failure: %s", plain.String())
+	}
+
+	var md bytes.Buffer
+	rep.WriteTable(&md, true)
+	if !strings.Contains(md.String(), "| section | metric |") {
+		t.Fatalf("markdown header missing: %s", md.String())
+	}
+}
+
+func TestCompareFilesEndToEnd(t *testing.T) {
+	oldP := writeFile(t, "old.json", `{"schema":1,"results":{"s":{"ops_per_sec":1000,"p99_ns":100}}}`)
+	newP := writeFile(t, "new.json", `{"schema":1,"results":{"s":{"ops_per_sec":1200,"p99_ns":90}}}`)
+	var out bytes.Buffer
+	failed, err := CompareFiles(oldP, newP, Options{}, &out, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("improvement flagged as regression:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "no hard regressions") {
+		t.Fatalf("summary line missing:\n%s", out.String())
+	}
+}
+
+func TestDeltaPctNaNOnZeroBaseline(t *testing.T) {
+	oldF := mkFile(map[string]Result{"s": {"block_reads": 0}})
+	newF := mkFile(map[string]Result{"s": {"block_reads": 5}})
+	rep := Compare(oldF, newF, Options{})
+	if !math.IsNaN(rep.Rows[0].DeltaPct) {
+		t.Fatalf("delta over zero baseline should be NaN, got %v", rep.Rows[0].DeltaPct)
+	}
+}

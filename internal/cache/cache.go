@@ -38,14 +38,19 @@ type shard struct {
 	items    map[Key]*list.Element
 }
 
+// get is the read fast path: one lock acquisition, no defer — this
+// runs once per block access on every point lookup, and the defer'd
+// unlock is measurable there.
 func (s *shard) get(k Key) (any, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if el, ok := s.items[k]; ok {
+	el, ok := s.items[k]
+	var v any
+	if ok {
 		s.ll.MoveToFront(el)
-		return el.Value.(*entry).value, true
+		v = el.Value.(*entry).value
 	}
-	return nil, false
+	s.mu.Unlock()
+	return v, ok
 }
 
 func (s *shard) add(k Key, v any, charge int) {

@@ -1,0 +1,155 @@
+package cache
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// checkShardInvariants walks a shard under its lock and verifies the
+// structural invariants the concurrent paths must preserve: the charge
+// accounting matches the resident entries (and is never negative), the
+// LRU list and the index map describe the same set, and the list has no
+// duplicated keys (a same-key race in add would manifest as two
+// elements for one key, leaking charge forever).
+func checkShardInvariants(t *testing.T, s *shard) {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.used < 0 {
+		t.Errorf("shard used charge is negative: %d", s.used)
+	}
+	if s.used > s.capacity {
+		t.Errorf("shard used charge %d exceeds capacity %d", s.used, s.capacity)
+	}
+	if s.ll.Len() != len(s.items) {
+		t.Errorf("LRU list has %d elements but index has %d", s.ll.Len(), len(s.items))
+	}
+	sum := 0
+	seen := make(map[Key]bool, s.ll.Len())
+	for el := s.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if seen[e.key] {
+			t.Errorf("key %v appears twice in the LRU list", e.key)
+		}
+		seen[e.key] = true
+		if s.items[e.key] != el {
+			t.Errorf("index for key %v does not point at its list element", e.key)
+		}
+		sum += e.charge
+	}
+	if sum != s.used {
+		t.Errorf("sum of resident charges %d != accounted used %d", sum, s.used)
+	}
+}
+
+// TestCacheConcurrentStress hammers a small cache with adds, gets,
+// whole-file evictions, and UsedBytes sampling from many goroutines.
+// Run under -race this exercises every lock path; the explicit checks
+// pin the accounting invariants (charge never negative, never above
+// capacity, list/map always in sync).
+func TestCacheConcurrentStress(t *testing.T) {
+	const (
+		workers  = 8
+		opsEach  = 5000
+		files    = 8
+		offsets  = 64
+		capacity = 16 << 10 // 1 KiB per shard: constant eviction pressure
+	)
+	c := New(capacity)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsEach; i++ {
+				file := uint64(rng.Intn(files))
+				off := uint64(rng.Intn(offsets)) * 512
+				switch rng.Intn(10) {
+				case 0:
+					c.EvictFile(file)
+				case 1, 2, 3:
+					c.Add(file, off, seed, 64+rng.Intn(512))
+				default:
+					c.Get(file, off)
+				}
+			}
+		}(int64(w))
+	}
+	// Sample the public accounting while the storm is running: the
+	// total must never go negative even though each shard is only
+	// momentarily consistent.
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		for !stop.Load() {
+			if u := c.UsedBytes(); u < 0 {
+				t.Errorf("UsedBytes went negative mid-stress: %d", u)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	stop.Store(true)
+	samplerWG.Wait()
+	for _, s := range c.shards {
+		checkShardInvariants(t, s)
+	}
+}
+
+// TestCacheConcurrentSameKeyAdd has every goroutine add the SAME key
+// with different charges while others read it. Whatever interleaving
+// wins, the shard must end with exactly one resident element for the
+// key, charge accounting equal to that element's charge, and an intact
+// LRU list.
+func TestCacheConcurrentSameKeyAdd(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 3000
+	)
+	c := New(1 << 20)
+	const file, off = 7, 4096
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if w%2 == 0 {
+					c.Add(file, off, w, 100+(w+i)%200)
+				} else {
+					if v, ok := c.Get(file, off); ok {
+						if _, isInt := v.(int); !isInt {
+							t.Errorf("cached value has wrong type: %T", v)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := c.shardFor(file, off)
+	checkShardInvariants(t, s)
+	s.mu.Lock()
+	el, ok := s.items[Key{file, off}]
+	if !ok {
+		s.mu.Unlock()
+		t.Fatal("key vanished after concurrent same-key adds")
+	}
+	e := el.Value.(*entry)
+	if s.ll.Front() != el {
+		t.Error("most recently added key is not at the LRU front")
+	}
+	if s.used != e.charge {
+		t.Errorf("shard charge %d != sole entry charge %d", s.used, e.charge)
+	}
+	s.mu.Unlock()
+}

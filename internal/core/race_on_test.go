@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active; its shadow
+// memory bookkeeping allocates, so exact allocs/op assertions skip.
+const raceEnabled = true

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"errors"
+	"sync"
 
 	"lsmlab/internal/bloom"
 	"lsmlab/internal/kv"
@@ -12,6 +13,18 @@ import (
 	"lsmlab/internal/vfs"
 	"lsmlab/internal/wisckey"
 )
+
+// readScratch carries the reusable buffers of one point lookup: the
+// memtable slice of the view, the search key shared by every probe,
+// and the sstable cursors. Pooled so the steady-state get path does
+// zero heap allocations (proved by BenchmarkGetHot).
+type readScratch struct {
+	mems   []*memWrapper
+	search []byte
+	sst    sstable.GetScratch
+}
+
+var readScratchPool = sync.Pool{New: func() any { return new(readScratch) }}
 
 type wiscPointer = wisckey.Pointer
 
@@ -25,9 +38,20 @@ type readView struct {
 
 // acquireView captures the sources under the DB lock.
 func (db *DB) acquireView(snap kv.SeqNum) readView {
+	return db.acquireViewInto(snap, nil)
+}
+
+// acquireViewInto is acquireView reusing a caller-owned memtable slice
+// (the pooled scratch of the get path), so a steady-state lookup does
+// not allocate the view.
+func (db *DB) acquireViewInto(snap kv.SeqNum, mems []*memWrapper) readView {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	mems := make([]*memWrapper, 0, len(db.imm)+1)
+	if cap(mems) < len(db.imm)+1 {
+		mems = make([]*memWrapper, 0, len(db.imm)+4)
+	} else {
+		mems = mems[:0]
+	}
 	mems = append(mems, db.mem)
 	for i := len(db.imm) - 1; i >= 0; i-- {
 		mems = append(mems, db.imm[i])
@@ -53,10 +77,18 @@ func (db *DB) GetTraced(key []byte, traceID uint64) ([]byte, error) {
 }
 
 func (db *DB) get(key []byte, snap kv.SeqNum, traceID uint64) ([]byte, error) {
-	if db.timeOps {
-		start := db.opts.NowNs()
-		defer func() { db.m.GetNs.RecordSince(start, db.opts.NowNs()) }()
+	if !db.timeOps {
+		return db.getInner(key, snap, traceID)
 	}
+	// Timed wrapper kept out of the common body: a deferred closure
+	// capturing start would cost an allocation per get.
+	start := db.opts.NowNs()
+	v, err := db.getInner(key, snap, traceID)
+	db.m.GetNs.RecordSince(start, db.opts.NowNs())
+	return v, err
+}
+
+func (db *DB) getInner(key []byte, snap kv.SeqNum, traceID uint64) ([]byte, error) {
 	db.m.Gets.Add(1)
 	var sp *trace.Span
 	var st sstable.ReadStats
@@ -74,17 +106,24 @@ func (db *DB) get(key []byte, snap kv.SeqNum, traceID uint64) ([]byte, error) {
 	if sp != nil {
 		t0 = db.opts.NowNs()
 	}
-	e, err := db.getEntryWith(key, snap, sp, st)
+	sc := readScratchPool.Get().(*readScratch)
+	e, err := db.getEntryWith(key, snap, sp, st, sc)
 	if sp != nil {
 		sp.StageSince("search", t0, db.opts.NowNs())
 	}
 	if err != nil {
+		readScratchPool.Put(sc)
 		if err != ErrNotFound {
 			sp.SetErr(err)
 		}
 		return nil, err
 	}
-	switch e.Kind() {
+	// e.Key aliases the scratch; read everything needed from it before
+	// the scratch returns to the pool. e.Value aliases the memtable or
+	// an immutable cached block and stays valid.
+	kind := e.Kind()
+	readScratchPool.Put(sc)
+	switch kind {
 	case kv.KindSet:
 		db.m.GetHits.Add(1)
 		sp.AddBytes(int64(len(e.Value)))
@@ -137,12 +176,19 @@ func (db *DB) get(key []byte, snap kv.SeqNum, traceID uint64) ([]byte, error) {
 // tombstone or value pointer), with range tombstones applied.
 // It retries when a racing compaction deletes a file mid-read.
 func (db *DB) getEntry(key []byte, snap kv.SeqNum) (kv.Entry, error) {
-	return db.getEntryWith(key, snap, nil, nil)
+	sc := readScratchPool.Get().(*readScratch)
+	e, err := db.getEntryWith(key, snap, nil, nil, sc)
+	if err == nil {
+		e = e.Clone() // detach from the scratch for non-hot-path callers
+	}
+	readScratchPool.Put(sc)
+	return e, err
 }
 
-// getEntryWith is getEntry with an optional span and per-operation read
-// stats sink; both nil on untraced lookups.
-func (db *DB) getEntryWith(key []byte, snap kv.SeqNum, sp *trace.Span, st sstable.ReadStats) (kv.Entry, error) {
+// getEntryWith is getEntry with an optional span, per-operation read
+// stats sink (both nil on untraced lookups), and the caller's pooled
+// scratch. The returned entry's key aliases sc.
+func (db *DB) getEntryWith(key []byte, snap kv.SeqNum, sp *trace.Span, st sstable.ReadStats, sc *readScratch) (kv.Entry, error) {
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
@@ -155,8 +201,9 @@ func (db *DB) getEntryWith(key []byte, snap kv.SeqNum, sp *trace.Span, st sstabl
 	// of 1 under the race detector).
 	var lastErr error
 	for attempt := 0; attempt < 20; attempt++ {
-		view := db.acquireView(snap)
-		e, ok, err := db.searchView(view, key, sp, st)
+		view := db.acquireViewInto(snap, sc.mems)
+		sc.mems = view.mems // retain the slice's capacity in the scratch
+		e, ok, err := db.searchView(view, key, sp, st, sc)
 		if err != nil {
 			if isMissingFile(err) {
 				lastErr = err
@@ -177,17 +224,13 @@ func isMissingFile(err error) bool { return errors.Is(err, vfs.ErrNotExist) }
 // searchView walks the sources newest to oldest, maintaining the
 // highest covering range-tombstone sequence seen so far. The first
 // point entry found is the newest visible version; it is live only if
-// no newer range tombstone covers it (tutorial §2.1.2 Get).
-func (db *DB) searchView(view readView, key []byte, sp *trace.Span, st sstable.ReadStats) (kv.Entry, bool, error) {
+// no newer range tombstone covers it (tutorial §2.1.2 Get). The
+// returned entry's key aliases sc; the probe chain allocates nothing.
+func (db *DB) searchView(view readView, key []byte, sp *trace.Span, st sstable.ReadStats, sc *readScratch) (kv.Entry, bool, error) {
 	var maxRT kv.SeqNum
 	hash := bloom.Hash64(key) // hash sharing: one hash per lookup (§2.1.3)
-
-	resolve := func(e kv.Entry) (kv.Entry, bool, error) {
-		if e.Seq() < maxRT {
-			return kv.Entry{}, false, nil // shadowed by a range delete
-		}
-		return e, true, nil
-	}
+	// One search key serves every memtable and run probe.
+	sc.search = kv.AppendSearchKey(sc.search[:0], key, view.seq)
 
 	// Memtables.
 	for _, mw := range view.mems {
@@ -197,8 +240,11 @@ func (db *DB) searchView(view readView, key []byte, sp *trace.Span, st sstable.R
 				maxRT = rt.Seq
 			}
 		}
-		if e, ok := mw.mt.Get(key, view.seq); ok {
-			return resolve(e)
+		if e, ok := mw.mt.GetSeek(sc.search, key, view.seq); ok {
+			if e.Seq() < maxRT {
+				return kv.Entry{}, false, nil // shadowed by a range delete
+			}
+			return e, true, nil
 		}
 	}
 
@@ -209,7 +255,7 @@ func (db *DB) searchView(view readView, key []byte, sp *trace.Span, st sstable.R
 			if f == nil {
 				continue
 			}
-			r, release, err := db.tcache.acquire(f.Num)
+			r, err := db.tcache.acquireRef(f.Num)
 			if err != nil {
 				return kv.Entry{}, false, err
 			}
@@ -220,14 +266,19 @@ func (db *DB) searchView(view readView, key []byte, sp *trace.Span, st sstable.R
 			}
 			db.m.RunsProbed.Add(1)
 			sp.AddRun()
-			e, ok, err := r.GetWith(key, hash, view.seq, st)
+			e, ok, err := r.GetScratched(key, sc.search, hash, st, &sc.sst)
 			if err != nil {
-				release()
+				db.tcache.release(f.Num)
 				return kv.Entry{}, false, err
 			}
 			if ok {
-				release()
-				return resolve(e)
+				// Safe to release before returning: e aliases the scratch
+				// and the cached block, not the reader's file.
+				db.tcache.release(f.Num)
+				if e.Seq() < maxRT {
+					return kv.Entry{}, false, nil // shadowed by a range delete
+				}
+				return e, true, nil
 			}
 			if len(r.RangeTombstones()) == 0 && r.FilterSizeBytes() > 0 {
 				// The filter passed but the key was absent: a false
@@ -236,7 +287,7 @@ func (db *DB) searchView(view readView, key []byte, sp *trace.Span, st sstable.R
 				db.m.FilterFalsePos.Add(1)
 				sp.AddFalsePositive()
 			}
-			release()
+			db.tcache.release(f.Num)
 		}
 	}
 

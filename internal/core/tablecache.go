@@ -39,28 +39,39 @@ func newTableCache(fs vfs.FS, dir string, ropts func(uint64) sstable.ReaderOptio
 // acquire opens (or reuses) the reader for fileNum and takes a
 // reference. Callers must invoke the returned release exactly once.
 func (tc *tableCache) acquire(fileNum uint64) (*sstable.Reader, func(), error) {
+	r, err := tc.acquireRef(fileNum)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, func() { tc.release(fileNum) }, nil
+}
+
+// acquireRef is acquire without the release closure: callers pair it
+// with an explicit tc.release(fileNum). The point-read path probes a
+// table per level and the closure allocation is measurable there.
+func (tc *tableCache) acquireRef(fileNum uint64) (*sstable.Reader, error) {
 	tc.mu.Lock()
 	e, ok := tc.entries[fileNum]
 	if ok && !e.doomed {
 		e.refs++
+		r := e.r
 		tc.mu.Unlock()
-		return e.r, func() { tc.release(fileNum) }, nil
-	}
-	if ok && e.doomed {
-		tc.mu.Unlock()
-		return nil, nil, fmt.Errorf("table %d: %w", fileNum, vfs.ErrNotExist)
+		return r, nil
 	}
 	tc.mu.Unlock()
+	if ok { // doomed
+		return nil, fmt.Errorf("table %d: %w", fileNum, vfs.ErrNotExist)
+	}
 
 	// Open outside the lock; racing opens are reconciled below.
 	f, err := tc.fs.Open(vfs.Join(tc.dir, manifest.FileName(fileNum)))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	r, err := sstable.Open(f, tc.ropts(fileNum))
 	if err != nil {
 		f.Close()
-		return nil, nil, err
+		return nil, err
 	}
 
 	tc.mu.Lock()
@@ -68,11 +79,11 @@ func (tc *tableCache) acquire(fileNum uint64) (*sstable.Reader, func(), error) {
 		cur.refs++
 		tc.mu.Unlock()
 		r.Close()
-		return cur.r, func() { tc.release(fileNum) }, nil
+		return cur.r, nil
 	}
 	tc.entries[fileNum] = &tcEntry{r: r, refs: 1}
 	tc.mu.Unlock()
-	return r, func() { tc.release(fileNum) }, nil
+	return r, nil
 }
 
 func (tc *tableCache) release(fileNum uint64) {

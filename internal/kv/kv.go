@@ -99,6 +99,23 @@ func MakeSearchKey(ukey []byte, seq SeqNum) []byte {
 	return MakeKey(ukey, seq, kindMax)
 }
 
+// AppendKey appends the internal key for (ukey, seq, kind) to dst and
+// returns the extended slice. It is the allocation-free counterpart of
+// MakeKey: callers that reuse dst across lookups pay no per-call heap
+// allocation once the buffer has grown to the working key length.
+func AppendKey(dst, ukey []byte, seq SeqNum, kind Kind) []byte {
+	dst = append(dst, ukey...)
+	var tr [TrailerLen]byte
+	binary.BigEndian.PutUint64(tr[:], MakeTrailer(seq, kind))
+	return append(dst, tr[:]...)
+}
+
+// AppendSearchKey appends the search key for (ukey, seq) to dst — the
+// allocation-free counterpart of MakeSearchKey for hot read paths.
+func AppendSearchKey(dst, ukey []byte, seq SeqNum) []byte {
+	return AppendKey(dst, ukey, seq, kindMax)
+}
+
 // UserKey returns the user-key portion of an internal key. The returned
 // slice aliases ikey.
 func UserKey(ikey []byte) []byte {

@@ -56,13 +56,18 @@ func (h *HashSkipList) Add(seq kv.SeqNum, kind kv.Kind, ukey, value []byte) {
 
 // Get implements Memtable.
 func (h *HashSkipList) Get(ukey []byte, snap kv.SeqNum) (kv.Entry, bool) {
+	return h.GetSeek(kv.MakeSearchKey(ukey, snap), ukey, snap)
+}
+
+// GetSeek implements Memtable.
+func (h *HashSkipList) GetSeek(search, ukey []byte, snap kv.SeqNum) (kv.Entry, bool) {
 	h.mu.RLock()
 	b, ok := h.buckets[h.prefix(ukey)]
 	h.mu.RUnlock()
 	if !ok {
 		return kv.Entry{}, false
 	}
-	return b.Get(ukey, snap)
+	return b.GetSeek(search, ukey, snap)
 }
 
 // NewIterator implements Memtable. Iteration k-way merges the per-bucket
@@ -125,6 +130,12 @@ func (h *HashLinkList) Add(seq kv.SeqNum, kind kv.Kind, ukey, value []byte) {
 	h.table[hk] = &hashEntry{entry: e, next: h.table[hk]}
 	h.bytes += sizeOf(ukey, value)
 	h.count++
+}
+
+// GetSeek implements Memtable. The hashed structure has no use for the
+// prebuilt search key; the probe is allocation-free either way.
+func (h *HashLinkList) GetSeek(_, ukey []byte, snap kv.SeqNum) (kv.Entry, bool) {
+	return h.Get(ukey, snap)
 }
 
 // Get implements Memtable. The chain is in arrival order, which for a

@@ -36,6 +36,12 @@ type Memtable interface {
 	// The returned entry may be a tombstone; ok is false only if no
 	// visible version exists in this buffer.
 	Get(ukey []byte, snap kv.SeqNum) (e kv.Entry, ok bool)
+	// GetSeek is Get with a caller-built search key (the result of
+	// kv.MakeSearchKey(ukey, snap), possibly appended into a reused
+	// buffer). The engine's read path builds the search key once per
+	// lookup and probes every buffer and run with it, so the probe
+	// chain allocates nothing.
+	GetSeek(search, ukey []byte, snap kv.SeqNum) (e kv.Entry, ok bool)
 	// NewIterator returns an iterator over the buffer in internal-key
 	// order. The iterator observes a consistent view: entries added
 	// after its creation may or may not be surfaced.

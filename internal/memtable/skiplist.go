@@ -104,14 +104,20 @@ func (s *SkipList) Add(seq kv.SeqNum, kind kv.Kind, ukey, value []byte) {
 
 // Get implements Memtable.
 func (s *SkipList) Get(ukey []byte, snap kv.SeqNum) (kv.Entry, bool) {
-	search := kv.MakeSearchKey(ukey, snap)
+	return s.GetSeek(kv.MakeSearchKey(ukey, snap), ukey, snap)
+}
+
+// GetSeek implements Memtable.
+func (s *SkipList) GetSeek(search, ukey []byte, _ kv.SeqNum) (kv.Entry, bool) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := s.findGE(search, nil)
 	if n == nil || kv.CompareUser(n.entry.UserKey(), ukey) != 0 {
+		s.mu.RUnlock()
 		return kv.Entry{}, false
 	}
-	return n.entry, true
+	e := n.entry
+	s.mu.RUnlock()
+	return e, true
 }
 
 // NewIterator implements Memtable.

@@ -51,13 +51,17 @@ func (v *Vector) ensureSorted() {
 // write — this is the vector memtable's documented weakness under
 // interleaved reads.
 func (v *Vector) Get(ukey []byte, snap kv.SeqNum) (kv.Entry, bool) {
+	return v.GetSeek(kv.MakeSearchKey(ukey, snap), ukey, snap)
+}
+
+// GetSeek implements Memtable.
+func (v *Vector) GetSeek(search, ukey []byte, _ kv.SeqNum) (kv.Entry, bool) {
 	v.mu.Lock()
 	v.ensureSorted()
 	v.mu.Unlock()
 
 	v.mu.RLock()
 	defer v.mu.RUnlock()
-	search := kv.MakeSearchKey(ukey, snap)
 	i := sort.Search(len(v.entries), func(i int) bool {
 		return kv.Compare(v.entries[i].Key, search) >= 0
 	})

@@ -149,6 +149,19 @@ func newBlockIterator(b *block) *blockIterator {
 	return &blockIterator{b: b}
 }
 
+// reset repoints the iterator at another block, keeping the key
+// scratch's capacity so repeated lookups through one iterator value
+// stop allocating once the buffer has grown to the working key length.
+func (it *blockIterator) reset(b *block) {
+	it.b = b
+	it.offset = 0
+	it.next = 0
+	it.key = it.key[:0]
+	it.value = nil
+	it.valid = false
+	it.err = nil
+}
+
 // readEntryAt decodes the entry at off, using it.key as the
 // delta-decoding context (it must hold the previous key unless off is a
 // restart point, where shared is 0).

@@ -217,14 +217,40 @@ func (r *Reader) Get(ukey []byte, hash uint64, snap kv.SeqNum) (kv.Entry, bool, 
 // request can attribute its filter probes and block fetches to its own
 // span. A nil st reports to r.opts.Stats as usual.
 func (r *Reader) GetWith(ukey []byte, hash uint64, snap kv.SeqNum, st ReadStats) (kv.Entry, bool, error) {
+	var sc GetScratch
+	e, ok, err := r.GetScratched(ukey, kv.MakeSearchKey(ukey, snap), hash, st, &sc)
+	if ok {
+		e = e.Clone() // detach from the scratch for standalone callers
+	}
+	return e, ok, err
+}
+
+// GetScratch holds the reusable per-lookup state of GetScratched: the
+// index and data cursors, whose key buffers amortize to zero
+// allocations across lookups. A scratch must not be used concurrently;
+// the engine pools one per in-flight read.
+type GetScratch struct {
+	idx  blockIterator
+	data blockIterator
+}
+
+// GetScratched is the allocation-free point lookup: search must be
+// kv.MakeSearchKey(ukey, snap) (built once by the caller and shared
+// across every run probed), and sc carries the cursors across calls.
+//
+// The returned entry ALIASES sc's key buffer and the cached data
+// block: the key is valid only until the next lookup through sc, the
+// value for as long as the caller retains it (blocks are immutable and
+// the slice keeps the block alive).
+func (r *Reader) GetScratched(ukey, search []byte, hash uint64, st ReadStats, sc *GetScratch) (kv.Entry, bool, error) {
 	if st == nil {
 		st = r.opts.Stats
 	}
 	if !r.mayContainHash(hash, st) {
 		return kv.Entry{}, false, nil
 	}
-	search := kv.MakeSearchKey(ukey, snap)
-	idx := newBlockIterator(r.index)
+	idx := &sc.idx
+	idx.reset(r.index)
 	if !idx.SeekGE(search) {
 		return kv.Entry{}, false, idx.Close()
 	}
@@ -236,18 +262,15 @@ func (r *Reader) GetWith(ukey []byte, hash uint64, snap kv.SeqNum, st ReadStats)
 	if err != nil {
 		return kv.Entry{}, false, err
 	}
-	it := newBlockIterator(b)
+	it := &sc.data
+	it.reset(b)
 	if !it.SeekGE(search) {
 		return kv.Entry{}, false, it.Close()
 	}
 	if kv.CompareUser(kv.UserKey(it.Key()), ukey) != 0 {
 		return kv.Entry{}, false, it.Close()
 	}
-	e := kv.Entry{
-		Key:   append([]byte(nil), it.Key()...),
-		Value: append([]byte(nil), it.Value()...),
-	}
-	return e, true, it.Close()
+	return kv.Entry{Key: it.Key(), Value: it.Value()}, true, it.Close()
 }
 
 // NewIterator returns an iterator over the table's point entries.

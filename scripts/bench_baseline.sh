@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# bench_baseline.sh — run the pinned perf-trajectory workload and gate
+# it against the newest committed BENCH_<n>.json.
+#
+# Usage: bench_baseline.sh [output.json]
+#
+# The committed trajectory files are numbered (BENCH_0.json,
+# BENCH_1.json, ...); the highest number is the current baseline. The
+# fresh run is written to $1 (default BENCH_ci.json, gitignored) and
+# compared with THRESHOLD_SCALE (default 2: double the local noise
+# tolerances, since shared CI runners are noisier than the machines
+# the committed baselines were measured on). Exit 1 = hard regression.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_ci.json}"
+scale="${THRESHOLD_SCALE:-2}"
+
+baseline=""
+for f in $(ls BENCH_*.json 2>/dev/null | grep -E '^BENCH_[0-9]+\.json$' | sort -t_ -k2 -n); do
+    baseline="$f"
+done
+if [ -z "$baseline" ]; then
+    echo "bench_baseline.sh: no committed BENCH_<n>.json baseline found" >&2
+    exit 1
+fi
+
+echo "== pinned trajectory workload -> $out =="
+go run ./cmd/lsmbench -baseline -json "$out"
+
+echo
+echo "== compare against committed baseline $baseline (threshold scale $scale) =="
+go run ./cmd/lsmbench -compare -threshold-scale "$scale" "$baseline" "$out"
