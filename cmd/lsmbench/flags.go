@@ -39,6 +39,7 @@ var flagModes = map[string][]string{
 	"ops":             {modeWriters, modeNet, modeRead},
 	"value":           {modeWriters, modeNet, modeRead},
 	"batch":           {modeWriters},
+	"shards":          {modeWriters},
 	"sync":            {modeWriters, modeNet, modeRead},
 	"syncdelay":       {modeWriters, modeNet},
 	"dir":             {modeWriters, modeNet, modeRead},

@@ -34,9 +34,11 @@ import (
 
 	"lsmlab/internal/benchcmp"
 	"lsmlab/internal/client"
+	"lsmlab/internal/compaction"
 	"lsmlab/internal/core"
 	"lsmlab/internal/experiments"
 	"lsmlab/internal/metrics"
+	"lsmlab/internal/partition"
 	"lsmlab/internal/server"
 	"lsmlab/internal/vfs"
 	"lsmlab/internal/workload"
@@ -51,6 +53,7 @@ func main() {
 		ops       = flag.Int("ops", 100000, "total operations for writers/net/read modes")
 		valueSize = flag.Int("value", 100, "value size in bytes")
 		batchSize = flag.Int("batch", 1, "puts per Apply batch for -writers mode")
+		shards    = flag.Int("shards", 0, "run -writers against a sharded store with this many hash-routed shards (0 = flat single tree)")
 		syncWAL   = flag.Bool("sync", false, "fsync the WAL on every commit")
 		syncDelay = flag.Duration("syncdelay", 0, "modeled fsync latency on the in-memory fs (e.g. 100us)")
 		dir       = flag.String("dir", "", "OS directory (default: in-memory fs; real fsync latency needs a real disk)")
@@ -125,7 +128,7 @@ func main() {
 		}
 		if err := runWriters(writersConfig{
 			writers: *writers, ops: *ops, valueSize: *valueSize, batchSize: *batchSize,
-			syncWAL: *syncWAL, syncDelay: *syncDelay, dir: *dir,
+			syncWAL: *syncWAL, syncDelay: *syncDelay, dir: *dir, shards: *shards,
 		}, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "lsmbench:", err)
 			os.Exit(1)
@@ -178,6 +181,7 @@ func main() {
 type benchResult struct {
 	Mode       string  `json:"mode"` // "writers", "net", "get", "scan", "mixed"
 	Writers    int     `json:"writers,omitempty"`
+	Shards     int     `json:"shards,omitempty"`
 	Conns      int     `json:"conns,omitempty"`
 	Depth      int     `json:"depth,omitempty"`
 	Readers    int     `json:"readers,omitempty"`
@@ -288,7 +292,9 @@ func writeJSONFile(path string, v any) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// writersConfig parameterizes the concurrent write benchmark.
+// writersConfig parameterizes the concurrent write benchmark. The
+// shard/shape fields let the pinned baseline reproduce the sharded
+// scaling configuration exactly (see runBaseline).
 type writersConfig struct {
 	writers   int
 	ops       int
@@ -297,6 +303,12 @@ type writersConfig struct {
 	syncWAL   bool
 	syncDelay time.Duration
 	dir       string
+
+	shards       int   // >0 opens a partition.Store with this many shards
+	bufferBytes  int   // 0 = engine default
+	sizeRatio    int   // 0 = engine default
+	leveled      bool  // force compaction.Leveling{}
+	compactionBW int64 // per-compaction write throttle, bytes/sec (0 = unthrottled)
 }
 
 // runWriters executes the write benchmark and writes the optional JSON
@@ -309,11 +321,22 @@ func runWriters(cfg writersConfig, jsonPath string) error {
 	return res.writeJSON(jsonPath)
 }
 
+// writeEngine is what the write benchmark needs from a store; both a
+// flat *core.DB and a sharded *partition.Store satisfy it.
+type writeEngine interface {
+	Apply(b *core.Batch) error
+	Metrics() metrics.Snapshot
+	Latencies() metrics.LatencySnapshot
+	Close() error
+}
+
 // writersBench drives cfg.writers goroutines over disjoint key ranges
-// through one DB and reports aggregate throughput plus the commit
+// through one store and reports aggregate throughput plus the commit
 // pipeline's coalescing statistics. The default in-memory filesystem
 // keeps the numbers about the engine; pass dir to pay real fsync
-// latency, which is where group commit coalesces hardest.
+// latency, which is where group commit coalesces hardest. With
+// cfg.shards > 0 the store is a hash-routed partition.Store, so each
+// batch is split and committed through per-shard pipelines.
 func writersBench(cfg writersConfig, w io.Writer) (benchResult, error) {
 	if cfg.batchSize < 1 {
 		cfg.batchSize = 1
@@ -331,7 +354,25 @@ func writersBench(cfg writersConfig, w io.Writer) (benchResult, error) {
 	opts := core.DefaultOptions(fs, dbDir)
 	opts.SyncWAL = cfg.syncWAL
 	opts.RecordLatencies = true
-	db, err := core.Open(opts)
+	if cfg.bufferBytes > 0 {
+		opts.BufferBytes = cfg.bufferBytes
+	}
+	if cfg.sizeRatio > 1 {
+		opts.SizeRatio = cfg.sizeRatio
+	}
+	if cfg.leveled {
+		opts.Layout = compaction.Leveling{}
+	}
+	if cfg.compactionBW > 0 {
+		opts.CompactionBandwidthBytesPerSec = cfg.compactionBW
+	}
+	var db writeEngine
+	var err error
+	if cfg.shards > 0 {
+		db, err = partition.Open(opts, cfg.shards)
+	} else {
+		db, err = core.Open(opts)
+	}
 	if err != nil {
 		return benchResult{}, err
 	}
@@ -373,19 +414,22 @@ func writersBench(cfg writersConfig, w io.Writer) (benchResult, error) {
 
 	m := db.Metrics()
 	total := perWriter * cfg.writers
-	fmt.Fprintf(w, "writers=%d ops=%d value=%dB batch=%d sync=%v\n",
-		cfg.writers, total, cfg.valueSize, cfg.batchSize, cfg.syncWAL)
+	fmt.Fprintf(w, "writers=%d ops=%d value=%dB batch=%d sync=%v shards=%d\n",
+		cfg.writers, total, cfg.valueSize, cfg.batchSize, cfg.syncWAL, cfg.shards)
 	fmt.Fprintf(w, "elapsed=%.2fs throughput=%.0f ops/s\n",
 		elapsed.Seconds(), float64(total)/elapsed.Seconds())
 	fmt.Fprintf(w, "commit_groups=%d batches=%d avg_group=%.2f wal_syncs=%d syncs_saved=%d\n",
 		m.CommitGroups, m.CommitBatches, m.AvgCommitGroupSize(),
 		m.WALSyncs, m.WALSyncsSaved)
-	gs := db.CommitGroupSizes()
-	if gs.N > 0 {
-		fmt.Fprintf(w, "group size: n=%d mean=%.2f max=%d\n", gs.N, gs.Mean(), gs.Max)
+	if gdb, ok := db.(*core.DB); ok {
+		gs := gdb.CommitGroupSizes()
+		if gs.N > 0 {
+			fmt.Fprintf(w, "group size: n=%d mean=%.2f max=%d\n", gs.N, gs.Mean(), gs.Max)
+		}
 	}
 	res := benchResult{
-		Mode: "writers", Writers: cfg.writers, Ops: total, ValueBytes: cfg.valueSize,
+		Mode: "writers", Writers: cfg.writers, Shards: cfg.shards,
+		Ops: total, ValueBytes: cfg.valueSize,
 		BatchSize: cfg.batchSize, SyncWAL: cfg.syncWAL,
 		ElapsedSec: elapsed.Seconds(), OpsPerSec: float64(total) / elapsed.Seconds(),
 		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(total),

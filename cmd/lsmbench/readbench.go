@@ -238,7 +238,9 @@ func readBench(cfg readConfig, w io.Writer) (benchResult, error) {
 // the whole trajectory if you must.
 const pinnedWorkload = "pinned-v1: 16B keys, 100B values, 200k keys, 100k gets @ 8 readers " +
 	"(uniform + zipfian, warm cache, 10 bits/key) + 100k sync'd puts @ 8 writers, " +
-	"in-memory fs, best of 3 runs per section"
+	"in-memory fs, best of 3 runs per section; sharded sections: 40k sync'd batched " +
+	"puts @ 8 writers (batch 32, 200us fsync, 64KiB buffers, leveled T=2, 4MiB/s " +
+	"compaction throttle) at 1 and 4 shards"
 
 // baselineRepeats is how many times each pinned section runs; the run
 // with the highest throughput is recorded. A 100k-op section measures
@@ -306,6 +308,34 @@ func runBaseline(jsonPath string) error {
 		return err
 	}
 	results["put_8writers"] = res
+
+	// Sharded write scaling: the same sync'd batched workload at 1 and 4
+	// shards. The configuration models a disk-bound store (200us fsync,
+	// small buffers, leveled T=2, a per-compaction bandwidth throttle) so
+	// that per-shard WAL/flush/compaction pipelines — not CPU — are the
+	// contended resource; the shard4/shard1 ratio is the scaling claim
+	// the sharding work is pinned on.
+	shardCfg := func(n int) writersConfig {
+		return writersConfig{
+			writers: 8, ops: 40000, valueSize: 100, batchSize: 32,
+			syncWAL: true, syncDelay: 200 * time.Microsecond, shards: n,
+			bufferBytes: 64 << 10, sizeRatio: 2, leveled: true,
+			compactionBW: 4 << 20,
+		}
+	}
+	if res, err = bestOf("put/8 writers, 1 shard", func() (benchResult, error) {
+		return writersBench(shardCfg(1), os.Stdout)
+	}); err != nil {
+		return err
+	}
+	results["put_8writers_shard1"] = res
+
+	if res, err = bestOf("put/8 writers, 4 shards", func() (benchResult, error) {
+		return writersBench(shardCfg(4), os.Stdout)
+	}); err != nil {
+		return err
+	}
+	results["put_8writers_shard4"] = res
 
 	return writeTrajectory(jsonPath, results)
 }

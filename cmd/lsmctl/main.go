@@ -41,9 +41,39 @@ import (
 	"lsmlab/internal/compaction"
 	"lsmlab/internal/core"
 	"lsmlab/internal/events"
+	"lsmlab/internal/partition"
 	"lsmlab/internal/vfs"
 	"lsmlab/internal/workload"
 )
+
+// store is the command surface shared by a flat tree (*core.DB) and a
+// sharded one (*partition.Store); lsmctl picks the form the directory
+// layout implies, so operating on a sharded store needs no flag.
+type store interface {
+	Put(key, value []byte) error
+	Get(key []byte) ([]byte, error)
+	Delete(key []byte) error
+	Scan(start, end []byte, limit int) ([]core.KV, error)
+	TreeStats() core.TreeStats
+	FormatStats(verbose bool) string
+	Compact() error
+	Scrub() (core.ScrubReport, error)
+	Health() core.Health
+	Checkpoint(dir string) error
+	Flush() error
+	WaitIdle()
+	SetShape(layout compaction.Layout, sizeRatio int) error
+	Shape() (string, int)
+	Close() error
+}
+
+// openStore opens the directory in whatever form its layout implies.
+func openStore(opts core.Options) (store, error) {
+	if n, err := partition.DeriveShards(opts.FS, opts.Path); err == nil && n > 0 {
+		return partition.Open(opts, n)
+	}
+	return core.Open(opts)
+}
 
 func main() {
 	dbPath := flag.String("db", "", "database directory (opens the store locally)")
@@ -78,7 +108,7 @@ func main() {
 	if *sizeRatio > 1 {
 		opts.SizeRatio = *sizeRatio
 	}
-	db, err := core.Open(opts)
+	db, err := openStore(opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -155,6 +185,20 @@ func main() {
 		}
 		fmt.Println(db.TreeStats())
 	case "scrub":
+		// A sharded store reports one row per shard, then the total.
+		if ps, ok := db.(*partition.Store); ok {
+			reps, err := ps.ScrubShards()
+			if err != nil {
+				fatal(err)
+			}
+			for i, rep := range reps {
+				fmt.Printf("shard %03d %s\n", i, rep)
+			}
+			// Merge the reports we have: scrubbing again would miss the
+			// tables the pass above already quarantined.
+			fmt.Printf("total %s\n", partition.MergeScrubReports(reps))
+			return
+		}
 		rep, err := db.Scrub()
 		if err != nil {
 			fatal(err)

@@ -27,10 +27,43 @@ import (
 	"lsmlab/internal/compaction"
 	"lsmlab/internal/core"
 	"lsmlab/internal/events"
+	"lsmlab/internal/partition"
 	"lsmlab/internal/server"
 	"lsmlab/internal/trace"
 	"lsmlab/internal/vfs"
 )
+
+// engine is what serving needs beyond server.Engine: the shutdown path
+// checkpoints and closes the store. Both *core.DB and *partition.Store
+// satisfy it.
+type engine interface {
+	server.Engine
+	Checkpoint(dir string) error
+	Close() error
+}
+
+// openEngine opens the store in the form the -shards flag and the
+// directory layout agree on. Auto (0) reopens whatever is there — a
+// sharded layout with its own count, anything else as a flat tree — so
+// a restart never needs the original flag. An explicit count refuses a
+// mismatched layout rather than misrouting keys.
+func openEngine(opts core.Options, shards int) (engine, error) {
+	derived, derr := partition.DeriveShards(opts.FS, opts.Path)
+	switch {
+	case shards == 0:
+		if derr == nil && derived > 0 {
+			return partition.Open(opts, derived)
+		}
+		return core.Open(opts) // fresh or flat layout
+	case shards == 1:
+		if derived > 0 {
+			return nil, fmt.Errorf("%w: requested 1, directory %s has %d", partition.ErrShardMismatch, opts.Path, derived)
+		}
+		return core.Open(opts)
+	default:
+		return partition.Open(opts, shards)
+	}
+}
 
 func main() {
 	sig := make(chan os.Signal, 1)
@@ -47,6 +80,7 @@ func run(args []string, sig <-chan os.Signal, out io.Writer) error {
 	fs := flag.NewFlagSet("lsmserved", flag.ContinueOnError)
 	var (
 		dbPath        = fs.String("db", "", "database directory (required)")
+		shards        = fs.Int("shards", 0, "shard count: N>1 serves N hash-routed LSM shards, 1 forces a flat single tree, 0 derives from the existing directory layout (flat when fresh)")
 		addr          = fs.String("addr", "127.0.0.1:4700", "listen address (host:port; port 0 picks one)")
 		addrFile      = fs.String("addr-file", "", "write the bound address to this file (for port-0 discovery)")
 		maxConns      = fs.Int("max-conns", 256, "maximum concurrent connections")
@@ -108,7 +142,7 @@ func run(args []string, sig <-chan os.Signal, out io.Writer) error {
 	if *sizeRatio > 1 {
 		opts.SizeRatio = *sizeRatio
 	}
-	db, err := core.Open(opts)
+	db, err := openEngine(opts, *shards)
 	if err != nil {
 		return err
 	}

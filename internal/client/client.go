@@ -477,6 +477,38 @@ func (c *Client) Health() (Health, error) {
 	return h, nil
 }
 
+// Watermark returns the server's per-shard visibility watermark vector
+// (length 1 against a single-tree server; one element per shard against
+// a sharded one — the WATERMARK admin verb). A vector captured after a
+// client's writes is a portable read-your-writes token: any view whose
+// vector dominates it component-wise includes those writes.
+func (c *Client) Watermark() ([]uint64, error) {
+	status, resp, err := c.do(wire.OpWatermark, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := statusToErr(status, resp); err != nil {
+		return nil, err
+	}
+	count, rest, err := wire.ReadUvarint(resp)
+	if err != nil {
+		return nil, err
+	}
+	capHint := count
+	if max := uint64(len(rest)) + 1; capHint > max {
+		capHint = max
+	}
+	vec := make([]uint64, 0, capHint)
+	for i := uint64(0); i < count; i++ {
+		var v uint64
+		if v, rest, err = wire.ReadUvarint(rest); err != nil {
+			return nil, err
+		}
+		vec = append(vec, v)
+	}
+	return vec, nil
+}
+
 func (c *Client) doSimple(op byte, payload []byte) error {
 	status, resp, err := c.do(op, payload)
 	if err != nil {

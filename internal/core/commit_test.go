@@ -93,7 +93,9 @@ func TestConcurrentApplyStress(t *testing.T) {
 			close(stop)
 			samplerWG.Wait()
 
-			totalOps := uint64(writers * batches * opsPerBatch)
+			// The sequence space starts at 1 (0 is the read-at-latest
+			// sentinel), so totalOps allocations land on base+totalOps.
+			totalOps := uint64(writers*batches*opsPerBatch) + 1
 			if got := db.lastSeq.Load(); got != totalOps {
 				t.Errorf("lastSeq = %d, want %d (lost or duplicated seqnums)", got, totalOps)
 			}

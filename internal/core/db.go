@@ -285,6 +285,13 @@ func Open(opts Options) (*DB, error) {
 	if err := db.recoverWALs(); err != nil {
 		return nil, err
 	}
+	// A fresh store starts its sequence space at 1, never 0: sequence 0
+	// is the "read at latest" sentinel throughout the read path, so a
+	// snapshot of an empty store (visibleSeq 0) would silently degrade
+	// into a live view — which breaks the cross-shard snapshot vector,
+	// whose consistency depends on every captured watermark staying
+	// fixed.
+	db.lastSeq.CompareAndSwap(0, 1)
 	db.visibleSeq.Store(db.lastSeq.Load())
 	if err := db.newMemtable(); err != nil {
 		return nil, err

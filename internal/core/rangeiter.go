@@ -1,0 +1,37 @@
+package core
+
+// RangeIter is the minimal bounded-range iteration surface shared by a
+// single tree and the sharded store (internal/partition). The serving
+// layer scans through it without knowing which engine form backs it:
+// *Iterator satisfies it directly, and the partition router returns a
+// merged, snapshot-vector-consistent implementation.
+type RangeIter interface {
+	// First positions at the first live entry; Next advances. Both
+	// report whether the iterator rests on an entry.
+	First() bool
+	Next() bool
+	// Key and Value return the current user key and value; the slices
+	// are stable until the next positioning call.
+	Key() []byte
+	Value() []byte
+	// Err returns the first error the iterator encountered (exhaustion
+	// and a corrupt source look identical from the positioning calls).
+	Err() error
+	Close() error
+}
+
+// NewRangeIter returns an iterator over the live entries in
+// [lower, upper) — nil bounds mean unbounded — typed as the engine-
+// neutral RangeIter.
+func (db *DB) NewRangeIter(lower, upper []byte) (RangeIter, error) {
+	return db.NewIterator(IterOptions{LowerBound: lower, UpperBound: upper})
+}
+
+// VisibleSeq returns the published sequence-number watermark: every
+// batch at or below it is fully applied and visible to readers.
+func (db *DB) VisibleSeq() uint64 { return db.visibleSeq.Load() }
+
+// SeqVector returns the visibility watermark as a one-element vector —
+// the degenerate form of the sharded store's per-shard vector, so the
+// wire protocol's WATERMARK verb has one shape for both engine forms.
+func (db *DB) SeqVector() []uint64 { return []uint64{db.visibleSeq.Load()} }

@@ -25,6 +25,17 @@ type TreeStats struct {
 	MemtableLen int
 	Immutables  int
 	LiveSeq     uint64
+	// MemtableBytes is the mutable buffer's footprint plus any immutable
+	// buffers awaiting flush — the write-side memory pressure gauge.
+	MemtableBytes uint64
+	// BacklogBytes estimates the pending compaction debt: bytes by which
+	// levels exceed their capacities. A persistently non-zero backlog
+	// means compaction is not keeping up with ingest (a hot shard, in
+	// the partitioned store).
+	BacklogBytes uint64
+	// L0Runs is Levels[0].Runs, hoisted out so monitoring surfaces need
+	// not walk the level slice for the stall-relevant figure.
+	L0Runs int
 }
 
 // TreeStats returns the current structure summary.
@@ -32,15 +43,24 @@ func (db *DB) TreeStats() TreeStats {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	ts := TreeStats{
-		MemtableLen: db.mem.mt.Len(),
-		Immutables:  len(db.imm),
-		LiveSeq:     db.visibleSeq.Load(),
+		MemtableLen:   db.mem.mt.Len(),
+		Immutables:    len(db.imm),
+		LiveSeq:       db.visibleSeq.Load(),
+		MemtableBytes: uint64(db.mem.mt.ApproximateBytes()),
+	}
+	for _, mw := range db.imm {
+		ts.MemtableBytes += uint64(mw.mt.ApproximateBytes())
 	}
 	for i, l := range db.version.Levels {
 		ls := LevelStats{Level: i, Runs: len(l.Runs), Files: l.NumFiles(), Bytes: l.Size()}
 		if i >= 1 {
 			popts := db.picker.Options()
 			ls.Capacity = popts.LevelCapacityBytes(i)
+			if ls.Bytes > ls.Capacity {
+				ts.BacklogBytes += ls.Bytes - ls.Capacity
+			}
+		} else {
+			ts.L0Runs = ls.Runs
 		}
 		ts.Levels = append(ts.Levels, ls)
 		ts.TotalBytes += ls.Bytes

@@ -76,6 +76,24 @@ func (b *Batch) Reset() {
 	b.arena = b.arena[:0]
 }
 
+// EachOp calls fn for every operation in the batch, in insertion order.
+// The key and value slices alias the batch's arena and stay valid until
+// the next Reset. The partition router uses it to fan a batch out into
+// per-shard sub-batches.
+func (b *Batch) EachOp(fn func(kind kv.Kind, key, value []byte)) {
+	for i := range b.ops {
+		fn(b.ops[i].Kind, b.ops[i].Key, b.ops[i].Value)
+	}
+}
+
+// AddOp appends one operation of the given kind — the generalized form
+// of Put/Delete/SingleDelete/DeleteRange, letting a router replay ops
+// observed via EachOp without a per-kind switch. For KindRangeDelete
+// the key is the inclusive start and the value the exclusive end.
+func (b *Batch) AddOp(kind kv.Kind, key, value []byte) {
+	b.ops = append(b.ops, wal.Op{Kind: kind, Key: b.copyBytes(key), Value: b.copyBytes(value)})
+}
+
 func cp(b []byte) []byte { return append([]byte(nil), b...) }
 
 // Put inserts or updates one key.

@@ -258,6 +258,15 @@ func (c *conn) handle(op byte, payload []byte, batch *core.Batch) bool {
 		done := c.beginRequest(op)
 		done(nil)
 		return c.respond(wire.StatusOK, nil)
+	case wire.OpWatermark:
+		done := c.beginRequest(op)
+		vec := c.s.db.SeqVector()
+		resp := wire.AppendUvarint(make([]byte, 0, 8+10*len(vec)), uint64(len(vec)))
+		for _, seq := range vec {
+			resp = wire.AppendUvarint(resp, seq)
+		}
+		done(nil)
+		return c.respond(wire.StatusOK, resp)
 	case wire.OpHealth:
 		done := c.beginRequest(op)
 		h := c.s.db.Health()
@@ -484,8 +493,7 @@ func (c *conn) handleScan(payload []byte, tc traceCtx) bool {
 		deadlineNs = c.s.opts.NowNs() + int64(c.s.opts.RequestTimeout)
 	}
 
-	it, err := c.s.db.NewIterator(core.IterOptions{
-		LowerBound: prefix, UpperBound: prefixEnd(prefix)})
+	it, err := c.s.db.NewRangeIter(prefix, prefixEnd(prefix))
 	if err != nil {
 		done(err)
 		sp.SetErr(err)

@@ -14,6 +14,7 @@ import (
 	"net/http/pprof"
 	"strings"
 
+	"lsmlab/internal/core"
 	"lsmlab/internal/events"
 	"lsmlab/internal/metrics"
 	"lsmlab/internal/trace"
@@ -169,6 +170,29 @@ func (s *Server) writeMetrics(w http.ResponseWriter) {
 		p.sample("level_bytes", fmt.Sprintf("level=%q", fmt.Sprint(l.Level)), float64(l.Bytes))
 	}
 	p.gauge("total_bytes", "Total bytes across all levels.", float64(ts.TotalBytes))
+
+	// Per-shard breakdown, when the engine is the partitioned store:
+	// the figures an operator needs to spot hot-shard skew.
+	if se, ok := s.db.(interface{ ShardTreeStats() []core.TreeStats }); ok {
+		shards := se.ShardTreeStats()
+		p.gauge("shards", "Shard count of the partitioned store.", float64(len(shards)))
+		p.gaugeVec("shard_memtable_bytes", "Memtable footprint per shard.")
+		for i, st := range shards {
+			p.sample("shard_memtable_bytes", fmt.Sprintf("shard=%q", fmt.Sprint(i)), float64(st.MemtableBytes))
+		}
+		p.gaugeVec("shard_l0_runs", "Level-0 sorted runs per shard.")
+		for i, st := range shards {
+			p.sample("shard_l0_runs", fmt.Sprintf("shard=%q", fmt.Sprint(i)), float64(st.L0Runs))
+		}
+		p.gaugeVec("shard_backlog_bytes", "Compaction debt per shard.")
+		for i, st := range shards {
+			p.sample("shard_backlog_bytes", fmt.Sprintf("shard=%q", fmt.Sprint(i)), float64(st.BacklogBytes))
+		}
+		p.gaugeVec("shard_total_bytes", "Bytes across all levels per shard.")
+		for i, st := range shards {
+			p.sample("shard_total_bytes", fmt.Sprintf("shard=%q", fmt.Sprint(i)), float64(st.TotalBytes))
+		}
+	}
 
 	// Latency summaries (engine histograms + the server's request
 	// histogram merged, same as the STATS verb).

@@ -1,9 +1,11 @@
-// Package server exposes a core.DB over TCP with the length-prefixed
-// binary protocol of internal/wire. Connections are pipelined: a
-// client may have many requests in flight; the server answers in
-// arrival order. Each connection runs one read goroutine (decode,
-// execute) and one write goroutine (respond, flush), so reading the
-// next request overlaps with writing the previous response.
+// Package server exposes a storage engine — a flat core.DB or a
+// sharded partition.Store, via the Engine interface — over TCP with
+// the length-prefixed binary protocol of internal/wire. Connections
+// are pipelined: a client may have many requests in flight; the
+// server answers in arrival order. Each connection runs one read
+// goroutine (decode, execute) and one write goroutine (respond,
+// flush), so reading the next request overlaps with writing the
+// previous response.
 //
 // The write path is the point: pipelined PUT/DELETE frames that are
 // already buffered on a connection are folded into a single core.Batch
@@ -29,11 +31,35 @@ import (
 	"lsmlab/internal/core"
 	"lsmlab/internal/events"
 	"lsmlab/internal/metrics"
+	"lsmlab/internal/trace"
 	"lsmlab/internal/wire"
 )
 
 // ErrShutdown is returned by Serve when the server was drained.
 var ErrShutdown = errors.New("server: shutting down")
+
+// Engine is the store surface the server serves: everything the wire
+// verbs and the debug plane need, satisfied by both a single tree
+// (*core.DB) and the sharded store (*partition.Store). The serving
+// layer is engine-form agnostic — lsmserved -shards N swaps the
+// implementation without touching a handler.
+type Engine interface {
+	GetTraced(key []byte, traceID uint64) ([]byte, error)
+	ApplyTraced(b *core.Batch, traceID uint64) error
+	NewRangeIter(lower, upper []byte) (core.RangeIter, error)
+	Compact() error
+	Health() core.Health
+	Tracer() *trace.Tracer
+	Metrics() metrics.Snapshot
+	Latencies() metrics.LatencySnapshot
+	TreeStats() core.TreeStats
+	SpaceAmplification() float64
+	FormatStats(verbose bool) string
+	// SeqVector is the store's visibility watermark as a per-shard
+	// vector (length 1 for a single tree) — the WATERMARK verb's
+	// payload, generalizing the read-your-writes token across shards.
+	SeqVector() []uint64
+}
 
 // Options configures a Server. The zero value is usable; unset fields
 // take the defaults documented per field.
@@ -98,9 +124,9 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Server serves one core.DB over any net.Listener.
+// Server serves one Engine over any net.Listener.
 type Server struct {
-	db   *core.DB
+	db   Engine
 	opts Options
 
 	m metrics.Metrics
@@ -117,9 +143,10 @@ type Server struct {
 	wg sync.WaitGroup // one unit per connection goroutine
 }
 
-// New returns a server for db. The db stays owned by the caller: the
-// server never closes it, so an embedded DB can outlive its listener.
-func New(db *core.DB, opts Options) *Server {
+// New returns a server for db — a *core.DB, a *partition.Store, or any
+// other Engine. The engine stays owned by the caller: the server never
+// closes it, so an embedded store can outlive its listener.
+func New(db Engine, opts Options) *Server {
 	return &Server{db: db, opts: opts.withDefaults(), conns: make(map[*conn]struct{})}
 }
 

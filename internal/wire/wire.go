@@ -60,6 +60,14 @@ const (
 	// keeps answering this while degraded — it is how operators learn
 	// why writes are failing.
 	OpHealth byte = 0x09
+	// OpWatermark: empty. Response: StatusOK + uvarint shard count +
+	// count×uvarint per-shard visibility watermark. This is the
+	// read-your-writes token generalized to a sharded engine: a reader
+	// holding a watermark vector observed at-or-after its own writes
+	// can demand that visibility from any replica or snapshot whose
+	// vector dominates it component-wise. A single-tree server answers
+	// with a one-element vector.
+	OpWatermark byte = 0x0A
 )
 
 // Batch entry kinds (OpBatch payload).
@@ -199,6 +207,7 @@ var opNames = map[byte]string{
 	OpCompact:          "compact",
 	OpPing:             "ping",
 	OpHealth:           "health",
+	OpWatermark:        "watermark",
 	StatusOK:           "ok",
 	StatusNotFound:     "not-found",
 	StatusBadRequest:   "bad-request",
