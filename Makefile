@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-write bench-smoke bench-baseline bench-diff tables examples cover serve-smoke fuzz-wire torture clean
+.PHONY: all build test race bench bench-write bench-smoke bench-baseline bench-diff tables examples cover serve-smoke fuzz-wire torture torture-repl clean
 
 all: build test
 
@@ -71,6 +71,14 @@ serve-smoke:
 # fault, crash, reopen, verify no acknowledged write was lost.
 torture:
 	TORTURE_ITERS=250 $(GO) test ./internal/core -run 'TestTorture' -count=1 -v
+
+# Replication torture: 50 seeded crash+bit-rot storms against a live
+# leader/follower pair. Each storm crashes the follower mid-stream,
+# corrupts or deletes its replication state, and flips bits in its
+# tables; convergence means identical Merkle roots and every
+# acknowledged leader write readable on the follower.
+torture-repl:
+	TORTURE_REPL_ITERS=50 $(GO) test ./internal/replica -race -run TestReplicationTortureConvergence -count=1 -v
 
 # Short fuzz run over the wire-protocol codec (CI runs 30s).
 fuzz-wire:

@@ -46,6 +46,7 @@ var flagModes = map[string][]string{
 	"json":            {modeWriters, modeNet, modeRead, modeBaseline},
 	"conns":           {modeNet},
 	"depth":           {modeNet},
+	"replicas":        {modeNet},
 	"readers":         {modeRead},
 	"keys":            {modeRead},
 	"dist":            {modeRead},

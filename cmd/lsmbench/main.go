@@ -13,6 +13,7 @@
 //	lsmbench -mode get -readers 8 -keys 200000 -dist zipfian -warm  # read path
 //	lsmbench -serve -conns 8 -ops 100000 -sync   # same store, over TCP
 //	lsmbench -addr 127.0.0.1:4700 -conns 8       # against a live server
+//	lsmbench -addr 127.0.0.1:4700 -replicas 127.0.0.1:4701 -conns 8  # + replica readback
 //	lsmbench -baseline -json BENCH_new.json      # pinned trajectory suite
 //	lsmbench -compare BENCH_0.json BENCH_1.json  # regression gate
 //
@@ -58,10 +59,11 @@ func main() {
 		syncDelay = flag.Duration("syncdelay", 0, "modeled fsync latency on the in-memory fs (e.g. 100us)")
 		dir       = flag.String("dir", "", "OS directory (default: in-memory fs; real fsync latency needs a real disk)")
 
-		_     = flag.Bool("serve", false, "network mode: serve the bench store in-process and write over TCP")
-		addr  = flag.String("addr", "", "network mode: benchmark an external lsmserved at this address")
-		conns = flag.Int("conns", 1, "network mode: number of client connections")
-		depth = flag.Int("depth", 1, "network mode: pipelined requests in flight per connection (1 = synchronous)")
+		_        = flag.Bool("serve", false, "network mode: serve the bench store in-process and write over TCP")
+		addr     = flag.String("addr", "", "network mode: benchmark an external lsmserved at this address")
+		conns    = flag.Int("conns", 1, "network mode: number of client connections")
+		replicas = flag.String("replicas", "", "network mode: comma-separated follower addresses; after the put phase, reads fan out across them with read-your-writes enforced")
+		depth    = flag.Int("depth", 1, "network mode: pipelined requests in flight per connection (1 = synchronous)")
 
 		mode    = flag.String("mode", "", "read benchmark: get|scan|mixed over a preloaded key space")
 		readers = flag.Int("readers", 8, "read mode: concurrent reader goroutines")
@@ -115,7 +117,7 @@ func main() {
 		return
 
 	case modeNet:
-		if err := runNet(*addr, *conns, *ops, *valueSize, *depth, *syncWAL, *syncDelay, *dir, *jsonPath); err != nil {
+		if err := runNet(*addr, *replicas, *conns, *ops, *valueSize, *depth, *syncWAL, *syncDelay, *dir, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "lsmbench:", err)
 			os.Exit(1)
 		}
@@ -443,7 +445,7 @@ func writersBench(cfg writersConfig, w io.Writer) (benchResult, error) {
 // each keeping up to depth requests in flight. With -serve the store
 // and server run in this process (so engine coalescing stats are
 // reported too); with -addr the target is an external lsmserved.
-func runNet(addr string, conns, ops, valueSize, depth int, syncWAL bool, syncDelay time.Duration, dir, jsonPath string) error {
+func runNet(addr, replicas string, conns, ops, valueSize, depth int, syncWAL bool, syncDelay time.Duration, dir, jsonPath string) error {
 	if conns < 1 {
 		conns = 1
 	}
@@ -562,6 +564,11 @@ func runNet(addr string, conns, ops, valueSize, depth int, syncWAL bool, syncDel
 	fmt.Printf("elapsed=%.2fs throughput=%.0f ops/s\n",
 		elapsed.Seconds(), float64(total)/elapsed.Seconds())
 	fmt.Printf("put latency: %s\n", lat.Snapshot())
+	if replicas != "" {
+		if err := runReplicaReadback(addr, replicas, conns, total, valueSize); err != nil {
+			return err
+		}
+	}
 	if db != nil {
 		m := db.Metrics()
 		res.fillEngine(m)
@@ -574,4 +581,62 @@ func runNet(addr string, conns, ops, valueSize, depth int, syncWAL bool, syncDel
 		}
 	}
 	return res.writeJSON(jsonPath)
+}
+
+// runReplicaReadback reads the just-written key space back through the
+// replica fan-out client and reports where the reads landed: served by
+// a fresh-enough follower, retried on the leader after a stale answer,
+// or fallen back after a replica error. Read-your-writes holds
+// throughout — a follower answer is only used when its watermark
+// dominates the client's write token.
+func runReplicaReadback(addr, replicas string, conns, total, valueSize int) error {
+	addrs := strings.Split(replicas, ",")
+	rcl, err := client.Dial(addr, client.Options{Replicas: addrs, PoolSize: conns})
+	if err != nil {
+		return err
+	}
+	defer rcl.Close()
+	// One write refreshes the token so the readback is constrained by
+	// everything this process wrote.
+	if err := rcl.Put(workload.Key(0), make([]byte, valueSize)); err != nil {
+		return err
+	}
+	reads := total
+	if reads > 50000 {
+		reads = 50000
+	}
+	perConn := reads / conns
+	if perConn == 0 {
+		perConn = 1
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, conns)
+	start := time.Now()
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perConn; i++ {
+				key := workload.Key(int64((c*perConn + i) % total))
+				if _, err := rcl.Get(key); err != nil {
+					errs[c] = fmt.Errorf("readback %s: %w", key, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	st := rcl.ReplicaStats()
+	n := perConn * conns
+	fmt.Printf("replica readback: reads=%d elapsed=%.2fs throughput=%.0f ops/s replicas=%d\n",
+		n, elapsed.Seconds(), float64(n)/elapsed.Seconds(), len(addrs))
+	fmt.Printf("replica readback: served=%d stale_fallback=%d errors=%d\n",
+		st.Served, st.Stale, st.Errors)
+	return nil
 }

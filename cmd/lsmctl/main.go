@@ -27,6 +27,7 @@
 //	lsmctl -addr 127.0.0.1:4700 scan <prefix> [limit]
 //	lsmctl -addr 127.0.0.1:4700 stats [-v]
 //	lsmctl -addr 127.0.0.1:4700 top [-interval 1s] [-count n] [-plain]
+//	lsmctl -addr 127.0.0.1:4700 repl status   # per-follower replication lag
 package main
 
 import (
@@ -42,6 +43,7 @@ import (
 	"lsmlab/internal/core"
 	"lsmlab/internal/events"
 	"lsmlab/internal/partition"
+	"lsmlab/internal/replica"
 	"lsmlab/internal/vfs"
 	"lsmlab/internal/workload"
 )
@@ -329,9 +331,50 @@ func remote(addr string, args []string) {
 		if err := topCmd(cl, args[1:], os.Stdout); err != nil {
 			fatal(err)
 		}
+	case "repl":
+		if len(args) < 2 || args[1] != "status" {
+			fatal(fmt.Errorf("usage: repl status"))
+		}
+		raw, err := cl.ReplStatus()
+		if err != nil {
+			fatal(err)
+		}
+		st, err := replica.ParseStatus(raw)
+		if err != nil {
+			fatal(err)
+		}
+		printReplStatus(st)
 	default:
-		fatal(fmt.Errorf("command %q is not available over -addr (remote commands: put get delete scan stats top compact health)", args[0]))
+		fatal(fmt.Errorf("command %q is not available over -addr (remote commands: put get delete scan stats top compact health repl)", args[0]))
 	}
+}
+
+// printReplStatus renders the leader's view of its followers: each
+// follower's acked watermark vector against the leader's own, the
+// total sequence lag, and how stale the last ack is.
+func printReplStatus(st *replica.Status) {
+	fmt.Printf("leader  watermark=%s\n", vecString(st.Leader))
+	if len(st.Followers) == 0 {
+		fmt.Println("followers: none")
+		return
+	}
+	for i := range st.Followers {
+		f := &st.Followers[i]
+		fmt.Printf("follower %-16s acked=%s lag=%d last_ack=%s ago\n",
+			f.ID, vecString(f.Acked), f.Lag(st.Leader),
+			time.Duration(f.AckAgeNs).Round(time.Millisecond))
+	}
+}
+
+func vecString(vec []uint64) string {
+	s := "["
+	for i, v := range vec {
+		if i > 0 {
+			s += " "
+		}
+		s += strconv.FormatUint(v, 10)
+	}
+	return s + "]"
 }
 
 // printHealth renders the shared health line for both the local and the

@@ -28,6 +28,7 @@ import (
 	"lsmlab/internal/core"
 	"lsmlab/internal/events"
 	"lsmlab/internal/partition"
+	"lsmlab/internal/replica"
 	"lsmlab/internal/server"
 	"lsmlab/internal/trace"
 	"lsmlab/internal/vfs"
@@ -81,6 +82,9 @@ func run(args []string, sig <-chan os.Signal, out io.Writer) error {
 	var (
 		dbPath        = fs.String("db", "", "database directory (required)")
 		shards        = fs.Int("shards", 0, "shard count: N>1 serves N hash-routed LSM shards, 1 forces a flat single tree, 0 derives from the existing directory layout (flat when fresh)")
+		follow        = fs.String("follow", "", "run as a read replica of the leader at this address: the store opens read-only, streams the leader's WAL, and converges through Merkle anti-entropy")
+		followID      = fs.String("follow-id", "", "stable follower identity reported to the leader (default: the -db path)")
+		followSession = fs.Duration("follow-session", 0, "replication session length: periodic anti-entropy (silent bit-rot detection and repair) runs at each session boundary (default 30s)")
 		addr          = fs.String("addr", "127.0.0.1:4700", "listen address (host:port; port 0 picks one)")
 		addrFile      = fs.String("addr-file", "", "write the bound address to this file (for port-0 discovery)")
 		maxConns      = fs.Int("max-conns", 256, "maximum concurrent connections")
@@ -142,18 +146,68 @@ func run(args []string, sig <-chan os.Signal, out io.Writer) error {
 	if *sizeRatio > 1 {
 		opts.SizeRatio = *sizeRatio
 	}
+	if *follow != "" {
+		if opts.ValueSeparationThreshold > 0 {
+			return fmt.Errorf("-follow does not support value separation (the leader's value-log pointers are local to it)")
+		}
+		opts.Replica = true
+	}
 	db, err := openEngine(opts, *shards)
 	if err != nil {
 		return err
 	}
 	defer db.Close()
 
-	srv := server.New(db, server.Options{
+	// Replication sees the engine as its constituent trees in shard
+	// order: a flat store is the one-shard case.
+	var shardDBs []*core.DB
+	switch e := db.(type) {
+	case *core.DB:
+		shardDBs = []*core.DB{e}
+	case *partition.Store:
+		for i := 0; i < e.NumShards(); i++ {
+			shardDBs = append(shardDBs, e.Partition(i))
+		}
+	}
+
+	var (
+		serveDB server.Engine = db
+		repl    server.Replicator
+		recv    *replica.Receiver
+	)
+	if *follow == "" {
+		// Every leader can be followed; the hook is idle until a
+		// follower subscribes.
+		repl = replica.NewLeader(shardDBs, replica.LeaderOptions{})
+	} else {
+		recv, err = replica.NewReceiver(replica.ReceiverOptions{
+			Leader:        *follow,
+			ID:            *followID,
+			SessionLength: *followSession,
+			FS:            opts.FS,
+			Dir:           *dbPath,
+			Shards:        shardDBs,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(out, "lsmserved: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		recv.Start()
+		defer recv.Stop()
+		// Serve reads through the receiver's applied vector so client
+		// read-your-writes tokens compare against leader sequences.
+		serveDB = replica.NewEngine(db, recv)
+	}
+
+	srv := server.New(serveDB, server.Options{
 		MaxConns:        *maxConns,
 		MaxRequestBytes: *maxReqBytes,
 		WriteTimeout:    *writeTimeout,
 		RequestTimeout:  *reqTimeout,
 		IdleTimeout:     *idleTimeout,
+		Repl:            repl,
 		EventListener:   ring,
 	})
 	ln, err := net.Listen("tcp", *addr)
@@ -168,6 +222,9 @@ func run(args []string, sig <-chan os.Signal, out io.Writer) error {
 		}
 	}
 	fmt.Fprintf(out, "lsmserved: serving %s on %s\n", *dbPath, bound)
+	if *follow != "" {
+		fmt.Fprintf(out, "lsmserved: read replica following %s\n", *follow)
+	}
 
 	// The debug plane listens separately so operators can firewall it
 	// apart from the data port; it only reads, so it drains trivially.
@@ -213,6 +270,11 @@ func run(args []string, sig <-chan os.Signal, out io.Writer) error {
 	}
 	if err := <-serveErr; err != nil {
 		return err
+	}
+	if recv != nil {
+		// Stop replication before the store closes: the final ack cycle
+		// syncs the WAL and persists the applied watermark.
+		recv.Stop()
 	}
 	if *checkpointDir != "" {
 		if err := db.Checkpoint(*checkpointDir); err != nil {

@@ -105,6 +105,88 @@ func TestSigtermDrainsCheckpointsAndCloses(t *testing.T) {
 	db.Close()
 }
 
+// startServed runs one lsmserved in-process and returns its bound
+// address plus the channels to stop it.
+func startServed(t *testing.T, dir string, extra ...string) (addr string, sig chan os.Signal, done chan error, out *bytes.Buffer) {
+	t.Helper()
+	addrFile := filepath.Join(dir, "addr")
+	sig = make(chan os.Signal, 1)
+	out = &bytes.Buffer{}
+	done = make(chan error, 1)
+	args := append([]string{
+		"-db", filepath.Join(dir, "db"),
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-grace", "5s",
+	}, extra...)
+	go func() { done <- run(args, sig, out) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			return string(b), sig, done, out
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("server never wrote %s; output:\n%s", addrFile, out.String())
+	return "", nil, nil, nil
+}
+
+func stopServed(t *testing.T, sig chan os.Signal, done chan error, out *bytes.Buffer) {
+	t.Helper()
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("run did not exit after SIGTERM; output:\n%s", out.String())
+	}
+}
+
+// TestFollowReplicatesAndRefusesWrites runs a leader and a -follow
+// replica as two full in-process servers: writes to the leader become
+// readable on the follower, and writes to the follower are refused
+// with the typed read-only error.
+func TestFollowReplicatesAndRefusesWrites(t *testing.T) {
+	leaderAddr, lsig, ldone, lout := startServed(t, t.TempDir())
+	followerAddr, fsig, fdone, fout := startServed(t, t.TempDir(), "-follow", leaderAddr)
+
+	lc, err := client.Dial(leaderAddr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kv := range [][2]string{{"a", "1"}, {"b", "2"}, {"c", "3"}} {
+		if err := lc.Put([]byte(kv[0]), []byte(kv[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fc, err := client.Dial(followerAddr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if v, err := fc.Get([]byte("c")); err == nil && string(v) == "3" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("write never replicated to the follower; leader:\n%s\nfollower:\n%s",
+				lout.String(), fout.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := fc.Put([]byte("x"), []byte("y")); err == nil {
+		t.Fatal("follower accepted a direct write")
+	} else if !strings.Contains(err.Error(), "read replica") {
+		t.Fatalf("want a read-replica refusal, got: %v", err)
+	}
+	fc.Close()
+	lc.Close()
+	stopServed(t, fsig, fdone, fout)
+	stopServed(t, lsig, ldone, lout)
+}
+
 func TestRunRequiresDB(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(nil, nil, &out); err == nil {

@@ -67,6 +67,15 @@ type Options struct {
 	// wire.DefaultMaxFrame.
 	MaxFrameBytes int
 
+	// Replicas lists follower addresses to fan reads out to. Reads stay
+	// read-your-writes consistent: a follower's answer is used only when
+	// its watermark vector dominates the client's write token (see the
+	// package comment in replica.go). Empty disables fan-out.
+	Replicas []string
+	// ReplicaBackoff is the initial skip window after a replica failure;
+	// it doubles per consecutive failure, capped at 64x. Default 100ms.
+	ReplicaBackoff time.Duration
+
 	// TraceEvery, when > 0, marks every Nth data request (Get, Put,
 	// Delete, Scan, Apply) with wire.TraceFlag: the server threads the
 	// id into its per-operation span and echoes its own observed
@@ -105,6 +114,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxFrameBytes <= 0 {
 		o.MaxFrameBytes = wire.DefaultMaxFrame
 	}
+	if o.ReplicaBackoff <= 0 {
+		o.ReplicaBackoff = 100 * time.Millisecond
+	}
 	if o.TraceRingSize <= 0 {
 		o.TraceRingSize = 256
 	}
@@ -136,6 +148,18 @@ type Client struct {
 
 	rr atomic.Uint64
 
+	// Replica fan-out state (see replica.go).
+	replicas      []*replicaSlot
+	replicaRR     atomic.Uint64
+	replicaServed atomic.Uint64
+	replicaStale  atomic.Uint64
+	replicaErrors atomic.Uint64
+
+	tokenMu     sync.Mutex
+	token       []uint64
+	tokenGen    uint64
+	tokenBroken bool
+
 	// Tracing state. traceOff flips on permanently after a server
 	// answers a flagged opcode with StatusUnknownOp (old protocol).
 	traceCtr  atomic.Uint64
@@ -153,12 +177,16 @@ type Client struct {
 // use Ping to verify reachability eagerly.
 func New(opts Options) *Client {
 	opts = opts.withDefaults()
-	return &Client{
+	c := &Client{
 		opts:      opts,
 		conns:     make([]*conn, opts.PoolSize),
 		traceSeed: uint64(time.Now().UnixNano()),
 		traceRing: make([]TraceRecord, opts.TraceRingSize),
 	}
+	for _, addr := range opts.Replicas {
+		c.replicas = append(c.replicas, &replicaSlot{addr: addr})
+	}
+	return c
 }
 
 // Dial returns a client and verifies the server is reachable with one
@@ -182,6 +210,9 @@ func (c *Client) Close() error {
 		if cn != nil {
 			cn.fail(ErrClosed)
 		}
+	}
+	for _, s := range c.replicas {
+		s.close()
 	}
 	return nil
 }
@@ -327,16 +358,25 @@ func statusToErr(status byte, payload []byte) error {
 		return ErrNotFound
 	case wire.StatusUnavailable:
 		return fmt.Errorf("%w: %s", ErrUnavailable, payload)
+	case wire.StatusReadOnly:
+		return fmt.Errorf("%w: %s", ErrReadOnly, payload)
 	default:
 		return &wire.StatusError{Code: status, Msg: string(payload)}
 	}
 }
 
-// Get returns the value of key, or ErrNotFound.
+// Get returns the value of key, or ErrNotFound. With Replicas
+// configured it is served by a follower whenever one has a
+// fresh-enough view (see replica.go).
 func (c *Client) Get(key []byte) ([]byte, error) {
-	status, resp, err := c.do(wire.OpGet, wire.AppendBytes(nil, key))
-	if err != nil {
-		return nil, err
+	payload := wire.AppendBytes(nil, key)
+	status, resp, ok := c.replicaRead(wire.OpGet, payload)
+	if !ok {
+		var err error
+		status, resp, err = c.do(wire.OpGet, payload)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if err := statusToErr(status, resp); err != nil {
 		return nil, err
@@ -348,12 +388,20 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 func (c *Client) Put(key, value []byte) error {
 	payload := wire.AppendBytes(nil, key)
 	payload = wire.AppendBytes(payload, value)
-	return c.doSimple(wire.OpPut, payload)
+	if err := c.doSimple(wire.OpPut, payload); err != nil {
+		return err
+	}
+	c.noteWrite()
+	return nil
 }
 
 // Delete removes key.
 func (c *Client) Delete(key []byte) error {
-	return c.doSimple(wire.OpDelete, wire.AppendBytes(nil, key))
+	if err := c.doSimple(wire.OpDelete, wire.AppendBytes(nil, key)); err != nil {
+		return err
+	}
+	c.noteWrite()
+	return nil
 }
 
 // KV is one key-value pair returned by Scan.
@@ -370,9 +418,13 @@ func (c *Client) Scan(prefix []byte, limit int) ([]KV, error) {
 		limit = 0
 	}
 	payload = wire.AppendUvarint(payload, uint64(limit))
-	status, resp, err := c.do(wire.OpScan, payload)
-	if err != nil {
-		return nil, err
+	status, resp, ok := c.replicaRead(wire.OpScan, payload)
+	if !ok {
+		var err error
+		status, resp, err = c.do(wire.OpScan, payload)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if err := statusToErr(status, resp); err != nil {
 		return nil, err
@@ -413,7 +465,11 @@ func (c *Client) Apply(b *Batch) error {
 	if b.Len() == 0 {
 		return nil
 	}
-	return c.doSimple(wire.OpBatch, b.payload())
+	if err := c.doSimple(wire.OpBatch, b.payload()); err != nil {
+		return err
+	}
+	c.noteWrite()
+	return nil
 }
 
 // Stats returns the server's stats block (the STATS admin verb).
@@ -490,6 +546,12 @@ func (c *Client) Watermark() ([]uint64, error) {
 	if err := statusToErr(status, resp); err != nil {
 		return nil, err
 	}
+	return decodeVector(resp)
+}
+
+// decodeVector decodes a WATERMARK response: a uvarint count followed
+// by that many uvarint sequence numbers.
+func decodeVector(resp []byte) ([]uint64, error) {
 	count, rest, err := wire.ReadUvarint(resp)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,243 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"lsmlab/internal/partition"
+	"lsmlab/internal/wire"
+)
+
+// ErrReadOnly is returned when the server refused a write because it is
+// a read replica: writes go to the leader, which replicates them.
+var ErrReadOnly = errors.New("lsmclient: server is a read replica (writes go to the leader)")
+
+// Replica read fan-out.
+//
+// With Options.Replicas set, Get and Scan first try a follower, and the
+// client guarantees read-your-writes despite replication lag: every
+// write through this client refreshes a watermark-vector token, and a
+// replica read is a pipelined [WATERMARK, read] pair on one follower
+// connection. Responses arrive in request order, so the follower's
+// answer to WATERMARK was captured before the read executed — if that
+// vector dominates the token (partition.VectorDominates), the read
+// observed every write the token covers and its result is served.
+// Otherwise the follower is too far behind and the read silently falls
+// back to the leader. A client that has not written holds no token and
+// accepts any replica's answer.
+//
+// Followers that cannot be reached are skipped for a backoff window
+// that doubles per consecutive failure (capped), so a dead replica
+// costs one dial timeout — not one per read.
+
+// replicaSlot is one follower address with its connection and health.
+type replicaSlot struct {
+	addr string
+
+	mu          sync.Mutex
+	cn          *conn
+	failures    int
+	downUntilNs int64
+}
+
+// available reports whether the slot is outside its backoff window.
+func (s *replicaSlot) available(nowNs int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return nowNs >= s.downUntilNs
+}
+
+// connect returns the slot's live connection, dialing if needed.
+func (s *replicaSlot) connect(o Options) (*conn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cn != nil && !s.cn.dead.Load() {
+		return s.cn, nil
+	}
+	nc, err := net.DialTimeout("tcp", s.addr, o.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	s.cn = newClientConn(nc, o.MaxFrameBytes)
+	return s.cn, nil
+}
+
+// noteFailure starts (or extends) the backoff window: it doubles per
+// consecutive failure from ReplicaBackoff, capped at 64x.
+func (s *replicaSlot) noteFailure(nowNs int64, base time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failures < 6 {
+		s.failures++
+	}
+	s.downUntilNs = nowNs + int64(base)<<(s.failures-1)
+}
+
+func (s *replicaSlot) noteSuccess() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failures = 0
+	s.downUntilNs = 0
+}
+
+func (s *replicaSlot) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cn != nil {
+		s.cn.fail(ErrClosed)
+	}
+}
+
+// ReplicaStats counts replica read outcomes, for observability and
+// tests.
+type ReplicaStats struct {
+	// Served is reads answered by a follower with a fresh-enough view.
+	Served uint64
+	// Stale is reads a follower answered from a view behind the client's
+	// token; the result was discarded and the leader re-served the read.
+	Stale uint64
+	// Errors is replica transport failures (dial or mid-read), each
+	// starting a backoff window on the failing address.
+	Errors uint64
+}
+
+// ReplicaStats returns the replica fan-out counters.
+func (c *Client) ReplicaStats() ReplicaStats {
+	return ReplicaStats{
+		Served: c.replicaServed.Load(),
+		Stale:  c.replicaStale.Load(),
+		Errors: c.replicaErrors.Load(),
+	}
+}
+
+// Token returns a copy of the client's read-your-writes token: the
+// watermark vector its writes are known to be covered by.
+func (c *Client) Token() []uint64 {
+	c.tokenMu.Lock()
+	defer c.tokenMu.Unlock()
+	return append([]uint64(nil), c.token...)
+}
+
+// snapshotToken returns the current token and whether it is unusable
+// (a write's watermark refresh failed, so the token under-counts and
+// replica freshness cannot be proven).
+func (c *Client) snapshotToken() (token []uint64, broken bool) {
+	c.tokenMu.Lock()
+	defer c.tokenMu.Unlock()
+	return append([]uint64(nil), c.token...), c.tokenBroken
+}
+
+// noteWrite refreshes the read-your-writes token after a successful
+// write. The write has been acknowledged, hence published; a watermark
+// fetched now covers it no matter which connection carries the fetch.
+// If the fetch fails the token is marked broken — replica reads fall
+// back to the leader — until a later refresh succeeds with no failure
+// interleaved (its vector then provably covers the failed write too,
+// which completed before the failure was recorded).
+func (c *Client) noteWrite() {
+	if len(c.replicas) == 0 {
+		return
+	}
+	c.tokenMu.Lock()
+	gen := c.tokenGen
+	c.tokenMu.Unlock()
+	vec, err := c.Watermark()
+	c.tokenMu.Lock()
+	if err != nil {
+		c.tokenGen++
+		c.tokenBroken = true
+	} else {
+		c.token = partition.MergeVectors(c.token, vec)
+		if c.tokenGen == gen {
+			c.tokenBroken = false
+		}
+	}
+	c.tokenMu.Unlock()
+}
+
+// replicaRead tries to serve one read from a follower. ok reports
+// success; on false the caller serves the read from the leader. Replica
+// errors and stale views are both silent fallbacks — the read always
+// completes, replicas only make it cheaper.
+func (c *Client) replicaRead(op byte, payload []byte) (status byte, resp []byte, ok bool) {
+	if len(c.replicas) == 0 {
+		return 0, nil, false
+	}
+	token, broken := c.snapshotToken()
+	if broken {
+		return 0, nil, false
+	}
+	now := c.opts.NowNs()
+	start := int(c.replicaRR.Add(1) - 1)
+	for i := 0; i < len(c.replicas); i++ {
+		s := c.replicas[(start+i)%len(c.replicas)]
+		if !s.available(now) {
+			continue
+		}
+		st, rp, fresh, err := c.replicaPair(s, op, payload, token)
+		if err != nil {
+			c.replicaErrors.Add(1)
+			s.noteFailure(c.opts.NowNs(), c.opts.ReplicaBackoff)
+			continue
+		}
+		s.noteSuccess()
+		if !fresh {
+			c.replicaStale.Add(1)
+			return 0, nil, false
+		}
+		c.replicaServed.Add(1)
+		return st, rp, true
+	}
+	return 0, nil, false
+}
+
+// replicaPair runs the pipelined [WATERMARK, op] pair on one follower
+// connection and reports whether the follower's view dominates token.
+func (c *Client) replicaPair(s *replicaSlot, op byte, payload []byte, token []uint64) (status byte, resp []byte, fresh bool, err error) {
+	cn, err := s.connect(c.opts)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	wmCall, err := cn.send(wire.OpWatermark, nil, false)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	opCall, err := cn.send(op, payload, true)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	wmStatus, wmResp, err := wmCall.wait(c.opts.RequestTimeout, cn)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	status, resp, err = opCall.wait(c.opts.RequestTimeout, cn)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	if wmStatus != wire.StatusOK {
+		return 0, nil, false, fmt.Errorf("lsmclient: replica watermark: %w",
+			&wire.StatusError{Code: wmStatus, Msg: string(wmResp)})
+	}
+	wm, err := decodeVector(wmResp)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	fresh = len(token) == 0 || partition.VectorDominates(wm, token)
+	return status, resp, fresh, nil
+}
+
+// ReplStatus fetches the leader's encoded replication status block (the
+// REPL-STATUS admin verb); internal/replica.ParseStatus decodes it.
+func (c *Client) ReplStatus() ([]byte, error) {
+	status, resp, err := c.do(wire.OpReplStatus, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := statusToErr(status, resp); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), resp...), nil
+}

@@ -1,0 +1,195 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"lsmlab/internal/core"
+	"lsmlab/internal/replica"
+	"lsmlab/internal/server"
+	"lsmlab/internal/vfs"
+)
+
+// serveEngine exposes any engine on a loopback listener and returns
+// its address.
+func serveEngine(t *testing.T, eng server.Engine, opts server.Options) string {
+	t.Helper()
+	srv := server.New(eng, opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Shutdown(5 * time.Second)
+		<-done
+	})
+	return ln.Addr().String()
+}
+
+func openStore(t *testing.T, replicaMode bool) *core.DB {
+	t.Helper()
+	opts := core.DefaultOptions(vfs.NewMem(), "db")
+	opts.Replica = replicaMode
+	db, err := core.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// deadAddr returns an address that refuses connections.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestReplicaPoolSkipsDeadAddress: a down follower must cost one dial
+// failure per backoff window, not one per read, and never fail a read.
+func TestReplicaPoolSkipsDeadAddress(t *testing.T) {
+	db := openStore(t, false)
+	leader := serveEngine(t, db, server.Options{})
+	// The "replica" serves the same store, so its view is always
+	// current; the point here is pool health, not replication.
+	rep := serveEngine(t, db, server.Options{})
+
+	c := New(Options{Addr: leader, Replicas: []string{deadAddr(t), rep},
+		ReplicaBackoff: time.Second})
+	defer c.Close()
+	if err := c.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		v, err := c.Get([]byte("k"))
+		if err != nil || string(v) != "v" {
+			t.Fatalf("get %d: %q, %v", i, v, err)
+		}
+	}
+	st := c.ReplicaStats()
+	if st.Served == 0 {
+		t.Fatal("live replica served no reads")
+	}
+	// 50 reads, at most two dial failures before the 1s backoff window
+	// covers the rest of the loop.
+	if st.Errors > 3 {
+		t.Fatalf("dead replica was not skipped: %d errors for 50 reads", st.Errors)
+	}
+}
+
+// TestReplicaReadsNeverStale: a follower that is permanently behind
+// must never answer a read that would miss this client's writes.
+func TestReplicaReadsNeverStale(t *testing.T) {
+	db := openStore(t, false)
+	leader := serveEngine(t, db, server.Options{})
+	// A forever-empty store: its watermark vector never dominates a
+	// post-write token, so every accepted answer would be stale.
+	stale := openStore(t, false)
+	rep := serveEngine(t, stale, server.Options{})
+
+	c := New(Options{Addr: leader, Replicas: []string{rep}})
+	defer c.Close()
+	for i := 0; i < 30; i++ {
+		k := []byte("key")
+		v := []byte(fmt.Sprintf("v%02d", i))
+		if err := c.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Get(k)
+		if err != nil || string(got) != string(v) {
+			t.Fatalf("read-your-writes violated at %d: %q, %v", i, got, err)
+		}
+	}
+	st := c.ReplicaStats()
+	if st.Served != 0 {
+		t.Fatalf("stale replica served %d reads", st.Served)
+	}
+	if st.Stale == 0 {
+		t.Fatal("stale replica was never probed")
+	}
+}
+
+// TestReplicaReadYourWrites drives real replication end to end: every
+// read after a write sees that write, served by the follower when it
+// has caught up and by leader fallback when it has not.
+func TestReplicaReadYourWrites(t *testing.T) {
+	ldb := openStore(t, false)
+	lead := replica.NewLeader([]*core.DB{ldb}, replica.LeaderOptions{
+		Poll: 500 * time.Microsecond, Heartbeat: 20 * time.Millisecond})
+	leaderAddr := serveEngine(t, ldb, server.Options{Repl: lead})
+
+	ffs := vfs.NewMem()
+	fopts := core.DefaultOptions(ffs, "follower")
+	fopts.Replica = true
+	fdb, err := core.Open(fopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fdb.Close() })
+	recv, err := replica.NewReceiver(replica.ReceiverOptions{
+		Leader: leaderAddr, ID: "f1", FS: ffs, Dir: "follower",
+		Shards:      []*core.DB{fdb},
+		AckInterval: 5 * time.Millisecond, StreamTimeout: time.Second,
+		Backoff: 20 * time.Millisecond, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv.Start()
+	t.Cleanup(recv.Stop)
+	followerAddr := serveEngine(t, replica.NewEngine(fdb, recv), server.Options{})
+
+	c := New(Options{Addr: leaderAddr, Replicas: []string{followerAddr}})
+	defer c.Close()
+	// Overwrite one key repeatedly: any stale answer is immediately
+	// visible as a wrong value.
+	for i := 0; i < 200; i++ {
+		v := []byte(fmt.Sprintf("v%03d", i))
+		if err := c.Put([]byte("hot"), v); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Get([]byte("hot"))
+		if err != nil || string(got) != string(v) {
+			t.Fatalf("stale read at %d: %q, %v", i, got, err)
+		}
+	}
+	// Once the follower has provably caught up to the token, the next
+	// read must be served by it.
+	token := c.Token()
+	deadline := time.Now().Add(10 * time.Second)
+	for recv.AppliedVector()[0] < token[0] {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never caught up")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	before := c.ReplicaStats().Served
+	if _, err := c.Get([]byte("hot")); err != nil {
+		t.Fatal(err)
+	}
+	if c.ReplicaStats().Served != before+1 {
+		t.Fatal("caught-up follower did not serve the read")
+	}
+}
+
+// TestWriteToReplicaIsReadOnlyError: a write sent directly to a
+// follower maps to the typed ErrReadOnly.
+func TestWriteToReplicaIsReadOnlyError(t *testing.T) {
+	fdb := openStore(t, true)
+	addr := serveEngine(t, fdb, server.Options{})
+	c := New(Options{Addr: addr})
+	defer c.Close()
+	if err := c.Put([]byte("k"), []byte("v")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("want ErrReadOnly, got %v", err)
+	}
+}

@@ -145,6 +145,13 @@ type Options struct {
 	// NowNs supplies time (injected for deterministic tests).
 	NowNs func() int64
 
+	// Replica opens the store as a read-only replication follower:
+	// external writes (Put/Delete/Apply/Merge) fail with ErrReplica,
+	// while the replica.Receiver applies shipped WAL batches through
+	// ReplicaApply. Reads, scans, snapshots, health, stats, scrub, and
+	// checkpoints all serve normally.
+	Replica bool
+
 	// MaxBackgroundRetries bounds how many consecutive failures of one
 	// background job (a flush of one buffer, or compactions generally)
 	// are retried — with capped exponential backoff — before the engine

@@ -143,6 +143,11 @@ func (db *DB) apply(b *Batch, traceID uint64) error {
 	if len(b.ops) == 0 {
 		return nil
 	}
+	// A replica refuses external writes outright; shipped batches and
+	// anti-entropy repairs enter through replica.go instead.
+	if db.opts.Replica {
+		return ErrReplica
+	}
 	// Degraded mode fails writes fast — before value-log diversion, so
 	// a read-only engine appends nothing anywhere. The check is one
 	// atomic load on the healthy path.

@@ -76,6 +76,18 @@ type Metrics struct {
 	NetBytesRead     atomic.Int64 // request frame bytes received
 	NetBytesWritten  atomic.Int64 // response frame bytes sent
 
+	// Replication. Leader-side counters are maintained by the serving
+	// layer as it handles the replication verbs; follower-side counters
+	// are merged into the engine snapshot by the replica engine wrapper.
+	// On a server that is neither, all stay zero.
+	ReplSubscribes     atomic.Int64 // follower stream subscriptions accepted (leader)
+	ReplFramesShipped  atomic.Int64 // WAL group frames streamed to followers (leader)
+	ReplGapsSignaled   atomic.Int64 // gap frames sent (leader) or stream gaps observed (follower)
+	ReplAcks           atomic.Int64 // follower watermark acks recorded (leader)
+	ReplRepairPages    atomic.Int64 // Merkle repair pages served (leader)
+	ReplBatchesApplied atomic.Int64 // shipped WAL batches applied (follower)
+	ReplRepairOps      atomic.Int64 // ops ingested via anti-entropy (follower)
+
 	// Latency distributions (log-bucketed; see histogram.go). Counters
 	// answer "how much", these answer "how long" — the tail behavior
 	// that separates compaction designs (§2.2.3/§2.2.5).
@@ -130,6 +142,9 @@ type Snapshot struct {
 	ConnsOpened, ConnsClosed, ConnsRejected       int64
 	NetRequests, NetRequestErrors                 int64
 	NetBytesRead, NetBytesWritten                 int64
+	ReplSubscribes, ReplFramesShipped             int64
+	ReplGapsSignaled, ReplAcks, ReplRepairPages   int64
+	ReplBatchesApplied, ReplRepairOps             int64
 }
 
 // Snapshot returns a copy of the current counter values.
@@ -176,6 +191,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		NetRequestErrors:       m.NetRequestErrors.Load(),
 		NetBytesRead:           m.NetBytesRead.Load(),
 		NetBytesWritten:        m.NetBytesWritten.Load(),
+		ReplSubscribes:         m.ReplSubscribes.Load(),
+		ReplFramesShipped:      m.ReplFramesShipped.Load(),
+		ReplGapsSignaled:       m.ReplGapsSignaled.Load(),
+		ReplAcks:               m.ReplAcks.Load(),
+		ReplRepairPages:        m.ReplRepairPages.Load(),
+		ReplBatchesApplied:     m.ReplBatchesApplied.Load(),
+		ReplRepairOps:          m.ReplRepairOps.Load(),
 	}
 }
 
@@ -269,6 +291,13 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		NetRequestErrors:       s.NetRequestErrors - o.NetRequestErrors,
 		NetBytesRead:           s.NetBytesRead - o.NetBytesRead,
 		NetBytesWritten:        s.NetBytesWritten - o.NetBytesWritten,
+		ReplSubscribes:         s.ReplSubscribes - o.ReplSubscribes,
+		ReplFramesShipped:      s.ReplFramesShipped - o.ReplFramesShipped,
+		ReplGapsSignaled:       s.ReplGapsSignaled - o.ReplGapsSignaled,
+		ReplAcks:               s.ReplAcks - o.ReplAcks,
+		ReplRepairPages:        s.ReplRepairPages - o.ReplRepairPages,
+		ReplBatchesApplied:     s.ReplBatchesApplied - o.ReplBatchesApplied,
+		ReplRepairOps:          s.ReplRepairOps - o.ReplRepairOps,
 	}
 }
 

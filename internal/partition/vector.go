@@ -1,0 +1,43 @@
+package partition
+
+// Watermark-vector arithmetic. A read-your-writes token is a SeqVector
+// captured after a client's writes published; a replica (or any lagging
+// reader) may serve a read only once its own vector dominates the
+// token. Sequence numbers start at 1 (core.Open seeds the counter with
+// a sentinel before any batch commits), so a token element ≤ 1 carries
+// no constraint: the client has observed no writes on that shard.
+
+// VectorDominates reports whether vec has caught up to token on every
+// shard: vec[i] ≥ token[i] for all i, with token elements ≤ 1 treated
+// as unconstrained. Vectors of different lengths belong to stores with
+// different shard counts and never dominate each other.
+func VectorDominates(vec, token []uint64) bool {
+	if len(vec) != len(token) {
+		return false
+	}
+	for i, t := range token {
+		if t <= 1 {
+			continue
+		}
+		if vec[i] < t {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeVectors folds src into dst componentwise (maximum), growing dst
+// if src is longer, and returns dst. Merging a fresh watermark into a
+// client's token after each write keeps the token the tightest vector
+// that still covers everything the client has observed.
+func MergeVectors(dst, src []uint64) []uint64 {
+	for len(dst) < len(src) {
+		dst = append(dst, 0)
+	}
+	for i, s := range src {
+		if s > dst[i] {
+			dst[i] = s
+		}
+	}
+	return dst
+}

@@ -1,0 +1,74 @@
+package partition
+
+import "testing"
+
+func TestVectorDominates(t *testing.T) {
+	cases := []struct {
+		name  string
+		vec   []uint64
+		token []uint64
+		want  bool
+	}{
+		{"empty vs empty", nil, nil, true},
+		{"equal", []uint64{5, 7}, []uint64{5, 7}, true},
+		{"strictly ahead", []uint64{6, 9}, []uint64{5, 7}, true},
+		{"behind on one shard", []uint64{6, 6}, []uint64{5, 7}, false},
+		{"behind on all shards", []uint64{2, 2}, []uint64{5, 7}, false},
+		// Sequence numbers start at 1: a token element of 0 or 1 means
+		// the client observed no writes on that shard, so any vector
+		// value satisfies it.
+		{"token zero is unconstrained", []uint64{0, 9}, []uint64{0, 7}, true},
+		{"token one is unconstrained", []uint64{0, 9}, []uint64{1, 7}, true},
+		{"token two constrains", []uint64{1, 9}, []uint64{2, 7}, false},
+		{"vec sentinel vs real token", []uint64{1, 1}, []uint64{1, 2}, false},
+		// Different lengths = different shard counts: never dominates,
+		// in either direction.
+		{"vec shorter", []uint64{5}, []uint64{5, 7}, false},
+		{"vec longer", []uint64{5, 7, 9}, []uint64{5, 7}, false},
+	}
+	for _, c := range cases {
+		if got := VectorDominates(c.vec, c.token); got != c.want {
+			t.Errorf("%s: VectorDominates(%v, %v) = %v, want %v",
+				c.name, c.vec, c.token, got, c.want)
+		}
+	}
+}
+
+func TestMergeVectors(t *testing.T) {
+	cases := []struct {
+		name     string
+		dst, src []uint64
+		want     []uint64
+	}{
+		{"nil dst adopts src", nil, []uint64{3, 4}, []uint64{3, 4}},
+		{"empty src keeps dst", []uint64{3, 4}, nil, []uint64{3, 4}},
+		{"componentwise max", []uint64{3, 9}, []uint64{5, 4}, []uint64{5, 9}},
+		{"src longer grows dst", []uint64{7}, []uint64{3, 4}, []uint64{7, 4}},
+		{"dst longer keeps tail", []uint64{3, 4, 8}, []uint64{5}, []uint64{5, 4, 8}},
+		{"idempotent", []uint64{5, 7}, []uint64{5, 7}, []uint64{5, 7}},
+	}
+	for _, c := range cases {
+		got := MergeVectors(append([]uint64(nil), c.dst...), c.src)
+		if len(got) != len(c.want) {
+			t.Errorf("%s: MergeVectors = %v, want %v", c.name, got, c.want)
+			continue
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: MergeVectors = %v, want %v", c.name, got, c.want)
+				break
+			}
+		}
+	}
+
+	// The merged token must still be dominated by a vector that
+	// dominates both inputs — the property read-your-writes relies on.
+	a, b := []uint64{3, 9}, []uint64{5, 4}
+	m := MergeVectors(append([]uint64(nil), a...), b)
+	if !VectorDominates([]uint64{5, 9}, m) {
+		t.Errorf("cover vector fails to dominate merged token %v", m)
+	}
+	if VectorDominates(a, m) || VectorDominates(b, m) {
+		t.Errorf("inputs %v/%v should not dominate merged token %v", a, b, m)
+	}
+}

@@ -1,0 +1,284 @@
+package replica
+
+import (
+	"fmt"
+
+	"lsmlab/internal/wire"
+)
+
+// Payload codecs for the replication verbs. The server parses the
+// simple requests (subscribe, ack, tree) itself with wire primitives —
+// the layouts are documented on the opcodes in internal/wire — while
+// the repair and status payloads are opaque to it: both ends encode and
+// decode them here, so the serving layer never learns the Merkle
+// protocol.
+
+// AppendSubscribe encodes an OpReplSubscribe request: follower id,
+// shard, and the last leader sequence number the follower has applied
+// (the stream resumes at afterSeq+1).
+func AppendSubscribe(dst []byte, id string, shard int, afterSeq uint64) []byte {
+	dst = wire.AppendBytes(dst, []byte(id))
+	dst = wire.AppendUvarint(dst, uint64(shard))
+	return wire.AppendUvarint(dst, afterSeq)
+}
+
+// AppendAck encodes an OpReplAck request: the follower's applied-
+// through leader sequence number for one shard.
+func AppendAck(dst []byte, id string, shard int, appliedSeq uint64) []byte {
+	dst = wire.AppendBytes(dst, []byte(id))
+	dst = wire.AppendUvarint(dst, uint64(shard))
+	return wire.AppendUvarint(dst, appliedSeq)
+}
+
+// AppendStreamFrame encodes one subscription stream payload: the kind
+// byte, the leader's visibility watermark, and (for data frames) the
+// raw WAL frame.
+func AppendStreamFrame(dst []byte, kind byte, watermark uint64, raw []byte) []byte {
+	dst = append(dst, kind)
+	dst = wire.AppendUvarint(dst, watermark)
+	return append(dst, raw...)
+}
+
+// ParseStreamFrame decodes one subscription stream payload.
+func ParseStreamFrame(p []byte) (kind byte, watermark uint64, raw []byte, err error) {
+	if len(p) == 0 {
+		return 0, 0, nil, wire.ErrTruncated
+	}
+	kind = p[0]
+	watermark, raw, err = wire.ReadUvarint(p[1:])
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if kind != wire.ReplFrameData && len(raw) != 0 {
+		return 0, 0, nil, wire.ErrMalformed
+	}
+	return kind, watermark, raw, nil
+}
+
+// appendTree encodes an OpReplTree response.
+func appendTree(dst []byte, t *Tree) []byte {
+	dst = wire.AppendUvarint(dst, t.Watermark)
+	dst = wire.AppendUvarint(dst, t.Entries)
+	dst = wire.AppendUvarint(dst, uint64(len(t.Leaves)))
+	for i := range t.Leaves {
+		dst = append(dst, t.Leaves[i][:]...)
+	}
+	return append(dst, t.Root[:]...)
+}
+
+// ParseTree decodes an OpReplTree response.
+func ParseTree(p []byte) (*Tree, error) {
+	t := new(Tree)
+	var err error
+	if t.Watermark, p, err = wire.ReadUvarint(p); err != nil {
+		return nil, err
+	}
+	if t.Entries, p, err = wire.ReadUvarint(p); err != nil {
+		return nil, err
+	}
+	n, p, err := wire.ReadUvarint(p)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<16 || len(p) != (int(n)+1)*32 {
+		return nil, wire.ErrMalformed
+	}
+	t.Leaves = make([][32]byte, n)
+	for i := range t.Leaves {
+		copy(t.Leaves[i][:], p[i*32:])
+	}
+	copy(t.Root[:], p[int(n)*32:])
+	return t, nil
+}
+
+// AppendRepairReq encodes an OpReplRepair request: the shard, the set
+// of divergent range indexes wanted, and the pagination resume key (the
+// response continues strictly after it; empty starts from the front).
+func AppendRepairReq(dst []byte, shard int, ranges []int, resumeAfter []byte) []byte {
+	dst = wire.AppendUvarint(dst, uint64(shard))
+	dst = wire.AppendUvarint(dst, uint64(len(ranges)))
+	for _, r := range ranges {
+		dst = wire.AppendUvarint(dst, uint64(r))
+	}
+	return wire.AppendBytes(dst, resumeAfter)
+}
+
+// parseRepairReq decodes an OpReplRepair request into the shard and a
+// range membership set sized to numRanges.
+func parseRepairReq(p []byte, numShards, numRanges int) (shard int, want []bool, resumeAfter []byte, err error) {
+	s, p, err := wire.ReadUvarint(p)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if s >= uint64(numShards) {
+		return 0, nil, nil, fmt.Errorf("%w: shard %d of %d", wire.ErrMalformed, s, numShards)
+	}
+	n, p, err := wire.ReadUvarint(p)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	want = make([]bool, numRanges)
+	for i := uint64(0); i < n; i++ {
+		var r uint64
+		if r, p, err = wire.ReadUvarint(p); err != nil {
+			return 0, nil, nil, err
+		}
+		if r >= uint64(numRanges) {
+			return 0, nil, nil, fmt.Errorf("%w: range %d of %d", wire.ErrMalformed, r, numRanges)
+		}
+		want[r] = true
+	}
+	resumeAfter, p, err = wire.ReadBytes(p)
+	if err != nil || len(p) != 0 {
+		return 0, nil, nil, wire.ErrMalformed
+	}
+	return int(s), want, resumeAfter, nil
+}
+
+// RepairPage is one OpReplRepair response: the leader's live entries of
+// the requested ranges, in key order, resuming after the request's
+// key. More reports whether another page follows (resume after the
+// last key of this one).
+type RepairPage struct {
+	Watermark uint64
+	More      bool
+	Keys      [][]byte
+	Values    [][]byte
+}
+
+// appendRepairPage encodes an OpReplRepair response.
+func appendRepairPage(dst []byte, pg *RepairPage) []byte {
+	dst = wire.AppendUvarint(dst, pg.Watermark)
+	if pg.More {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(pg.Keys)))
+	for i := range pg.Keys {
+		dst = wire.AppendBytes(dst, pg.Keys[i])
+		dst = wire.AppendBytes(dst, pg.Values[i])
+	}
+	return dst
+}
+
+// ParseRepairPage decodes an OpReplRepair response. The returned slices
+// alias p.
+func ParseRepairPage(p []byte) (*RepairPage, error) {
+	pg := new(RepairPage)
+	var err error
+	if pg.Watermark, p, err = wire.ReadUvarint(p); err != nil {
+		return nil, err
+	}
+	if len(p) == 0 {
+		return nil, wire.ErrTruncated
+	}
+	pg.More = p[0] != 0
+	n, p, err := wire.ReadUvarint(p[1:])
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		var k, v []byte
+		if k, p, err = wire.ReadBytes(p); err != nil {
+			return nil, err
+		}
+		if v, p, err = wire.ReadBytes(p); err != nil {
+			return nil, err
+		}
+		pg.Keys = append(pg.Keys, k)
+		pg.Values = append(pg.Values, v)
+	}
+	if len(p) != 0 {
+		return nil, wire.ErrMalformed
+	}
+	return pg, nil
+}
+
+// Status is the leader's replication view: its own per-shard visibility
+// watermarks and, per known follower, the acked applied-through vector
+// and the age of the last ack.
+type Status struct {
+	Leader    []uint64
+	Followers []FollowerStatus
+}
+
+// FollowerStatus is one follower's row in Status.
+type FollowerStatus struct {
+	ID       string
+	AckAgeNs int64
+	Acked    []uint64
+}
+
+// Lag returns the follower's total sequence lag: the sum over shards of
+// leader watermark minus acked watermark.
+func (f *FollowerStatus) Lag(leader []uint64) uint64 {
+	var lag uint64
+	for i, a := range f.Acked {
+		if i < len(leader) && leader[i] > a {
+			lag += leader[i] - a
+		}
+	}
+	return lag
+}
+
+// appendStatus encodes an OpReplStatus response.
+func appendStatus(dst []byte, st *Status) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(st.Leader)))
+	for _, w := range st.Leader {
+		dst = wire.AppendUvarint(dst, w)
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(st.Followers)))
+	for i := range st.Followers {
+		f := &st.Followers[i]
+		dst = wire.AppendBytes(dst, []byte(f.ID))
+		dst = wire.AppendUvarint(dst, uint64(f.AckAgeNs))
+		for _, a := range f.Acked {
+			dst = wire.AppendUvarint(dst, a)
+		}
+	}
+	return dst
+}
+
+// ParseStatus decodes an OpReplStatus response.
+func ParseStatus(p []byte) (*Status, error) {
+	st := new(Status)
+	n, p, err := wire.ReadUvarint(p)
+	if err != nil || n > 1<<16 {
+		return nil, wire.ErrMalformed
+	}
+	st.Leader = make([]uint64, n)
+	for i := range st.Leader {
+		if st.Leader[i], p, err = wire.ReadUvarint(p); err != nil {
+			return nil, err
+		}
+	}
+	fn, p, err := wire.ReadUvarint(p)
+	if err != nil || fn > 1<<16 {
+		return nil, wire.ErrMalformed
+	}
+	for i := uint64(0); i < fn; i++ {
+		var f FollowerStatus
+		var id []byte
+		if id, p, err = wire.ReadBytes(p); err != nil {
+			return nil, err
+		}
+		f.ID = string(id)
+		var age uint64
+		if age, p, err = wire.ReadUvarint(p); err != nil {
+			return nil, err
+		}
+		f.AckAgeNs = int64(age)
+		f.Acked = make([]uint64, n)
+		for j := range f.Acked {
+			if f.Acked[j], p, err = wire.ReadUvarint(p); err != nil {
+				return nil, err
+			}
+		}
+		st.Followers = append(st.Followers, f)
+	}
+	if len(p) != 0 {
+		return nil, wire.ErrMalformed
+	}
+	return st, nil
+}

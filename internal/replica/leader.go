@@ -1,0 +1,286 @@
+package replica
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lsmlab/internal/core"
+	"lsmlab/internal/wal"
+	"lsmlab/internal/wire"
+)
+
+// Leader is the leader-side replication engine: it serves subscription
+// streams by tailing each shard's live WAL with a wal.Cursor, answers
+// Merkle tree and repair-range fetches for anti-entropy, and keeps the
+// per-follower ack registry that backs lag reporting. It satisfies the
+// server's Replicator hook (server.Options.Repl); the serving layer
+// forwards the replication verbs and stays otherwise ignorant of the
+// protocol.
+type Leader struct {
+	shards []*core.DB
+	opts   LeaderOptions
+
+	framesShipped atomic.Uint64
+	gapsSignaled  atomic.Uint64
+
+	mu        sync.Mutex
+	followers map[string]*followerState
+}
+
+type followerState struct {
+	acked     []uint64
+	lastAckNs int64
+}
+
+// LeaderOptions tunes a Leader. The zero value is usable.
+type LeaderOptions struct {
+	// Ranges is the Merkle fan-out per shard. Default DefaultRanges.
+	Ranges int
+	// Poll is how long a caught-up subscription sleeps before re-probing
+	// the WAL tail. Default 2ms.
+	Poll time.Duration
+	// Heartbeat is the idle-stream heartbeat cadence. Default 250ms.
+	Heartbeat time.Duration
+	// MaxPageBytes bounds one repair response page. Default 1 MiB.
+	MaxPageBytes int
+	// NowNs supplies time (injected for deterministic tests).
+	NowNs func() int64
+}
+
+func (o LeaderOptions) withDefaults() LeaderOptions {
+	if o.Ranges <= 0 {
+		o.Ranges = DefaultRanges
+	}
+	if o.Poll <= 0 {
+		o.Poll = 2 * time.Millisecond
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 250 * time.Millisecond
+	}
+	if o.MaxPageBytes <= 0 {
+		o.MaxPageBytes = 1 << 20
+	}
+	if o.NowNs == nil {
+		o.NowNs = func() int64 { return time.Now().UnixNano() }
+	}
+	return o
+}
+
+// NewLeader returns a Leader shipping the given shard stores — the
+// slice a flat store contributes one element to, a sharded store one
+// per partition, in shard order.
+func NewLeader(shards []*core.DB, opts LeaderOptions) *Leader {
+	return &Leader{shards: shards, opts: opts.withDefaults(),
+		followers: make(map[string]*followerState)}
+}
+
+// NumShards returns the shard count followers must match.
+func (l *Leader) NumShards() int { return len(l.shards) }
+
+// FramesShipped returns the count of data frames sent across all
+// subscriptions.
+func (l *Leader) FramesShipped() uint64 { return l.framesShipped.Load() }
+
+// Subscribe streams shard's committed WAL batches after afterSeq to
+// send, blocking until the connection dies (send returns false), the
+// server drains (stopped returns true), or the follower's position
+// cannot be served contiguously — WAL retention moved past it, or the
+// log is damaged — in which case a gap frame ends the stream and the
+// follower falls back to Merkle repair. Each payload handed to send is
+// freshly allocated; the callee owns it.
+func (l *Leader) Subscribe(shard int, afterSeq uint64, send func(payload []byte) bool, stopped func() bool) error {
+	if shard < 0 || shard >= len(l.shards) {
+		return fmt.Errorf("%w: shard %d of %d", wire.ErrMalformed, shard, len(l.shards))
+	}
+	db := l.shards[shard]
+	fs, dir := db.FSDir()
+	cur := wal.NewCursor(fs, dir)
+	defer cur.Close()
+
+	gap := func() {
+		l.gapsSignaled.Add(1)
+		send(AppendStreamFrame(nil, wire.ReplFrameGap, db.VisibleSeq(), nil))
+	}
+
+	// Sequence numbers start at the sentinel 1, so the first real batch
+	// is 2 — an empty follower subscribes after 1.
+	expect := afterSeq + 1
+	if expect < 2 {
+		expect = 2
+	}
+	lastBeat := l.opts.NowNs()
+	eofBehind := false
+	for {
+		if stopped() {
+			return nil
+		}
+		b, raw, err := cur.Next()
+		switch {
+		case err == io.EOF:
+			if db.VisibleSeq() >= expect {
+				// Published data at the expected sequence is not in the
+				// retained log — flushes deleted the segments holding it
+				// (the joining-follower bootstrap case). One re-probe closes
+				// the append-vs-publish race: a batch is appended before it
+				// publishes, so after observing VisibleSeq ≥ expect a second
+				// read either finds the frame or proves it gone.
+				if eofBehind {
+					gap()
+					return nil
+				}
+				eofBehind = true
+				time.Sleep(l.opts.Poll)
+				continue
+			}
+			eofBehind = false
+			// Caught up with the live tail: heartbeat on cadence so the
+			// follower sees leader visibility (and liveness), then poll.
+			if now := l.opts.NowNs(); now-lastBeat >= int64(l.opts.Heartbeat) {
+				if !send(AppendStreamFrame(nil, wire.ReplFrameHeartbeat, db.VisibleSeq(), nil)) {
+					return nil
+				}
+				lastBeat = now
+			}
+			time.Sleep(l.opts.Poll)
+			continue
+		case err != nil:
+			// Retention deleted the segment under the cursor, or the log is
+			// damaged mid-segment: either way the contiguous stream ends
+			// here and the follower must repair.
+			gap()
+			return nil
+		}
+		eofBehind = false
+		last := uint64(b.LastSeq())
+		if last < expect {
+			continue // already-applied prefix of the oldest retained segment
+		}
+		if uint64(b.Seq) != expect {
+			// A hole: retention outran the follower, or the leader skipped
+			// sequence numbers (a failed commit group consumes its range but
+			// writes nothing). Both heal through repair, which re-bases the
+			// follower at the leader's current watermark.
+			gap()
+			return nil
+		}
+		// Ship only published batches: the WAL gains frames before the
+		// commit pipeline publishes them, and publication is what orders a
+		// batch against SyncWAL and reads. The wait is bounded by the
+		// pipeline's publish latency.
+		for db.VisibleSeq() < last {
+			if stopped() {
+				return nil
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		if !send(AppendStreamFrame(nil, wire.ReplFrameData, db.VisibleSeq(), raw)) {
+			return nil
+		}
+		l.framesShipped.Add(1)
+		lastBeat = l.opts.NowNs()
+		expect = last + 1
+	}
+}
+
+// Ack records follower id's applied-through leader sequence for one
+// shard, feeding the lag view Status reports.
+func (l *Leader) Ack(id string, shard int, appliedSeq uint64) error {
+	if shard < 0 || shard >= len(l.shards) {
+		return fmt.Errorf("%w: shard %d of %d", wire.ErrMalformed, shard, len(l.shards))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f := l.followers[id]
+	if f == nil {
+		f = &followerState{acked: make([]uint64, len(l.shards))}
+		l.followers[id] = f
+	}
+	if appliedSeq > f.acked[shard] {
+		f.acked[shard] = appliedSeq
+	}
+	f.lastAckNs = l.opts.NowNs()
+	return nil
+}
+
+// Tree builds and encodes shard's Merkle tree (the OpReplTree
+// response).
+func (l *Leader) Tree(shard int) ([]byte, error) {
+	if shard < 0 || shard >= len(l.shards) {
+		return nil, fmt.Errorf("%w: shard %d of %d", wire.ErrMalformed, shard, len(l.shards))
+	}
+	t, err := BuildTree(l.shards[shard], l.opts.Ranges)
+	if err != nil {
+		return nil, err
+	}
+	return appendTree(nil, t), nil
+}
+
+// Repair answers one opaque OpReplRepair request: a page of live
+// entries from the requested ranges, bounded by the smaller of
+// maxBytes and MaxPageBytes.
+func (l *Leader) Repair(req []byte, maxBytes int) ([]byte, error) {
+	shard, want, resumeAfter, err := parseRepairReq(req, len(l.shards), l.opts.Ranges)
+	if err != nil {
+		return nil, err
+	}
+	if maxBytes <= 0 || maxBytes > l.opts.MaxPageBytes {
+		maxBytes = l.opts.MaxPageBytes
+	}
+	db := l.shards[shard]
+	pg := &RepairPage{Watermark: db.VisibleSeq()}
+	var lower []byte
+	if len(resumeAfter) > 0 {
+		lower = append(append(make([]byte, 0, len(resumeAfter)+1), resumeAfter...), 0)
+	}
+	it, err := db.NewRangeIter(lower, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	size := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		if !want[RangeOf(it.Key(), l.opts.Ranges)] {
+			continue
+		}
+		if size+len(it.Key())+len(it.Value())+16 > maxBytes && len(pg.Keys) > 0 {
+			pg.More = true
+			break
+		}
+		pg.Keys = append(pg.Keys, append([]byte(nil), it.Key()...))
+		pg.Values = append(pg.Values, append([]byte(nil), it.Value()...))
+		size += len(it.Key()) + len(it.Value()) + 16
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	return appendRepairPage(nil, pg), nil
+}
+
+// Status encodes the leader's replication status (the OpReplStatus
+// response).
+func (l *Leader) Status() []byte {
+	st := &Status{Leader: make([]uint64, len(l.shards))}
+	for i, db := range l.shards {
+		st.Leader[i] = db.VisibleSeq()
+	}
+	now := l.opts.NowNs()
+	l.mu.Lock()
+	for id, f := range l.followers {
+		st.Followers = append(st.Followers, FollowerStatus{
+			ID:       id,
+			AckAgeNs: now - f.lastAckNs,
+			Acked:    append([]uint64(nil), f.acked...),
+		})
+	}
+	l.mu.Unlock()
+	// Deterministic order for rendering and tests.
+	for i := 1; i < len(st.Followers); i++ {
+		for j := i; j > 0 && st.Followers[j-1].ID > st.Followers[j].ID; j-- {
+			st.Followers[j-1], st.Followers[j] = st.Followers[j], st.Followers[j-1]
+		}
+	}
+	return appendStatus(nil, st)
+}

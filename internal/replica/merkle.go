@@ -1,0 +1,143 @@
+// Package replica implements leader-based replication for the store:
+// the leader ships committed WAL groups to read replicas over the wire
+// protocol's replication verbs, and a background anti-entropy loop
+// compares Merkle trees of the live data so any divergence — a follower
+// that fell out of WAL retention, crash damage, silent bit rot — is
+// detected and healed by re-shipping only the divergent hash ranges.
+//
+// The two halves are Leader (plugged into the server as its
+// server.Options.Repl hook) and Receiver (run next to a follower store
+// opened with core.Options.Replica). The follower keeps its own local
+// sequence space; what makes it a faithful copy is that shipped batches
+// apply in the leader's commit order, while the receiver separately
+// tracks how far through the *leader's* sequence space it has applied —
+// the watermark that read-your-writes tokens are checked against.
+package replica
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"lsmlab/internal/bloom"
+	"lsmlab/internal/core"
+)
+
+// DefaultRanges is the default Merkle fan-out: the number of hash
+// ranges (leaves) a shard's key space is divided into. More ranges
+// localize divergence better (less re-shipped data per difference) at
+// the cost of a larger tree exchange.
+const DefaultRanges = 64
+
+// Tree is the Merkle summary of one shard's live data: every visible
+// user key with its resolved value (tombstones hidden, merges folded,
+// value pointers chased), bucketed by key hash into Leaves, combined
+// into Root.
+type Tree struct {
+	// Watermark is the shard's VisibleSeq captured before the scan, so
+	// the tree reflects at least every write at or below it.
+	Watermark uint64
+	// Entries counts the live entries scanned.
+	Entries uint64
+	// Leaves holds one digest per hash range: the XOR of the entry
+	// digests that hash into it. XOR makes the leaf order-independent
+	// and incrementally computable in one scan.
+	Leaves [][32]byte
+	// Root is the binary sha256 tree over Leaves.
+	Root [32]byte
+}
+
+// RangeOf returns the Merkle range (leaf index) owning key. The hash is
+// the same one shard routing uses, but modulo the range count — within
+// one shard the ranges slice its keys a second time.
+func RangeOf(key []byte, numRanges int) int {
+	return int(bloom.Hash64(key) % uint64(numRanges))
+}
+
+// entryDigest hashes one entry as length-prefixed key then value, so
+// (k="ab",v="c") and (k="a",v="bc") cannot collide.
+func entryDigest(key, value []byte) [32]byte {
+	h := sha256.New()
+	var n [binary.MaxVarintLen64]byte
+	h.Write(n[:binary.PutUvarint(n[:], uint64(len(key)))])
+	h.Write(key)
+	h.Write(n[:binary.PutUvarint(n[:], uint64(len(value)))])
+	h.Write(value)
+	var d [32]byte
+	h.Sum(d[:0])
+	return d
+}
+
+// BuildTree scans db's live entries and folds them into a Merkle tree
+// with numRanges leaves. A scan error (e.g. a corrupt table discovered
+// mid-walk) aborts the build; the caller typically runs Scrub to
+// quarantine the damage and retries.
+func BuildTree(db *core.DB, numRanges int) (*Tree, error) {
+	if numRanges <= 0 {
+		numRanges = DefaultRanges
+	}
+	t := &Tree{Watermark: db.VisibleSeq(), Leaves: make([][32]byte, numRanges)}
+	it, err := db.NewRangeIter(nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	for ok := it.First(); ok; ok = it.Next() {
+		d := entryDigest(it.Key(), it.Value())
+		leaf := &t.Leaves[RangeOf(it.Key(), numRanges)]
+		for i := range leaf {
+			leaf[i] ^= d[i]
+		}
+		t.Entries++
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	t.Root = rootOf(t.Leaves)
+	return t, nil
+}
+
+// rootOf folds the leaves pairwise with sha256 until one digest
+// remains; an odd node is promoted unhashed to the next level.
+func rootOf(leaves [][32]byte) [32]byte {
+	if len(leaves) == 0 {
+		return [32]byte{}
+	}
+	level := append([][32]byte(nil), leaves...)
+	for len(level) > 1 {
+		next := make([][32]byte, 0, (len(level)+1)/2)
+		for i := 0; i+1 < len(level); i += 2 {
+			h := sha256.New()
+			h.Write(level[i][:])
+			h.Write(level[i+1][:])
+			var d [32]byte
+			h.Sum(d[:0])
+			next = append(next, d)
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// DivergentRanges returns the leaf indexes where t and other disagree —
+// the hash ranges anti-entropy must re-ship. Equal roots short-circuit
+// to none. Trees of different fan-out cannot be compared leaf by leaf,
+// so every range of the wider tree is reported divergent.
+func (t *Tree) DivergentRanges(other *Tree) []int {
+	if len(t.Leaves) == len(other.Leaves) && t.Root == other.Root {
+		return nil
+	}
+	n := len(t.Leaves)
+	if len(other.Leaves) > n {
+		n = len(other.Leaves)
+	}
+	var div []int
+	for i := 0; i < n; i++ {
+		if i >= len(t.Leaves) || i >= len(other.Leaves) || t.Leaves[i] != other.Leaves[i] {
+			div = append(div, i)
+		}
+	}
+	return div
+}

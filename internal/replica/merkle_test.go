@@ -1,0 +1,133 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+
+	"lsmlab/internal/core"
+	"lsmlab/internal/vfs"
+)
+
+func openDB(t *testing.T, replica bool) *core.DB {
+	t.Helper()
+	opts := core.DefaultOptions(vfs.NewMem(), "db")
+	opts.Replica = replica
+	db, err := core.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestMerkleTreeMatchesAcrossStores(t *testing.T) {
+	a, b := openDB(t, false), openDB(t, false)
+	for i := 0; i < 500; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		v := []byte(fmt.Sprintf("val-%04d", i))
+		if err := a.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+		// Apply in a different order on b: leaves XOR entry digests, so
+		// order must not matter.
+		j := 499 - i
+		if err := b.Put([]byte(fmt.Sprintf("key-%04d", j)), []byte(fmt.Sprintf("val-%04d", j))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Different physical shape, same logical content.
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ta, err := BuildTree(a, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := BuildTree(b, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.Root != tb.Root {
+		t.Fatalf("equal stores, different roots: %x vs %x", ta.Root, tb.Root)
+	}
+	if ta.Entries != 500 || tb.Entries != 500 {
+		t.Fatalf("entries: %d, %d, want 500", ta.Entries, tb.Entries)
+	}
+	if div := ta.DivergentRanges(tb); div != nil {
+		t.Fatalf("equal trees report divergence: %v", div)
+	}
+}
+
+func TestMerkleDivergenceIsLocalized(t *testing.T) {
+	a, b := openDB(t, false), openDB(t, false)
+	for i := 0; i < 300; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		v := []byte(fmt.Sprintf("val-%04d", i))
+		if err := a.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const ranges = 32
+	victim := []byte("key-0123")
+	if err := b.Put(victim, []byte("divergent")); err != nil {
+		t.Fatal(err)
+	}
+	ta, _ := BuildTree(a, ranges)
+	tb, _ := BuildTree(b, ranges)
+	if ta.Root == tb.Root {
+		t.Fatal("divergent stores, equal roots")
+	}
+	div := ta.DivergentRanges(tb)
+	if len(div) != 1 || div[0] != RangeOf(victim, ranges) {
+		t.Fatalf("divergence %v, want exactly range %d", div, RangeOf(victim, ranges))
+	}
+	// A tombstone hides the entry on both sides identically.
+	if err := a.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	ta, _ = BuildTree(a, ranges)
+	tb, _ = BuildTree(b, ranges)
+	if ta.Root != tb.Root {
+		t.Fatal("deletes did not reconverge the trees")
+	}
+}
+
+func TestEntryDigestFraming(t *testing.T) {
+	if entryDigest([]byte("ab"), []byte("c")) == entryDigest([]byte("a"), []byte("bc")) {
+		t.Fatal("length prefixing failed: shifted key/value boundary collides")
+	}
+	if entryDigest([]byte("a"), nil) == entryDigest(nil, []byte("a")) {
+		t.Fatal("empty key vs empty value collides")
+	}
+}
+
+func TestTreeCodecRoundTrip(t *testing.T) {
+	db := openDB(t, false)
+	for i := 0; i < 50; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := BuildTree(db, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTree(appendTree(nil, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Root != want.Root || got.Watermark != want.Watermark || got.Entries != want.Entries {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, want)
+	}
+	for i := range want.Leaves {
+		if got.Leaves[i] != want.Leaves[i] {
+			t.Fatalf("leaf %d differs after round trip", i)
+		}
+	}
+}

@@ -279,6 +279,70 @@ func (c *conn) handle(op byte, payload []byte, batch *core.Batch) bool {
 		resp = wire.AppendBytes(resp, []byte(h.Kind))
 		done(nil)
 		return c.respond(wire.StatusOK, resp)
+	case wire.OpReplSubscribe:
+		return c.handleReplSubscribe(payload)
+	case wire.OpReplAck:
+		done := c.beginRequest(op)
+		repl := c.s.opts.Repl
+		if repl == nil {
+			done(errReplDisabled)
+			return c.respondErr(wire.StatusBadRequest, errReplDisabled)
+		}
+		id, rest, err := wire.ReadBytes(payload)
+		var shard, seq uint64
+		if err == nil {
+			shard, rest, err = wire.ReadUvarint(rest)
+		}
+		if err == nil {
+			seq, rest, err = wire.ReadUvarint(rest)
+		}
+		if err != nil || len(rest) != 0 {
+			done(wire.ErrMalformed)
+			return c.respondErr(wire.StatusBadRequest, wire.ErrMalformed)
+		}
+		err = repl.Ack(string(id), int(shard), seq)
+		if err == nil {
+			c.s.m.ReplAcks.Add(1)
+		}
+		done(err)
+		return c.respondRepl(err, nil)
+	case wire.OpReplTree:
+		done := c.beginRequest(op)
+		repl := c.s.opts.Repl
+		if repl == nil {
+			done(errReplDisabled)
+			return c.respondErr(wire.StatusBadRequest, errReplDisabled)
+		}
+		shard, rest, err := wire.ReadUvarint(payload)
+		if err != nil || len(rest) != 0 {
+			done(wire.ErrMalformed)
+			return c.respondErr(wire.StatusBadRequest, wire.ErrMalformed)
+		}
+		resp, err := repl.Tree(int(shard))
+		done(err)
+		return c.respondRepl(err, resp)
+	case wire.OpReplRepair:
+		done := c.beginRequest(op)
+		repl := c.s.opts.Repl
+		if repl == nil {
+			done(errReplDisabled)
+			return c.respondErr(wire.StatusBadRequest, errReplDisabled)
+		}
+		resp, err := repl.Repair(payload, c.s.opts.MaxRequestBytes-64)
+		if err == nil {
+			c.s.m.ReplRepairPages.Add(1)
+		}
+		done(err)
+		return c.respondRepl(err, resp)
+	case wire.OpReplStatus:
+		done := c.beginRequest(op)
+		repl := c.s.opts.Repl
+		if repl == nil {
+			done(errReplDisabled)
+			return c.respondErr(wire.StatusBadRequest, errReplDisabled)
+		}
+		done(nil)
+		return c.respond(wire.StatusOK, repl.Status())
 	default:
 		// Framing was intact, so the stream is still in sync: answer
 		// with a structured error and keep the connection.
@@ -286,6 +350,72 @@ func (c *conn) handle(op byte, payload []byte, batch *core.Batch) bool {
 		done(wire.ErrMalformed)
 		return c.respond(wire.StatusUnknownOp, []byte(wire.OpName(op)))
 	}
+}
+
+var errReplDisabled = errors.New("replication not enabled on this server")
+
+// respondRepl maps a Replicator error to a response status: malformed
+// requests (bad shard, undecodable payload) are the client's fault,
+// everything else is internal.
+func (c *conn) respondRepl(err error, resp []byte) bool {
+	switch {
+	case err == nil:
+		return c.respond(wire.StatusOK, resp)
+	case errors.Is(err, wire.ErrMalformed):
+		return c.respondErr(wire.StatusBadRequest, err)
+	default:
+		return c.respondErr(wire.StatusInternal, err)
+	}
+}
+
+// handleReplSubscribe converts the connection into a one-way
+// replication stream: the Replicator's send callback queues StatusOK
+// frames through the ordinary write goroutine (so slow-follower
+// backpressure and write timeouts apply unchanged), and the read loop
+// stays parked in the stream until it ends — at which point the
+// connection closes, which is what tells the follower to resubscribe
+// or repair.
+func (c *conn) handleReplSubscribe(payload []byte) bool {
+	done := c.beginRequest(wire.OpReplSubscribe)
+	repl := c.s.opts.Repl
+	if repl == nil {
+		done(errReplDisabled)
+		c.respondErr(wire.StatusBadRequest, errReplDisabled)
+		return false
+	}
+	id, rest, err := wire.ReadBytes(payload)
+	var shard, after uint64
+	if err == nil {
+		shard, rest, err = wire.ReadUvarint(rest)
+	}
+	if err == nil {
+		after, rest, err = wire.ReadUvarint(rest)
+	}
+	if err != nil || len(rest) != 0 || int(shard) >= repl.NumShards() {
+		done(wire.ErrMalformed)
+		c.respondErr(wire.StatusBadRequest, wire.ErrMalformed)
+		return false
+	}
+	_ = id // identity matters on acks; the stream itself is anonymous
+	c.s.m.ReplSubscribes.Add(1)
+	send := func(p []byte) bool {
+		if len(p) > 0 {
+			switch p[0] {
+			case wire.ReplFrameData:
+				c.s.m.ReplFramesShipped.Add(1)
+			case wire.ReplFrameGap:
+				c.s.m.ReplGapsSignaled.Add(1)
+			}
+		}
+		return c.respond(wire.StatusOK, p)
+	}
+	stopped := func() bool { return c.s.drain.Load() }
+	err = repl.Subscribe(int(shard), after, send, stopped)
+	done(err)
+	if err != nil {
+		c.respondErr(wire.StatusBadRequest, err)
+	}
+	return false
 }
 
 // respondApply maps an Apply/Compact error to a response status.
@@ -305,6 +435,10 @@ func (c *conn) respondApplyTraced(tc traceCtx, err error) bool {
 		// Read-only mode: the refusal is sticky, so the status is the
 		// non-retryable kind — clients surface it instead of looping.
 		return c.respondErr(wire.StatusUnavailable, err)
+	case errors.Is(err, core.ErrReplica):
+		// A replication follower: nothing is wrong, writes just belong
+		// on the leader.
+		return c.respondErr(wire.StatusReadOnly, err)
 	default:
 		return c.respondErr(wire.StatusInternal, err)
 	}

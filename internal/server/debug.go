@@ -145,6 +145,17 @@ func (s *Server) writeMetrics(w http.ResponseWriter) {
 	p.counter("net_bytes_written_total", "Response frame bytes sent.", net.NetBytesWritten)
 	p.gauge("conns_open", "Connections currently being served.", float64(net.ConnsOpened-net.ConnsClosed))
 
+	// Replication: leader counters live on the server, follower counters
+	// arrive merged into the engine snapshot by the replica wrapper.
+	p.counter("repl_subscribes_total", "Follower stream subscriptions accepted.", net.ReplSubscribes)
+	p.counter("repl_frames_shipped_total", "WAL group frames streamed to followers.", net.ReplFramesShipped)
+	p.counter("repl_gaps_total", "Gap frames sent (leader) or stream gaps observed (follower).",
+		net.ReplGapsSignaled+eng.ReplGapsSignaled)
+	p.counter("repl_acks_total", "Follower watermark acks recorded.", net.ReplAcks)
+	p.counter("repl_repair_pages_total", "Merkle repair pages served.", net.ReplRepairPages)
+	p.counter("repl_batches_applied_total", "Shipped WAL batches applied by this follower.", eng.ReplBatchesApplied)
+	p.counter("repl_repair_ops_total", "Ops ingested via anti-entropy repair.", eng.ReplRepairOps)
+
 	// Derived ratios (the paper's headline figures).
 	p.gauge("write_amplification", "Storage bytes written per user byte ingested.", eng.WriteAmplification())
 	p.gauge("read_amplification", "Average sorted runs probed per point lookup.", eng.ReadAmplification())

@@ -61,6 +61,32 @@ type Engine interface {
 	SeqVector() []uint64
 }
 
+// Replicator is the replication hook the leader-side serving layer
+// forwards the wire replication verbs to (internal/replica.Leader
+// implements it). The server stays protocol-agnostic: subscribe, ack,
+// and tree requests are parsed here because their payloads are plain
+// wire primitives, while repair requests and the status block pass
+// through opaquely — their layout belongs to the replica package on
+// both ends.
+type Replicator interface {
+	// NumShards is the shard count subscriptions are validated against.
+	NumShards() int
+	// Subscribe streams shard's WAL after afterSeq: each payload handed
+	// to send becomes one StatusOK frame on the subscriber's connection.
+	// It blocks until send fails (dead peer), stopped returns true
+	// (server drain), or the stream ends with a gap frame.
+	Subscribe(shard int, afterSeq uint64, send func(payload []byte) bool, stopped func() bool) error
+	// Ack records a follower's applied-through watermark for one shard.
+	Ack(follower string, shard int, appliedSeq uint64) error
+	// Tree returns shard's encoded Merkle tree (OpReplTree response).
+	Tree(shard int) ([]byte, error)
+	// Repair answers one opaque repair-range request, bounding the
+	// response to maxBytes.
+	Repair(req []byte, maxBytes int) ([]byte, error)
+	// Status returns the encoded replication status block.
+	Status() []byte
+}
+
 // Options configures a Server. The zero value is usable; unset fields
 // take the defaults documented per field.
 type Options struct {
@@ -94,6 +120,11 @@ type Options struct {
 	// bounded time and COMPACT runs to completion, so neither enforces
 	// it. 0 (the default) disables.
 	RequestTimeout time.Duration
+	// Repl, when non-nil, makes this server a replication leader: the
+	// wire replication verbs (subscribe/ack/tree/repair/status) are
+	// served through it. Nil (the default) answers those verbs with
+	// StatusBadRequest.
+	Repl Replicator
 	// EventListener receives ConnOpen/ConnClose/RequestBegin/RequestEnd
 	// lifecycle events. Same contract as core.Options.EventListener:
 	// fast, non-blocking, no calls back into the server.
@@ -251,6 +282,15 @@ func (s *Server) FormatStats(verbose bool) string {
 	out += fmt.Sprintf("\nserver: conns_open=%d opened=%d rejected=%d requests=%d errors=%d net_read=%dB net_written=%dB",
 		m.ConnsOpened-m.ConnsClosed, m.ConnsOpened, m.ConnsRejected,
 		m.NetRequests, m.NetRequestErrors, m.NetBytesRead, m.NetBytesWritten)
+	// The repl line appears only on nodes that replicate: leaders show
+	// shipping counters, followers show apply counters (merged into the
+	// engine snapshot by the replica engine wrapper).
+	eng := s.db.Metrics()
+	if s.opts.Repl != nil || eng.ReplBatchesApplied+eng.ReplRepairOps+eng.ReplGapsSignaled > 0 {
+		out += fmt.Sprintf("\nrepl: subscribes=%d frames_shipped=%d gaps=%d acks=%d repair_pages=%d batches_applied=%d repair_ops=%d",
+			m.ReplSubscribes, m.ReplFramesShipped, m.ReplGapsSignaled+eng.ReplGapsSignaled,
+			m.ReplAcks, m.ReplRepairPages, eng.ReplBatchesApplied, eng.ReplRepairOps)
+	}
 	if verbose {
 		out += fmt.Sprintf("\n  request    %s", s.m.RequestNs.Snapshot())
 	}

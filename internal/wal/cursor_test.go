@@ -1,0 +1,239 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"lsmlab/internal/kv"
+	"lsmlab/internal/vfs"
+)
+
+func segName(n uint64) string { return fmt.Sprintf("%06d.wal", n) }
+
+func writeBatches(t *testing.T, fs vfs.FS, dir string, seg uint64, batches ...*Batch) {
+	t.Helper()
+	f, err := fs.Append(vfs.Join(dir, segName(seg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := NewWriter(f)
+	for _, b := range batches {
+		if _, err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func mkBatch(seq uint64, keys ...string) *Batch {
+	b := &Batch{Seq: kv.SeqNum(seq)}
+	for _, k := range keys {
+		b.Ops = append(b.Ops, Op{Kind: kv.KindSet, Key: []byte(k), Value: []byte("v-" + k)})
+	}
+	return b
+}
+
+func TestCursorReadsAcrossSegments(t *testing.T) {
+	fs := vfs.NewMem()
+	dir := "db"
+	fs.MkdirAll(dir)
+	writeBatches(t, fs, dir, 1, mkBatch(2, "a"), mkBatch(3, "b", "c"))
+	writeBatches(t, fs, dir, 3, mkBatch(5, "d")) // gap in segment numbers is normal
+
+	c := NewCursor(fs, dir)
+	defer c.Close()
+	var seqs []uint64
+	for {
+		b, raw, err := c.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(raw) < 8 {
+			t.Fatalf("raw frame too short: %d", len(raw))
+		}
+		seqs = append(seqs, uint64(b.Seq))
+	}
+	want := []uint64{2, 3, 5}
+	if len(seqs) != len(want) {
+		t.Fatalf("got seqs %v, want %v", seqs, want)
+	}
+	for i := range want {
+		if seqs[i] != want[i] {
+			t.Fatalf("got seqs %v, want %v", seqs, want)
+		}
+	}
+}
+
+func TestCursorTornTailStopsThenResumes(t *testing.T) {
+	fs := vfs.NewMem()
+	dir := "db"
+	fs.MkdirAll(dir)
+	writeBatches(t, fs, dir, 1, mkBatch(2, "a"))
+
+	// Append a torn frame by hand: a valid header promising more
+	// payload than is present.
+	full := mkBatch(3, "bb").appendFrame(nil)
+	f, err := fs.Append(vfs.Join(dir, segName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(full[:len(full)-3]); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCursor(fs, dir)
+	defer c.Close()
+	if b, _, err := c.Next(); err != nil || b.Seq != 2 {
+		t.Fatalf("first batch: seq %d err %v", b.Seq, err)
+	}
+	// The torn tail on the newest segment means "caught up": io.EOF,
+	// repeatedly, without advancing past the damage.
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.Next(); err != io.EOF {
+			t.Fatalf("torn tail: want io.EOF, got %v", err)
+		}
+	}
+	// The writer finishes the frame; the cursor picks it up in place.
+	if _, err := f.Write(full[len(full)-3:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if b, _, err := c.Next(); err != nil || b.Seq != 3 {
+		t.Fatalf("resumed batch: seq %d err %v", b.Seq, err)
+	}
+}
+
+func TestCursorAdvancesPastSealedTornTail(t *testing.T) {
+	fs := vfs.NewMem()
+	dir := "db"
+	fs.MkdirAll(dir)
+	// Segment 1 ends in a torn frame, but segment 2 exists: rotation
+	// seals segments before creating successors, so the cursor must
+	// treat the torn bytes as final garbage and advance.
+	writeBatches(t, fs, dir, 1, mkBatch(2, "a"))
+	full := mkBatch(3, "b").appendFrame(nil)
+	f, _ := fs.Append(vfs.Join(dir, segName(1)))
+	f.Write(full[:len(full)-1])
+	f.Close()
+	writeBatches(t, fs, dir, 2, mkBatch(3, "b"))
+
+	c := NewCursor(fs, dir)
+	defer c.Close()
+	if b, _, err := c.Next(); err != nil || b.Seq != 2 {
+		t.Fatalf("first batch: seq %d err %v", b.Seq, err)
+	}
+	if b, _, err := c.Next(); err != nil || b.Seq != 3 {
+		t.Fatalf("after sealed torn tail: seq %d err %v", b.Seq, err)
+	}
+	if _, _, err := c.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at live tail, got %v", err)
+	}
+}
+
+func TestCursorErrGone(t *testing.T) {
+	fs := vfs.NewMem()
+	dir := "db"
+	fs.MkdirAll(dir)
+	writeBatches(t, fs, dir, 1, mkBatch(2, "a"))
+
+	c := NewCursor(fs, dir)
+	defer c.Close()
+	// Sabotage: the segment is listed but unopenable (deleted between
+	// the listing and the open is the race this models). Remove on
+	// MemFS drops it from the listing too, so simulate by pointing the
+	// cursor past a segment that only briefly existed.
+	if b, _, err := c.Next(); err != nil || b.Seq != 2 {
+		t.Fatalf("first batch: seq %d err %v", b.Seq, err)
+	}
+	// Retention deletes segment 1 and the writer has moved to segment
+	// 5; batches 3..9 are gone. The cursor just reports what remains —
+	// the seq-contiguity check above it detects the gap.
+	fs.Remove(vfs.Join(dir, segName(1)))
+	writeBatches(t, fs, dir, 5, mkBatch(10, "z"))
+	b, _, err := c.Next()
+	if err != nil || b.Seq != 10 {
+		t.Fatalf("post-retention batch: seq %d err %v", b.Seq, err)
+	}
+}
+
+func TestCursorBehindConcurrentWriter(t *testing.T) {
+	fs := vfs.NewMem()
+	dir := "db"
+	fs.MkdirAll(dir)
+	f, err := fs.Create(vfs.Join(dir, segName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := NewWriter(f)
+		for i := 0; i < n; i++ {
+			if _, err := w.Append(mkBatch(uint64(2+i), fmt.Sprintf("k%04d", i))); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%37 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	c := NewCursor(fs, dir)
+	defer c.Close()
+	got := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for got < n {
+		b, _, err := c.Next()
+		if err == io.EOF {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out at %d/%d batches", got, n)
+			}
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := uint64(2 + got); uint64(b.Seq) != want {
+			t.Fatalf("batch %d: seq %d, want %d", got, b.Seq, want)
+		}
+		got++
+	}
+	wg.Wait()
+	f.Close()
+}
+
+func TestCursorMidSegmentCorruption(t *testing.T) {
+	fs := vfs.NewMem()
+	dir := "db"
+	fs.MkdirAll(dir)
+	// Frame 1 valid, frame 2 corrupt (bad CRC), frame 3 valid after it:
+	// the corruption is not at the tail, so it must be reported.
+	buf := mkBatch(2, "a").appendFrame(nil)
+	bad := mkBatch(3, "b").appendFrame(nil)
+	bad[len(bad)-1] ^= 0xFF // flip a payload bit; CRC now mismatches
+	buf = append(buf, bad...)
+	buf = append(buf, mkBatch(4, "c").appendFrame(nil)...)
+	f, _ := fs.Create(vfs.Join(dir, segName(1)))
+	f.Write(buf)
+	f.Close()
+
+	c := NewCursor(fs, dir)
+	defer c.Close()
+	if b, _, err := c.Next(); err != nil || b.Seq != 2 {
+		t.Fatalf("first batch: seq %d err %v", b.Seq, err)
+	}
+	if _, _, err := c.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt for mid-segment damage, got %v", err)
+	}
+}

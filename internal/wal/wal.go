@@ -40,6 +40,10 @@ type Batch struct {
 	Ops []Op
 }
 
+// LastSeq returns the sequence number of the batch's final operation —
+// the value a replication cursor resumes after.
+func (b *Batch) LastSeq() kv.SeqNum { return b.Seq + kv.SeqNum(len(b.Ops)) - 1 }
+
 // appendFrame encodes the batch's frame (header + payload) onto buf and
 // returns the extended slice. The length and CRC are backfilled once the
 // payload is in place, so a group of batches can be framed into one
@@ -93,6 +97,27 @@ func decodeBatch(payload []byte) (Batch, error) {
 		b.Ops = append(b.Ops, op)
 	}
 	return b, nil
+}
+
+// DecodeFrame verifies and decodes one complete framed batch (header +
+// payload) exactly as it sits in a log segment. The replication
+// receiver runs every shipped frame through it, so the follower trusts
+// the leader's original checksum, not the network's. Any damage — a
+// short frame, a length or CRC mismatch, an undecodable payload — is
+// ErrCorrupt.
+func DecodeFrame(frame []byte) (Batch, error) {
+	if len(frame) < 8 {
+		return Batch{}, ErrCorrupt
+	}
+	length := int(binary.LittleEndian.Uint32(frame[:4]))
+	if len(frame) != 8+length {
+		return Batch{}, ErrCorrupt
+	}
+	payload := frame[8:]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(frame[4:8]) {
+		return Batch{}, ErrCorrupt
+	}
+	return decodeBatch(payload)
 }
 
 // Writer appends batches to a log file. A Writer is not safe for

@@ -68,6 +68,52 @@ const (
 	// vector dominates it component-wise. A single-tree server answers
 	// with a one-element vector.
 	OpWatermark byte = 0x0A
+	// OpReplSubscribe: follower id, uvarint shard, uvarint afterSeq.
+	// The connection becomes a one-way replication stream: the server
+	// answers with a sequence of StatusOK frames, each payload led by a
+	// 1-byte kind (ReplFrameData | ReplFrameGap | ReplFrameHeartbeat;
+	// see those constants for the layouts), and sends nothing else on
+	// the connection until it closes. Requires replication to be
+	// enabled server-side (StatusBadRequest otherwise).
+	OpReplSubscribe byte = 0x0B
+	// OpReplAck: follower id, uvarint shard, uvarint appliedSeq. The
+	// follower's applied-through watermark, feeding the leader's lag
+	// view. Response: StatusOK (empty).
+	OpReplAck byte = 0x0C
+	// OpReplTree: uvarint shard. Response: StatusOK + uvarint
+	// watermark + uvarint entry count + uvarint range count +
+	// count×32-byte range digests + 32-byte root — the shard's Merkle
+	// tree over user key → latest visible value, for anti-entropy
+	// diffing.
+	OpReplTree byte = 0x0D
+	// OpReplRepair: uvarint shard, uvarint range index, resume-after
+	// key (empty = start). Response: StatusOK + uvarint watermark +
+	// 1-byte more flag + uvarint count + count×(key, value) — the live
+	// entries of one divergent Merkle range, paginated by response
+	// size.
+	OpReplRepair byte = 0x0E
+	// OpReplStatus: empty. Response: StatusOK + the leader's
+	// replication status block (per-follower per-shard acked seqs and
+	// lag; layout in internal/replica).
+	OpReplStatus byte = 0x0F
+)
+
+// Replication stream frame kinds (first payload byte of each StatusOK
+// frame on an OpReplSubscribe connection).
+const (
+	// ReplFrameData: uvarint leader watermark, then one raw WAL frame
+	// (length | crc32c | payload) exactly as it sits in the leader's
+	// log — the follower re-verifies the original checksum.
+	ReplFrameData byte = 0x00
+	// ReplFrameGap: uvarint leader watermark. The follower's cursor
+	// position fell out of WAL retention (or the log is damaged); the
+	// stream ends after this frame and the follower runs Merkle repair
+	// before resubscribing.
+	ReplFrameGap byte = 0x01
+	// ReplFrameHeartbeat: uvarint leader watermark. Sent while the
+	// stream is idle so the follower can track leader visibility and
+	// liveness.
+	ReplFrameHeartbeat byte = 0x02
 )
 
 // Batch entry kinds (OpBatch payload).
@@ -184,6 +230,11 @@ const (
 	// operator intervenes — so clients must surface it, never loop on it.
 	// Reads remain served; the connection stays open.
 	StatusUnavailable byte = 0xE7
+	// StatusReadOnly: the store is a replication follower and refused a
+	// write. Unlike StatusUnavailable nothing is wrong — the client
+	// should direct writes at the leader. Reads remain served; the
+	// connection stays open.
+	StatusReadOnly byte = 0xE8
 )
 
 // Typed decode errors.
@@ -208,6 +259,11 @@ var opNames = map[byte]string{
 	OpPing:             "ping",
 	OpHealth:           "health",
 	OpWatermark:        "watermark",
+	OpReplSubscribe:    "repl-subscribe",
+	OpReplAck:          "repl-ack",
+	OpReplTree:         "repl-tree",
+	OpReplRepair:       "repl-repair",
+	OpReplStatus:       "repl-status",
 	StatusOK:           "ok",
 	StatusNotFound:     "not-found",
 	StatusBadRequest:   "bad-request",
@@ -218,6 +274,7 @@ var opNames = map[byte]string{
 	StatusDeadline:     "deadline",
 	StatusBusy:         "busy",
 	StatusUnavailable:  "unavailable",
+	StatusReadOnly:     "read-only",
 }
 
 // OpName returns a stable name for an opcode or status byte; traced
