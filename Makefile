@@ -37,6 +37,10 @@ bench-smoke:
 	$(GO) run ./cmd/lsmbench -serve -conns 4 -ops 20000 -json bench_smoke_net.json
 	grep -q '"mode": "net"' bench_smoke_net.json
 	grep -q '"p999_ns"' bench_smoke_net.json
+	$(GO) run ./cmd/lsmbench -serve -tenants 2 -quota ops=200,burst=0.5 -ops 600 -json bench_smoke_tenants.json
+	grep -q '"mode": "net-tenants"' bench_smoke_tenants.json
+	grep -q '"throttle_rate"' bench_smoke_tenants.json
+	grep -q '"retry_after_ns"' bench_smoke_tenants.json
 
 # Run the pinned perf-trajectory workload and gate it against the
 # newest committed BENCH_<n>.json (what the CI bench-trajectory job
@@ -96,4 +100,4 @@ cover:
 		|| { echo "FAIL: total coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
 clean:
-	rm -f bench_tables.txt coverage.out bench_smoke.json bench_smoke_net.json
+	rm -f bench_tables.txt coverage.out bench_smoke.json bench_smoke_net.json bench_smoke_tenants.json

@@ -47,6 +47,8 @@ var flagModes = map[string][]string{
 	"conns":           {modeNet},
 	"depth":           {modeNet},
 	"replicas":        {modeNet},
+	"tenants":         {modeNet},
+	"quota":           {modeNet},
 	"readers":         {modeRead},
 	"keys":            {modeRead},
 	"dist":            {modeRead},

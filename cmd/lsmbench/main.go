@@ -23,6 +23,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"lsmlab/internal/admission"
 	"lsmlab/internal/benchcmp"
 	"lsmlab/internal/client"
 	"lsmlab/internal/compaction"
@@ -64,6 +66,8 @@ func main() {
 		conns    = flag.Int("conns", 1, "network mode: number of client connections")
 		replicas = flag.String("replicas", "", "network mode: comma-separated follower addresses; after the put phase, reads fan out across them with read-your-writes enforced")
 		depth    = flag.Int("depth", 1, "network mode: pipelined requests in flight per connection (1 = synchronous)")
+		tenants  = flag.Int("tenants", 0, "network mode: overload bench with this many tenants; tenant t0 hammers at 4x quota, the rest stay under it")
+		quota    = flag.String("quota", "", "network mode: per-tenant quota 'ops=N[,bytes=N][,burst=SEC]' for -tenants (with -serve it is enforced in-process; with -addr it only sets the pacing targets)")
 
 		mode    = flag.String("mode", "", "read benchmark: get|scan|mixed over a preloaded key space")
 		readers = flag.Int("readers", 8, "read mode: concurrent reader goroutines")
@@ -117,6 +121,23 @@ func main() {
 		return
 
 	case modeNet:
+		if *quota != "" && *tenants <= 0 {
+			fmt.Fprintln(os.Stderr, "lsmbench: -quota requires -tenants")
+			os.Exit(2)
+		}
+		if *tenants > 0 {
+			for _, f := range []string{"conns", "depth", "replicas"} {
+				if explicit[f] {
+					fmt.Fprintf(os.Stderr, "lsmbench: -%s does not apply to the -tenants overload bench\n", f)
+					os.Exit(2)
+				}
+			}
+			if err := runNetTenants(*addr, *tenants, *quota, *ops, *valueSize, *syncWAL, *syncDelay, *dir, *jsonPath); err != nil {
+				fmt.Fprintln(os.Stderr, "lsmbench:", err)
+				os.Exit(1)
+			}
+			return
+		}
 		if err := runNet(*addr, *replicas, *conns, *ops, *valueSize, *depth, *syncWAL, *syncDelay, *dir, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "lsmbench:", err)
 			os.Exit(1)
@@ -224,6 +245,11 @@ type benchResult struct {
 	CacheHitRate     float64 `json:"cache_hit_rate,omitempty"`
 	BlockReads       int64   `json:"block_reads,omitempty"`
 	BlockReadsCached int64   `json:"block_reads_cached,omitempty"`
+
+	// Multi-tenant overload bench (-tenants): the enforced per-tenant
+	// quota and one row per tenant.
+	QuotaOpsPerSec float64        `json:"quota_ops_per_sec,omitempty"`
+	Tenants        []tenantResult `json:"tenants,omitempty"`
 
 	// Engine-side totals (zero when benchmarking an external server).
 	WriteAmp           float64 `json:"write_amplification"`
@@ -579,6 +605,201 @@ func runNet(addr, replicas string, conns, ops, valueSize, depth int, syncWAL boo
 		if gs.N > 0 {
 			fmt.Printf("group size: n=%d mean=%.2f max=%d\n", gs.N, gs.Mean(), gs.Max)
 		}
+	}
+	return res.writeJSON(jsonPath)
+}
+
+// tenantResult is one tenant's row in the -tenants overload bench:
+// offered load, how much of it the server admitted, and the latency of
+// the admitted portion.
+type tenantResult struct {
+	Tenant       string  `json:"tenant"`
+	TargetRate   float64 `json:"target_ops_per_sec"`
+	Attempted    int     `json:"attempted"`
+	Acked        int     `json:"acked"`
+	Throttled    int     `json:"throttled"`
+	ThrottleRate float64 `json:"throttle_rate"`
+	OpsPerSec    float64 `json:"ops_per_sec"` // acked throughput
+	P99Ns        int64   `json:"p99_ns"`      // acked put latency
+
+	// RetryAfterNs is the first retry-after hint the server attached to
+	// a throttled response (0 when the tenant was never throttled).
+	RetryAfterNs int64 `json:"retry_after_ns,omitempty"`
+}
+
+// runNetTenants measures overload isolation instead of raw throughput:
+// every tenant writes into its own key-prefix namespace against the
+// same per-tenant quota, tenant t0 offering 4x its quota and the rest
+// staying at half of theirs. A healthy server throttles t0's excess
+// (with retry-after hints the bench surfaces rather than sleeps out —
+// retries are disabled so every rejection is counted) while the polite
+// tenants see no throttles at all. With -serve the quota is enforced by
+// an in-process admission controller; with -addr the target server's
+// own configuration must match the pacing quota for the numbers to
+// mean anything.
+func runNetTenants(addr string, tenants int, quotaSpec string, ops, valueSize int, syncWAL bool, syncDelay time.Duration, dir, jsonPath string) error {
+	if quotaSpec == "" {
+		quotaSpec = "ops=200"
+	}
+	q, err := admission.ParseQuota(quotaSpec)
+	if err != nil {
+		return fmt.Errorf("-quota: %w", err)
+	}
+	if q.OpsPerSec <= 0 {
+		return fmt.Errorf("-quota must set ops=N for the -tenants bench")
+	}
+
+	var db *core.DB
+	if addr == "" {
+		// -serve: host the bench store in-process with the quota applied
+		// as the per-tenant default, so every tenant gets its own bucket.
+		var fs vfs.FS
+		dbDir := "bench-db"
+		if dir != "" {
+			fs = vfs.NewOS()
+			dbDir = dir
+		} else {
+			mem := vfs.NewMem()
+			mem.SetSyncDelay(syncDelay)
+			fs = mem
+		}
+		opts := core.DefaultOptions(fs, dbDir)
+		opts.SyncWAL = syncWAL
+		db, err = core.Open(opts)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		srv := server.New(db, server.Options{
+			Admission: admission.NewController(admission.Config{Default: q}),
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		serveDone := make(chan error, 1)
+		go func() { serveDone <- srv.Serve(ln) }()
+		defer func() {
+			srv.Shutdown(10 * time.Second)
+			<-serveDone
+		}()
+		addr = ln.Addr().String()
+	}
+
+	// Offered rates: t0 hammers, everyone else stays comfortably under
+	// quota. The attempt counts are sized so the total offered load is
+	// roughly -ops spread over one shared wall-clock window.
+	rates := make([]float64, tenants)
+	rates[0] = 4 * q.OpsPerSec
+	var sum float64
+	for i := range rates {
+		if i > 0 {
+			rates[i] = q.OpsPerSec / 2
+		}
+		sum += rates[i]
+	}
+	window := float64(ops) / sum // seconds
+
+	results := make([]tenantResult, tenants)
+	var agg metrics.Histogram
+	var wg sync.WaitGroup
+	errs := make([]error, tenants)
+	start := time.Now()
+	for tn := 0; tn < tenants; tn++ {
+		wg.Add(1)
+		go func(tn int) {
+			defer wg.Done()
+			// One connection per tenant; retries disabled so every
+			// StatusThrottled is observed and counted, not slept out.
+			cl, err := client.Dial(addr, client.Options{PoolSize: 1, MaxRetries: -1})
+			if err != nil {
+				errs[tn] = err
+				return
+			}
+			defer cl.Close()
+			rate := rates[tn]
+			attempts := int(rate * window)
+			if attempts < 1 {
+				attempts = 1
+			}
+			interval := time.Duration(float64(time.Second) / rate)
+			prefix := fmt.Sprintf("t%d/", tn)
+			val := make([]byte, valueSize)
+			var lat metrics.Histogram
+			acked, throttled := 0, 0
+			var hint time.Duration
+			t0 := time.Now()
+			for i := 0; i < attempts; i++ {
+				// Absolute schedule: pacing does not drift when puts or
+				// throttle round-trips are slow.
+				if d := time.Until(t0.Add(time.Duration(i) * interval)); d > 0 {
+					time.Sleep(d)
+				}
+				key := append([]byte(prefix), workload.Key(int64(i))...)
+				sentNs := time.Now().UnixNano()
+				err := cl.Put(key, val)
+				switch {
+				case errors.Is(err, client.ErrThrottled):
+					throttled++
+					var te *client.ThrottledError
+					if hint == 0 && errors.As(err, &te) {
+						hint = te.RetryAfter
+					}
+				case err != nil:
+					errs[tn] = fmt.Errorf("tenant t%d put %d: %w", tn, i, err)
+					return
+				default:
+					acked++
+					now := time.Now().UnixNano()
+					lat.RecordSince(sentNs, now)
+					agg.RecordSince(sentNs, now)
+				}
+			}
+			elapsed := time.Since(t0).Seconds()
+			results[tn] = tenantResult{
+				Tenant:       fmt.Sprintf("t%d", tn),
+				TargetRate:   rate,
+				Attempted:    attempts,
+				Acked:        acked,
+				Throttled:    throttled,
+				ThrottleRate: float64(throttled) / float64(attempts),
+				OpsPerSec:    float64(acked) / elapsed,
+				P99Ns:        lat.Snapshot().Quantile(0.99),
+				RetryAfterNs: int64(hint),
+			}
+		}(tn)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	total, acked := 0, 0
+	for _, r := range results {
+		total += r.Attempted
+		acked += r.Acked
+	}
+	fmt.Printf("net-tenants tenants=%d quota_ops=%.0f attempted=%d acked=%d value=%dB sync=%v addr=%s\n",
+		tenants, q.OpsPerSec, total, acked, valueSize, syncWAL, addr)
+	fmt.Printf("elapsed=%.2fs acked throughput=%.0f ops/s\n",
+		elapsed.Seconds(), float64(acked)/elapsed.Seconds())
+	for _, r := range results {
+		fmt.Printf("tenant %s: target=%.0f/s attempted=%d acked=%d throttled=%d throttle_rate=%.2f retry_after=%s acked_rate=%.0f/s p99=%s\n",
+			r.Tenant, r.TargetRate, r.Attempted, r.Acked, r.Throttled,
+			r.ThrottleRate, time.Duration(r.RetryAfterNs), r.OpsPerSec, time.Duration(r.P99Ns))
+	}
+
+	res := benchResult{
+		Mode: "net-tenants", Ops: total, ValueBytes: valueSize, SyncWAL: syncWAL,
+		ElapsedSec: elapsed.Seconds(), OpsPerSec: float64(acked) / elapsed.Seconds(),
+		QuotaOpsPerSec: q.OpsPerSec, Tenants: results,
+	}
+	res.fillLatency(agg.Snapshot())
+	if db != nil {
+		res.fillEngine(db.Metrics())
 	}
 	return res.writeJSON(jsonPath)
 }

@@ -21,9 +21,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"lsmlab/internal/admission"
 	"lsmlab/internal/compaction"
 	"lsmlab/internal/core"
 	"lsmlab/internal/events"
@@ -105,7 +107,14 @@ func run(args []string, sig <-chan os.Signal, out io.Writer) error {
 		traceSample   = fs.Int("trace-sample", 0, "retain every Nth request span (1 = all, 0 = only slow/wire-traced)")
 		traceSlow     = fs.Duration("trace-slow", 0, "always retain spans at least this slow (0 = off)")
 		traceRing     = fs.Int("trace-ring", 1024, "capacity of the captured-span ring served at /traces")
+		quotaFile     = fs.String("quota-file", "", "JSON quota config file: {\"default\":{...},\"global\":{...},\"tenants\":{name:{...}}} with ops_per_sec/bytes_per_sec/burst_sec fields")
+		stallTimeout  = fs.Duration("stall-timeout", 0, "abort writes stalled on backpressure longer than this, answering them with a retryable throttle instead of blocking the connection (0 = block until room)")
 	)
+	var tenantQuotas []string
+	fs.Func("tenant-quota", "per-tenant quota 'name:ops=N,bytes=N[,burst=SEC]' (repeatable; the names 'default' and 'global' set the per-tenant default and the server-wide cap)", func(v string) error {
+		tenantQuotas = append(tenantQuotas, v)
+		return nil
+	})
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,7 +123,43 @@ func run(args []string, sig <-chan os.Signal, out io.Writer) error {
 		return fmt.Errorf("-db is required")
 	}
 
+	// Quotas: the file (if any) is the base, -tenant-quota flags layer
+	// on top so one tenant can be tweaked without rewriting the file.
+	var admCfg admission.Config
+	if *quotaFile != "" {
+		data, err := os.ReadFile(*quotaFile)
+		if err != nil {
+			return err
+		}
+		if admCfg, err = admission.ParseConfig(data); err != nil {
+			return fmt.Errorf("-quota-file: %w", err)
+		}
+	}
+	for _, spec := range tenantQuotas {
+		name, qs, ok := strings.Cut(spec, ":")
+		if !ok {
+			return fmt.Errorf("-tenant-quota %q: want name:ops=N,bytes=N", spec)
+		}
+		q, err := admission.ParseQuota(qs)
+		if err != nil {
+			return fmt.Errorf("-tenant-quota %q: %w", spec, err)
+		}
+		switch name {
+		case "default":
+			admCfg.Default = q
+		case "global":
+			admCfg.Global = q
+		default:
+			if admCfg.Tenants == nil {
+				admCfg.Tenants = make(map[string]admission.Quota)
+			}
+			admCfg.Tenants[name] = q
+		}
+	}
+	controller := admission.NewController(admCfg)
+
 	opts := core.DefaultOptions(vfs.NewOS(), *dbPath)
+	opts.StallTimeout = *stallTimeout
 	opts.SyncWAL = *syncWAL
 	opts.RecordLatencies = *recordLat
 	if *bufferBytes > 0 {
@@ -209,6 +254,7 @@ func run(args []string, sig <-chan os.Signal, out io.Writer) error {
 		IdleTimeout:     *idleTimeout,
 		Repl:            repl,
 		EventListener:   ring,
+		Admission:       controller,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -222,6 +268,9 @@ func run(args []string, sig <-chan os.Signal, out io.Writer) error {
 		}
 	}
 	fmt.Fprintf(out, "lsmserved: serving %s on %s\n", *dbPath, bound)
+	if controller.Enforcing() {
+		fmt.Fprintln(out, "lsmserved: admission control enforcing tenant quotas")
+	}
 	if *follow != "" {
 		fmt.Fprintf(out, "lsmserved: read replica following %s\n", *follow)
 	}

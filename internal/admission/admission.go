@@ -1,0 +1,418 @@
+// Package admission implements multi-tenant admission control for the
+// serving layer: key-prefix namespaces, token-bucket quotas (ops/s and
+// bytes/s, per tenant and global), and the bookkeeping the server needs
+// to convert overload into per-tenant throttling instead of global
+// latency collapse.
+//
+// The tenancy model is deliberately minimal: a key's tenant is its
+// prefix up to the first '/', and keys with no separator belong to the
+// default tenant "". That makes tenancy a naming convention rather than
+// a schema — existing single-tenant deployments are just the default
+// tenant — while still giving the server a stable identity to meter,
+// throttle, and report on.
+//
+// The package imports nothing from the rest of the module so every
+// layer (core, server, cmds) can use it without cycles.
+package admission
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultTenant is the namespace of keys with no '/' separator.
+const DefaultTenant = ""
+
+// TenantOf returns the tenant that owns key: the prefix before the
+// first '/', or DefaultTenant when the key has no separator. An empty
+// prefix ("/x") is its own (empty-named-but-separated) namespace and
+// also maps to DefaultTenant, so the default namespace is exactly the
+// set of keys a pre-tenancy client could have written.
+func TenantOf(key []byte) string {
+	for i, b := range key {
+		if b == '/' {
+			return string(key[:i])
+		}
+	}
+	return DefaultTenant
+}
+
+// TenantOfString is TenantOf for callers that already hold a string.
+func TenantOfString(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '/' {
+			return key[:i]
+		}
+	}
+	return DefaultTenant
+}
+
+// Quota is a token-bucket rate limit. Zero fields mean "unlimited" for
+// that dimension; the zero Quota admits everything.
+type Quota struct {
+	// OpsPerSec refills the operation bucket; one Get/Put/Delete/Scan
+	// and each batch entry costs one token.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// BytesPerSec refills the byte bucket; writes charge key+value
+	// bytes up front, reads charge the response size after the fact
+	// (driving the bucket into debt, which delays the next admit).
+	BytesPerSec float64 `json:"bytes_per_sec"`
+	// BurstSec sizes both buckets in seconds of refill (capacity =
+	// rate × burst). 0 means 1 second of burst.
+	BurstSec float64 `json:"burst_sec,omitempty"`
+}
+
+// Unlimited reports whether q imposes no limit at all.
+func (q Quota) Unlimited() bool { return q.OpsPerSec <= 0 && q.BytesPerSec <= 0 }
+
+func (q Quota) burst() float64 {
+	if q.BurstSec > 0 {
+		return q.BurstSec
+	}
+	return 1
+}
+
+// bucket is one token bucket. Tokens may go negative (debt): post-hoc
+// charging of response bytes and backpressure penalties both overdraw,
+// and the debt must drain at the refill rate before the next admit.
+type bucket struct {
+	rate   float64 // tokens per second; <= 0 disables the bucket
+	cap    float64 // maximum balance
+	tokens float64
+	lastNs int64
+}
+
+func newBucket(rate, burstSec float64) bucket {
+	return bucket{rate: rate, cap: rate * burstSec, tokens: rate * burstSec}
+}
+
+func (b *bucket) refill(nowNs int64) {
+	if b.rate <= 0 {
+		return
+	}
+	dt := nowNs - b.lastNs
+	if dt > 0 {
+		b.tokens += b.rate * float64(dt) / 1e9
+		if b.tokens > b.cap {
+			b.tokens = b.cap
+		}
+	}
+	b.lastNs = nowNs
+}
+
+// need returns how long until the bucket holds n tokens (0 when it
+// already does). Call refill first.
+func (b *bucket) need(n float64) time.Duration {
+	if b.rate <= 0 || b.tokens >= n {
+		return 0
+	}
+	return time.Duration((n - b.tokens) / b.rate * 1e9)
+}
+
+// take unconditionally removes n tokens (may overdraw into debt).
+func (b *bucket) take(n float64) {
+	if b.rate <= 0 {
+		return
+	}
+	b.tokens -= n
+	// Debt is bounded at one extra burst below zero so a single huge
+	// response cannot lock a tenant out for minutes.
+	if b.tokens < -b.cap {
+		b.tokens = -b.cap
+	}
+}
+
+// Decision is the outcome of one Admit call.
+type Decision struct {
+	// OK means the request may proceed (tokens were taken).
+	OK bool
+	// RetryAfter is the suggested client wait before retrying a
+	// rejected request — the time until the depleted bucket can cover
+	// it. Zero when OK.
+	RetryAfter time.Duration
+	// Entered is set on the admit that transitions the tenant into
+	// throttling (the server emits ThrottleBegin on it); Exited on the
+	// first successful admit after throttling (ThrottleEnd).
+	Entered bool
+	Exited  bool
+}
+
+// TenantStats is one tenant's counters, for /metrics and stats output.
+type TenantStats struct {
+	Tenant    string
+	Requests  int64 // admitted requests
+	Throttled int64 // rejected (throttled) requests
+	BytesIn   int64 // write bytes admitted
+	BytesOut  int64 // response bytes charged
+	// Throttling reports whether the tenant is currently in a
+	// throttle episode (last admit was rejected).
+	Throttling bool
+}
+
+type tenantState struct {
+	ops   bucket
+	bytes bucket
+
+	requests   int64
+	throttled  int64
+	bytesIn    int64
+	bytesOut   int64
+	throttling bool
+}
+
+// Controller meters every request against its tenant's quota and a
+// global quota. The zero-config controller (all quotas unlimited)
+// still counts per-tenant traffic, so observability does not require
+// enforcement. A nil *Controller admits everything and counts nothing.
+type Controller struct {
+	// NowNs returns the current monotonic time; settable for tests.
+	nowNs func() int64
+
+	mu       sync.Mutex
+	def      Quota // per-tenant default
+	perT     map[string]Quota
+	global   bucket // global ops bucket
+	globalB  bucket // global bytes bucket
+	tenants  map[string]*tenantState
+	hasQuota bool // any quota configured (enforcement on)
+}
+
+// Config is the quota configuration: a per-tenant default, an optional
+// global cap, and per-tenant overrides. It is the JSON shape of the
+// -quota-file flag.
+type Config struct {
+	// Default applies to every tenant without an override.
+	Default Quota `json:"default"`
+	// Global caps the whole server across tenants (0 = unlimited).
+	Global Quota `json:"global"`
+	// Tenants maps tenant name → override quota.
+	Tenants map[string]Quota `json:"tenants,omitempty"`
+	// NowNs overrides the clock (tests only; not JSON).
+	NowNs func() int64 `json:"-"`
+}
+
+// NewController builds a controller from cfg.
+func NewController(cfg Config) *Controller {
+	now := cfg.NowNs
+	if now == nil {
+		now = func() int64 { return time.Now().UnixNano() }
+	}
+	c := &Controller{
+		nowNs:   now,
+		def:     cfg.Default,
+		perT:    cfg.Tenants,
+		tenants: make(map[string]*tenantState),
+	}
+	t0 := now()
+	c.global = newBucket(cfg.Global.OpsPerSec, cfg.Global.burst())
+	c.globalB = newBucket(cfg.Global.BytesPerSec, cfg.Global.burst())
+	c.global.lastNs, c.globalB.lastNs = t0, t0
+	c.hasQuota = !cfg.Default.Unlimited() || !cfg.Global.Unlimited()
+	for _, q := range cfg.Tenants {
+		if !q.Unlimited() {
+			c.hasQuota = true
+		}
+	}
+	return c
+}
+
+// Enforcing reports whether any quota is configured (a controller with
+// no quotas only counts).
+func (c *Controller) Enforcing() bool {
+	if c == nil {
+		return false
+	}
+	return c.hasQuota
+}
+
+func (c *Controller) quotaFor(tenant string) Quota {
+	if q, ok := c.perT[tenant]; ok {
+		return q
+	}
+	return c.def
+}
+
+func (c *Controller) stateLocked(tenant string, nowNs int64) *tenantState {
+	st, ok := c.tenants[tenant]
+	if !ok {
+		q := c.quotaFor(tenant)
+		st = &tenantState{
+			ops:   newBucket(q.OpsPerSec, q.burst()),
+			bytes: newBucket(q.BytesPerSec, q.burst()),
+		}
+		st.ops.lastNs, st.bytes.lastNs = nowNs, nowNs
+		c.tenants[tenant] = st
+	}
+	return st
+}
+
+// Admit decides whether tenant may spend ops operations and bytes
+// write-bytes now. On acceptance the tokens are taken (tenant and
+// global); on rejection nothing is taken and RetryAfter carries the
+// wait hint. A nil controller admits everything.
+func (c *Controller) Admit(tenant string, ops int, bytes int64) Decision {
+	if c == nil {
+		return Decision{OK: true}
+	}
+	now := c.nowNs()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stateLocked(tenant, now)
+	st.ops.refill(now)
+	st.bytes.refill(now)
+	c.global.refill(now)
+	c.globalB.refill(now)
+
+	fOps, fBytes := float64(ops), float64(bytes)
+	wait := st.ops.need(fOps)
+	if w := st.bytes.need(fBytes); w > wait {
+		wait = w
+	}
+	if w := c.global.need(fOps); w > wait {
+		wait = w
+	}
+	if w := c.globalB.need(fBytes); w > wait {
+		wait = w
+	}
+	if wait > 0 {
+		st.throttled++
+		d := Decision{RetryAfter: wait}
+		if !st.throttling {
+			st.throttling = true
+			d.Entered = true
+		}
+		return d
+	}
+	st.ops.take(fOps)
+	st.bytes.take(fBytes)
+	c.global.take(fOps)
+	c.globalB.take(fBytes)
+	st.requests++
+	st.bytesIn += bytes
+	d := Decision{OK: true}
+	if st.throttling {
+		st.throttling = false
+		d.Exited = true
+	}
+	return d
+}
+
+// Charge records bytes of response payload against tenant after the
+// fact, overdrawing the byte buckets into debt. Reads and scans call
+// it once the response size is known — the cost could not have been
+// predicted at admit time.
+func (c *Controller) Charge(tenant string, bytes int64) {
+	if c == nil || bytes <= 0 {
+		return
+	}
+	now := c.nowNs()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stateLocked(tenant, now)
+	st.bytes.refill(now)
+	c.globalB.refill(now)
+	st.bytes.take(float64(bytes))
+	c.globalB.take(float64(bytes))
+	st.bytesOut += bytes
+}
+
+// Penalize drains d seconds' worth of tenant's refill from its buckets
+// (down to debt), so a tenant whose writes just aborted on engine
+// backpressure is held back for roughly d before re-admission. This is
+// the stall-to-throttle conversion: the engine sheds the load, the
+// admission layer keeps the shedding tenant-scoped.
+func (c *Controller) Penalize(tenant string, d time.Duration) {
+	if c == nil || d <= 0 {
+		return
+	}
+	now := c.nowNs()
+	sec := d.Seconds()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stateLocked(tenant, now)
+	st.ops.refill(now)
+	st.bytes.refill(now)
+	st.ops.take(st.ops.rate * sec)
+	st.bytes.take(st.bytes.rate * sec)
+}
+
+// Shed records one request rejected because of engine backpressure
+// rather than quota, so per-tenant throttle counters and episode state
+// cover both causes. It returns true when this shed is the transition
+// into a throttle episode (the caller emits ThrottleBegin); the next
+// successful Admit reports Exited as usual.
+func (c *Controller) Shed(tenant string) (entered bool) {
+	if c == nil {
+		return false
+	}
+	now := c.nowNs()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stateLocked(tenant, now)
+	st.throttled++
+	if !st.throttling {
+		st.throttling = true
+		return true
+	}
+	return false
+}
+
+// Throttled reports tenant's rejected-request count.
+func (c *Controller) Throttled(tenant string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.tenants[tenant]; ok {
+		return st.throttled
+	}
+	return 0
+}
+
+// Stats returns a snapshot of every tenant seen so far, sorted by
+// tenant name (the default tenant "" sorts first).
+func (c *Controller) Stats() []TenantStats {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	out := make([]TenantStats, 0, len(c.tenants))
+	for name, st := range c.tenants {
+		out = append(out, TenantStats{
+			Tenant:     name,
+			Requests:   st.requests,
+			Throttled:  st.throttled,
+			BytesIn:    st.bytesIn,
+			BytesOut:   st.bytesOut,
+			Throttling: st.throttling,
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// RetryAfterMillis converts a RetryAfter hint to the wire's
+// milliseconds, rounding up so a sub-millisecond wait is never
+// reported as "retry immediately".
+func RetryAfterMillis(d time.Duration) uint64 {
+	if d <= 0 {
+		return 0
+	}
+	ms := (d + time.Millisecond - 1) / time.Millisecond
+	if ms < 1 {
+		ms = 1
+	}
+	return uint64(ms)
+}
+
+// String renders a quota the way -tenant-quota parses it.
+func (q Quota) String() string {
+	if q.Unlimited() {
+		return "unlimited"
+	}
+	return fmt.Sprintf("ops=%g,bytes=%g", q.OpsPerSec, q.BytesPerSec)
+}

@@ -1,0 +1,271 @@
+package admission
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTenantOf is the namespace-extraction contract: prefix before the
+// first '/', default tenant for separator-less keys, and the edge
+// shapes (empty key, empty prefix, multiple separators).
+func TestTenantOf(t *testing.T) {
+	cases := []struct {
+		key  string
+		want string
+	}{
+		{"acme/orders/42", "acme"},
+		{"acme/", "acme"},
+		{"a/b", "a"},
+		{"plainkey", ""},   // no separator → default tenant
+		{"", ""},           // empty key → default tenant
+		{"/leading", ""},   // empty prefix → default tenant
+		{"/", ""},          // bare separator → default tenant
+		{"t1/t2/t3", "t1"}, // only the first separator counts
+		{"tenant-x/k", "tenant-x"},
+	}
+	for _, c := range cases {
+		if got := TenantOf([]byte(c.key)); got != c.want {
+			t.Errorf("TenantOf(%q) = %q, want %q", c.key, got, c.want)
+		}
+		if got := TenantOfString(c.key); got != c.want {
+			t.Errorf("TenantOfString(%q) = %q, want %q", c.key, got, c.want)
+		}
+	}
+}
+
+// fakeClock is a manually advanced nanosecond clock.
+type fakeClock struct{ ns int64 }
+
+func (f *fakeClock) now() int64              { return f.ns }
+func (f *fakeClock) advance(d time.Duration) { f.ns += int64(d) }
+
+func newTestController(cfg Config) (*Controller, *fakeClock) {
+	clk := &fakeClock{ns: 1}
+	cfg.NowNs = clk.now
+	return NewController(cfg), clk
+}
+
+func TestAdmitOpsQuota(t *testing.T) {
+	c, clk := newTestController(Config{Default: Quota{OpsPerSec: 10}})
+	// Burst = 1s of refill = 10 ops available immediately.
+	for i := 0; i < 10; i++ {
+		if d := c.Admit("a", 1, 0); !d.OK {
+			t.Fatalf("admit %d rejected, want accepted", i)
+		}
+	}
+	d := c.Admit("a", 1, 0)
+	if d.OK {
+		t.Fatal("11th op admitted, want throttled")
+	}
+	if !d.Entered {
+		t.Fatal("first rejection should report Entered")
+	}
+	if d.RetryAfter <= 0 || d.RetryAfter > 200*time.Millisecond {
+		t.Fatalf("retry-after = %v, want ~100ms", d.RetryAfter)
+	}
+	// A second rejection is not a new episode.
+	if d2 := c.Admit("a", 1, 0); d2.OK || d2.Entered {
+		t.Fatalf("second rejection: %+v, want throttled without Entered", d2)
+	}
+	// After the hinted wait the op is admitted and the episode ends.
+	clk.advance(d.RetryAfter + time.Millisecond)
+	d3 := c.Admit("a", 1, 0)
+	if !d3.OK || !d3.Exited {
+		t.Fatalf("post-wait admit: %+v, want OK with Exited", d3)
+	}
+}
+
+func TestAdmitBytesQuotaAndChargeDebt(t *testing.T) {
+	c, clk := newTestController(Config{Default: Quota{BytesPerSec: 1000}})
+	if d := c.Admit("a", 1, 800); !d.OK {
+		t.Fatalf("800B write rejected: %+v", d)
+	}
+	if d := c.Admit("a", 1, 800); d.OK {
+		t.Fatal("second 800B write admitted, want throttled (only 200 tokens left)")
+	}
+	// Post-hoc charge overdraws into debt...
+	c.Charge("a", 500)
+	clk.advance(time.Second) // refills 1000 → balance 200-500+1000 = 700
+	if d := c.Admit("a", 1, 800); d.OK {
+		t.Fatal("debt not applied: 800B admitted with only 700 tokens")
+	}
+	clk.advance(200 * time.Millisecond)
+	if d := c.Admit("a", 1, 800); !d.OK {
+		t.Fatalf("800B write rejected after debt drained: %+v", d)
+	}
+}
+
+func TestTenantIsolation(t *testing.T) {
+	c, _ := newTestController(Config{Default: Quota{OpsPerSec: 5}})
+	for i := 0; i < 5; i++ {
+		if d := c.Admit("hog", 1, 0); !d.OK {
+			t.Fatalf("hog admit %d rejected", i)
+		}
+	}
+	if d := c.Admit("hog", 1, 0); d.OK {
+		t.Fatal("hog over quota admitted")
+	}
+	// The quiet tenant's bucket is untouched.
+	for i := 0; i < 5; i++ {
+		if d := c.Admit("quiet", 1, 0); !d.OK {
+			t.Fatalf("quiet tenant rejected while hog throttled: admit %d", i)
+		}
+	}
+}
+
+func TestGlobalQuota(t *testing.T) {
+	c, _ := newTestController(Config{Global: Quota{OpsPerSec: 4}})
+	if !c.Enforcing() {
+		t.Fatal("global quota should enforce")
+	}
+	for i := 0; i < 4; i++ {
+		if d := c.Admit("t"+string(rune('a'+i)), 1, 0); !d.OK {
+			t.Fatalf("admit %d rejected under global quota", i)
+		}
+	}
+	if d := c.Admit("te", 1, 0); d.OK {
+		t.Fatal("5th op admitted past the global cap")
+	}
+}
+
+func TestPerTenantOverride(t *testing.T) {
+	c, _ := newTestController(Config{
+		Default: Quota{OpsPerSec: 2},
+		Tenants: map[string]Quota{"vip": {OpsPerSec: 100}},
+	})
+	for i := 0; i < 50; i++ {
+		if d := c.Admit("vip", 1, 0); !d.OK {
+			t.Fatalf("vip admit %d rejected", i)
+		}
+	}
+	c.Admit("pleb", 1, 0)
+	c.Admit("pleb", 1, 0)
+	if d := c.Admit("pleb", 1, 0); d.OK {
+		t.Fatal("default-quota tenant admitted past 2 ops")
+	}
+}
+
+func TestPenalize(t *testing.T) {
+	c, clk := newTestController(Config{Default: Quota{OpsPerSec: 10}})
+	if d := c.Admit("a", 1, 0); !d.OK {
+		t.Fatal("first op rejected")
+	}
+	c.Penalize("a", time.Second) // drain 10 tokens → debt
+	d := c.Admit("a", 1, 0)
+	if d.OK {
+		t.Fatal("op admitted immediately after penalty")
+	}
+	clk.advance(2 * time.Second)
+	if d := c.Admit("a", 1, 0); !d.OK {
+		t.Fatalf("op rejected after penalty drained: %+v", d)
+	}
+}
+
+func TestStatsAndCounters(t *testing.T) {
+	c, _ := newTestController(Config{Default: Quota{OpsPerSec: 1}})
+	c.Admit("b", 1, 10)
+	c.Admit("b", 1, 10) // throttled
+	c.Charge("b", 7)
+	c.Admit("a", 1, 0)
+	st := c.Stats()
+	if len(st) != 2 || st[0].Tenant != "a" || st[1].Tenant != "b" {
+		t.Fatalf("stats order: %+v", st)
+	}
+	b := st[1]
+	if b.Requests != 1 || b.Throttled != 1 || b.BytesIn != 10 || b.BytesOut != 7 || !b.Throttling {
+		t.Fatalf("tenant b stats: %+v", b)
+	}
+	if c.Throttled("b") != 1 {
+		t.Fatalf("Throttled(b) = %d, want 1", c.Throttled("b"))
+	}
+}
+
+func TestNilAndUnlimitedController(t *testing.T) {
+	var nilC *Controller
+	if d := nilC.Admit("x", 1, 1<<30); !d.OK {
+		t.Fatal("nil controller rejected a request")
+	}
+	nilC.Charge("x", 1)
+	nilC.Penalize("x", time.Hour)
+	if nilC.Stats() != nil || nilC.Enforcing() {
+		t.Fatal("nil controller should report nothing")
+	}
+
+	c, _ := newTestController(Config{})
+	if c.Enforcing() {
+		t.Fatal("zero-config controller should not enforce")
+	}
+	for i := 0; i < 10000; i++ {
+		if d := c.Admit("x", 1, 1<<20); !d.OK {
+			t.Fatal("unlimited controller throttled")
+		}
+	}
+	if st := c.Stats(); len(st) != 1 || st[0].Requests != 10000 {
+		t.Fatalf("unlimited controller still counts: %+v", st)
+	}
+}
+
+func TestParseQuota(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Quota
+		wantErr bool
+	}{
+		{"", Quota{}, false},
+		{"unlimited", Quota{}, false},
+		{"ops=500", Quota{OpsPerSec: 500}, false},
+		{"ops=500,bytes=1024", Quota{OpsPerSec: 500, BytesPerSec: 1024}, false},
+		{"bytes=256KiB", Quota{BytesPerSec: 256 << 10}, false},
+		{"bytes=4m", Quota{BytesPerSec: 4 << 20}, false},
+		{"ops=10, bytes=1G, burst=2", Quota{OpsPerSec: 10, BytesPerSec: 1 << 30, BurstSec: 2}, false},
+		{"ops=-1", Quota{}, true},
+		{"nope=1", Quota{}, true},
+		{"ops", Quota{}, true},
+		{"bytes=12parsecs", Quota{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseQuota(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseQuota(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseQuota(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := ParseConfig([]byte(`{
+		"default": {"ops_per_sec": 500},
+		"global":  {"ops_per_sec": 5000, "bytes_per_sec": 1048576},
+		"tenants": {"acme": {"ops_per_sec": 2000, "burst_sec": 2}}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Default.OpsPerSec != 500 || cfg.Global.BytesPerSec != 1048576 {
+		t.Fatalf("parsed config: %+v", cfg)
+	}
+	if q := cfg.Tenants["acme"]; q.OpsPerSec != 2000 || q.BurstSec != 2 {
+		t.Fatalf("acme override: %+v", q)
+	}
+	if _, err := ParseConfig([]byte(`{"defualt": {}}`)); err == nil {
+		t.Fatal("typo'd field accepted")
+	}
+	if _, err := ParseConfig([]byte(`{"tenants": {"x": {"ops_per_sec": -5}}}`)); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestRetryAfterMillis(t *testing.T) {
+	if got := RetryAfterMillis(0); got != 0 {
+		t.Fatalf("RetryAfterMillis(0) = %d", got)
+	}
+	if got := RetryAfterMillis(100 * time.Microsecond); got != 1 {
+		t.Fatalf("sub-millisecond wait = %d, want 1", got)
+	}
+	if got := RetryAfterMillis(1500 * time.Millisecond); got != 1500 {
+		t.Fatalf("RetryAfterMillis(1.5s) = %d, want 1500", got)
+	}
+}

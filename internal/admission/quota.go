@@ -1,0 +1,98 @@
+package admission
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseQuota parses the -tenant-quota flag syntax: comma-separated
+// key=value terms, e.g. "ops=500,bytes=256KiB,burst=2". Byte values
+// accept K/M/G and KiB/MiB/GiB suffixes (both binary). Unknown keys
+// are errors, not silently ignored.
+func ParseQuota(s string) (Quota, error) {
+	var q Quota
+	s = strings.TrimSpace(s)
+	if s == "" || s == "unlimited" {
+		return q, nil
+	}
+	for _, term := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(term), "=")
+		if !ok {
+			return Quota{}, fmt.Errorf("quota term %q: want key=value", term)
+		}
+		switch strings.ToLower(strings.TrimSpace(k)) {
+		case "ops":
+			f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil || f < 0 {
+				return Quota{}, fmt.Errorf("quota ops %q: want a non-negative number", v)
+			}
+			q.OpsPerSec = f
+		case "bytes":
+			n, err := parseBytes(strings.TrimSpace(v))
+			if err != nil {
+				return Quota{}, fmt.Errorf("quota bytes %q: %v", v, err)
+			}
+			q.BytesPerSec = n
+		case "burst":
+			f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil || f < 0 {
+				return Quota{}, fmt.Errorf("quota burst %q: want seconds", v)
+			}
+			q.BurstSec = f
+		default:
+			return Quota{}, fmt.Errorf("unknown quota key %q (want ops, bytes, or burst)", k)
+		}
+	}
+	return q, nil
+}
+
+// parseBytes parses "4096", "256K", "4MiB", "1g".
+func parseBytes(s string) (float64, error) {
+	mult := 1.0
+	ls := strings.ToLower(s)
+	for _, suf := range []struct {
+		s string
+		m float64
+	}{
+		{"kib", 1 << 10}, {"mib", 1 << 20}, {"gib", 1 << 30},
+		{"k", 1 << 10}, {"m", 1 << 20}, {"g", 1 << 30},
+	} {
+		if strings.HasSuffix(ls, suf.s) {
+			mult = suf.m
+			s = s[:len(s)-len(suf.s)]
+			break
+		}
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("want a non-negative byte count")
+	}
+	return f * mult, nil
+}
+
+// ParseConfig parses the -quota-file JSON:
+//
+//	{
+//	  "default": {"ops_per_sec": 500, "bytes_per_sec": 1048576},
+//	  "global":  {"ops_per_sec": 5000},
+//	  "tenants": {"acme": {"ops_per_sec": 2000}}
+//	}
+//
+// Unknown fields are rejected so a typo'd quota never silently
+// becomes "unlimited".
+func ParseConfig(data []byte) (Config, error) {
+	var cfg Config
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("quota config: %v", err)
+	}
+	for name, q := range cfg.Tenants {
+		if q.OpsPerSec < 0 || q.BytesPerSec < 0 || q.BurstSec < 0 {
+			return Config{}, fmt.Errorf("quota config: tenant %q has a negative rate", name)
+		}
+	}
+	return cfg, nil
+}

@@ -20,6 +20,7 @@ package client
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -43,7 +44,28 @@ var (
 	// retrying cannot help — so the client surfaces it after a single
 	// attempt; reads keep working, and Health explains the cause.
 	ErrUnavailable = errors.New("lsmclient: server degraded to read-only mode")
+	// ErrThrottled is returned when the server answered StatusThrottled
+	// on every attempt: the caller's tenant is over quota or the engine
+	// is shedding write load. The client already honored the server's
+	// retry-after hints between attempts, so the caller should back off
+	// further rather than retry immediately. The concrete error is a
+	// *ThrottledError carrying the last hint.
+	ErrThrottled = errors.New("lsmclient: request throttled")
 )
+
+// ThrottledError reports a throttled request: the server's message and
+// its last retry-after hint. It matches ErrThrottled under errors.Is.
+type ThrottledError struct {
+	// RetryAfter is the server's suggested wait before the next attempt.
+	RetryAfter time.Duration
+	Msg        string
+}
+
+func (e *ThrottledError) Error() string {
+	return fmt.Sprintf("lsmclient: request throttled (retry after %v): %s", e.RetryAfter, e.Msg)
+}
+
+func (e *ThrottledError) Is(target error) bool { return target == ErrThrottled }
 
 // Options configures a Client. The zero value plus Addr is usable.
 type Options struct {
@@ -147,6 +169,10 @@ type Client struct {
 	closed bool
 
 	rr atomic.Uint64
+
+	// throttles counts StatusThrottled responses observed (including
+	// ones a retry then got past); exposed via Throttles.
+	throttles atomic.Int64
 
 	// Replica fan-out state (see replica.go).
 	replicas      []*replicaSlot
@@ -282,15 +308,25 @@ func (c *Client) Traces() []TraceRecord {
 }
 
 // do sends one request and waits for its response, retrying transient
-// transport failures with exponential backoff.
+// transport failures with exponential backoff. Throttled responses
+// (StatusThrottled) are also retried within the same budget, honoring
+// the server's retry-after hint with jitter; if every attempt is
+// throttled the last response is returned as-is for statusToErr to
+// surface as ErrThrottled.
 func (c *Client) do(op byte, payload []byte) (status byte, resp []byte, err error) {
 	backoff := c.opts.RetryBackoff
 	traceID := c.maybeTraceID(op)
 	var lastErr error
+	var throttleWait time.Duration
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
+			if throttleWait > 0 {
+				time.Sleep(throttleWait)
+				throttleWait = 0
+			} else {
+				time.Sleep(backoff)
+				backoff *= 2
+			}
 		}
 		slot := int(c.rr.Add(1)-1) % c.opts.PoolSize
 		cn, err := c.connAt(slot)
@@ -333,6 +369,14 @@ func (c *Client) do(op byte, payload []byte) (status byte, resp []byte, err erro
 					continue
 				}
 			}
+			if status == wire.StatusThrottled {
+				c.throttles.Add(1)
+				if attempt < c.opts.MaxRetries {
+					ms, _ := wire.ReadThrottle(resp)
+					throttleWait = throttleDelay(ms)
+					continue
+				}
+			}
 			return status, resp, nil
 		}
 		if errors.Is(err, ErrTimeout) {
@@ -347,9 +391,32 @@ func (c *Client) do(op byte, payload []byte) (status byte, resp []byte, err erro
 		wire.OpName(op), c.opts.MaxRetries+1, lastErr)
 }
 
+// throttleDelay converts a server retry-after hint (milliseconds) into
+// the actual sleep: the hint — with a floor so a zero hint still backs
+// off — plus up to 25% random jitter so a fleet of throttled clients
+// does not retry in lockstep, capped at 2s so a wild hint cannot park
+// a caller.
+func throttleDelay(ms uint64) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	if d <= 0 {
+		d = 5 * time.Millisecond
+	}
+	d += time.Duration(rand.Int63n(int64(d)/4 + 1))
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+// Throttles returns how many StatusThrottled responses this client has
+// received, counting ones a later retry got past — the fleet-level
+// signal that a workload is running into its quota.
+func (c *Client) Throttles() int64 { return c.throttles.Load() }
+
 // statusToErr maps a response to a typed error (nil for StatusOK).
-// Statuses are terminal: do retries only transport failures, so a
-// StatusUnavailable write is reported after exactly one attempt.
+// Statuses are terminal: do retries only transport failures and
+// throttles, so a StatusUnavailable write is reported after exactly
+// one attempt.
 func statusToErr(status byte, payload []byte) error {
 	switch status {
 	case wire.StatusOK:
@@ -360,6 +427,9 @@ func statusToErr(status byte, payload []byte) error {
 		return fmt.Errorf("%w: %s", ErrUnavailable, payload)
 	case wire.StatusReadOnly:
 		return fmt.Errorf("%w: %s", ErrReadOnly, payload)
+	case wire.StatusThrottled:
+		ms, msg := wire.ReadThrottle(payload)
+		return &ThrottledError{RetryAfter: time.Duration(ms) * time.Millisecond, Msg: msg}
 	default:
 		return &wire.StatusError{Code: status, Msg: string(payload)}
 	}

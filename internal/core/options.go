@@ -91,6 +91,15 @@ type Options struct {
 	// StallL0Runs stalls writers when level 0 accumulates this many
 	// runs (0 disables; RocksDB's level0_stop_writes_trigger).
 	StallL0Runs int
+	// StallTimeout bounds how long one write may block inside a write
+	// stall (makeRoomLocked) before aborting with a typed error
+	// matching ErrBackpressure. 0 (the default) keeps the classic
+	// behavior — block until a flush or compaction makes room. Serving
+	// layers set it to convert unbounded stall latency into explicit
+	// backpressure they can shed per tenant. Aborted writes fail before
+	// sequence assignment and WAL append, so a backpressured batch is
+	// never partially durable.
+	StallTimeout time.Duration
 	// CompactionBandwidthBytesPerSec throttles each compaction's writes
 	// like SILK's I/O scheduler so flushes keep headroom (0 = unlimited;
 	// §2.2.3, [16]). The limit is per concurrent compaction — modeling a

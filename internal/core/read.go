@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 
+	"lsmlab/internal/admission"
 	"lsmlab/internal/bloom"
 	"lsmlab/internal/kv"
 	"lsmlab/internal/manifest"
@@ -98,6 +99,7 @@ func (db *DB) getInner(key []byte, snap kv.SeqNum, traceID uint64) ([]byte, erro
 			if traceID != 0 {
 				sp.Retain() // explicitly requested over the wire
 			}
+			sp.SetTenant(admission.TenantOf(key))
 			st = &tracedSink{m: &db.m, sp: sp}
 			defer db.tracer.Finish(sp)
 		}
@@ -345,6 +347,7 @@ func (db *DB) scan(start, end []byte, limit int, traceID uint64) ([]KV, error) {
 			if traceID != 0 {
 				sp.Retain() // explicitly requested over the wire
 			}
+			sp.SetTenant(admission.TenantOf(start))
 			defer db.tracer.Finish(sp)
 		}
 	}

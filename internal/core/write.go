@@ -2,7 +2,10 @@ package core
 
 import (
 	"errors"
+	"fmt"
+	"time"
 
+	"lsmlab/internal/admission"
 	"lsmlab/internal/events"
 	"lsmlab/internal/kv"
 	"lsmlab/internal/trace"
@@ -173,6 +176,7 @@ func (db *DB) apply(b *Batch, traceID uint64) error {
 			}
 			defer db.tracer.Finish(sp)
 			sp.AddEntries(len(b.ops))
+			sp.SetTenant(admission.TenantOf(b.ops[0].Key))
 			var bytes int64
 			for i := range b.ops {
 				bytes += int64(len(b.ops[i].Key) + len(b.ops[i].Value))
@@ -272,14 +276,48 @@ func (db *DB) apply(b *Batch, traceID uint64) error {
 	return nil
 }
 
+// ErrBackpressure is the sentinel for writes aborted by the stall
+// timeout: the engine could not make room within Options.StallTimeout,
+// so instead of blocking indefinitely the write fails fast — before
+// sequence assignment and WAL append, so nothing of it is durable.
+// Errors returned on this path satisfy errors.Is(err, ErrBackpressure)
+// and are a *BackpressureError carrying the stall cause and duration.
+var ErrBackpressure = errors.New("lsm: write backpressure (stall timeout exceeded)")
+
+// BackpressureError is the typed error of a stall-timeout abort.
+type BackpressureError struct {
+	Reason   string // stall cause: "immutable-buffers" or "l0-runs"
+	WaitedNs int64  // how long the writer was blocked before aborting
+}
+
+// Error implements error.
+func (e *BackpressureError) Error() string {
+	return fmt.Sprintf("lsm: write backpressure: stalled %dms on %s (stall timeout exceeded)",
+		e.WaitedNs/1e6, e.Reason)
+}
+
+// Is reports true for ErrBackpressure, so errors.Is(err,
+// ErrBackpressure) identifies stall-timeout aborts — including through
+// the errors.Join of a multi-shard apply — without manual unwrapping.
+func (e *BackpressureError) Is(target error) bool { return target == ErrBackpressure }
+
 // makeRoomLocked enforces the write stalls of tutorial §2.2.1/§2.2.3:
 // writers wait when the immutable-buffer queue is full or level 0 has
 // accumulated too many runs. One stall event is counted per blocked
-// write, with the full blocked duration metered.
+// write, with the full blocked duration metered. With
+// Options.StallTimeout set, a writer blocked that long aborts with a
+// *BackpressureError instead of waiting forever; the Begin/End event
+// pairing and StallNs accounting hold on every exit path (success,
+// degradation, close, timeout), which the race-enabled regression test
+// TestStallAbortPairsEvents pins down.
 func (db *DB) makeRoomLocked() (stallNs int64, err error) {
 	stalled := false
 	var stallStart int64
+	var deadline *time.Timer
 	defer func() {
+		if deadline != nil {
+			deadline.Stop()
+		}
 		if stalled {
 			stallNs = db.opts.NowNs() - stallStart
 			db.m.StallNs.Add(stallNs)
@@ -299,15 +337,27 @@ func (db *DB) makeRoomLocked() (stallNs int64, err error) {
 		case l0Stall,
 			db.mem.mt.ApproximateBytes() >= db.opts.BufferBytes &&
 				len(db.imm) >= db.opts.MaxImmutableBuffers:
+			cause := "immutable-buffers"
+			if l0Stall {
+				cause = "l0-runs"
+			}
 			if !stalled {
 				stalled = true
 				stallStart = db.opts.NowNs()
 				db.m.WriteStalls.Add(1)
-				cause := "immutable-buffers"
-				if l0Stall {
-					cause = "l0-runs"
-				}
 				db.emit(events.Event{Type: events.WriteStallBegin, Reason: cause})
+				if db.opts.StallTimeout > 0 {
+					// Guarantee a wakeup at the deadline: background
+					// progress may never signal the condition variable
+					// (that is exactly the overload case), so the abort
+					// must not depend on it.
+					deadline = time.AfterFunc(db.opts.StallTimeout, db.cond.Broadcast)
+				}
+			}
+			if db.opts.StallTimeout > 0 &&
+				db.opts.NowNs()-stallStart >= int64(db.opts.StallTimeout) {
+				db.m.StallAborts.Add(1)
+				return 0, &BackpressureError{Reason: cause, WaitedNs: db.opts.NowNs() - stallStart}
 			}
 			// Background workers were woken when the condition arose;
 			// the writer just waits for them to signal progress.

@@ -66,6 +66,13 @@ const (
 	// number of files checked, InputFiles the number of corruption
 	// findings, and DurationNs the elapsed time.
 	ScrubEnd
+	// ThrottleBegin/ThrottleEnd bracket one tenant's throttle episode on
+	// the serving layer: Begin fires on the first request admission
+	// control rejects (or the first shed under engine backpressure),
+	// End on the first request admitted afterwards. Reason carries the
+	// tenant name; ThrottleEnd carries the episode's DurationNs.
+	ThrottleBegin
+	ThrottleEnd
 
 	numTypes
 )
@@ -87,6 +94,8 @@ var typeNames = [numTypes]string{
 	RequestEnd:      "request-end",
 	DegradedEnter:   "degraded",
 	ScrubEnd:        "scrub-end",
+	ThrottleBegin:   "throttle-begin",
+	ThrottleEnd:     "throttle-end",
 }
 
 // String implements fmt.Stringer.
@@ -100,7 +109,7 @@ func (t Type) String() string {
 // IsBegin reports whether t opens a begin/end pair.
 func (t Type) IsBegin() bool {
 	return t == FlushBegin || t == CompactionBegin || t == WriteStallBegin ||
-		t == ConnOpen || t == RequestBegin
+		t == ConnOpen || t == RequestBegin || t == ThrottleBegin
 }
 
 // End returns the matching end type for a begin type (and t otherwise).
@@ -116,6 +125,8 @@ func (t Type) End() Type {
 		return ConnClose
 	case RequestBegin:
 		return RequestEnd
+	case ThrottleBegin:
+		return ThrottleEnd
 	}
 	return t
 }

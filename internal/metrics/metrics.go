@@ -45,6 +45,7 @@ type Metrics struct {
 	// Stalls.
 	StallNs     atomic.Int64 // total time writers spent stalled
 	WriteStalls atomic.Int64 // number of stall events
+	StallAborts atomic.Int64 // stalls aborted by Options.StallTimeout (backpressure)
 	ThrottleNs  atomic.Int64 // time compactions paused in the bandwidth throttle
 
 	// Block cache and table I/O. BlockReads counts data-block fetches by
@@ -73,6 +74,7 @@ type Metrics struct {
 	ConnsRejected    atomic.Int64 // connections refused at the MaxConns limit
 	NetRequests      atomic.Int64 // request frames received
 	NetRequestErrors atomic.Int64 // requests answered with an error status
+	NetThrottled     atomic.Int64 // requests answered with StatusThrottled (all tenants)
 	NetBytesRead     atomic.Int64 // request frame bytes received
 	NetBytesWritten  atomic.Int64 // response frame bytes sent
 
@@ -134,13 +136,13 @@ type Snapshot struct {
 	AgeCompactions                                int64
 	CompactionBytesRead, CompactionBytesWritten   int64
 	TombstonesDropped, EntriesDropped             int64
-	StallNs, WriteStalls, ThrottleNs              int64
+	StallNs, WriteStalls, StallAborts, ThrottleNs int64
 	CacheHits, CacheMisses                        int64
 	BlockReads, BlockReadsCached                  int64
 	Degraded, BgRetries                           int64
 	ScrubbedTables, ScrubCorruptions              int64
 	ConnsOpened, ConnsClosed, ConnsRejected       int64
-	NetRequests, NetRequestErrors                 int64
+	NetRequests, NetRequestErrors, NetThrottled   int64
 	NetBytesRead, NetBytesWritten                 int64
 	ReplSubscribes, ReplFramesShipped             int64
 	ReplGapsSignaled, ReplAcks, ReplRepairPages   int64
@@ -175,6 +177,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		EntriesDropped:         m.EntriesDropped.Load(),
 		StallNs:                m.StallNs.Load(),
 		WriteStalls:            m.WriteStalls.Load(),
+		StallAborts:            m.StallAborts.Load(),
 		ThrottleNs:             m.ThrottleNs.Load(),
 		CacheHits:              m.CacheHits.Load(),
 		CacheMisses:            m.CacheMisses.Load(),
@@ -189,6 +192,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		ConnsRejected:          m.ConnsRejected.Load(),
 		NetRequests:            m.NetRequests.Load(),
 		NetRequestErrors:       m.NetRequestErrors.Load(),
+		NetThrottled:           m.NetThrottled.Load(),
 		NetBytesRead:           m.NetBytesRead.Load(),
 		NetBytesWritten:        m.NetBytesWritten.Load(),
 		ReplSubscribes:         m.ReplSubscribes.Load(),
@@ -275,6 +279,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		EntriesDropped:         s.EntriesDropped - o.EntriesDropped,
 		StallNs:                s.StallNs - o.StallNs,
 		WriteStalls:            s.WriteStalls - o.WriteStalls,
+		StallAborts:            s.StallAborts - o.StallAborts,
 		ThrottleNs:             s.ThrottleNs - o.ThrottleNs,
 		CacheHits:              s.CacheHits - o.CacheHits,
 		CacheMisses:            s.CacheMisses - o.CacheMisses,
@@ -289,6 +294,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		ConnsRejected:          s.ConnsRejected - o.ConnsRejected,
 		NetRequests:            s.NetRequests - o.NetRequests,
 		NetRequestErrors:       s.NetRequestErrors - o.NetRequestErrors,
+		NetThrottled:           s.NetThrottled - o.NetThrottled,
 		NetBytesRead:           s.NetBytesRead - o.NetBytesRead,
 		NetBytesWritten:        s.NetBytesWritten - o.NetBytesWritten,
 		ReplSubscribes:         s.ReplSubscribes - o.ReplSubscribes,

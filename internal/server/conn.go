@@ -7,6 +7,7 @@ import (
 	"net"
 	"time"
 
+	"lsmlab/internal/admission"
 	"lsmlab/internal/core"
 	"lsmlab/internal/events"
 	"lsmlab/internal/trace"
@@ -217,6 +218,13 @@ func (c *conn) handle(op byte, payload []byte, batch *core.Batch) bool {
 			done(wire.ErrMalformed)
 			return c.respondErr(wire.StatusBadRequest, wire.ErrMalformed)
 		}
+		tenant := admission.TenantOf(key)
+		if d := c.s.opts.Admission.Admit(tenant, 1, 0); !d.OK {
+			done(errThrottled)
+			return c.respondThrottled(tenant, d, "tenant read quota exceeded")
+		} else {
+			c.s.noteThrottle(tenant, d)
+		}
 		v, err := c.s.db.GetTraced(key, tc.id)
 		switch {
 		case errors.Is(err, core.ErrNotFound):
@@ -229,6 +237,9 @@ func (c *conn) handle(op byte, payload []byte, batch *core.Batch) bool {
 			done(err)
 			return c.respondErr(wire.StatusInternal, err)
 		}
+		// Response bytes could not be known at admit time; charge them
+		// now (the byte bucket absorbs the debt).
+		c.s.opts.Admission.Charge(tenant, int64(len(v)))
 		done(nil)
 		return c.respondTraced(tc, wire.StatusOK, v)
 	case wire.OpScan:
@@ -236,11 +247,33 @@ func (c *conn) handle(op byte, payload []byte, batch *core.Batch) bool {
 	case wire.OpBatch:
 		done := c.beginRequest(op)
 		batch.Reset()
-		if err := decodeBatch(payload, batch); err != nil {
+		costs, err := decodeBatch(payload, batch)
+		if err != nil {
 			done(err)
 			return c.respondErr(wire.StatusBadRequest, err)
 		}
-		err := c.s.db.ApplyTraced(batch, tc.id)
+		for _, bc := range costs {
+			d := c.s.opts.Admission.Admit(bc.tenant, bc.ops, bc.bytes)
+			if !d.OK {
+				// Tokens already taken for earlier tenants in a (rare)
+				// cross-tenant batch stay spent; refill self-corrects.
+				done(errThrottled)
+				return c.respondThrottled(bc.tenant, d, "tenant write quota exceeded")
+			}
+			c.s.noteThrottle(bc.tenant, d)
+		}
+		err = c.s.db.ApplyTraced(batch, tc.id)
+		if errors.Is(err, core.ErrBackpressure) {
+			retry := backpressureRetry(err)
+			for _, bc := range costs[1:] {
+				c.s.opts.Admission.Penalize(bc.tenant, retry)
+			}
+			primary := admission.DefaultTenant
+			if len(costs) > 0 {
+				primary = costs[0].tenant
+			}
+			return c.shedWrites(err, []func(error){done}, []string{primary})
+		}
 		done(err)
 		return c.respondApplyTraced(tc, err)
 	case wire.OpStats:
@@ -453,6 +486,14 @@ func (c *conn) respondApplyTraced(tc traceCtx, err error) bool {
 func (c *conn) handleWrites(op byte, payload []byte, batch *core.Batch, tc traceCtx) bool {
 	batch.Reset()
 	done := c.beginRequest(op)
+	adm := c.s.opts.Admission
+	tenant := writeTenant(payload)
+	if d := adm.Admit(tenant, 1, int64(len(payload))); !d.OK {
+		done(errThrottled)
+		return c.respondThrottled(tenant, d, "tenant write quota exceeded")
+	} else {
+		c.s.noteThrottle(tenant, d)
+	}
 	if err := addWrite(batch, op, payload); err != nil {
 		// The first frame was malformed; nothing batched, stream still
 		// framed — answer and keep the connection.
@@ -461,6 +502,8 @@ func (c *conn) handleWrites(op byte, payload []byte, batch *core.Batch, tc trace
 	}
 	dones := make([]func(error), 0, 8)
 	dones = append(dones, done)
+	tenants := make([]string, 0, 8)
+	tenants = append(tenants, tenant)
 	// A traced write is never folded with its neighbors: its span (and
 	// echoed duration) must describe exactly the one request the client
 	// asked about. Group commit still coalesces the WAL writes below.
@@ -470,6 +513,15 @@ func (c *conn) handleWrites(op byte, payload []byte, batch *core.Batch, tc trace
 			if !ok {
 				break
 			}
+			// An over-quota frame stops the fold but stays in the read
+			// buffer: the main loop picks it up as its own request and
+			// answers it with StatusThrottled, keeping responses FIFO.
+			t2 := writeTenant(payload2)
+			d2 := adm.Admit(t2, 1, int64(len(payload2)))
+			if !d2.OK {
+				break
+			}
+			c.s.noteThrottle(t2, d2)
 			// Validate before consuming: a malformed frame stays in the read
 			// buffer, so the main read loop answers it only after this
 			// batch's responses are queued — responses stay FIFO with
@@ -478,11 +530,15 @@ func (c *conn) handleWrites(op byte, payload []byte, batch *core.Batch, tc trace
 				break
 			}
 			dones = append(dones, c.beginRequest(op2))
+			tenants = append(tenants, t2)
 			c.br.Discard(size)
 			c.s.m.NetBytesRead.Add(int64(size))
 		}
 	}
 	err := c.s.db.ApplyTraced(batch, tc.id)
+	if errors.Is(err, core.ErrBackpressure) {
+		return c.shedWrites(err, dones, tenants)
+	}
 	alive := true
 	for i, d := range dones {
 		d(err)
@@ -497,6 +553,79 @@ func (c *conn) handleWrites(op byte, payload []byte, batch *core.Batch, tc trace
 		}
 	}
 	return alive
+}
+
+// writeTenant extracts the tenant of one PUT/DELETE payload without
+// consuming it (malformed payloads land in the default tenant; the
+// write itself is then answered as a bad request).
+func writeTenant(payload []byte) string {
+	key, _, err := wire.ReadBytes(payload)
+	if err != nil {
+		return admission.DefaultTenant
+	}
+	return admission.TenantOf(key)
+}
+
+// errThrottled annotates RequestEnd events for admission rejections.
+var errThrottled = errors.New("throttled: tenant over quota")
+
+// respondThrottled answers one request with StatusThrottled carrying
+// the retry-after hint, counting it and opening a throttle episode
+// when this rejection is the transition into one.
+func (c *conn) respondThrottled(tenant string, d admission.Decision, msg string) bool {
+	c.s.m.NetThrottled.Add(1)
+	c.s.noteThrottle(tenant, d)
+	payload := wire.AppendThrottle(make([]byte, 0, 8+len(msg)),
+		admission.RetryAfterMillis(d.RetryAfter), msg)
+	return c.respond(wire.StatusThrottled, payload)
+}
+
+// shedWrites answers writes aborted by engine backpressure
+// (Options.StallTimeout fired under the stalled leader). The abort is
+// transient and pre-WAL — nothing was committed — so the response is
+// the retryable StatusThrottled, scoped to the tenants that drove the
+// overload: their buckets are drained by the retry hint, so admission
+// keeps rejecting them for that long while other tenants' requests
+// flow untouched.
+func (c *conn) shedWrites(err error, dones []func(error), tenants []string) bool {
+	retry := backpressureRetry(err)
+	adm := c.s.opts.Admission
+	seen := make(map[string]bool, 2)
+	for _, t := range tenants {
+		if !seen[t] {
+			seen[t] = true
+			adm.Penalize(t, retry)
+		}
+	}
+	msg := err.Error()
+	alive := true
+	for i, done := range dones {
+		done(err)
+		d := admission.Decision{RetryAfter: retry, Entered: adm.Shed(tenants[i])}
+		if !c.respondThrottled(tenants[i], d, msg) {
+			alive = false
+		}
+	}
+	return alive
+}
+
+// backpressureRetry derives the retry hint for a shed write from how
+// long the engine held the writer before aborting — waiting that long
+// again is the best single guess for when room appears. Clamped to
+// [10ms, 1s].
+func backpressureRetry(err error) time.Duration {
+	retry := 50 * time.Millisecond
+	var be *core.BackpressureError
+	if errors.As(err, &be) && be.WaitedNs > 0 {
+		retry = time.Duration(be.WaitedNs)
+	}
+	if retry < 10*time.Millisecond {
+		retry = 10 * time.Millisecond
+	}
+	if retry > time.Second {
+		retry = time.Second
+	}
+	return retry
 }
 
 // peekBufferedWrite returns the next frame without consuming it, but
@@ -553,40 +682,63 @@ func addWrite(batch *core.Batch, op byte, payload []byte) error {
 	return nil
 }
 
-// decodeBatch parses an OpBatch payload into the batch.
-func decodeBatch(payload []byte, batch *core.Batch) error {
+// batchCost aggregates one tenant's share of an OpBatch payload, for
+// admission: ops entries and their key+value bytes.
+type batchCost struct {
+	tenant string
+	ops    int
+	bytes  int64
+}
+
+// decodeBatch parses an OpBatch payload into the batch and returns the
+// per-tenant admission costs in order of first appearance (almost
+// always a single entry; the linear search is cheaper than a map).
+func decodeBatch(payload []byte, batch *core.Batch) ([]batchCost, error) {
 	count, rest, err := wire.ReadUvarint(payload)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	var costs []batchCost
+	charge := func(tenant string, bytes int64) {
+		for i := range costs {
+			if costs[i].tenant == tenant {
+				costs[i].ops++
+				costs[i].bytes += bytes
+				return
+			}
+		}
+		costs = append(costs, batchCost{tenant: tenant, ops: 1, bytes: bytes})
 	}
 	for i := uint64(0); i < count; i++ {
 		if len(rest) == 0 {
-			return wire.ErrTruncated
+			return nil, wire.ErrTruncated
 		}
 		kind := rest[0]
 		rest = rest[1:]
 		var key, value []byte
 		key, rest, err = wire.ReadBytes(rest)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		switch kind {
 		case wire.BatchPut:
 			value, rest, err = wire.ReadBytes(rest)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			batch.Put(key, value)
+			charge(admission.TenantOf(key), int64(len(key)+len(value)))
 		case wire.BatchDelete:
 			batch.Delete(key)
+			charge(admission.TenantOf(key), int64(len(key)))
 		default:
-			return wire.ErrMalformed
+			return nil, wire.ErrMalformed
 		}
 	}
 	if len(rest) != 0 {
-		return wire.ErrMalformed
+		return nil, wire.ErrMalformed
 	}
-	return nil
+	return costs, nil
 }
 
 // handleScan answers one prefix scan, capped by MaxScanLimit, by
@@ -622,6 +774,14 @@ func (c *conn) handleScan(payload []byte, tc traceCtx) bool {
 	if limit <= 0 || limit > c.s.opts.MaxScanLimit {
 		limit = c.s.opts.MaxScanLimit
 	}
+	tenant := admission.TenantOf(prefix)
+	if d := c.s.opts.Admission.Admit(tenant, 1, 0); !d.OK {
+		done(errThrottled)
+		sp.SetErr(errThrottled)
+		return c.respondThrottled(tenant, d, "tenant scan quota exceeded")
+	} else {
+		c.s.noteThrottle(tenant, d)
+	}
 	var deadlineNs int64
 	if c.s.opts.RequestTimeout > 0 {
 		deadlineNs = c.s.opts.NowNs() + int64(c.s.opts.RequestTimeout)
@@ -644,20 +804,32 @@ func (c *conn) handleScan(payload []byte, tc traceCtx) bool {
 	maxBody := c.s.opts.MaxRequestBytes - 32
 	body := make([]byte, 0, 512)
 	count := 0
+	scanned := 0
 	iterStart := tc.startNs
 	for ok := it.First(); ok && count < limit; ok = it.Next() {
+		// The deadline ticks on keys visited, not keys returned: a scan
+		// skipping past a foreign namespace must still stay in budget.
+		scanned++
+		if deadlineNs != 0 && scanned%64 == 0 && c.s.opts.NowNs() > deadlineNs {
+			err := errors.New("scan exceeded request deadline")
+			done(err)
+			sp.SetErr(err)
+			return c.respondErr(wire.StatusDeadline, err)
+		}
+		// Namespace clamp: tenants interleave lexicographically (the
+		// default namespace's separator-free keys sort among everyone
+		// else's prefixes), so a scan whose prefix spans a boundary —
+		// "", or a partial prefix like "acm" — is filtered to the
+		// caller's own tenant key by key.
+		if admission.TenantOf(it.Key()) != tenant {
+			continue
+		}
 		if len(body)+len(it.Key())+len(it.Value())+2*binary.MaxVarintLen32 > maxBody {
 			break
 		}
 		body = wire.AppendBytes(body, it.Key())
 		body = wire.AppendBytes(body, it.Value())
 		count++
-		if deadlineNs != 0 && count%64 == 0 && c.s.opts.NowNs() > deadlineNs {
-			err := errors.New("scan exceeded request deadline")
-			done(err)
-			sp.SetErr(err)
-			return c.respondErr(wire.StatusDeadline, err)
-		}
 	}
 	if err := it.Err(); err != nil {
 		done(err)
@@ -671,6 +843,7 @@ func (c *conn) handleScan(payload []byte, tc traceCtx) bool {
 	}
 	resp := wire.AppendUvarint(make([]byte, 0, len(body)+4), uint64(count))
 	resp = append(resp, body...)
+	c.s.opts.Admission.Charge(tenant, int64(len(resp)))
 	done(nil)
 	return c.respondTraced(tc, wire.StatusOK, resp)
 }

@@ -74,6 +74,15 @@ func (p *promWriter) gaugeVec(name, help string) {
 	fmt.Fprintf(&p.b, "# HELP lsmlab_%s %s\n# TYPE lsmlab_%s gauge\n", name, help, name)
 }
 
+// counterVec opens a labeled counter family; emit rows with csample.
+func (p *promWriter) counterVec(name, help string) {
+	fmt.Fprintf(&p.b, "# HELP lsmlab_%s %s\n# TYPE lsmlab_%s counter\n", name, help, name)
+}
+
+func (p *promWriter) csample(name, labels string, v int64) {
+	fmt.Fprintf(&p.b, "lsmlab_%s{%s} %d\n", name, labels, v)
+}
+
 func (p *promWriter) sample(name, labels string, v float64) {
 	fmt.Fprintf(&p.b, "lsmlab_%s{%s} %g\n", name, labels, v)
 }
@@ -141,9 +150,40 @@ func (s *Server) writeMetrics(w http.ResponseWriter) {
 	p.counter("conns_rejected_total", "Connections refused at the limit.", net.ConnsRejected)
 	p.counter("net_requests_total", "Request frames received.", net.NetRequests)
 	p.counter("net_request_errors_total", "Requests answered with an error status.", net.NetRequestErrors)
+	p.counter("net_throttled_total", "Requests answered with StatusThrottled (quota or backpressure).", net.NetThrottled)
 	p.counter("net_bytes_read_total", "Request frame bytes received.", net.NetBytesRead)
 	p.counter("net_bytes_written_total", "Response frame bytes sent.", net.NetBytesWritten)
 	p.gauge("conns_open", "Connections currently being served.", float64(net.ConnsOpened-net.ConnsClosed))
+	p.counter("stall_aborts_total", "Writes aborted by the stall timeout (backpressure).", eng.StallAborts)
+
+	// Multi-tenancy: one row per tenant seen, labeled by namespace (the
+	// default tenant — separator-free keys — is labeled "").
+	if ts := s.opts.Admission.Stats(); len(ts) > 0 {
+		p.counterVec("tenant_requests_total", "Admitted requests per tenant.")
+		for _, t := range ts {
+			p.csample("tenant_requests_total", fmt.Sprintf("tenant=%q", t.Tenant), t.Requests)
+		}
+		p.counterVec("tenant_throttled_total", "Requests throttled (quota-rejected or backpressure-shed) per tenant.")
+		for _, t := range ts {
+			p.csample("tenant_throttled_total", fmt.Sprintf("tenant=%q", t.Tenant), t.Throttled)
+		}
+		p.counterVec("tenant_bytes_in_total", "Write payload bytes admitted per tenant.")
+		for _, t := range ts {
+			p.csample("tenant_bytes_in_total", fmt.Sprintf("tenant=%q", t.Tenant), t.BytesIn)
+		}
+		p.counterVec("tenant_bytes_out_total", "Response bytes charged per tenant.")
+		for _, t := range ts {
+			p.csample("tenant_bytes_out_total", fmt.Sprintf("tenant=%q", t.Tenant), t.BytesOut)
+		}
+		p.gaugeVec("tenant_throttling", "1 while the tenant is inside a throttle episode.")
+		for _, t := range ts {
+			v := 0.0
+			if t.Throttling {
+				v = 1
+			}
+			p.sample("tenant_throttling", fmt.Sprintf("tenant=%q", t.Tenant), v)
+		}
+	}
 
 	// Replication: leader counters live on the server, follower counters
 	// arrive merged into the engine snapshot by the replica wrapper.

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lsmlab/internal/admission"
 	"lsmlab/internal/core"
 	"lsmlab/internal/events"
 	"lsmlab/internal/metrics"
@@ -120,6 +121,15 @@ type Options struct {
 	// bounded time and COMPACT runs to completion, so neither enforces
 	// it. 0 (the default) disables.
 	RequestTimeout time.Duration
+	// Admission meters every data-plane request (GET/SCAN/PUT/DELETE/
+	// BATCH) against its tenant — the key prefix before the first '/' —
+	// and a global quota. Over-quota requests are answered with
+	// StatusThrottled and a retry-after hint instead of being executed.
+	// Nil gets a no-quota controller that still counts per-tenant
+	// traffic, so /metrics and STATS report tenants even without
+	// enforcement. Admin verbs (STATS, COMPACT, PING, HEALTH,
+	// WATERMARK) and replication are control plane and never metered.
+	Admission *admission.Controller
 	// Repl, when non-nil, makes this server a replication leader: the
 	// wire replication verbs (subscribe/ack/tree/repair/status) are
 	// served through it. Nil (the default) answers those verbs with
@@ -152,6 +162,9 @@ func (o Options) withDefaults() Options {
 	if o.NowNs == nil {
 		o.NowNs = func() int64 { return time.Now().UnixNano() }
 	}
+	if o.Admission == nil {
+		o.Admission = admission.NewController(admission.Config{NowNs: o.NowNs})
+	}
 	return o
 }
 
@@ -171,6 +184,11 @@ type Server struct {
 	connIDs atomic.Uint64
 	reqIDs  atomic.Uint64
 
+	// throttleStart records when each tenant's current throttle episode
+	// began, so ThrottleEnd can carry the episode duration.
+	throttleMu    sync.Mutex
+	throttleStart map[string]int64
+
 	wg sync.WaitGroup // one unit per connection goroutine
 }
 
@@ -178,7 +196,35 @@ type Server struct {
 // other Engine. The engine stays owned by the caller: the server never
 // closes it, so an embedded store can outlive its listener.
 func New(db Engine, opts Options) *Server {
-	return &Server{db: db, opts: opts.withDefaults(), conns: make(map[*conn]struct{})}
+	return &Server{db: db, opts: opts.withDefaults(), conns: make(map[*conn]struct{}),
+		throttleStart: make(map[string]int64)}
+}
+
+// Admission exposes the server's admission controller (never nil after
+// New), for stats surfaces and tests.
+func (s *Server) Admission() *admission.Controller { return s.opts.Admission }
+
+// noteThrottle turns admission episode transitions into events:
+// ThrottleBegin when Decision.Entered, ThrottleEnd (with the episode's
+// duration) when Decision.Exited. Reason carries the tenant name.
+func (s *Server) noteThrottle(tenant string, d admission.Decision) {
+	if d.Entered {
+		s.throttleMu.Lock()
+		s.throttleStart[tenant] = s.opts.NowNs()
+		s.throttleMu.Unlock()
+		s.emit(events.Event{Type: events.ThrottleBegin, Reason: tenant})
+	}
+	if d.Exited {
+		s.throttleMu.Lock()
+		start, ok := s.throttleStart[tenant]
+		delete(s.throttleStart, tenant)
+		s.throttleMu.Unlock()
+		e := events.Event{Type: events.ThrottleEnd, Reason: tenant}
+		if ok {
+			e.DurationNs = s.opts.NowNs() - start
+		}
+		s.emit(e)
+	}
 }
 
 // emit delivers one lifecycle event, stamping the server clock.
@@ -279,9 +325,19 @@ func (s *Server) Latencies() metrics.LatencySnapshot {
 func (s *Server) FormatStats(verbose bool) string {
 	out := s.db.FormatStats(verbose)
 	m := s.m.Snapshot()
-	out += fmt.Sprintf("\nserver: conns_open=%d opened=%d rejected=%d requests=%d errors=%d net_read=%dB net_written=%dB",
+	out += fmt.Sprintf("\nserver: conns_open=%d opened=%d rejected=%d requests=%d errors=%d throttled=%d net_read=%dB net_written=%dB",
 		m.ConnsOpened-m.ConnsClosed, m.ConnsOpened, m.ConnsRejected,
-		m.NetRequests, m.NetRequestErrors, m.NetBytesRead, m.NetBytesWritten)
+		m.NetRequests, m.NetRequestErrors, m.NetThrottled, m.NetBytesRead, m.NetBytesWritten)
+	// One row per tenant seen, so lsmctl top and the STATS verb show the
+	// multi-tenant picture without a scraper.
+	for _, t := range s.opts.Admission.Stats() {
+		name := t.Tenant
+		if name == admission.DefaultTenant {
+			name = "(default)"
+		}
+		out += fmt.Sprintf("\ntenant %s: requests=%d throttled=%d in=%dB out=%dB throttling=%v",
+			name, t.Requests, t.Throttled, t.BytesIn, t.BytesOut, t.Throttling)
+	}
 	// The repl line appears only on nodes that replicate: leaders show
 	// shipping counters, followers show apply counters (merged into the
 	// engine snapshot by the replica engine wrapper).

@@ -82,7 +82,11 @@ type Span struct {
 
 	Entries int32 // entries returned (scans) or applied (batches)
 	Bytes   int64 // payload bytes touched
-	Err     string
+	// Tenant is the key-prefix namespace the operation touched (the
+	// admission-control identity; empty for the default tenant and for
+	// background jobs).
+	Tenant string
+	Err    string
 
 	TruncatedStages int32 // stages dropped past MaxStages
 
@@ -198,6 +202,13 @@ func (sp *Span) SetBatches(n int32) {
 	}
 }
 
+// SetTenant records the key-prefix namespace the operation touched.
+func (sp *Span) SetTenant(tenant string) {
+	if sp != nil {
+		sp.Tenant = tenant
+	}
+}
+
 // SetErr records the operation's error (nil clears nothing).
 func (sp *Span) SetErr(err error) {
 	if sp != nil && err != nil {
@@ -243,6 +254,7 @@ type spanJSON struct {
 	CommitWaitNs     int64  `json:"commit_wait_ns,omitempty"`
 	Entries          int32  `json:"entries,omitempty"`
 	Bytes            int64  `json:"bytes,omitempty"`
+	Tenant           string `json:"tenant,omitempty"`
 	Err              string `json:"err,omitempty"`
 }
 
@@ -268,6 +280,7 @@ func (sp Span) MarshalJSON() ([]byte, error) {
 		CommitWaitNs:     sp.CommitWaitNs,
 		Entries:          sp.Entries,
 		Bytes:            sp.Bytes,
+		Tenant:           sp.Tenant,
 		Err:              sp.Err,
 	})
 }

@@ -235,6 +235,13 @@ const (
 	// should direct writes at the leader. Reads remain served; the
 	// connection stays open.
 	StatusReadOnly byte = 0xE8
+	// StatusThrottled: the request was rejected by admission control
+	// (tenant over quota) or shed under engine backpressure. The
+	// payload is a uvarint retry-after hint in milliseconds followed by
+	// a UTF-8 message (AppendThrottle/ReadThrottle). Retryable: the
+	// client should wait at least the hint and resend. The connection
+	// stays open and other tenants' requests keep flowing.
+	StatusThrottled byte = 0xE9
 )
 
 // Typed decode errors.
@@ -275,6 +282,7 @@ var opNames = map[byte]string{
 	StatusBusy:         "busy",
 	StatusUnavailable:  "unavailable",
 	StatusReadOnly:     "read-only",
+	StatusThrottled:    "throttled",
 }
 
 // OpName returns a stable name for an opcode or status byte; traced
@@ -306,6 +314,25 @@ func (e *StatusError) Error() string {
 		return fmt.Sprintf("wire: server error %s", OpName(e.Code))
 	}
 	return fmt.Sprintf("wire: server error %s: %s", OpName(e.Code), e.Msg)
+}
+
+// AppendThrottle appends the StatusThrottled payload: the retry-after
+// hint in milliseconds, then a human-readable message.
+func AppendThrottle(dst []byte, retryAfterMillis uint64, msg string) []byte {
+	dst = AppendUvarint(dst, retryAfterMillis)
+	return append(dst, msg...)
+}
+
+// ReadThrottle decodes a StatusThrottled payload. A payload that fails
+// to parse degrades to a zero hint with the raw bytes as the message
+// rather than an error — a throttle response must never break the
+// client's decode path.
+func ReadThrottle(p []byte) (retryAfterMillis uint64, msg string) {
+	ms, rest, err := ReadUvarint(p)
+	if err != nil {
+		return 0, string(p)
+	}
+	return ms, string(rest)
 }
 
 // AppendFrame appends one encoded frame to dst and returns the

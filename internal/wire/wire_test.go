@@ -256,3 +256,24 @@ func TestUnknownFlaggedByteIsNotTraced(t *testing.T) {
 		t.Fatalf("BaseOp mangled unknown byte: 0x%02x", BaseOp(0x7E))
 	}
 }
+
+func TestThrottlePayloadRoundTrip(t *testing.T) {
+	p := AppendThrottle(nil, 250, "tenant acme over quota")
+	ms, msg := ReadThrottle(p)
+	if ms != 250 || msg != "tenant acme over quota" {
+		t.Fatalf("round trip: ms=%d msg=%q", ms, msg)
+	}
+	// Zero hint, empty message.
+	ms, msg = ReadThrottle(AppendThrottle(nil, 0, ""))
+	if ms != 0 || msg != "" {
+		t.Fatalf("empty round trip: ms=%d msg=%q", ms, msg)
+	}
+	// A malformed payload degrades to hint 0 + raw message, never an error.
+	ms, msg = ReadThrottle([]byte{0xFF})
+	if ms != 0 || msg != "\xff" {
+		t.Fatalf("malformed payload: ms=%d msg=%q", ms, msg)
+	}
+	if OpName(StatusThrottled) != "throttled" {
+		t.Fatalf("OpName(StatusThrottled) = %q", OpName(StatusThrottled))
+	}
+}

@@ -248,6 +248,53 @@ post3="$("$bin/lsmctl" -db "$work/db3" get sh-key-12)"
 [[ "$post3" == "val-12" || "$post3" == "(not found)" ]] || { echo "sharded read after quarantine returned garbage: $post3"; exit 1; }
 echo "sharded serving OK"
 
+echo "== multi-tenant overload =="
+# A sharded sync-WAL server with a per-tenant token-bucket quota. The
+# overload bench hammers tenant t0 at 4x its quota while t1 stays
+# polite: t0's excess must come back as throttles carrying retry-after
+# hints, t1 must not see a single rejection, and the per-tenant
+# counters must reach both STATS and /metrics.
+"$bin/lsmserved" -db "$work/db5" -shards 2 -addr 127.0.0.1:0 -addr-file "$work/addr5" \
+  -debug-addr 127.0.0.1:0 -debug-addr-file "$work/debug-addr5" \
+  -tenant-quota 'default:ops=60,burst=0.5' -stall-timeout 500ms \
+  -grace 10s >"$work/server5.log" 2>&1 &
+srv_pid=$!
+for _ in $(seq 1 100); do
+  [[ -s "$work/addr5" && -s "$work/debug-addr5" ]] && break
+  kill -0 "$srv_pid" || { cat "$work/server5.log"; echo "quota server died"; exit 1; }
+  sleep 0.05
+done
+addr5="$(cat "$work/addr5")"
+debug5="http://$(cat "$work/debug-addr5")"
+grep -q 'admission control enforcing' "$work/server5.log" || { cat "$work/server5.log"; echo "no admission banner"; exit 1; }
+
+"$bin/lsmbench" -addr "$addr5" -tenants 2 -quota ops=60,burst=0.5 -ops 240 \
+  -json "$work/tenants.json" | tee "$work/tenants.txt"
+grep -Eq 'tenant t0: .*throttled=[1-9]' "$work/tenants.txt" || { echo "overloaded tenant never throttled"; exit 1; }
+grep -Eq 'tenant t0: .*retry_after=[1-9]' "$work/tenants.txt" || { echo "throttles carried no retry-after hint"; exit 1; }
+grep -Eq 'tenant t1: .*throttled=0 ' "$work/tenants.txt" || { echo "polite tenant was throttled"; exit 1; }
+grep -q '"mode": "net-tenants"' "$work/tenants.json" || { echo "tenants json missing mode"; exit 1; }
+grep -q '"throttle_rate"' "$work/tenants.json" || { echo "tenants json missing throttle rate"; exit 1; }
+
+"$bin/lsmctl" -addr "$addr5" stats >"$work/stats5.txt"
+grep -q 'tenant t0:' "$work/stats5.txt" || { cat "$work/stats5.txt"; echo "stats missing tenant t0 row"; exit 1; }
+grep -Eq 'server: .*throttled=[1-9]' "$work/stats5.txt" || { cat "$work/stats5.txt"; echo "server stats line missing throttle count"; exit 1; }
+
+# Capture before grepping (pipefail + grep -q would break curl's pipe).
+metrics5="$(curl -fsS "$debug5/metrics")"
+echo "$metrics5" | grep -Eq 'lsmlab_tenant_throttled_total\{tenant="t0"\} [1-9]' || { echo "/metrics missing t0 throttle counter"; exit 1; }
+echo "$metrics5" | grep -q 'lsmlab_tenant_requests_total{tenant="t1"}' || { echo "/metrics missing t1 request counter"; exit 1; }
+echo "$metrics5" | grep -Eq '^lsmlab_net_throttled_total [1-9]' || { echo "/metrics net throttle total did not move"; exit 1; }
+
+kill -TERM "$srv_pid"
+for _ in $(seq 1 200); do
+  kill -0 "$srv_pid" 2>/dev/null || break
+  sleep 0.05
+done
+wait "$srv_pid" || { cat "$work/server5.log"; echo "quota server exited non-zero"; exit 1; }
+srv_pid=""
+echo "multi-tenant overload OK"
+
 echo "== replication =="
 # A leader and a -follow read replica as separate processes: writes
 # through the leader become readable on the follower, the client pool
