@@ -41,6 +41,10 @@ bench-smoke:
 	grep -q '"mode": "net-tenants"' bench_smoke_tenants.json
 	grep -q '"throttle_rate"' bench_smoke_tenants.json
 	grep -q '"retry_after_ns"' bench_smoke_tenants.json
+	# Profiler cost gates: the always-on workload profiler must keep the
+	# get hot path allocation-free and within 3% of a profiler-off build.
+	$(GO) test ./internal/core -run 'TestGetHotZeroAllocs' -count=1
+	PROFILER_GUARD=1 $(GO) test ./internal/core -run 'TestProfilerOverheadGuard' -count=1 -v
 
 # Run the pinned perf-trajectory workload and gate it against the
 # newest committed BENCH_<n>.json (what the CI bench-trajectory job

@@ -133,6 +133,10 @@ func BenchmarkO1TraceAttribution(b *testing.B) {
 	runExperiment(b, "O1", "10bpk/all", "p99_us", "traced_get_p99_us")
 }
 
+func BenchmarkO2WorkloadProfile(b *testing.B) {
+	runExperiment(b, "O2", "zipf-read", "zipf_s", "zipf_phase_fitted_s")
+}
+
 // ---------------------------------------------------------------------
 // Micro-benchmarks of the hot paths
 

@@ -12,6 +12,7 @@
 //	lsmctl -db /tmp/demo scan <start> <end> [limit]
 //	lsmctl -db /tmp/demo shape          # print the LSM-tree structure
 //	lsmctl -db /tmp/demo stats [-v]     # engine counters (-v adds latency percentiles)
+//	lsmctl -db /tmp/demo workload       # live workload profile + per-level RUM attribution
 //	lsmctl -db /tmp/demo events [compact]  # dump this session's engine events
 //	lsmctl -db /tmp/demo compact        # full manual compaction
 //	lsmctl -db /tmp/demo scrub          # verify every checksum; quarantine corrupt tables
@@ -26,6 +27,7 @@
 //	lsmctl -addr 127.0.0.1:4700 put <key> <value>
 //	lsmctl -addr 127.0.0.1:4700 scan <prefix> [limit]
 //	lsmctl -addr 127.0.0.1:4700 stats [-v]
+//	lsmctl -addr 127.0.0.1:4700 workload
 //	lsmctl -addr 127.0.0.1:4700 top [-interval 1s] [-count n] [-plain]
 //	lsmctl -addr 127.0.0.1:4700 repl status   # per-follower replication lag
 package main
@@ -59,6 +61,7 @@ type store interface {
 	TreeStats() core.TreeStats
 	FormatStats(verbose bool) string
 	Compact() error
+	WorkloadProfile() core.WorkloadProfile
 	Scrub() (core.ScrubReport, error)
 	Health() core.Health
 	Checkpoint(dir string) error
@@ -85,7 +88,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if (*dbPath == "") == (*addr == "") || len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lsmctl {-db DIR | -addr HOST:PORT} [-strategy S] [-T n] {put|get|delete|scan|shape|stats|top|events|compact|scrub|health|retune|bench} ...")
+		fmt.Fprintln(os.Stderr, "usage: lsmctl {-db DIR | -addr HOST:PORT} [-strategy S] [-T n] {put|get|delete|scan|shape|stats|workload|top|events|compact|scrub|health|retune|bench} ...")
 		os.Exit(2)
 	}
 	if *addr != "" {
@@ -166,6 +169,8 @@ func main() {
 			}
 		}
 		fmt.Println(db.FormatStats(verbose))
+	case "workload":
+		renderWorkload(os.Stdout, db.WorkloadProfile())
 	case "events":
 		// Events are recorded per process; the dump covers this session
 		// (open + WAL recovery, plus an optional manual compaction).
@@ -316,6 +321,12 @@ func remote(addr string, args []string) {
 			fatal(err)
 		}
 		fmt.Println(text)
+	case "workload":
+		wp, err := fetchWorkload(cl)
+		if err != nil {
+			fatal(err)
+		}
+		renderWorkload(os.Stdout, wp)
 	case "compact":
 		if err := cl.Compact(); err != nil {
 			fatal(err)
@@ -345,7 +356,7 @@ func remote(addr string, args []string) {
 		}
 		printReplStatus(st)
 	default:
-		fatal(fmt.Errorf("command %q is not available over -addr (remote commands: put get delete scan stats top compact health repl)", args[0]))
+		fatal(fmt.Errorf("command %q is not available over -addr (remote commands: put get delete scan stats workload top compact health repl)", args[0]))
 	}
 }
 

@@ -31,12 +31,18 @@ func topCmd(cl *client.Client, args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// Per-level attribution columns ride on the workload profile;
+		// older servers without the verb just show the stats panel.
+		levels := ""
+		if wp, err := fetchWorkload(cl); err == nil && wp.Enabled && len(wp.Levels) > 0 {
+			levels = "\n" + renderLevelTable(wp.Levels) + "\n"
+		}
 		if !*plain {
 			// Clear screen and home the cursor between frames.
 			fmt.Fprint(w, "\x1b[2J\x1b[H")
 		}
-		fmt.Fprintf(w, "lsmctl top — %s (refresh %s)\n%s\n",
-			time.Now().Format("15:04:05"), *interval, text)
+		fmt.Fprintf(w, "lsmctl top — %s (refresh %s)\n%s\n%s",
+			time.Now().Format("15:04:05"), *interval, text, levels)
 	}
 	return nil
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"lsmlab/internal/client"
+	"lsmlab/internal/core"
+)
+
+// fetchWorkload pulls the live workload profile over the wire and
+// decodes it into the engine's own type, so the remote command renders
+// exactly what a local open would.
+func fetchWorkload(cl *client.Client) (core.WorkloadProfile, error) {
+	var wp core.WorkloadProfile
+	raw, err := cl.Workload()
+	if err != nil {
+		return wp, err
+	}
+	if err := json.Unmarshal(raw, &wp); err != nil {
+		return wp, fmt.Errorf("decoding workload profile: %w", err)
+	}
+	return wp, nil
+}
+
+// renderWorkload prints the profile the way an operator reads it:
+// what the workload looks like (mix, skew, hot keys, tenants), then
+// what it costs (the RUM point and the per-level bill).
+func renderWorkload(w io.Writer, wp core.WorkloadProfile) {
+	if !wp.Enabled {
+		fmt.Fprintln(w, "workload profiler disabled (Options.DisableProfiler)")
+		return
+	}
+	total := wp.Gets + wp.Puts + wp.Deletes + wp.Scans
+	pct := func(n int64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(total)
+	}
+	fmt.Fprintf(w, "window: ops~%d rotations=%d\n", wp.WindowOps, wp.Rotations)
+	fmt.Fprintf(w, "mix:    get %.1f%% put %.1f%% delete %.1f%% scan %.1f%% (mean scan len %.1f)\n",
+		pct(wp.Gets), pct(wp.Puts), pct(wp.Deletes), pct(wp.Scans), wp.MeanScanLen)
+	fmt.Fprintf(w, "keys:   distinct~%d zipf_s=%.2f top_share=%.2f\n",
+		wp.DistinctKeys, wp.ZipfS, wp.TopShare)
+	for i, hk := range wp.TopKeys {
+		if i >= 5 {
+			break
+		}
+		fmt.Fprintf(w, "  hot[%d] %q ~%d\n", i, hk.Key, hk.Count)
+	}
+	fmt.Fprintf(w, "rum:    read_amp=%.2f write_amp=%.2f space_amp=%.2f\n",
+		wp.ReadAmp, wp.WriteAmp, wp.SpaceAmp)
+	if len(wp.Levels) > 0 {
+		fmt.Fprintln(w, renderLevelTable(wp.Levels))
+	}
+	for _, tw := range wp.Tenants {
+		fmt.Fprintf(w, "tenant %-16s ops~%-8d gets=%d puts=%d deletes=%d scans=%d\n",
+			tw.Tenant, tw.Ops, tw.Gets, tw.Puts, tw.Deletes, tw.Scans)
+	}
+}
+
+// renderLevelTable formats the per-level attribution columns shared by
+// `lsmctl workload` and the `lsmctl top` dashboard: live run count,
+// window bytes read/written, and each level's measured contribution to
+// read amplification.
+func renderLevelTable(levels []core.LevelProfile) string {
+	s := fmt.Sprintf("%-4s %5s %10s %12s %13s %13s %9s",
+		"lvl", "runs", "probes", "block_reads", "bytes_read", "bytes_written", "read_amp")
+	for _, lp := range levels {
+		s += fmt.Sprintf("\nL%-3d %5d %10d %12d %13d %13d %9.2f",
+			lp.Level, lp.LiveRuns, lp.RunsProbed, lp.BlockReads,
+			lp.BytesRead, lp.BytesWritten, lp.ReadAmp)
+	}
+	return s
+}

@@ -25,6 +25,17 @@ import (
 // DefaultTenant is the namespace of keys with no '/' separator.
 const DefaultTenant = ""
 
+// OtherTenant is the aggregate row that absorbs tenants evicted by the
+// MaxTenants cardinality cap. It matches the label the engine profiler
+// uses for the same purpose, so dashboards join the two cleanly.
+const OtherTenant = "other"
+
+// DefaultMaxTenants bounds the tenant map (and therefore the tenant
+// label cardinality of /metrics) when Config.MaxTenants is zero. Keys
+// are client-controlled, so an unbounded map would let a hostile key
+// pattern grow server memory and metrics output without limit.
+const DefaultMaxTenants = 256
+
 // TenantOf returns the tenant that owns key: the prefix before the
 // first '/', or DefaultTenant when the key has no separator. An empty
 // prefix ("/x") is its own (empty-named-but-separated) namespace and
@@ -160,6 +171,9 @@ type tenantState struct {
 	bytesIn    int64
 	bytesOut   int64
 	throttling bool
+	// lastSeen orders eviction when the MaxTenants cap is hit: the
+	// least-recently-admitted dynamic tenant folds into "other".
+	lastSeen uint64
 }
 
 // Controller meters every request against its tenant's quota and a
@@ -177,6 +191,10 @@ type Controller struct {
 	globalB  bucket // global bytes bucket
 	tenants  map[string]*tenantState
 	hasQuota bool // any quota configured (enforcement on)
+
+	maxTenants int
+	seq        uint64      // admission clock for lastSeen
+	other      TenantStats // counters folded from evicted tenants
 }
 
 // Config is the quota configuration: a per-tenant default, an optional
@@ -189,6 +207,11 @@ type Config struct {
 	Global Quota `json:"global"`
 	// Tenants maps tenant name → override quota.
 	Tenants map[string]Quota `json:"tenants,omitempty"`
+	// MaxTenants caps how many tenants the controller tracks
+	// individually; beyond it the least-recently-seen dynamic tenant's
+	// counters fold into the "other" row. Tenants with a configured
+	// override are never evicted. 0 means DefaultMaxTenants.
+	MaxTenants int `json:"max_tenants,omitempty"`
 	// NowNs overrides the clock (tests only; not JSON).
 	NowNs func() int64 `json:"-"`
 }
@@ -200,10 +223,14 @@ func NewController(cfg Config) *Controller {
 		now = func() int64 { return time.Now().UnixNano() }
 	}
 	c := &Controller{
-		nowNs:   now,
-		def:     cfg.Default,
-		perT:    cfg.Tenants,
-		tenants: make(map[string]*tenantState),
+		nowNs:      now,
+		def:        cfg.Default,
+		perT:       cfg.Tenants,
+		tenants:    make(map[string]*tenantState),
+		maxTenants: cfg.MaxTenants,
+	}
+	if c.maxTenants <= 0 {
+		c.maxTenants = DefaultMaxTenants
 	}
 	t0 := now()
 	c.global = newBucket(cfg.Global.OpsPerSec, cfg.Global.burst())
@@ -237,6 +264,9 @@ func (c *Controller) quotaFor(tenant string) Quota {
 func (c *Controller) stateLocked(tenant string, nowNs int64) *tenantState {
 	st, ok := c.tenants[tenant]
 	if !ok {
+		if len(c.tenants) >= c.maxTenants {
+			c.evictLocked()
+		}
 		q := c.quotaFor(tenant)
 		st = &tenantState{
 			ops:   newBucket(q.OpsPerSec, q.burst()),
@@ -245,7 +275,36 @@ func (c *Controller) stateLocked(tenant string, nowNs int64) *tenantState {
 		st.ops.lastNs, st.bytes.lastNs = nowNs, nowNs
 		c.tenants[tenant] = st
 	}
+	c.seq++
+	st.lastSeen = c.seq
 	return st
+}
+
+// evictLocked folds the least-recently-seen dynamic tenant into the
+// "other" aggregate to make room for a newcomer. Tenants with an
+// explicit quota override are configuration, not client-controlled
+// cardinality, so they are exempt; if every tracked tenant is exempt
+// the map grows past the cap by that configured amount, which is fine —
+// the cap exists to bound attacker-chosen names, not config size.
+func (c *Controller) evictLocked() {
+	var victim string
+	var vst *tenantState
+	for name, st := range c.tenants {
+		if _, configured := c.perT[name]; configured {
+			continue
+		}
+		if vst == nil || st.lastSeen < vst.lastSeen {
+			victim, vst = name, st
+		}
+	}
+	if vst == nil {
+		return
+	}
+	c.other.Requests += vst.requests
+	c.other.Throttled += vst.throttled
+	c.other.BytesIn += vst.bytesIn
+	c.other.BytesOut += vst.bytesOut
+	delete(c.tenants, victim)
 }
 
 // Admit decides whether tenant may spend ops operations and bytes
@@ -372,8 +431,10 @@ func (c *Controller) Throttled(tenant string) int64 {
 	return 0
 }
 
-// Stats returns a snapshot of every tenant seen so far, sorted by
-// tenant name (the default tenant "" sorts first).
+// Stats returns a snapshot of every tracked tenant, sorted by tenant
+// name (the default tenant "" sorts first). When the MaxTenants cap
+// has evicted tenants, their folded counters appear as a final
+// OtherTenant row.
 func (c *Controller) Stats() []TenantStats {
 	if c == nil {
 		return nil
@@ -390,8 +451,15 @@ func (c *Controller) Stats() []TenantStats {
 			Throttling: st.throttling,
 		})
 	}
+	other := c.other
 	c.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	if other.Requests > 0 || other.Throttled > 0 {
+		// The fold of every evicted tenant goes last, after the sorted
+		// live rows, so readers see it as the remainder it is.
+		other.Tenant = OtherTenant
+		out = append(out, other)
+	}
 	return out
 }
 

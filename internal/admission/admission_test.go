@@ -1,6 +1,7 @@
 package admission
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
@@ -267,5 +268,77 @@ func TestRetryAfterMillis(t *testing.T) {
 	}
 	if got := RetryAfterMillis(1500 * time.Millisecond); got != 1500 {
 		t.Fatalf("RetryAfterMillis(1.5s) = %d, want 1500", got)
+	}
+}
+
+// TestMaxTenantsCap is the cardinality regression test: a hostile
+// flood of distinct key prefixes must hold the tenant map (and so the
+// /metrics label set) at the configured cap, folding evicted tenants
+// into the trailing "other" row, while configured tenants survive the
+// churn.
+func TestMaxTenantsCap(t *testing.T) {
+	c, _ := newTestController(Config{
+		MaxTenants: 8,
+		Tenants:    map[string]Quota{"vip": {OpsPerSec: 1000}},
+	})
+	if d := c.Admit("vip", 1, 10); !d.OK {
+		t.Fatal("vip admit rejected")
+	}
+	for i := 0; i < 10000; i++ {
+		tenant := fmt.Sprintf("t%05d", i)
+		if d := c.Admit(tenant, 1, 100); !d.OK {
+			t.Fatalf("unlimited admit of %q rejected", tenant)
+		}
+	}
+	c.mu.Lock()
+	n := len(c.tenants)
+	c.mu.Unlock()
+	if n > 8 {
+		t.Fatalf("tenant map grew to %d entries, cap is 8", n)
+	}
+	st := c.Stats()
+	if len(st) > 9 { // cap rows + the "other" fold
+		t.Fatalf("Stats returned %d rows, want <= 9", len(st))
+	}
+	last := st[len(st)-1]
+	if last.Tenant != OtherTenant {
+		t.Fatalf("last Stats row = %q, want %q", last.Tenant, OtherTenant)
+	}
+	// Every evicted tenant's single request must be accounted for:
+	// requests across live rows plus the fold equal total admits.
+	var total int64
+	for _, row := range st {
+		total += row.Requests
+	}
+	if total != 10001 {
+		t.Fatalf("requests across rows = %d, want 10001", total)
+	}
+	// The configured tenant is exempt from eviction despite being the
+	// least recently seen by a margin of 10000 admits.
+	found := false
+	for _, row := range st {
+		if row.Tenant == "vip" {
+			found = true
+			if row.Requests != 1 {
+				t.Fatalf("vip requests = %d, want 1", row.Requests)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("configured tenant evicted by the cardinality cap")
+	}
+}
+
+// TestMaxTenantsDefault: the zero config still gets a bound.
+func TestMaxTenantsDefault(t *testing.T) {
+	c, _ := newTestController(Config{})
+	for i := 0; i < 3*DefaultMaxTenants; i++ {
+		c.Admit(fmt.Sprintf("d%05d", i), 1, 0)
+	}
+	c.mu.Lock()
+	n := len(c.tenants)
+	c.mu.Unlock()
+	if n > DefaultMaxTenants {
+		t.Fatalf("tenant map grew to %d entries, default cap is %d", n, DefaultMaxTenants)
 	}
 }

@@ -558,6 +558,20 @@ func (c *Client) Stats(verbose bool) (string, error) {
 	return string(resp), nil
 }
 
+// Workload fetches the server's live workload profile (the WORKLOAD
+// admin verb) as raw JSON — a core.WorkloadProfile document. Returned
+// undecoded so callers choose their own struct or pass it through.
+func (c *Client) Workload() ([]byte, error) {
+	status, resp, err := c.do(wire.OpWorkload, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := statusToErr(status, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
 // Compact runs a full manual compaction (the COMPACT admin verb).
 func (c *Client) Compact() error { return c.doSimple(wire.OpCompact, nil) }
 

@@ -381,7 +381,8 @@ func (db *DB) doCompaction(job *compaction.Job) ([]*manifest.FileMeta, error) {
 			rel()
 		}
 	}()
-	for _, files := range job.Inputs {
+	for lvl, files := range job.Inputs {
+		var lvlBytes int64
 		for _, f := range files {
 			r, release, err := db.tcache.acquire(f.Num)
 			if err != nil {
@@ -394,6 +395,10 @@ func (db *DB) doCompaction(job *compaction.Job) ([]*manifest.FileMeta, error) {
 			overall.Extend(f.Largest)
 			inEntries += int64(f.NumEntries)
 			inBytes += f.Size
+			lvlBytes += int64(f.Size)
+		}
+		if db.prof != nil {
+			db.prof.recordCompactionIn(lvl, lvlBytes)
 		}
 	}
 
@@ -468,6 +473,9 @@ func (db *DB) doCompaction(job *compaction.Job) ([]*manifest.FileMeta, error) {
 	}
 	db.m.CompactionBytesRead.Add(int64(inBytes))
 	db.m.CompactionBytesWritten.Add(int64(totalBytes(metas)))
+	if db.prof != nil {
+		db.prof.recordWrite(job.ToLevel, string(job.Reason), int64(totalBytes(metas)))
+	}
 
 	// Leaper-style hotness capture: before evicting the inputs, record
 	// the user-key spans of their blocks that were actually resident in

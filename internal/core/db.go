@@ -123,6 +123,13 @@ type DB struct {
 
 	m metrics.Metrics
 
+	// prof is the live workload profiler (profile.go); nil when
+	// Options.DisableProfiler is set. stSink is the engine's statsSink
+	// pre-boxed as an interface so the get path can hand it to the
+	// profiler's per-level shim without allocating.
+	prof   *profiler
+	stSink sstable.ReadStats
+
 	// listener receives lifecycle events (nil = disabled); jobIDs pairs
 	// the begin/end events of flush, compaction, and checkpoint jobs.
 	listener events.Listener
@@ -229,6 +236,10 @@ func Open(opts Options) (*DB, error) {
 	}
 	db.cond = sync.NewCond(&db.mu)
 	db.commit.init()
+	db.stSink = statsSink{&db.m}
+	if !opts.DisableProfiler {
+		db.prof = newProfiler(&db.m, opts.NumLevels, opts.ProfileWindowOps)
+	}
 	if opts.CacheBytes > 0 {
 		db.bcache = cache.New(opts.CacheBytes)
 		db.bcache.SetStats(statsSink{&db.m})

@@ -316,6 +316,9 @@ func (db *DB) doFlush(mw *memWrapper) ([]*manifest.FileMeta, error) {
 		}
 		db.m.Flushes.Add(1)
 		db.m.FlushBytes.Add(int64(totalBytes(metas)))
+		if db.prof != nil {
+			db.prof.recordWrite(0, "flush", int64(totalBytes(metas)))
+		}
 	}
 	if len(db.imm) > 0 && db.imm[0] == mw {
 		db.imm = db.imm[1:]

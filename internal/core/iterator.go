@@ -33,6 +33,12 @@ type Iterator struct {
 	valid      bool
 	srcPastKey bool // merge resolution left the stream on the next key
 	err        error
+
+	// sinks are the profiler's per-level ReadStats shims for this
+	// iterator's table sources (one per level, so scan block fetches
+	// attribute to the level they came from). Empty when the profiler
+	// is off.
+	sinks []profSink
 }
 
 // NewIterator returns an iterator over the current contents.
@@ -73,7 +79,15 @@ func (db *DB) newIterator(opts IterOptions) (*Iterator, error) {
 		sources = append(sources, mw.mt.NewIterator())
 		it.rangeTs = append(it.rangeTs, mw.rangeTombstones()...)
 	}
-	for _, level := range view.version.Levels {
+	if db.prof != nil {
+		it.sinks = make([]profSink, len(view.version.Levels))
+		for i := range it.sinks {
+			// Weight 1: scans attribute every block exactly (the setup
+			// cost amortizes over the entries scanned).
+			it.sinks[i] = profSink{base: db.stSink, lv: db.prof.levels, level: i, w: 1}
+		}
+	}
+	for lvl, level := range view.version.Levels {
 		for _, run := range level.Runs {
 			for _, f := range run.Files {
 				// Skip files wholly outside the bounds.
@@ -89,7 +103,11 @@ func (db *DB) newIterator(opts IterOptions) (*Iterator, error) {
 					return nil, err
 				}
 				it.releases = append(it.releases, release)
-				sources = append(sources, r.NewIterator())
+				if it.sinks != nil {
+					sources = append(sources, r.NewIteratorWith(&it.sinks[lvl]))
+				} else {
+					sources = append(sources, r.NewIterator())
+				}
 				it.rangeTs = append(it.rangeTs, r.RangeTombstones()...)
 			}
 		}

@@ -151,6 +151,22 @@ type Options struct {
 	// entirely so observability costs the hot paths nothing.
 	RecordLatencies bool
 
+	// DisableProfiler turns off the always-on workload profiler (the
+	// sketch-based live workload characterization and per-level I/O
+	// attribution behind DB.WorkloadProfile, /workload, and the
+	// lsmlab_workload_*//lsmlab_level_* metric families). The profiler
+	// samples one operation in eight into pre-allocated sketches, so its
+	// steady-state cost is a striped atomic increment per op and zero
+	// allocations; it stays on by default.
+	DisableProfiler bool
+
+	// ProfileWindowOps is the decay half-life of the workload profile,
+	// in observed operations: after this many gets+puts+deletes+scans
+	// the sketch generations rotate, and estimates cover the last one to
+	// two half-lives. Default 1<<20. Experiments and tests shrink it to
+	// track shifts quickly.
+	ProfileWindowOps int
+
 	// NowNs supplies time (injected for deterministic tests).
 	NowNs func() int64
 
@@ -238,6 +254,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBackgroundRetries == 0 {
 		o.MaxBackgroundRetries = d.MaxBackgroundRetries
+	}
+	if o.ProfileWindowOps <= 0 {
+		o.ProfileWindowOps = 1 << 20
 	}
 	if o.NowNs == nil {
 		o.NowNs = func() int64 { return time.Now().UnixNano() }

@@ -23,6 +23,9 @@ type readScratch struct {
 	mems   []*memWrapper
 	search []byte
 	sst    sstable.GetScratch
+	// sink is the profiler's level-tagging ReadStats shim; living in
+	// the pooled scratch keeps its injection allocation-free.
+	sink profSink
 }
 
 var readScratchPool = sync.Pool{New: func() any { return new(readScratch) }}
@@ -90,7 +93,18 @@ func (db *DB) get(key []byte, snap kv.SeqNum, traceID uint64) ([]byte, error) {
 }
 
 func (db *DB) getInner(key []byte, snap kv.SeqNum, traceID uint64) ([]byte, error) {
-	db.m.Gets.Add(1)
+	// The get counter's return value doubles as the profiler's sampling
+	// clock: every profSample-th lookup feeds the sketches and carries
+	// the level-tagging sink (weighted back up by the sampling factor),
+	// so the common get pays the always-on profiler nothing beyond the
+	// counter increment it already did. One hash serves the profiler and
+	// every Bloom probe (hash sharing, §2.1.3).
+	n := db.m.Gets.Add(1)
+	hash := bloom.Hash64(key)
+	profiled := db.prof != nil && profSampled(uint64(n))
+	if profiled {
+		db.prof.observe(profGet, hash, key)
+	}
 	var sp *trace.Span
 	var st sstable.ReadStats
 	if db.tracer != nil {
@@ -109,7 +123,7 @@ func (db *DB) getInner(key []byte, snap kv.SeqNum, traceID uint64) ([]byte, erro
 		t0 = db.opts.NowNs()
 	}
 	sc := readScratchPool.Get().(*readScratch)
-	e, err := db.getEntryWith(key, snap, sp, st, sc)
+	e, err := db.getEntryWith(key, hash, profiled, snap, sp, st, sc)
 	if sp != nil {
 		sp.StageSince("search", t0, db.opts.NowNs())
 	}
@@ -179,7 +193,7 @@ func (db *DB) getInner(key []byte, snap kv.SeqNum, traceID uint64) ([]byte, erro
 // It retries when a racing compaction deletes a file mid-read.
 func (db *DB) getEntry(key []byte, snap kv.SeqNum) (kv.Entry, error) {
 	sc := readScratchPool.Get().(*readScratch)
-	e, err := db.getEntryWith(key, snap, nil, nil, sc)
+	e, err := db.getEntryWith(key, bloom.Hash64(key), false, snap, nil, nil, sc)
 	if err == nil {
 		e = e.Clone() // detach from the scratch for non-hot-path callers
 	}
@@ -187,10 +201,11 @@ func (db *DB) getEntry(key []byte, snap kv.SeqNum) (kv.Entry, error) {
 	return e, err
 }
 
-// getEntryWith is getEntry with an optional span, per-operation read
+// getEntryWith is getEntry with the key's precomputed hash, the
+// profiler's sampling decision, an optional span, per-operation read
 // stats sink (both nil on untraced lookups), and the caller's pooled
 // scratch. The returned entry's key aliases sc.
-func (db *DB) getEntryWith(key []byte, snap kv.SeqNum, sp *trace.Span, st sstable.ReadStats, sc *readScratch) (kv.Entry, error) {
+func (db *DB) getEntryWith(key []byte, hash uint64, profiled bool, snap kv.SeqNum, sp *trace.Span, st sstable.ReadStats, sc *readScratch) (kv.Entry, error) {
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
@@ -205,7 +220,7 @@ func (db *DB) getEntryWith(key []byte, snap kv.SeqNum, sp *trace.Span, st sstabl
 	for attempt := 0; attempt < 20; attempt++ {
 		view := db.acquireViewInto(snap, sc.mems)
 		sc.mems = view.mems // retain the slice's capacity in the scratch
-		e, ok, err := db.searchView(view, key, sp, st, sc)
+		e, ok, err := db.searchView(view, key, hash, profiled, sp, st, sc)
 		if err != nil {
 			if isMissingFile(err) {
 				lastErr = err
@@ -228,11 +243,24 @@ func isMissingFile(err error) bool { return errors.Is(err, vfs.ErrNotExist) }
 // point entry found is the newest visible version; it is live only if
 // no newer range tombstone covers it (tutorial §2.1.2 Get). The
 // returned entry's key aliases sc; the probe chain allocates nothing.
-func (db *DB) searchView(view readView, key []byte, sp *trace.Span, st sstable.ReadStats, sc *readScratch) (kv.Entry, bool, error) {
+func (db *DB) searchView(view readView, key []byte, hash uint64, profiled bool, sp *trace.Span, st sstable.ReadStats, sc *readScratch) (kv.Entry, bool, error) {
 	var maxRT kv.SeqNum
-	hash := bloom.Hash64(key) // hash sharing: one hash per lookup (§2.1.3)
 	// One search key serves every memtable and run probe.
 	sc.search = kv.AppendSearchKey(sc.search[:0], key, view.seq)
+	// On a sampled lookup, probes report through the scratch's
+	// level-tagging sink, which forwards to the usual metrics (or
+	// traced) sink and attributes each block fetch to its level with
+	// the sampling weight.
+	if profiled {
+		if st == nil {
+			sc.sink.base = db.stSink
+		} else {
+			sc.sink.base = st
+		}
+		sc.sink.lv = db.prof.levels
+		sc.sink.w = profSample
+		st = &sc.sink
+	}
 
 	// Memtables.
 	for _, mw := range view.mems {
@@ -251,7 +279,10 @@ func (db *DB) searchView(view readView, key []byte, sp *trace.Span, st sstable.R
 	}
 
 	// Disk levels: L0 runs newest first, then deeper levels.
-	for _, level := range view.version.Levels {
+	for lvl, level := range view.version.Levels {
+		if profiled {
+			sc.sink.level = lvl
+		}
 		for _, run := range level.Runs {
 			f := run.FindFile(key)
 			if f == nil {
@@ -267,6 +298,9 @@ func (db *DB) searchView(view readView, key []byte, sp *trace.Span, st sstable.R
 				}
 			}
 			db.m.RunsProbed.Add(1)
+			if profiled {
+				db.prof.levels[lvl].runsProbed.Add(profSample)
+			}
 			sp.AddRun()
 			e, ok, err := r.GetScratched(key, sc.search, hash, st, &sc.sst)
 			if err != nil {
@@ -340,6 +374,11 @@ func (db *DB) ScanTraced(start, end []byte, limit int, traceID uint64) ([]KV, er
 }
 
 func (db *DB) scan(start, end []byte, limit int, traceID uint64) ([]KV, error) {
+	if db.prof != nil {
+		if h := bloom.Hash64(start); db.prof.tick(h) {
+			db.prof.observe(profScan, h, start)
+		}
+	}
 	var sp *trace.Span
 	if db.tracer != nil {
 		sp = db.tracer.StartID(trace.OpScan, traceID)
@@ -371,6 +410,7 @@ func (db *DB) scan(start, end []byte, limit int, traceID uint64) ([]KV, error) {
 		}
 	}
 	err = it.Err()
+	db.m.ScanEntries.Add(int64(len(out)))
 	if sp != nil {
 		sp.StageSince("iterate", t0, db.opts.NowNs())
 		sp.AddEntries(len(out))

@@ -110,6 +110,41 @@ func (db *DB) FormatStats(verbose bool) string {
 	if s.ScrubbedTables > 0 || s.ScrubCorruptions > 0 {
 		fmt.Fprintf(&b, " scrubbed=%d scrub_corruptions=%d", s.ScrubbedTables, s.ScrubCorruptions)
 	}
+	wp := db.WorkloadProfile()
+	if wp.Enabled {
+		// The measured workload character and RUM point over the decay
+		// window — the live versions of the figures the paper's tuning
+		// models take as givens.
+		fmt.Fprintf(&b, "\nworkload: gets=%d puts=%d deletes=%d scans=%d mean_scan_len=%.1f distinct~%d zipf_s=%.2f top_share=%.2f",
+			wp.Gets, wp.Puts, wp.Deletes, wp.Scans, wp.MeanScanLen, wp.DistinctKeys, wp.ZipfS, wp.TopShare)
+		fmt.Fprintf(&b, "\nrum(window): read_amp=%.2f write_amp=%.2f space_amp=%.2f",
+			wp.ReadAmp, wp.WriteAmp, wp.SpaceAmp)
+	}
+	if verbose && wp.Enabled {
+		for _, lp := range wp.Levels {
+			fmt.Fprintf(&b, "\n  L%d: runs=%d probes/get=%.2f block_reads=%d (cached %d) bytes_read=%d bytes_written=%d compact_in=%d",
+				lp.Level, lp.LiveRuns, lp.ReadAmp, lp.BlockReads, lp.BlockReadsCached,
+				lp.BytesRead, lp.BytesWritten, lp.CompactionBytesIn)
+			for _, r := range reasonNames {
+				if v := lp.WriteByReason[r]; v > 0 {
+					fmt.Fprintf(&b, " %s=%d", r, v)
+				}
+			}
+		}
+		for _, tw := range wp.Tenants {
+			fmt.Fprintf(&b, "\n  tenant %s: ops~%d gets=%d puts=%d deletes=%d scans=%d",
+				tw.Tenant, tw.Ops, tw.Gets, tw.Puts, tw.Deletes, tw.Scans)
+		}
+		if len(wp.TopKeys) > 0 {
+			fmt.Fprintf(&b, "\n  top keys:")
+			for i, hk := range wp.TopKeys {
+				if i == 5 {
+					break
+				}
+				fmt.Fprintf(&b, " %q~%d", hk.Key, hk.Count)
+			}
+		}
+	}
 	if verbose {
 		lat := db.m.Latencies()
 		fmt.Fprintf(&b, "\nlatency (this process):")

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"lsmlab/internal/admission"
+	"lsmlab/internal/bloom"
 	"lsmlab/internal/events"
 	"lsmlab/internal/kv"
 	"lsmlab/internal/trace"
@@ -162,6 +163,19 @@ func (db *DB) apply(b *Batch, traceID uint64) error {
 	if db.timeOps {
 		start := db.opts.NowNs()
 		defer func() { db.m.PutNs.RecordSince(start, db.opts.NowNs()) }()
+	}
+	if db.prof != nil {
+		for i := range b.ops {
+			h := bloom.Hash64(b.ops[i].Key)
+			if !db.prof.tick(h) {
+				continue
+			}
+			op := profPut
+			if b.ops[i].Kind != kv.KindSet && b.ops[i].Kind != kv.KindMerge {
+				op = profDelete
+			}
+			db.prof.observe(op, h, b.ops[i].Key)
+		}
 	}
 	var sp *trace.Span
 	if db.tracer != nil {

@@ -165,6 +165,7 @@ func All() []struct {
 		{"E12", E12CacheLeaper},
 		{"E13", E13Partitioning},
 		{"O1", O1TraceAttribution},
+		{"O2", O2WorkloadProfile},
 	}
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -220,5 +221,49 @@ func TestE11Shape(t *testing.T) {
 	}
 	if cell(t, tbl, tight, "age_triggered") == 0 {
 		t.Error("tight threshold must trigger age compactions")
+	}
+}
+
+// TestO2Shape: the profiler must see the workload change — skew and
+// hot-key share jump in the zipfian phase, scan shape appears in the
+// scan-heavy phase — and the per-level byte attribution must track
+// filesystem ground truth. The exact-attribution checks (writes, scan
+// reads) get a tight bound; the sampled get-read check gets the 10%
+// the design budgets for sampling error.
+func TestO2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moderate-scale shape test")
+	}
+	tbl, err := O2WorkloadProfile(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, zipf, scan := findRow(t, tbl, "uniform-rw"), findRow(t, tbl, "zipf-read"), findRow(t, tbl, "scan-heavy")
+	if zs, us := cell(t, tbl, zipf, "zipf_s"), cell(t, tbl, uni, "zipf_s"); zs < us+0.3 {
+		t.Errorf("zipfian phase must raise the fitted skew: %.2f vs uniform %.2f", zs, us)
+	}
+	if zt, ut := cell(t, tbl, zipf, "top_share"), cell(t, tbl, uni, "top_share"); zt < ut {
+		t.Errorf("zipfian phase must raise the hot-key share: %.2f vs uniform %.2f", zt, ut)
+	}
+	if ms := cell(t, tbl, scan, "mean_scan"); ms < 4 {
+		t.Errorf("scan-heavy phase must show scan shape: mean_scan %.2f", ms)
+	}
+	if ms := cell(t, tbl, uni, "mean_scan"); ms != 0 {
+		t.Errorf("uniform phase has no scans, mean_scan %.2f", ms)
+	}
+	for _, check := range []struct {
+		row   string
+		bound float64
+	}{
+		{"io-writes", 5}, {"io-scan-reads", 5}, {"io-get-reads", 10},
+	} {
+		raw := tbl.Rows[findRow(t, tbl, check.row)][len(tbl.Columns)-1]
+		var profMiB, fsMiB, delta float64
+		if _, err := fmt.Sscanf(raw, "prof=%fMiB fs=%fMiB Δ=%f%%", &profMiB, &fsMiB, &delta); err != nil {
+			t.Fatalf("io_check cell %q: %v", raw, err)
+		}
+		if delta < -check.bound || delta > check.bound {
+			t.Errorf("%s attribution off by %.1f%%, bound %.0f%% (%s)", check.row, delta, check.bound, raw)
+		}
 	}
 }

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"lsmlab/internal/core"
+	"lsmlab/internal/workload"
+)
+
+// O2WorkloadProfile exercises the engine's live self-dissection: the
+// always-on profiler (DESIGN §2i) must characterize the running
+// workload — operation mix, skew, hot keys, scan shape — and attribute
+// I/O cost per level, from inside the engine and within a decay window.
+//
+// Part one drives three workload phases through one engine whose
+// profile window is half a phase, so by each phase's end the windowed
+// profile covers mostly that phase: a uniform read/write mix, a
+// zipfian read-only burst (skew and hot-key share must jump), and a
+// scan-heavy YCSB-E mix (scan fraction and mean scan length must
+// appear). The rows are the profiler's own numbers, read back through
+// the same WorkloadProfile call the /workload endpoint serves.
+//
+// Part two cross-validates the attribution against ground truth: a
+// fresh engine on a vfs.CountingFS (no cache, no WAL) compares the
+// profiler's per-level byte attribution to the filesystem's own
+// counters over the same interval. Flush/compaction writes and scan
+// reads are attributed exactly; get reads are a sampled estimate
+// (1-in-32, weighted back up), so their check also measures the
+// sampling error the engine accepts to keep the hot path cheap.
+func O2WorkloadProfile(s Scale) (*Table, error) {
+	t := &Table{
+		ID:    "O2",
+		Title: "Live workload characterization + per-level RUM attribution",
+		Claim: "the engine's own profiler tracks workload shifts within a decay window (mix, zipf skew, hot-key share, scan shape) and its per-level byte attribution matches filesystem ground truth — exactly for flush/compaction writes and scan reads, within sampling error for gets (DESIGN §2i)",
+		Columns: []string{"phase", "mix", "mean_scan", "distinct", "zipf_s",
+			"top_share", "top_key", "read_amp", "write_amp", "io_check"},
+	}
+	nKeys := s.N(20_000)
+	phaseOps := s.N(10_000)
+
+	// --- Part one: workload shifts seen through the decay window. ---
+	e := newEnv(func(o *core.Options) {
+		o.CacheBytes = 0
+		// Half a phase per half-life: by a phase's end the window
+		// (current + previous generation) holds only that phase.
+		o.ProfileWindowOps = phaseOps / 2
+	})
+	db, err := e.open()
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	load := workload.New(workload.Config{Seed: 1, KeySpace: int64(nKeys), Mix: workload.MixLoad, ValueLen: 100})
+	for i := 0; i < nKeys; i++ {
+		op := load.Next()
+		if err := db.Put(op.Key, op.Value); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.Flush(); err != nil {
+		return nil, err
+	}
+	db.WaitIdle()
+
+	phases := []struct {
+		name string
+		cfg  workload.Config
+	}{
+		{"uniform-rw", workload.Config{Seed: 2, KeySpace: int64(nKeys), Mix: workload.MixA, ValueLen: 100}},
+		{"zipf-read", workload.Config{Seed: 3, KeySpace: int64(nKeys), Mix: workload.MixC, Distribution: workload.Zipfian}},
+		{"scan-heavy", workload.Config{Seed: 4, KeySpace: int64(nKeys), Mix: workload.MixE, ValueLen: 100}},
+	}
+	for _, ph := range phases {
+		g := workload.New(ph.cfg)
+		for i := 0; i < phaseOps; i++ {
+			if err := applyOp(db, g.Next()); err != nil {
+				return nil, err
+			}
+		}
+		wp := db.WorkloadProfile()
+		topKey := "-"
+		if len(wp.TopKeys) > 0 {
+			topKey = string(wp.TopKeys[0].Key)
+		}
+		ops := wp.Gets + wp.Puts + wp.Deletes + wp.Scans
+		if ops == 0 {
+			ops = 1
+		}
+		mix := fmt.Sprintf("g%02d/p%02d/s%02d",
+			100*wp.Gets/ops, 100*wp.Puts/ops, 100*wp.Scans/ops)
+		t.AddRow(ph.name, mix, f2(wp.MeanScanLen), fmt.Sprint(wp.DistinctKeys),
+			f2(wp.ZipfS), f2(wp.TopShare), topKey,
+			f2(wp.ReadAmp), f2(wp.WriteAmp), "-")
+	}
+
+	// --- Part two: attribution vs. CountingFS ground truth. ---
+	// A huge window means no rotation: the profile is cumulative since
+	// open, so interval deltas line up exactly with fs counter deltas.
+	v := newEnv(func(o *core.Options) {
+		o.CacheBytes = 0
+		o.DisableWAL = true // fs writes are then sst + manifest only
+		o.ProfileWindowOps = 1 << 30
+	})
+	vdb, err := v.open()
+	if err != nil {
+		return nil, err
+	}
+	defer vdb.Close()
+	load = workload.New(workload.Config{Seed: 5, KeySpace: int64(nKeys), Mix: workload.MixLoad, ValueLen: 100})
+	for i := 0; i < nKeys; i++ {
+		op := load.Next()
+		if err := vdb.Put(op.Key, op.Value); err != nil {
+			return nil, err
+		}
+	}
+	if err := vdb.Flush(); err != nil {
+		return nil, err
+	}
+	vdb.WaitIdle()
+	wpLoad := vdb.WorkloadProfile()
+	fsLoad := v.fs.Stats()
+	t.AddRow("io-writes", "-", "-", "-", "-", "-", "-", "-", "-",
+		ioCheck(profWriteBytes(wpLoad), fsLoad.BytesWritten))
+
+	// Scan reads: every uncached block byte is attributed exactly.
+	scans := workload.New(workload.Config{Seed: 6, KeySpace: int64(nKeys), Mix: workload.Mix{ScanShort: 1}})
+	for i := 0; i < s.N(2_000); i++ {
+		if err := applyOp(vdb, scans.Next()); err != nil {
+			return nil, err
+		}
+	}
+	wpScan := vdb.WorkloadProfile()
+	fsScan := v.fs.Stats()
+	t.AddRow("io-scan-reads", "-", "-", "-", "-", "-", "-", "-", "-",
+		ioCheck(profReadBytes(wpScan)-profReadBytes(wpLoad), fsScan.BytesRead-fsLoad.BytesRead))
+
+	// Get reads: a 1-in-32 sampled estimate, weighted back up — the
+	// delta here is the sampling error, expected well inside 10% at
+	// this op count.
+	gets := workload.New(workload.Config{Seed: 7, KeySpace: int64(nKeys), Mix: workload.MixC})
+	for i := 0; i < s.N(24_000); i++ {
+		if err := applyOp(vdb, gets.Next()); err != nil {
+			return nil, err
+		}
+	}
+	wpGet := vdb.WorkloadProfile()
+	fsGet := v.fs.Stats()
+	t.AddRow("io-get-reads", "-", "-", "-", "-", "-", "-", "-", "-",
+		ioCheck(profReadBytes(wpGet)-profReadBytes(wpScan), fsGet.BytesRead-fsScan.BytesRead))
+	return t, nil
+}
+
+// applyOp runs one generated operation against the engine, tolerating
+// the not-found misses a probabilistic generator produces.
+func applyOp(db *core.DB, op workload.Op) error {
+	switch op.Kind {
+	case workload.OpPut:
+		return db.Put(op.Key, op.Value)
+	case workload.OpDelete:
+		return db.Delete(op.Key)
+	case workload.OpGet, workload.OpGetZero:
+		if _, err := db.Get(op.Key); err != nil && !errors.Is(err, core.ErrNotFound) {
+			return err
+		}
+	case workload.OpScan:
+		if _, err := db.Scan(op.Key, op.EndKey, op.Limit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// profWriteBytes sums the profiler's per-level write attribution.
+func profWriteBytes(wp core.WorkloadProfile) int64 {
+	var n int64
+	for _, lp := range wp.Levels {
+		n += lp.BytesWritten
+	}
+	return n
+}
+
+// profReadBytes sums the profiler's per-level uncached read bytes.
+func profReadBytes(wp core.WorkloadProfile) int64 {
+	var n int64
+	for _, lp := range wp.Levels {
+		n += lp.BytesRead
+	}
+	return n
+}
+
+// ioCheck renders one attribution-vs-ground-truth cell: the profiler's
+// figure, the filesystem's, and the relative delta.
+func ioCheck(prof, fs int64) string {
+	if fs == 0 {
+		return fmt.Sprintf("prof=%d fs=0", prof)
+	}
+	delta := 100 * (float64(prof) - float64(fs)) / float64(fs)
+	return fmt.Sprintf("prof=%.2fMiB fs=%.2fMiB Δ=%+.1f%%",
+		float64(prof)/(1<<20), float64(fs)/(1<<20), delta)
+}

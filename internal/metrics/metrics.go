@@ -27,6 +27,7 @@ type Metrics struct {
 	Gets            atomic.Int64 // user point lookups
 	GetHits         atomic.Int64 // lookups that found a live value
 	Scans           atomic.Int64 // user range scans
+	ScanEntries     atomic.Int64 // entries returned by Scan (mean scan length = ScanEntries/Scans)
 	RunsProbed      atomic.Int64 // sorted runs consulted by point lookups
 	FilterProbes    atomic.Int64 // bloom filter probes
 	FilterNegatives atomic.Int64 // probes that skipped a run
@@ -130,7 +131,7 @@ type Snapshot struct {
 	Puts, Deletes, BytesIngested, WALBytes        int64
 	CommitGroups, CommitBatches                   int64
 	WALSyncs, WALSyncsSaved                       int64
-	Gets, GetHits, Scans, RunsProbed              int64
+	Gets, GetHits, Scans, ScanEntries, RunsProbed int64
 	FilterProbes, FilterNegatives, FilterFalsePos int64
 	Flushes, FlushBytes, Compactions              int64
 	AgeCompactions                                int64
@@ -163,6 +164,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		Gets:                   m.Gets.Load(),
 		GetHits:                m.GetHits.Load(),
 		Scans:                  m.Scans.Load(),
+		ScanEntries:            m.ScanEntries.Load(),
 		RunsProbed:             m.RunsProbed.Load(),
 		FilterProbes:           m.FilterProbes.Load(),
 		FilterNegatives:        m.FilterNegatives.Load(),
@@ -265,6 +267,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		Gets:                   s.Gets - o.Gets,
 		GetHits:                s.GetHits - o.GetHits,
 		Scans:                  s.Scans - o.Scans,
+		ScanEntries:            s.ScanEntries - o.ScanEntries,
 		RunsProbed:             s.RunsProbed - o.RunsProbed,
 		FilterProbes:           s.FilterProbes - o.FilterProbes,
 		FilterNegatives:        s.FilterNegatives - o.FilterNegatives,

@@ -234,6 +234,19 @@ func (s *Store) Checkpoint(dir string) error {
 	return errors.Join(errs...)
 }
 
+// WorkloadProfile aggregates the per-shard workload characterizations
+// into one partition-level view: counts and per-level attribution sum,
+// distinct-key estimates add (shards hash-partition the key space, so
+// their key sets are disjoint), hot keys merge by summed count, and
+// the RUM ratios are recomputed from the summed terms.
+func (s *Store) WorkloadProfile() core.WorkloadProfile {
+	ps := make([]core.WorkloadProfile, len(s.parts))
+	for i, p := range s.parts {
+		ps[i] = p.WorkloadProfile()
+	}
+	return core.MergeProfiles(ps)
+}
+
 // FormatStats renders the aggregated counters in the same shape as a
 // single tree's block, followed by one row per shard — memtable bytes,
 // L0 runs, compaction backlog, disk, health — so hot-shard skew is
@@ -258,6 +271,24 @@ func (s *Store) FormatStats(verbose bool) string {
 	}
 	if m.ScrubbedTables > 0 || m.ScrubCorruptions > 0 {
 		fmt.Fprintf(&b, " scrubbed=%d scrub_corruptions=%d", m.ScrubbedTables, m.ScrubCorruptions)
+	}
+	wp := s.WorkloadProfile()
+	if wp.Enabled {
+		fmt.Fprintf(&b, "\nworkload: gets=%d puts=%d deletes=%d scans=%d mean_scan_len=%.1f distinct~%d zipf_s=%.2f top_share=%.2f",
+			wp.Gets, wp.Puts, wp.Deletes, wp.Scans, wp.MeanScanLen, wp.DistinctKeys, wp.ZipfS, wp.TopShare)
+		fmt.Fprintf(&b, "\nrum(window): read_amp=%.2f write_amp=%.2f space_amp=%.2f",
+			wp.ReadAmp, wp.WriteAmp, wp.SpaceAmp)
+	}
+	if verbose && wp.Enabled {
+		for _, lp := range wp.Levels {
+			fmt.Fprintf(&b, "\n  L%d: runs=%d probes/get=%.2f block_reads=%d (cached %d) bytes_read=%d bytes_written=%d compact_in=%d",
+				lp.Level, lp.LiveRuns, lp.ReadAmp, lp.BlockReads, lp.BlockReadsCached,
+				lp.BytesRead, lp.BytesWritten, lp.CompactionBytesIn)
+		}
+		for _, tw := range wp.Tenants {
+			fmt.Fprintf(&b, "\n  tenant %s: ops~%d gets=%d puts=%d deletes=%d scans=%d",
+				tw.Tenant, tw.Ops, tw.Gets, tw.Puts, tw.Deletes, tw.Scans)
+		}
 	}
 	fmt.Fprintf(&b, "\nshards=%d", len(s.parts))
 	for i, p := range s.parts {

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"net"
 	"time"
@@ -282,6 +283,14 @@ func (c *conn) handle(op byte, payload []byte, batch *core.Batch) bool {
 		text := c.s.FormatStats(verbose)
 		done(nil)
 		return c.respond(wire.StatusOK, []byte(text))
+	case wire.OpWorkload:
+		done := c.beginRequest(op)
+		body, err := json.Marshal(c.s.db.WorkloadProfile())
+		done(err)
+		if err != nil {
+			return c.respondErr(wire.StatusInternal, err)
+		}
+		return c.respond(wire.StatusOK, body)
 	case wire.OpCompact:
 		done := c.beginRequest(op)
 		err := c.s.db.Compact()

@@ -27,6 +27,8 @@ import (
 //	/healthz        engine health JSON; 503 once degraded
 //	/events         the event ring, oldest first, as JSON
 //	/traces         the captured span ring, oldest first, as JSON
+//	/workload       the live workload profile (core.WorkloadProfile) as
+//	                JSON: op mix, skew, hot keys, tenants, per-level RUM
 //	/debug/pprof/*  the standard Go profiles
 //
 // ring and tr may be nil; the corresponding endpoints then serve empty
@@ -45,6 +47,9 @@ func (s *Server) DebugHandler(ring *events.Ring, tr *trace.Tracer) http.Handler 
 	})
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
 		writeTraces(w, tr)
+	})
+	mux.HandleFunc("/workload", func(w http.ResponseWriter, r *http.Request) {
+		s.writeWorkload(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -245,6 +250,57 @@ func (s *Server) writeMetrics(w http.ResponseWriter) {
 		}
 	}
 
+	// Live workload characterization and per-level RUM attribution from
+	// the engine profiler. Windowed figures decay with the profile
+	// half-life, so they are gauges, not counters.
+	if wp := s.db.WorkloadProfile(); wp.Enabled {
+		p.gauge("workload_window_ops", "Sampling-weighted operations in the profile window.", float64(wp.WindowOps))
+		p.gauge("workload_rotations", "Profile half-lives elapsed since open.", float64(wp.Rotations))
+		p.gaugeVec("workload_ops", "Operations in the profile window by kind.")
+		for _, kv := range []struct {
+			op string
+			v  int64
+		}{{"get", wp.Gets}, {"put", wp.Puts}, {"delete", wp.Deletes}, {"scan", wp.Scans}} {
+			p.sample("workload_ops", fmt.Sprintf("op=%q", kv.op), float64(kv.v))
+		}
+		p.gauge("workload_mean_scan_len", "Mean entries returned per range scan in the window.", wp.MeanScanLen)
+		p.gauge("workload_distinct_keys", "Estimated distinct keys touched in the window.", float64(wp.DistinctKeys))
+		p.gauge("workload_zipf_s", "Fitted zipf exponent of the window's key popularity (0 = uniform).", wp.ZipfS)
+		p.gauge("workload_top_share", "Share of window traffic on the tracked hot keys.", wp.TopShare)
+		p.gauge("workload_read_amp", "Measured runs probed per lookup over the window.", wp.ReadAmp)
+		p.gauge("workload_write_amp", "Measured storage-write bytes per ingested byte over the window.", wp.WriteAmp)
+		p.gauge("workload_space_amp", "Measured tree bytes per deepest-level byte.", wp.SpaceAmp)
+		if len(wp.Tenants) > 0 {
+			p.gaugeVec("workload_tenant_ops", "Sampled operations per tenant in the profile window.")
+			for _, tw := range wp.Tenants {
+				p.sample("workload_tenant_ops", fmt.Sprintf("tenant=%q", tw.Tenant), float64(tw.Ops))
+			}
+		}
+		p.gaugeVec("level_runs_probed_window", "Runs consulted by lookups per level over the window.")
+		for _, lp := range wp.Levels {
+			p.sample("level_runs_probed_window", fmt.Sprintf("level=%q", fmt.Sprint(lp.Level)), float64(lp.RunsProbed))
+		}
+		p.gaugeVec("level_read_amp", "Per-level contribution to read amplification over the window.")
+		for _, lp := range wp.Levels {
+			p.sample("level_read_amp", fmt.Sprintf("level=%q", fmt.Sprint(lp.Level)), lp.ReadAmp)
+		}
+		p.gaugeVec("level_bytes_read_window", "Uncached data-block bytes read per level over the window.")
+		for _, lp := range wp.Levels {
+			p.sample("level_bytes_read_window", fmt.Sprintf("level=%q", fmt.Sprint(lp.Level)), float64(lp.BytesRead))
+		}
+		p.gaugeVec("level_bytes_written_window", "Bytes written into each level over the window, by trigger.")
+		for _, lp := range wp.Levels {
+			for reason, v := range lp.WriteByReason {
+				p.sample("level_bytes_written_window",
+					fmt.Sprintf("level=%q,reason=%q", fmt.Sprint(lp.Level), reason), float64(v))
+			}
+		}
+		p.gaugeVec("level_compaction_bytes_in_window", "Bytes read as compaction input per level over the window.")
+		for _, lp := range wp.Levels {
+			p.sample("level_compaction_bytes_in_window", fmt.Sprintf("level=%q", fmt.Sprint(lp.Level)), float64(lp.CompactionBytesIn))
+		}
+	}
+
 	// Latency summaries (engine histograms + the server's request
 	// histogram merged, same as the STATS verb).
 	lat := s.Latencies()
@@ -263,6 +319,13 @@ func (s *Server) writeMetrics(w http.ResponseWriter) {
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, p.b.String())
+}
+
+// writeWorkload serves the live workload profile as JSON — the same
+// payload the WORKLOAD wire verb returns, curl-able on the debug port.
+func (s *Server) writeWorkload(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.db.WorkloadProfile())
 }
 
 // writeHealth serves the engine health as JSON: HTTP 200 while

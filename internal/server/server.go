@@ -56,6 +56,10 @@ type Engine interface {
 	TreeStats() core.TreeStats
 	SpaceAmplification() float64
 	FormatStats(verbose bool) string
+	// WorkloadProfile is the engine's live workload characterization
+	// and per-level RUM attribution (aggregated across shards for a
+	// partitioned store) — the WORKLOAD verb's and /workload's payload.
+	WorkloadProfile() core.WorkloadProfile
 	// SeqVector is the store's visibility watermark as a per-shard
 	// vector (length 1 for a single tree) — the WATERMARK verb's
 	// payload, generalizing the read-your-writes token across shards.

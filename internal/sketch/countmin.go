@@ -1,0 +1,129 @@
+// Package sketch provides the probabilistic data structures behind the
+// engine's live workload characterization (ROADMAP item 2, tutorial
+// Module III): a count-min sketch for per-key frequency, a HyperLogLog
+// for distinct-key cardinality, a space-saving top-K for hot keys, and
+// a two-generation decay window that makes all three track the *recent*
+// workload rather than history since startup.
+//
+// Every update path is lock-cheap and allocation-free in steady state:
+// the count-min and HyperLogLog use CAS loops over pre-allocated
+// arrays, and the top-K only allocates when a new key enters the
+// bounded table. The engine's profiler calls them from the get/put hot
+// paths (sampled), so these properties are load-bearing — see
+// TestGetHotZeroAllocs in internal/core.
+package sketch
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// CountMin is a count-min sketch with conservative update: d rows of w
+// counters, each key hashed to one counter per row, point estimate =
+// min over rows. Conservative update only raises the counters that are
+// at the current minimum, which tightens the classical over-estimate
+// bound in practice (it never loosens it). The structural guarantee is
+// one-sided: estimates never under-count, and over-count by at most
+// εN with probability 1−δ when sized by NewCountMin (w = ⌈e/ε⌉,
+// d = ⌈ln(1/δ)⌉, N = total weight added).
+//
+// All methods are safe for concurrent use.
+type CountMin struct {
+	w    int // counters per row, power of two
+	d    int // rows
+	mask uint64
+	cnt  []uint64 // d*w counters, atomic access only
+	n    atomic.Uint64
+}
+
+// NewCountMin sizes a sketch for an over-estimate of at most eps*N with
+// probability 1-delta.
+func NewCountMin(eps, delta float64) *CountMin {
+	if eps <= 0 {
+		eps = 0.001
+	}
+	if delta <= 0 || delta >= 1 {
+		delta = 0.01
+	}
+	w := ceilPow2(int(math.Ceil(math.E / eps)))
+	d := int(math.Ceil(math.Log(1 / delta)))
+	if d < 1 {
+		d = 1
+	}
+	return NewCountMinWD(w, d)
+}
+
+// NewCountMinWD builds a sketch with explicit dimensions; w is rounded
+// up to a power of two.
+func NewCountMinWD(w, d int) *CountMin {
+	w = ceilPow2(w)
+	if d < 1 {
+		d = 1
+	}
+	return &CountMin{w: w, d: d, mask: uint64(w - 1), cnt: make([]uint64, w*d)}
+}
+
+func ceilPow2(v int) int {
+	if v < 2 {
+		return 2
+	}
+	p := 1
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+// idx returns the counter index of row i for hash h, by double hashing:
+// the two halves of the 64-bit hash act as independent hash functions.
+func (c *CountMin) idx(h uint64, i int) int {
+	h2 := (h>>32)*0x9e3779b97f4a7c15 | 1 // odd, so all slots reachable
+	return i*c.w + int((h+uint64(i)*h2)&c.mask)
+}
+
+// Add records inc occurrences of the key hashed to h, with conservative
+// update, and returns the key's new estimate.
+func (c *CountMin) Add(h uint64, inc uint64) uint64 {
+	est := uint64(math.MaxUint64)
+	for i := 0; i < c.d; i++ {
+		if v := atomic.LoadUint64(&c.cnt[c.idx(h, i)]); v < est {
+			est = v
+		}
+	}
+	target := est + inc
+	for i := 0; i < c.d; i++ {
+		p := &c.cnt[c.idx(h, i)]
+		for {
+			v := atomic.LoadUint64(p)
+			if v >= target || atomic.CompareAndSwapUint64(p, v, target) {
+				break
+			}
+		}
+	}
+	c.n.Add(inc)
+	return target
+}
+
+// Estimate returns the frequency estimate for the key hashed to h.
+func (c *CountMin) Estimate(h uint64) uint64 {
+	est := uint64(math.MaxUint64)
+	for i := 0; i < c.d; i++ {
+		if v := atomic.LoadUint64(&c.cnt[c.idx(h, i)]); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// N returns the total weight added since the last Reset.
+func (c *CountMin) N() uint64 { return c.n.Load() }
+
+// Reset zeroes the sketch. Concurrent Adds during a Reset may survive
+// partially; the window rotation that calls this tolerates the
+// resulting slight under-count (all estimates here are approximate).
+func (c *CountMin) Reset() {
+	for i := range c.cnt {
+		atomic.StoreUint64(&c.cnt[i], 0)
+	}
+	c.n.Store(0)
+}

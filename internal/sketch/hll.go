@@ -1,0 +1,87 @@
+package sketch
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// HLL is a HyperLogLog distinct-count estimator over 64-bit hashes:
+// 2^p registers, each holding the maximum "rank" (position of the first
+// set bit in the non-index part of the hash) observed for its substream.
+// Standard error is ~1.04/sqrt(2^p); p=12 (4096 registers, 16 KiB) puts
+// it around 1.6%, comfortably inside the 3% bound the accuracy tests
+// assert at one million distinct keys.
+//
+// Registers update by CAS-max, so concurrent Adds are safe and
+// allocation-free.
+type HLL struct {
+	p   uint8
+	m   int      // 1 << p
+	reg []uint32 // registers, atomic access only
+}
+
+// NewHLL builds an estimator with 2^p registers (p clamped to [4, 18]).
+func NewHLL(p int) *HLL {
+	if p < 4 {
+		p = 4
+	}
+	if p > 18 {
+		p = 18
+	}
+	m := 1 << p
+	return &HLL{p: uint8(p), m: m, reg: make([]uint32, m)}
+}
+
+// Add records one occurrence of the key hashed to h.
+func (h *HLL) Add(x uint64) {
+	idx := x >> (64 - h.p)
+	// Rank of the first set bit among the remaining 64-p bits; the
+	// sentinel bit caps the rank at 64-p+1 when they are all zero.
+	rank := uint32(bits.LeadingZeros64(x<<h.p|1<<(uint(h.p)-1)) + 1)
+	p := &h.reg[idx]
+	for {
+		v := atomic.LoadUint32(p)
+		if v >= rank || atomic.CompareAndSwapUint32(p, v, rank) {
+			return
+		}
+	}
+}
+
+// Estimate returns the estimated number of distinct keys added.
+func (h *HLL) Estimate() float64 { return h.EstimateWith(nil) }
+
+// EstimateWith returns the distinct count of the union of h and other
+// (register-wise max), without materializing a merged sketch. other may
+// be nil and must have the same precision otherwise.
+func (h *HLL) EstimateWith(other *HLL) float64 {
+	var sum float64
+	zeros := 0
+	for i := 0; i < h.m; i++ {
+		v := atomic.LoadUint32(&h.reg[i])
+		if other != nil {
+			if o := atomic.LoadUint32(&other.reg[i]); o > v {
+				v = o
+			}
+		}
+		if v == 0 {
+			zeros++
+		}
+		sum += 1 / float64(uint64(1)<<v)
+	}
+	m := float64(h.m)
+	alpha := 0.7213 / (1 + 1.079/m)
+	raw := alpha * m * m / sum
+	// Small-range correction: linear counting while registers are sparse.
+	if raw <= 2.5*m && zeros > 0 {
+		return m * math.Log(m/float64(zeros))
+	}
+	return raw
+}
+
+// Reset zeroes the registers (same raciness caveat as CountMin.Reset).
+func (h *HLL) Reset() {
+	for i := range h.reg {
+		atomic.StoreUint32(&h.reg[i], 0)
+	}
+}

@@ -1,0 +1,273 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"lsmlab/internal/bloom"
+)
+
+// keyOf renders a deterministic key and its engine hash.
+func keyOf(i int) ([]byte, uint64) {
+	k := []byte(fmt.Sprintf("key-%08d", i))
+	return k, bloom.Hash64(k)
+}
+
+// TestCountMinBound drives a zipfian stream through a sketch sized for
+// eps=0.1%, delta=1% and asserts the classical guarantee: estimates
+// never under-count, and over-count by more than eps*N on at most a
+// delta fraction of queried keys (conservative update usually does far
+// better; the assertion is the documented bound, not the typical case).
+func TestCountMinBound(t *testing.T) {
+	const (
+		eps   = 0.001
+		delta = 0.01
+		nOps  = 200_000
+		space = 50_000
+	)
+	cm := NewCountMin(eps, delta)
+	rng := rand.New(rand.NewSource(1))
+	zipf := rand.NewZipf(rng, 1.2, 1, space-1)
+	truth := make(map[int]uint64)
+	for i := 0; i < nOps; i++ {
+		id := int(zipf.Uint64())
+		truth[id]++
+		_, h := keyOf(id)
+		cm.Add(h, 1)
+	}
+	if got := cm.N(); got != nOps {
+		t.Fatalf("N = %d, want %d", got, nOps)
+	}
+	bound := uint64(math.Ceil(eps * nOps))
+	violations, queried := 0, 0
+	for id, want := range truth {
+		_, h := keyOf(id)
+		got := cm.Estimate(h)
+		if got < want {
+			t.Fatalf("under-count for key %d: est %d < true %d", id, got, want)
+		}
+		if got-want > bound {
+			violations++
+		}
+		queried++
+	}
+	if maxViol := int(delta * float64(queried)); violations > maxViol {
+		t.Fatalf("%d/%d estimates exceed eps*N=%d over-estimate (allowed %d)",
+			violations, queried, bound, maxViol)
+	}
+}
+
+// TestCountMinConcurrent checks the CAS update path under contention:
+// total weight must be exact and a heavily-updated key's estimate must
+// be at least its true count.
+func TestCountMinConcurrent(t *testing.T) {
+	cm := NewCountMinWD(1024, 4)
+	const (
+		workers = 8
+		perW    = 10_000
+	)
+	_, hot := keyOf(0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perW; i++ {
+				if rng.Intn(2) == 0 {
+					cm.Add(hot, 1)
+				} else {
+					_, h := keyOf(1 + rng.Intn(1000))
+					cm.Add(h, 1)
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	if got := cm.N(); got != workers*perW {
+		t.Fatalf("N = %d, want %d", got, workers*perW)
+	}
+	if est := cm.Estimate(hot); est < workers*perW/3 {
+		t.Fatalf("hot key estimate %d implausibly low", est)
+	}
+}
+
+// TestHLLAccuracy asserts relative error <= 3% at one million distinct
+// keys (the default precision 14 has ~0.8% standard error, so this is
+// a ~3.7-sigma bound on a deterministic stream).
+func TestHLLAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-key cardinality check")
+	}
+	h := NewHLL(14)
+	const n = 1_000_000
+	var buf [8]byte
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(buf[:], uint64(i))
+		h.Add(bloom.Hash64(buf[:]))
+	}
+	est := h.Estimate()
+	if relErr := math.Abs(est-n) / n; relErr > 0.03 {
+		t.Fatalf("estimate %.0f for %d distinct keys: relative error %.4f > 0.03", est, n, relErr)
+	}
+	// Duplicates must not move the cardinality.
+	for i := 0; i < 1000; i++ {
+		binary.BigEndian.PutUint64(buf[:], uint64(i))
+		h.Add(bloom.Hash64(buf[:]))
+	}
+	if got := h.Estimate(); got != est {
+		t.Fatalf("duplicates changed the estimate: %.0f -> %.0f", est, got)
+	}
+}
+
+// TestHLLSmallRange checks the linear-counting regime: tiny exact-ish
+// cardinalities must not be wildly off.
+func TestHLLSmallRange(t *testing.T) {
+	h := NewHLL(12)
+	for i := 0; i < 100; i++ {
+		_, hh := keyOf(i)
+		h.Add(hh)
+	}
+	if est := h.Estimate(); math.Abs(est-100) > 10 {
+		t.Fatalf("estimate %.1f for 100 distinct keys", est)
+	}
+}
+
+// TestHLLMerge checks EstimateWith against the union of two disjoint
+// streams.
+func TestHLLMerge(t *testing.T) {
+	a, b := NewHLL(14), NewHLL(14)
+	for i := 0; i < 50_000; i++ {
+		_, h := keyOf(i)
+		a.Add(h)
+		_, h2 := keyOf(i + 50_000)
+		b.Add(h2)
+	}
+	est := a.EstimateWith(b)
+	if relErr := math.Abs(est-100_000) / 100_000; relErr > 0.03 {
+		t.Fatalf("merged estimate %.0f for 100k distinct: relative error %.4f", est, relErr)
+	}
+}
+
+// TestTopKZipf checks that space-saving surfaces the true head of a
+// zipfian stream, stays bounded, and honors its error bounds.
+func TestTopKZipf(t *testing.T) {
+	tk := NewTopK(16)
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.3, 1, 10_000)
+	truth := make(map[string]uint64)
+	for i := 0; i < 100_000; i++ {
+		k, _ := keyOf(int(zipf.Uint64()))
+		truth[string(k)]++
+		tk.Offer(k, 1)
+	}
+	items := tk.Items()
+	if len(items) > 16 {
+		t.Fatalf("table exceeded k: %d", len(items))
+	}
+	top, _ := keyOf(0) // rank 0 dominates a 1.3-skew zipf
+	if items[0].Key != string(top) {
+		t.Fatalf("top item %q, want %q", items[0].Key, top)
+	}
+	for _, it := range items {
+		if want := truth[it.Key]; it.Count < want {
+			t.Fatalf("space-saving under-counted %q: %d < %d", it.Key, it.Count, want)
+		} else if it.Count-it.Err > want {
+			t.Fatalf("count-err for %q not a lower bound: %d-%d > %d", it.Key, it.Count, it.Err, want)
+		}
+	}
+}
+
+// TestWindowDecay asserts the documented forgetting bound: a hot key
+// that stops occurring is gone from every estimate within two
+// half-lives of other traffic.
+func TestWindowDecay(t *testing.T) {
+	w := NewWindow(WindowConfig{HalfLifeOps: 1000, K: 8})
+	hotKey, hotHash := keyOf(999_999)
+	for i := 0; i < 500; i++ {
+		w.Observe(hotHash, hotKey, 1)
+	}
+	if w.Count(hotHash) < 500 {
+		t.Fatalf("hot key count %d before retirement", w.Count(hotHash))
+	}
+	// Retire the key: two full half-lives of unrelated traffic.
+	r0 := w.Rotations()
+	i := 0
+	for w.Rotations() < r0+2 {
+		k, h := keyOf(i)
+		w.Observe(h, k, 1)
+		i++
+	}
+	if got := w.Count(hotHash); got != 0 {
+		t.Fatalf("retired hot key still counted %d after 2 half-lives", got)
+	}
+	for _, hk := range w.Top(8) {
+		if hk.Key == string(hotKey) {
+			t.Fatalf("retired hot key still in top-K")
+		}
+	}
+}
+
+// TestWindowTracksShift is the miniature of experiment O2: the window's
+// top-K and distinct count must follow a workload shift within the
+// decay horizon.
+func TestWindowTracksShift(t *testing.T) {
+	w := NewWindow(WindowConfig{HalfLifeOps: 2000, K: 8})
+	// Phase 1: uniform over 5000 keys.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 4000; i++ {
+		k, h := keyOf(rng.Intn(5000))
+		w.Observe(h, k, 1)
+	}
+	d1 := w.Distinct()
+	// Phase 2: hammer a single key for two half-lives.
+	k, h := keyOf(123)
+	for i := 0; i < 4000; i++ {
+		w.Observe(h, k, 1)
+	}
+	if top := w.Top(1); len(top) == 0 || top[0].Key != string(k) {
+		t.Fatalf("top key after shift: %+v", top)
+	}
+	if d2 := w.Distinct(); d2 >= d1/2 {
+		t.Fatalf("distinct did not decay after shift: %.0f -> %.0f", d1, d2)
+	}
+	if total := w.Total(); total > 4000 {
+		t.Fatalf("window total %d exceeds two half-lives", total)
+	}
+}
+
+// TestWindowOnRotate checks the rotation callback fires once per
+// half-life with the running rotation count.
+func TestWindowOnRotate(t *testing.T) {
+	w := NewWindow(WindowConfig{HalfLifeOps: 100})
+	var calls []uint64
+	w.OnRotate = func(r uint64) { calls = append(calls, r) }
+	for i := 0; i < 350; i++ {
+		k, h := keyOf(i)
+		w.Observe(h, k, 1)
+	}
+	if len(calls) != 3 || calls[0] != 1 || calls[2] != 3 {
+		t.Fatalf("rotation callbacks = %v, want [1 2 3]", calls)
+	}
+}
+
+// BenchmarkWindowObserve measures the sampled-path cost the profiler
+// pays (one Observe per 8 engine ops).
+func BenchmarkWindowObserve(b *testing.B) {
+	w := NewWindow(WindowConfig{HalfLifeOps: 1 << 20})
+	keys := make([][]byte, 256)
+	hashes := make([]uint64, 256)
+	for i := range keys {
+		keys[i], hashes[i] = keyOf(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i & 255
+		w.Observe(hashes[j], keys[j], 8)
+	}
+}

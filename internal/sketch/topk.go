@@ -1,0 +1,120 @@
+package sketch
+
+import (
+	"sort"
+	"sync"
+)
+
+// HotKey is one entry of a top-K report.
+type HotKey struct {
+	Key string `json:"key"`
+	// Count is the estimated occurrence count; Err bounds its
+	// over-estimate (space-saving guarantees true count ∈ [Count-Err,
+	// Count]).
+	Count uint64 `json:"count"`
+	Err   uint64 `json:"err,omitempty"`
+}
+
+// TopK tracks the k most frequent keys with the space-saving algorithm:
+// a bounded table where a new key evicts the current minimum and
+// inherits its count as error. Memory is O(k) regardless of the key
+// space, which is what lets the profiler watch a hostile flood of
+// distinct keys without growing.
+//
+// Offer is allocation-free when the key is already tracked (the
+// map-lookup-by-string(bytes) pattern compiles to a no-copy probe);
+// only admitting a new key allocates its string, and the table is
+// bounded by k.
+type TopK struct {
+	mu sync.Mutex
+	k  int
+	m  map[string]*tkEntry
+}
+
+type tkEntry struct {
+	key        string
+	count, err uint64
+}
+
+// NewTopK tracks the top k keys (minimum 1).
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k, m: make(map[string]*tkEntry, k)}
+}
+
+// Offer records inc occurrences of key.
+func (t *TopK) Offer(key []byte, inc uint64) {
+	t.mu.Lock()
+	if e := t.m[string(key)]; e != nil {
+		e.count += inc
+		t.mu.Unlock()
+		return
+	}
+	if len(t.m) < t.k {
+		k := string(key)
+		t.m[k] = &tkEntry{key: k, count: inc}
+		t.mu.Unlock()
+		return
+	}
+	// Evict the minimum; the newcomer inherits its count as error bound.
+	var min *tkEntry
+	for _, e := range t.m {
+		if min == nil || e.count < min.count {
+			min = e
+		}
+	}
+	delete(t.m, min.key)
+	k := string(key)
+	min.key = k
+	min.err = min.count
+	min.count += inc
+	t.m[k] = min
+	t.mu.Unlock()
+}
+
+// Items returns the tracked keys sorted by descending count.
+func (t *TopK) Items() []HotKey {
+	t.mu.Lock()
+	out := make([]HotKey, 0, len(t.m))
+	for _, e := range t.m {
+		out = append(out, HotKey{Key: e.key, Count: e.count, Err: e.err})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Halve decays every count by half and drops entries that reach zero —
+// the exponential-decay step applied at window rotation.
+func (t *TopK) Halve() {
+	t.mu.Lock()
+	for k, e := range t.m {
+		e.count /= 2
+		e.err /= 2
+		if e.count == 0 {
+			delete(t.m, k)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Reset empties the table.
+func (t *TopK) Reset() {
+	t.mu.Lock()
+	clear(t.m)
+	t.mu.Unlock()
+}
+
+// Len returns the number of tracked keys.
+func (t *TopK) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}

@@ -26,6 +26,15 @@ type ReadStats interface {
 	BlockRead(cached bool)
 }
 
+// BlockBytesSink is an optional ReadStats extension: sinks that also
+// implement it receive the on-disk byte size of every data block
+// fetched, alongside the BlockRead count. The engine's per-level I/O
+// profiler uses it to attribute real read bytes to the level each
+// block came from.
+type BlockBytesSink interface {
+	BlockReadBytes(n int, cached bool)
+}
+
 // ReaderOptions configures how a table is opened.
 type ReaderOptions struct {
 	// FileNum namespaces this table's blocks in the shared cache.
@@ -141,6 +150,9 @@ func (r *Reader) readDataBlockWith(h blockHandle, st ReadStats) (*block, error) 
 		if v, ok := r.opts.Cache.Get(r.opts.FileNum, h.offset); ok {
 			if st != nil {
 				st.BlockRead(true)
+				if bs, ok := st.(BlockBytesSink); ok {
+					bs.BlockReadBytes(int(h.length), true)
+				}
 			}
 			return v.(*block), nil
 		}
@@ -155,6 +167,9 @@ func (r *Reader) readDataBlockWith(h blockHandle, st ReadStats) (*block, error) 
 	}
 	if st != nil {
 		st.BlockRead(false)
+		if bs, ok := st.(BlockBytesSink); ok {
+			bs.BlockReadBytes(int(h.length), false)
+		}
 	}
 	if r.opts.Cache != nil {
 		r.opts.Cache.Add(r.opts.FileNum, h.offset, b, len(raw))
@@ -275,7 +290,18 @@ func (r *Reader) GetScratched(ukey, search []byte, hash uint64, st ReadStats, sc
 
 // NewIterator returns an iterator over the table's point entries.
 func (r *Reader) NewIterator() kv.Iterator {
-	return &tableIterator{r: r, index: newBlockIterator(r.index)}
+	return &tableIterator{r: r, st: r.opts.Stats, index: newBlockIterator(r.index)}
+}
+
+// NewIteratorWith is NewIterator with a per-iterator stats sink
+// replacing the reader's configured ReadStats, so a scan can attribute
+// its block fetches to the level it is reading. A nil st reports to
+// r.opts.Stats as usual.
+func (r *Reader) NewIteratorWith(st ReadStats) kv.Iterator {
+	if st == nil {
+		st = r.opts.Stats
+	}
+	return &tableIterator{r: r, st: st, index: newBlockIterator(r.index)}
 }
 
 // BlockSpans invokes fn for every data block with its file offset and
@@ -359,6 +385,7 @@ func (r *Reader) Close() error { return r.f.Close() }
 // blocks, a block cursor walks entries.
 type tableIterator struct {
 	r     *Reader
+	st    ReadStats
 	index *blockIterator
 	data  *blockIterator
 	err   error
@@ -371,7 +398,7 @@ func (it *tableIterator) loadCurrentBlock() bool {
 		it.err = err
 		return false
 	}
-	b, err := it.r.readDataBlock(h)
+	b, err := it.r.readDataBlockWith(h, it.st)
 	if err != nil {
 		it.err = err
 		return false

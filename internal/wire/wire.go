@@ -96,6 +96,11 @@ const (
 	// replication status block (per-follower per-shard acked seqs and
 	// lag; layout in internal/replica).
 	OpReplStatus byte = 0x0F
+	// OpWorkload: empty. Response: StatusOK + the engine's live
+	// workload profile as JSON (core.WorkloadProfile): operation mix,
+	// skew and hot keys, per-tenant breakdown, and per-level RUM cost
+	// attribution over the profile decay window.
+	OpWorkload byte = 0x10
 )
 
 // Replication stream frame kinds (first payload byte of each StatusOK
@@ -271,6 +276,7 @@ var opNames = map[byte]string{
 	OpReplTree:         "repl-tree",
 	OpReplRepair:       "repl-repair",
 	OpReplStatus:       "repl-status",
+	OpWorkload:         "workload",
 	StatusOK:           "ok",
 	StatusNotFound:     "not-found",
 	StatusBadRequest:   "bad-request",

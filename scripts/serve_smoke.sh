@@ -47,6 +47,60 @@ echo "server at $addr, debug plane at $debug"
 
 ctl() { "$bin/lsmctl" -addr "$addr" "$@"; }
 
+# lint_prom checks a /metrics payload against the Prometheus text-format
+# grammar, not just a per-line regex: HELP/TYPE comments must be
+# well-formed with a known type and appear at most once per family,
+# TYPE must precede the family's first sample, every sample must parse
+# as name{labels} value with quoted/escaped label values, every sample
+# must belong to a declared family, and no (name,labels) series may
+# repeat.
+lint_prom() {
+  echo "$1" | awk '
+    function fail(msg) { printf("prom lint line %d: %s: %s\n", NR, msg, $0); bad=1 }
+    /^$/ { next }
+    /^# HELP / {
+      name=$3
+      if (name !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*$/) fail("bad HELP metric name")
+      if (NF < 4) fail("HELP without text")
+      if (help[name]++) fail("duplicate HELP for family")
+      next
+    }
+    /^# TYPE / {
+      name=$3
+      if (name !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*$/) fail("bad TYPE metric name")
+      if ($4 !~ /^(counter|gauge|histogram|summary|untyped)$/) fail("unknown TYPE")
+      if (NF != 4) fail("TYPE trailing garbage")
+      if (type[name]++) fail("duplicate TYPE for family")
+      if (seen[name]) fail("TYPE after samples of its family")
+      next
+    }
+    /^#/ { fail("comment is neither HELP nor TYPE"); next }
+    {
+      line=$0
+      if (match(line, /^[a-zA-Z_:][a-zA-Z0-9_:]*/) == 0) { fail("bad metric name"); next }
+      name=substr(line, RSTART, RLENGTH)
+      rest=substr(line, RLENGTH+1)
+      labels=""
+      if (substr(rest, 1, 1) == "{") {
+        if (match(rest, /^\{[a-zA-Z_][a-zA-Z0-9_]*="([^"\\]|\\.)*"(,[a-zA-Z_][a-zA-Z0-9_]*="([^"\\]|\\.)*")*\}/) == 0) { fail("bad label block"); next }
+        labels=substr(rest, RSTART, RLENGTH)
+        rest=substr(rest, RLENGTH+1)
+      }
+      if (rest !~ /^ (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]Inf|NaN)( [0-9]+)?$/) { fail("bad sample value"); next }
+      fam=name
+      if (!(fam in type)) {
+        t=fam
+        sub(/_(sum|count|bucket)$/, "", t)
+        if (t in type) fam=t
+      }
+      if (!(fam in type)) fail("sample family has no TYPE declaration")
+      seen[fam]=1
+      if (dup[name labels]++) fail("duplicate series")
+    }
+    END { exit bad }
+  ' || { echo "Prometheus text-format lint failed"; exit 1; }
+}
+
 echo "== round trips =="
 ctl put alpha 1
 ctl put alphabet 2
@@ -72,9 +126,20 @@ echo "$metrics" | grep -q '^lsmlab_degraded 0$' || { echo "/metrics missing degr
 echo "$metrics" | grep -q 'lsmlab_get_latency_ns{quantile="0.99"}' || { echo "/metrics missing get quantiles"; exit 1; }
 echo "$metrics" | grep -q '^lsmlab_scrubbed_tables_total ' || { echo "/metrics missing scrub counters"; exit 1; }
 echo "$metrics" | grep -q 'lsmlab_level_runs{level="0"}' || { echo "/metrics missing level gauges"; exit 1; }
-# Every sample line must parse as Prometheus text: name[{labels}] value.
-bad="$(echo "$metrics" | grep -v '^#' | grep -Ev '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$' || true)"
-[[ -z "$bad" ]] || { echo "unparseable /metrics lines:"; echo "$bad"; exit 1; }
+echo "$metrics" | grep -q 'lsmlab_workload_ops{op="put"}' || { echo "/metrics missing workload op mix"; exit 1; }
+echo "$metrics" | grep -q '^lsmlab_workload_read_amp ' || { echo "/metrics missing windowed read amp"; exit 1; }
+echo "$metrics" | grep -q 'lsmlab_level_bytes_written_window{level="0",reason="flush"}' || { echo "/metrics missing per-level write attribution"; exit 1; }
+lint_prom "$metrics"
+
+echo "== workload profile =="
+workload_json="$(curl -fsS "$debug/workload")"
+echo "$workload_json" | grep -q '"enabled":true' || { echo "/workload profiler not enabled"; exit 1; }
+echo "$workload_json" | grep -q '"levels":' || { echo "/workload missing per-level attribution"; exit 1; }
+wl_out="$(ctl workload)"
+echo "$wl_out"
+echo "$wl_out" | grep -q '^window:' || { echo "lsmctl workload missing window line"; exit 1; }
+echo "$wl_out" | grep -q '^rum:' || { echo "lsmctl workload missing rum line"; exit 1; }
+echo "$wl_out" | grep -q '^L0 ' || { echo "lsmctl workload missing per-level rows"; exit 1; }
 
 curl -fsS "$debug/healthz" | grep -c '"degraded":false' >/dev/null || { echo "/healthz not healthy"; exit 1; }
 curl -fsS "$debug/events" | grep -c '"type":"conn-open"' >/dev/null || { echo "/events missing conn lifecycle"; exit 1; }
@@ -109,6 +174,8 @@ grep -q 'closed cleanly' "$work/server.log" || { cat "$work/server.log"; echo "n
 
 echo "== durability =="
 [[ "$("$bin/lsmctl" -db "$work/db" get alpha)" == "1" ]] || { echo "store lost alpha"; exit 1; }
+# The workload command also works against a local open (fresh window).
+"$bin/lsmctl" -db "$work/db" workload | grep -q '^window:' || { echo "local lsmctl workload failed"; exit 1; }
 [[ "$("$bin/lsmctl" -db "$work/ckpt" get alphabet)" == "2" ]] || { echo "checkpoint lost alphabet"; exit 1; }
 
 echo "== scrub =="
@@ -172,6 +239,7 @@ grep -q '"kind":"corruption"' "$work/healthz2.json" || { echo "degradation not c
 # Capture before grepping: under pipefail, grep -q quitting at the
 # first match would fail curl with a broken pipe.
 metrics2="$(curl -fsS "$debug2/metrics")"
+lint_prom "$metrics2"
 echo "$metrics2" | grep -q '^lsmlab_degraded 1$' || { echo "degraded gauge not 1"; exit 1; }
 curl -fsS "$debug2/events" | grep -c '"type":"degraded"' >/dev/null || { echo "/events missing degraded transition"; exit 1; }
 kill -9 "$srv_pid" 2>/dev/null || true
@@ -208,6 +276,14 @@ echo "$stats3" | grep -q 'shard 000:' || { echo "stats missing per-shard rows"; 
 echo "$stats3" | grep -q 'shard 003:' || { echo "stats missing shard 003 row"; exit 1; }
 
 "$bin/lsmbench" -addr "$addr3" -conns 2 -ops 2000 >/dev/null
+
+# The workload profile aggregates across shards over the wire: the op
+# counts sum the per-shard windows and the per-level rows merge.
+wl3="$(ctl3 workload)"
+echo "$wl3" | grep -q '^window:' || { echo "sharded workload missing window line"; exit 1; }
+echo "$wl3" | grep -q '^L0 ' || { echo "sharded workload missing merged level rows"; exit 1; }
+echo "$wl3" | grep -Eq '^mix: +get' || { echo "sharded workload missing mix line"; exit 1; }
+ctl3 stats | grep -q '^workload: ' || { echo "sharded stats missing workload line"; exit 1; }
 
 kill -TERM "$srv_pid"
 for _ in $(seq 1 200); do
@@ -280,8 +356,22 @@ grep -q '"throttle_rate"' "$work/tenants.json" || { echo "tenants json missing t
 grep -q 'tenant t0:' "$work/stats5.txt" || { cat "$work/stats5.txt"; echo "stats missing tenant t0 row"; exit 1; }
 grep -Eq 'server: .*throttled=[1-9]' "$work/stats5.txt" || { cat "$work/stats5.txt"; echo "server stats line missing throttle count"; exit 1; }
 
+# The profiler's per-tenant breakdown reaches the workload command and
+# the tenant label family stays on /metrics under the cardinality cap.
+# Tenant rows come from sampled observations (1-in-32), so push more
+# quota-paced traffic until they surface (expected on the first try).
+tenant_rows=""
+for _ in $(seq 1 10); do
+  wl5="$("$bin/lsmctl" -addr "$addr5" workload)"
+  if echo "$wl5" | grep -q '^tenant t[01] '; then tenant_rows=1; break; fi
+  "$bin/lsmbench" -addr "$addr5" -tenants 2 -quota ops=60,burst=0.5 -ops 120 >/dev/null 2>&1 || true
+done
+[[ -n "$tenant_rows" ]] || { echo "$wl5"; echo "workload missing per-tenant rows"; exit 1; }
+
 # Capture before grepping (pipefail + grep -q would break curl's pipe).
 metrics5="$(curl -fsS "$debug5/metrics")"
+lint_prom "$metrics5"
+echo "$metrics5" | grep -Eq 'lsmlab_workload_tenant_ops\{tenant="t[01]"\}' || { echo "/metrics missing workload tenant gauge"; exit 1; }
 echo "$metrics5" | grep -Eq 'lsmlab_tenant_throttled_total\{tenant="t0"\} [1-9]' || { echo "/metrics missing t0 throttle counter"; exit 1; }
 echo "$metrics5" | grep -q 'lsmlab_tenant_requests_total{tenant="t1"}' || { echo "/metrics missing t1 request counter"; exit 1; }
 echo "$metrics5" | grep -Eq '^lsmlab_net_throttled_total [1-9]' || { echo "/metrics net throttle total did not move"; exit 1; }
